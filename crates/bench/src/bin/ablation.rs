@@ -1,0 +1,68 @@
+//! Quality-side ablations of the design choices DESIGN.md §5 calls out:
+//! pin reordering, Vt-site policy, and gate visiting order.
+
+use svtox_bench::{library_with, ua, x_factor, BenchArgs, Instance};
+use svtox_cells::{LibraryOptions, VtSitePolicy};
+use svtox_core::{DelayPenalty, GateOrder, Mode};
+
+fn main() {
+    let args = BenchArgs::from_env();
+    println!("Ablations at a 5% delay penalty (Heu1, 4-option library, µA)\n");
+
+    let variants = [
+        ("baseline", LibraryOptions::default()),
+        (
+            "no pin reordering",
+            LibraryOptions {
+                pin_reordering: false,
+                ..Default::default()
+            },
+        ),
+        (
+            "Vt at output side",
+            LibraryOptions {
+                vt_site: VtSitePolicy::OutputAdjacent,
+                ..Default::default()
+            },
+        ),
+    ];
+    print!("{:<8} {:>9}", "", "avg");
+    for (name, _) in &variants {
+        print!(" | {:>18} {:>5}", name, "X");
+    }
+    println!(" | {:>14} {:>5}", "topo order", "X");
+    for name in &args.circuits {
+        let mut row = String::new();
+        let mut avg_shown = String::new();
+        for (i, (_, opts)) in variants.iter().enumerate() {
+            let lib = library_with(*opts);
+            let inst = Instance::prepare(name, &lib, args.vectors.min(1000));
+            let problem = inst.problem();
+            let sol = inst.heuristic1(&problem, 0.05, Mode::Proposed);
+            if i == 0 {
+                avg_shown = ua(inst.average);
+            }
+            row.push_str(&format!(
+                " | {:>18} {:>5}",
+                ua(sol.leakage),
+                x_factor(inst.average, sol.leakage)
+            ));
+        }
+        // Gate-order ablation on the baseline library.
+        let lib = library_with(LibraryOptions::default());
+        let inst = Instance::prepare(name, &lib, args.vectors.min(1000));
+        let problem = inst.problem();
+        let topo = problem
+            .optimizer(DelayPenalty::five_percent(), Mode::Proposed)
+            .with_gate_order(GateOrder::Topological)
+            .heuristic1()
+            .expect("heuristic1 runs");
+        println!(
+            "{:<8} {:>9}{row} | {:>14} {:>5}",
+            name,
+            avg_shown,
+            ua(topo.leakage),
+            x_factor(inst.average, topo.leakage)
+        );
+    }
+}

@@ -1,0 +1,40 @@
+//! Figure 5: leakage vs delay-penalty sweep for c7552 — average leakage,
+//! state-assignment-only, state+Vt (the paper's ref.\[12\]), and the proposed method.
+
+use svtox_bench::{default_library, ua, BenchArgs, Instance};
+use svtox_core::Mode;
+
+fn main() {
+    let args = BenchArgs::from_env();
+    let library = default_library();
+    let name = if args.quick { "c880" } else { "c7552" };
+    let inst = Instance::prepare(name, &library, args.vectors);
+    let problem = inst.problem();
+
+    println!("Figure 5 — leakage vs delay penalty for {name} (µA)");
+    println!("average over random vectors: {}", ua(inst.average));
+    println!(
+        "{:>8} {:>12} {:>12} {:>12}",
+        "penalty", "state-only", "state+Vt", "proposed"
+    );
+    let sweep = if args.quick {
+        vec![0.0, 0.05, 0.25, 1.0]
+    } else {
+        vec![0.0, 0.01, 0.02, 0.05, 0.10, 0.15, 0.25, 0.50, 0.75, 1.0]
+    };
+    for pct in sweep {
+        let state = inst.heuristic1(&problem, pct, Mode::StateOnly);
+        let vt = inst.heuristic1(&problem, pct, Mode::StateAndVt);
+        let prop = inst.heuristic1(&problem, pct, Mode::Proposed);
+        println!(
+            "{:>7.0}% {:>12} {:>12} {:>12}",
+            pct * 100.0,
+            ua(state.leakage),
+            ua(vt.leakage),
+            ua(prop.leakage)
+        );
+    }
+    println!();
+    println!("(paper shape: the proposed curve drops sharply by ~5% penalty and");
+    println!("saturates beyond ~10%; state-only stays within a few % of average)");
+}

@@ -1,0 +1,43 @@
+//! Runtime scaling of Heuristic 1 across the suite — the analysis behind
+//! the paper's Table 3 "Time" column (theirs: 2–455 CPU-s on 2004 hardware;
+//! the shape of interest is growth with gate count and input count).
+
+use std::time::Instant;
+
+use svtox_bench::{default_library, BenchArgs};
+use svtox_core::{DelayPenalty, Mode, Problem};
+use svtox_netlist::generators::benchmark;
+use svtox_sta::TimingConfig;
+
+fn main() {
+    let args = BenchArgs::from_env();
+    let library = default_library();
+    println!("Heuristic-1 runtime scaling (5% penalty)");
+    println!(
+        "{:>8} {:>7} {:>7} {:>10} {:>10} {:>12}",
+        "circuit", "inputs", "gates", "build ms", "H1 ms", "µs/gate"
+    );
+    for name in &args.circuits {
+        let netlist = benchmark(name).expect("known benchmark");
+        let t0 = Instant::now();
+        let problem =
+            Problem::new(&netlist, &library, TimingConfig::default()).expect("problem builds");
+        let build = t0.elapsed();
+        let t1 = Instant::now();
+        let sol = problem
+            .optimizer(DelayPenalty::five_percent(), Mode::Proposed)
+            .heuristic1()
+            .expect("heuristic1 runs");
+        let h1 = t1.elapsed();
+        println!(
+            "{:>8} {:>7} {:>7} {:>10.1} {:>10.1} {:>12.1}",
+            name,
+            netlist.num_inputs(),
+            netlist.num_gates(),
+            build.as_secs_f64() * 1e3,
+            h1.as_secs_f64() * 1e3,
+            h1.as_secs_f64() * 1e6 / netlist.num_gates() as f64,
+        );
+        let _ = sol;
+    }
+}

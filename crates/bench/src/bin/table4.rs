@@ -1,0 +1,71 @@
+//! Table 4: the proposed method (Heu1) against the traditional baselines —
+//! state assignment only, and simultaneous state + Vt assignment (ref.\[12\]) —
+//! at 5/10/25 % delay penalties.
+
+use svtox_bench::{default_library, ua, x_factor, BenchArgs, Instance};
+use svtox_core::Mode;
+
+fn main() {
+    let args = BenchArgs::from_env();
+    let library = default_library();
+
+    println!("Table 4 — leakage comparison with the 4-option library (µA)");
+    println!(
+        "{:<7} {:>4} {:>6} {:>8} | {:>8} {:>5} | {:>8} {:>5} {:>8} {:>5} | {:>8} {:>5} {:>8} {:>5} | {:>8} {:>5} {:>8} {:>5}",
+        "", "in", "gates", "avg",
+        "st-only", "X",
+        "Vt&St 5%", "X", "Heu1 5%", "X",
+        "Vt&St10%", "X", "Heu1 10%", "X",
+        "Vt&St25%", "X", "Heu1 25%", "X"
+    );
+    let mut sums = [0.0f64; 7];
+    let mut count = 0.0;
+    for name in &args.circuits {
+        let inst = Instance::prepare(name, &library, args.vectors);
+        let problem = inst.problem();
+        let state_only = inst.heuristic1(&problem, 0.05, Mode::StateOnly);
+        let mut cols = vec![format!(
+            "{:>8} {:>5}",
+            ua(state_only.leakage),
+            format!("{:.2}", inst.average.value() / state_only.leakage.value())
+        )];
+        sums[0] += inst.average.value() / state_only.leakage.value();
+        for (i, pct) in [0.05, 0.10, 0.25].into_iter().enumerate() {
+            let vt = inst.heuristic1(&problem, pct, Mode::StateAndVt);
+            let heu1 = inst.heuristic1(&problem, pct, Mode::Proposed);
+            sums[1 + i * 2] += inst.average.value() / vt.leakage.value();
+            sums[2 + i * 2] += inst.average.value() / heu1.leakage.value();
+            cols.push(format!(
+                "{:>8} {:>5} {:>8} {:>5}",
+                ua(vt.leakage),
+                x_factor(inst.average, vt.leakage),
+                ua(heu1.leakage),
+                x_factor(inst.average, heu1.leakage)
+            ));
+        }
+        count += 1.0;
+        println!(
+            "{:<7} {:>4} {:>6} {:>8} | {} | {} | {} | {}",
+            name,
+            inst.netlist.num_inputs(),
+            inst.netlist.num_gates(),
+            ua(inst.average),
+            cols[0],
+            cols[1],
+            cols[2],
+            cols[3],
+        );
+    }
+    println!(
+        "AVG X: state-only {:.2} | Vt&St {:.1} / Heu1 {:.1} @5% | {:.1} / {:.1} @10% | {:.1} / {:.1} @25%",
+        sums[0] / count,
+        sums[1] / count,
+        sums[2] / count,
+        sums[3] / count,
+        sums[4] / count,
+        sums[5] / count,
+        sums[6] / count,
+    );
+    println!();
+    println!("(paper averages: state-only 1.06x; Vt&State 2.5/2.7/3.1x; Heu1 5.3/6.3/9.1x)");
+}

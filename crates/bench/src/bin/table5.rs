@@ -1,0 +1,75 @@
+//! Table 5: cell-library options at a 5 % delay penalty — 4-option vs
+//! 2-option trade-off points, each with individual and uniform-stack Vt
+//! control.
+
+use svtox_bench::{library_with, ua, x_factor, BenchArgs, Instance};
+use svtox_cells::{LibraryOptions, TradeoffPoints};
+use svtox_core::Mode;
+
+fn main() {
+    let args = BenchArgs::from_env();
+    let configs = [
+        ("4-option", LibraryOptions::default()),
+        (
+            "2-option",
+            LibraryOptions {
+                tradeoff_points: TradeoffPoints::Two,
+                ..Default::default()
+            },
+        ),
+        (
+            "4-option uniform",
+            LibraryOptions {
+                uniform_stack: true,
+                ..Default::default()
+            },
+        ),
+        (
+            "2-option uniform",
+            LibraryOptions {
+                tradeoff_points: TradeoffPoints::Two,
+                uniform_stack: true,
+                ..Default::default()
+            },
+        ),
+    ];
+    let libraries: Vec<_> = configs
+        .iter()
+        .map(|(name, opts)| (*name, library_with(*opts)))
+        .collect();
+
+    println!("Table 5 — cell library options at a 5% delay penalty (µA)");
+    print!("{:<7} {:>8}", "", "avg");
+    for (name, _) in &libraries {
+        print!(" | {:>17} {:>5}", name, "X");
+    }
+    println!();
+    let mut sums = vec![0.0f64; libraries.len()];
+    let mut count = 0.0;
+    for name in &args.circuits {
+        let base = Instance::prepare(name, &libraries[0].1, args.vectors);
+        print!("{:<7} {:>8}", name, ua(base.average));
+        for (i, (_, lib)) in libraries.iter().enumerate() {
+            let inst = Instance::prepare(name, lib, args.vectors.min(1000));
+            let problem = inst.problem();
+            let sol = inst.heuristic1(&problem, 0.05, Mode::Proposed);
+            // Report X against the shared 4-option baseline average for
+            // consistency (the paper reuses the same random-vector column).
+            sums[i] += base.average.value() / sol.leakage.value();
+            print!(
+                " | {:>17} {:>5}",
+                ua(sol.leakage),
+                x_factor(base.average, sol.leakage)
+            );
+        }
+        count += 1.0;
+        println!();
+    }
+    print!("{:<7} {:>8}", "AVG X", "");
+    for s in &sums {
+        print!(" | {:>17} {:>5.2}", "", s / count);
+    }
+    println!();
+    println!();
+    println!("(paper averages: 5.28 / 5.27 / 4.91 / 4.77)");
+}

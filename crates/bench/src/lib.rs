@@ -1,0 +1,188 @@
+//! Shared harness for the experiment binaries.
+//!
+//! Each table/figure of the paper's evaluation has a binary that
+//! regenerates it:
+//!
+//! | target | reproduces |
+//! |--------|------------|
+//! | `table1` | NAND2 version trade-offs (leakage + normalized delays) |
+//! | `table2` | library cell-version counts, 4 vs 2 trade-off points |
+//! | `table3` | Heu1 vs Heu2 across the suite at 5/10/25 % penalties |
+//! | `table4` | proposed vs state-only vs state+Vt baselines |
+//! | `table5` | library options: 4/2 trade-offs × individual/uniform stacks |
+//! | `figure5` | leakage vs delay-penalty sweep for c7552 |
+//! | `ablation` | design-choice ablations (reordering, Vt site, orders) |
+//! | `temperature` | footnote-1 study: Igate share & Tox gain vs kelvin |
+//! | `runtime_scaling` | Heuristic-1 runtime across the suite |
+//!
+//! Run with `cargo run --release -p svtox-bench --bin <target>`; pass
+//! `--quick` for a fast smoke pass (fewer vectors, short Heuristic-2
+//! budget, small circuits only).
+
+use std::time::Duration;
+
+use svtox_cells::{Library, LibraryOptions};
+use svtox_core::{DelayPenalty, Mode, Problem, Solution};
+use svtox_netlist::generators::{benchmark, benchmark_names};
+use svtox_netlist::Netlist;
+use svtox_sim::random_average_leakage;
+use svtox_sta::TimingConfig;
+use svtox_tech::{Current, Technology};
+
+/// Harness configuration shared by the experiment binaries.
+#[derive(Debug, Clone)]
+pub struct BenchArgs {
+    /// Reduced workload for smoke runs.
+    pub quick: bool,
+    /// Random vectors for the average-leakage baseline.
+    pub vectors: usize,
+    /// Heuristic-2 improvement budget per (circuit, penalty).
+    pub h2_budget: Duration,
+    /// Circuits to run (paper order).
+    pub circuits: Vec<&'static str>,
+}
+
+impl BenchArgs {
+    /// Parses process arguments (`--quick` is the only flag).
+    #[must_use]
+    pub fn from_env() -> Self {
+        let quick = std::env::args().any(|a| a == "--quick");
+        Self::new(quick)
+    }
+
+    /// Builds a configuration.
+    #[must_use]
+    pub fn new(quick: bool) -> Self {
+        if quick {
+            Self {
+                quick,
+                vectors: 500,
+                h2_budget: Duration::from_millis(500),
+                circuits: vec!["c432", "c499", "c880"],
+            }
+        } else {
+            Self {
+                quick,
+                vectors: 10_000,
+                h2_budget: Duration::from_secs(8),
+                circuits: benchmark_names(),
+            }
+        }
+    }
+}
+
+/// Builds the default characterized library.
+///
+/// # Panics
+///
+/// Panics if characterization fails (a bug, not an input error).
+#[must_use]
+pub fn default_library() -> Library {
+    Library::new(Technology::predictive_65nm(), LibraryOptions::default())
+        .expect("default library characterizes")
+}
+
+/// Builds a library with custom options.
+///
+/// # Panics
+///
+/// Panics if characterization fails.
+#[must_use]
+pub fn library_with(options: LibraryOptions) -> Library {
+    Library::new(Technology::predictive_65nm(), options).expect("library characterizes")
+}
+
+/// One evaluated circuit with its baseline.
+pub struct Instance<'a> {
+    /// Circuit name.
+    pub name: &'static str,
+    /// The netlist.
+    pub netlist: Netlist,
+    /// Average leakage over random vectors (all-fast).
+    pub average: Current,
+    /// Library used.
+    pub library: &'a Library,
+}
+
+impl<'a> Instance<'a> {
+    /// Generates a suite circuit and its random-vector baseline.
+    ///
+    /// # Panics
+    ///
+    /// Panics on generator or library failure (bugs, not input errors).
+    #[must_use]
+    pub fn prepare(name: &'static str, library: &'a Library, vectors: usize) -> Self {
+        let netlist = benchmark(name).expect("known benchmark name");
+        let average = random_average_leakage(&netlist, library, vectors, 42)
+            .expect("suite kinds are in the library")
+            .total;
+        Self {
+            name,
+            netlist,
+            average,
+            library,
+        }
+    }
+
+    /// Builds the optimization problem for this instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics on library failure.
+    #[must_use]
+    pub fn problem(&self) -> Problem<'_> {
+        Problem::new(&self.netlist, self.library, TimingConfig::default())
+            .expect("suite kinds are in the library")
+    }
+
+    /// Runs Heuristic 1 at a penalty.
+    ///
+    /// # Panics
+    ///
+    /// Panics on optimizer failure.
+    #[must_use]
+    pub fn heuristic1(&self, problem: &Problem<'_>, penalty: f64, mode: Mode) -> Solution {
+        problem
+            .optimizer(DelayPenalty::new(penalty).expect("penalty in range"), mode)
+            .heuristic1()
+            .expect("heuristic1 succeeds")
+    }
+}
+
+/// Formats a current in the paper's µA with one decimal.
+#[must_use]
+pub fn ua(current: Current) -> String {
+    format!("{:.1}", current.as_micro_amps())
+}
+
+/// Formats a reduction factor like the paper's `X` columns.
+#[must_use]
+pub fn x_factor(reference: Current, value: Current) -> String {
+    format!("{:.1}", reference.value() / value.value())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_args_shrink_the_run() {
+        let q = BenchArgs::new(true);
+        let f = BenchArgs::new(false);
+        assert!(q.vectors < f.vectors);
+        assert!(q.h2_budget < f.h2_budget);
+        assert!(q.circuits.len() < f.circuits.len());
+        assert_eq!(f.circuits.len(), 11);
+    }
+
+    #[test]
+    fn instance_prepares_and_solves() {
+        let lib = default_library();
+        let inst = Instance::prepare("c432", &lib, 100);
+        let problem = inst.problem();
+        let sol = inst.heuristic1(&problem, 0.05, Mode::Proposed);
+        assert!(sol.leakage < inst.average);
+        assert_eq!(ua(Current::new(24_540.0)), "24.5");
+        assert_eq!(x_factor(Current::new(100.0), Current::new(20.0)), "5.0");
+    }
+}

@@ -1,0 +1,73 @@
+//! Error type of the cell-library crate.
+
+use std::error::Error;
+use std::fmt;
+
+use svtox_netlist::GateKind;
+
+/// Error produced by library construction and lookup.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LibraryError {
+    /// The gate kind is not a primitive library cell.
+    NotPrimitive(GateKind),
+    /// The library was built without this cell kind.
+    MissingCell(GateKind),
+    /// The DC solver failed to converge for a cell/state.
+    SolverDiverged {
+        /// The cell kind being solved.
+        kind: GateKind,
+        /// The input state bits.
+        state: u16,
+    },
+    /// Liberty-style text could not be parsed.
+    ParseLiberty {
+        /// 1-based source line.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for LibraryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NotPrimitive(kind) => write!(f, "gate kind {kind} is not a primitive cell"),
+            Self::MissingCell(kind) => write!(f, "library has no cell for kind {kind}"),
+            Self::SolverDiverged { kind, state } => {
+                write!(f, "DC solver diverged for {kind} state {state:#b}")
+            }
+            Self::ParseLiberty { line, message } => {
+                write!(f, "liberty parse error on line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl Error for LibraryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(LibraryError::NotPrimitive(GateKind::Xor2)
+            .to_string()
+            .contains("XOR2"));
+        assert!(LibraryError::MissingCell(GateKind::Nand(4))
+            .to_string()
+            .contains("NAND4"));
+        assert!(LibraryError::SolverDiverged {
+            kind: GateKind::Inv,
+            state: 1
+        }
+        .to_string()
+        .contains("diverged"));
+        let e = LibraryError::ParseLiberty {
+            line: 4,
+            message: "bad token".into(),
+        };
+        assert!(e.to_string().contains("line 4"));
+    }
+}

@@ -1,0 +1,284 @@
+//! Transistor-level topologies of the primitive library cells.
+//!
+//! Every primitive cell is a complementary pair of networks: a pull-up of
+//! PMOS devices and a pull-down of NMOS devices, each either a **series
+//! stack** or a **parallel bank**. That is all the structure the INV /
+//! NAND / NOR families need, and it is exactly the structure the paper's
+//! stack arguments (Fig. 2, Fig. 3) are about.
+//!
+//! Conventions:
+//!
+//! * series networks are stored **rail → output** (index 0 touches the
+//!   supply rail, the last index touches the cell output);
+//! * pin numbering follows the classic schematic: pin 0 is the *top*
+//!   transistor of the stack drawing — output-adjacent for the NAND
+//!   pull-down, rail-adjacent for the NOR pull-up;
+//! * widths use standard drive-balancing sizing (series devices are
+//!   upsized by the stack length, PMOS carry the 2× mobility factor).
+
+use std::fmt;
+
+use svtox_netlist::GateKind;
+use svtox_tech::MosType;
+
+use crate::error::LibraryError;
+
+/// Shape of one transistor network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetworkKind {
+    /// Devices in series between the rail and the output (a stack).
+    Series,
+    /// Devices in parallel between the rail and the output.
+    Parallel,
+}
+
+/// One transistor position within a cell topology.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransistorRole {
+    /// Device polarity (NMOS in pull-down, PMOS in pull-up).
+    pub mos: MosType,
+    /// The **physical** input pin gating this device (before any version's
+    /// pin permutation).
+    pub pin: u8,
+    /// Device width in unit widths.
+    pub width: f64,
+}
+
+/// The transistor network of one primitive cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellTopology {
+    kind: GateKind,
+    pu_kind: NetworkKind,
+    pd_kind: NetworkKind,
+    /// Pull-up devices; rail→output order when series.
+    pullup: Vec<TransistorRole>,
+    /// Pull-down devices; rail→output order when series.
+    pulldown: Vec<TransistorRole>,
+}
+
+impl CellTopology {
+    /// Builds the topology for a primitive gate kind.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LibraryError::NotPrimitive`] for composite kinds.
+    pub fn for_kind(kind: GateKind) -> Result<Self, LibraryError> {
+        if !kind.is_primitive() {
+            return Err(LibraryError::NotPrimitive(kind));
+        }
+        let k = kind.arity();
+        let topo = match kind {
+            GateKind::Inv => Self {
+                kind,
+                pu_kind: NetworkKind::Parallel,
+                pd_kind: NetworkKind::Parallel,
+                pullup: vec![TransistorRole {
+                    mos: MosType::Pmos,
+                    pin: 0,
+                    width: 2.0,
+                }],
+                pulldown: vec![TransistorRole {
+                    mos: MosType::Nmos,
+                    pin: 0,
+                    width: 1.0,
+                }],
+            },
+            GateKind::Nand(_) => Self {
+                kind,
+                pu_kind: NetworkKind::Parallel,
+                pd_kind: NetworkKind::Series,
+                pullup: (0..k)
+                    .map(|p| TransistorRole {
+                        mos: MosType::Pmos,
+                        pin: p as u8,
+                        width: 2.0,
+                    })
+                    .collect(),
+                // Rail (GND) → output; pin 0 sits at the top (output side).
+                pulldown: (0..k)
+                    .rev()
+                    .map(|p| TransistorRole {
+                        mos: MosType::Nmos,
+                        pin: p as u8,
+                        width: k as f64,
+                    })
+                    .collect(),
+            },
+            GateKind::Nor(_) => Self {
+                kind,
+                pu_kind: NetworkKind::Series,
+                pd_kind: NetworkKind::Parallel,
+                // Rail (Vdd) → output; pin 0 sits at the top (rail side).
+                pullup: (0..k)
+                    .map(|p| TransistorRole {
+                        mos: MosType::Pmos,
+                        pin: p as u8,
+                        width: 2.0 * k as f64,
+                    })
+                    .collect(),
+                pulldown: (0..k)
+                    .map(|p| TransistorRole {
+                        mos: MosType::Nmos,
+                        pin: p as u8,
+                        width: 1.0,
+                    })
+                    .collect(),
+            },
+            _ => unreachable!("is_primitive() gates the match"),
+        };
+        Ok(topo)
+    }
+
+    /// The gate kind this topology implements.
+    #[must_use]
+    pub fn kind(&self) -> GateKind {
+        self.kind
+    }
+
+    /// Number of input pins.
+    #[must_use]
+    pub fn arity(&self) -> usize {
+        self.kind.arity()
+    }
+
+    /// Total transistor count.
+    #[must_use]
+    pub fn num_transistors(&self) -> usize {
+        self.pullup.len() + self.pulldown.len()
+    }
+
+    /// The pull-up network: shape and devices (rail→output when series).
+    #[must_use]
+    pub fn pullup(&self) -> (NetworkKind, &[TransistorRole]) {
+        (self.pu_kind, &self.pullup)
+    }
+
+    /// The pull-down network: shape and devices (rail→output when series).
+    #[must_use]
+    pub fn pulldown(&self) -> (NetworkKind, &[TransistorRole]) {
+        (self.pd_kind, &self.pulldown)
+    }
+
+    /// Iterates over all transistors with their **global index** — pull-up
+    /// devices first (network order), then pull-down. Global indices are the
+    /// key into a [`crate::CellVersion`]'s assignment vector.
+    pub fn transistors(&self) -> impl Iterator<Item = (usize, &TransistorRole)> {
+        self.pullup.iter().chain(self.pulldown.iter()).enumerate()
+    }
+
+    /// Global index of the `pos`-th pull-up device.
+    #[must_use]
+    pub fn pu_index(&self, pos: usize) -> usize {
+        debug_assert!(pos < self.pullup.len());
+        pos
+    }
+
+    /// Global index of the `pos`-th pull-down device.
+    #[must_use]
+    pub fn pd_index(&self, pos: usize) -> usize {
+        debug_assert!(pos < self.pulldown.len());
+        self.pullup.len() + pos
+    }
+
+    /// The transistor at a global index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    #[must_use]
+    pub fn transistor(&self, index: usize) -> &TransistorRole {
+        if index < self.pullup.len() {
+            &self.pullup[index]
+        } else {
+            &self.pulldown[index - self.pullup.len()]
+        }
+    }
+
+    /// Whether the device at a global index belongs to the pull-up network.
+    #[must_use]
+    pub fn is_pullup(&self, index: usize) -> bool {
+        index < self.pullup.len()
+    }
+}
+
+impl fmt::Display for CellTopology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} PU {:?}, {} PD {:?}",
+            self.kind,
+            self.pullup.len(),
+            self.pu_kind,
+            self.pulldown.len(),
+            self.pd_kind
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inverter_shape() {
+        let t = CellTopology::for_kind(GateKind::Inv).unwrap();
+        assert_eq!(t.num_transistors(), 2);
+        let (puk, pu) = t.pullup();
+        assert_eq!(puk, NetworkKind::Parallel);
+        assert_eq!(pu.len(), 1);
+        assert_eq!(pu[0].mos, MosType::Pmos);
+        assert_eq!(pu[0].width, 2.0);
+    }
+
+    #[test]
+    fn nand_stack_order_is_rail_to_output() {
+        let t = CellTopology::for_kind(GateKind::Nand(3)).unwrap();
+        let (pdk, pd) = t.pulldown();
+        assert_eq!(pdk, NetworkKind::Series);
+        // Index 0 = GND side = highest pin number; last = output side = pin 0.
+        assert_eq!(pd[0].pin, 2);
+        assert_eq!(pd[2].pin, 0);
+        assert!(pd.iter().all(|d| d.mos == MosType::Nmos && d.width == 3.0));
+        let (puk, pu) = t.pullup();
+        assert_eq!(puk, NetworkKind::Parallel);
+        assert_eq!(pu.len(), 3);
+    }
+
+    #[test]
+    fn nor_stack_order_is_rail_to_output() {
+        let t = CellTopology::for_kind(GateKind::Nor(2)).unwrap();
+        let (puk, pu) = t.pullup();
+        assert_eq!(puk, NetworkKind::Series);
+        // Index 0 = Vdd side = pin 0.
+        assert_eq!(pu[0].pin, 0);
+        assert_eq!(pu[1].pin, 1);
+        assert!(pu.iter().all(|d| d.width == 4.0));
+        let (pdk, _) = t.pulldown();
+        assert_eq!(pdk, NetworkKind::Parallel);
+    }
+
+    #[test]
+    fn global_indexing() {
+        let t = CellTopology::for_kind(GateKind::Nand(2)).unwrap();
+        assert_eq!(t.pu_index(0), 0);
+        assert_eq!(t.pd_index(0), 2);
+        assert!(t.is_pullup(1));
+        assert!(!t.is_pullup(2));
+        assert_eq!(t.transistor(3).mos, MosType::Nmos);
+        assert_eq!(t.transistors().count(), 4);
+    }
+
+    #[test]
+    fn composite_kinds_rejected() {
+        assert!(CellTopology::for_kind(GateKind::Xor2).is_err());
+        assert!(CellTopology::for_kind(GateKind::And(2)).is_err());
+        assert!(CellTopology::for_kind(GateKind::Nand(5)).is_err());
+    }
+
+    #[test]
+    fn display_mentions_shape() {
+        let t = CellTopology::for_kind(GateKind::Nor(3)).unwrap();
+        let s = t.to_string();
+        assert!(s.contains("NOR3") && s.contains("Series"));
+    }
+}

@@ -1,0 +1,609 @@
+//! Implementation of the `svtox` command-line tool.
+//!
+//! Subcommands:
+//!
+//! * `optimize <circuit|file.bench>` — compute a standby vector and cell
+//!   assignment; optionally write the sleep-gated netlist back out;
+//! * `sweep <circuit>` — leakage vs delay-penalty curve (Figure-5 style);
+//! * `library` — summarize or export the characterized library;
+//! * `report` — per-gate trade-off-point histogram + critical path;
+//! * `suite` — list the built-in benchmark reconstructions.
+//!
+//! The binary (`src/main.rs`) is a thin shell over [`run`]; everything here
+//! is unit-testable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::error::Error;
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use std::collections::BTreeMap;
+
+use svtox_cells::{to_liberty, Library, LibraryOptions, TradeoffPoints};
+use svtox_core::{DelayPenalty, Mode, Problem, Solution};
+use svtox_netlist::generators::{benchmark, BenchmarkProfile};
+use svtox_netlist::{
+    insert_sleep_vector, map_to_primitives, parse_bench, parse_verilog, MappingOptions, Netlist,
+};
+use svtox_sim::{random_average_leakage, Simulator};
+use svtox_sta::{GateConfig, Sta, TimingConfig};
+use svtox_tech::Technology;
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `optimize` subcommand.
+    Optimize(OptimizeArgs),
+    /// `sweep` subcommand.
+    Sweep(SweepArgs),
+    /// `library` subcommand.
+    Library(LibraryArgs),
+    /// `report` subcommand.
+    Report(SweepArgs),
+    /// `suite` subcommand.
+    Suite,
+    /// `--help` or no arguments.
+    Help,
+}
+
+/// Arguments of `svtox optimize`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptimizeArgs {
+    /// Benchmark name or `.bench` file path.
+    pub target: String,
+    /// Delay penalty fraction.
+    pub penalty: f64,
+    /// Optimization mode.
+    pub mode: Mode,
+    /// Run Heuristic 2 with this budget instead of Heuristic 1.
+    pub heuristic2: Option<Duration>,
+    /// Hill-climbing refinement passes after the heuristic.
+    pub refine_passes: usize,
+    /// Library options.
+    pub library: LibraryOptions,
+    /// Write the sleep-gated netlist to this `.bench` path.
+    pub emit_sleep: Option<String>,
+    /// Random vectors for the baseline column.
+    pub vectors: usize,
+}
+
+/// Arguments of `svtox sweep`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepArgs {
+    /// Benchmark name or `.bench` file path.
+    pub target: String,
+    /// Penalty fractions to sweep.
+    pub penalties: Vec<f64>,
+}
+
+/// Arguments of `svtox library`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LibraryArgs {
+    /// Library options.
+    pub options: LibraryOptions,
+    /// Write Liberty-style text to this path.
+    pub liberty_out: Option<String>,
+}
+
+/// Error with a user-facing message.
+#[derive(Debug)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl Error for CliError {}
+
+/// Usage text.
+pub const USAGE: &str = "\
+svtox — simultaneous standby-state, Vt and Tox assignment (DATE 2004)
+
+USAGE:
+  svtox optimize <circuit|file.bench> [--penalty PCT] [--mode proposed|vt|state]
+                 [--heuristic2 SECONDS] [--refine PASSES] [--two-option]
+                 [--uniform-stack] [--no-reorder] [--vectors N]
+                 [--emit-sleep FILE]
+  svtox sweep <circuit|file.bench> [--penalties 0,5,10,25,100]
+  svtox library [--two-option] [--uniform-stack] [--liberty FILE]
+  svtox report <circuit|file.bench> [--penalties 5]
+  svtox suite
+
+Circuits: built-in reconstructions (c432 … c7552, alu64), ISCAS-85/89
+`.bench` files, or flat structural Verilog `.v` files (composite gates are
+mapped onto the primitive library; flip-flops are extracted).
+";
+
+/// Parses raw arguments (excluding the program name).
+///
+/// # Errors
+///
+/// Returns [`CliError`] with a message for unknown flags or bad values.
+pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
+    let mut it = args.iter();
+    let Some(sub) = it.next() else {
+        return Ok(Command::Help);
+    };
+    match sub.as_str() {
+        "optimize" => {
+            let mut target: Option<String> = None;
+            let mut out = OptimizeArgs {
+                target: String::new(),
+                penalty: 0.05,
+                mode: Mode::Proposed,
+                heuristic2: None,
+                refine_passes: 0,
+                library: LibraryOptions::default(),
+                emit_sleep: None,
+                vectors: 2000,
+            };
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--penalty" => out.penalty = pct(&mut it)? / 100.0,
+                    "--mode" => {
+                        out.mode = match next(&mut it, "--mode")?.as_str() {
+                            "proposed" => Mode::Proposed,
+                            "vt" => Mode::StateAndVt,
+                            "state" => Mode::StateOnly,
+                            other => return Err(CliError(format!("unknown mode `{other}`"))),
+                        }
+                    }
+                    "--heuristic2" => out.heuristic2 = Some(Duration::from_secs_f64(pct(&mut it)?)),
+                    "--refine" => out.refine_passes = pct(&mut it)? as usize,
+                    "--two-option" => {
+                        out.library.tradeoff_points = TradeoffPoints::Two;
+                    }
+                    "--uniform-stack" => out.library.uniform_stack = true,
+                    "--no-reorder" => out.library.pin_reordering = false,
+                    "--vectors" => out.vectors = pct(&mut it)? as usize,
+                    "--emit-sleep" => out.emit_sleep = Some(next(&mut it, "--emit-sleep")?),
+                    flag if flag.starts_with("--") => {
+                        return Err(CliError(format!("unknown flag `{flag}`")))
+                    }
+                    positional => {
+                        if target.is_some() {
+                            return Err(CliError(format!(
+                                "unexpected extra argument `{positional}`"
+                            )));
+                        }
+                        target = Some(positional.to_string());
+                    }
+                }
+            }
+            out.target = target.ok_or_else(|| CliError("optimize needs a circuit".into()))?;
+            Ok(Command::Optimize(out))
+        }
+        "sweep" | "report" => {
+            let report = sub == "report";
+            let mut target: Option<String> = None;
+            let mut penalties = vec![0.0, 0.05, 0.10, 0.25, 1.0];
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--penalties" => {
+                        let list = next(&mut it, "--penalties")?;
+                        penalties = list
+                            .split(',')
+                            .map(|p| p.trim().parse::<f64>().map(|v| v / 100.0))
+                            .collect::<Result<_, _>>()
+                            .map_err(|e| CliError(format!("bad penalty list: {e}")))?;
+                    }
+                    flag if flag.starts_with("--") => {
+                        return Err(CliError(format!("unknown flag `{flag}`")))
+                    }
+                    positional => target = Some(positional.to_string()),
+                }
+            }
+            let args = SweepArgs {
+                target: target.ok_or_else(|| CliError("sweep needs a circuit".into()))?,
+                penalties,
+            };
+            Ok(if report {
+                Command::Report(args)
+            } else {
+                Command::Sweep(args)
+            })
+        }
+        "library" => {
+            let mut args = LibraryArgs {
+                options: LibraryOptions::default(),
+                liberty_out: None,
+            };
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--two-option" => args.options.tradeoff_points = TradeoffPoints::Two,
+                    "--uniform-stack" => args.options.uniform_stack = true,
+                    "--liberty" => args.liberty_out = Some(next(&mut it, "--liberty")?),
+                    other => return Err(CliError(format!("unknown flag `{other}`"))),
+                }
+            }
+            Ok(Command::Library(args))
+        }
+        "suite" => Ok(Command::Suite),
+        "--help" | "-h" | "help" => Ok(Command::Help),
+        other => Err(CliError(format!("unknown subcommand `{other}`"))),
+    }
+}
+
+fn next(it: &mut std::slice::Iter<'_, String>, flag: &str) -> Result<String, CliError> {
+    it.next()
+        .cloned()
+        .ok_or_else(|| CliError(format!("{flag} needs a value")))
+}
+
+fn pct(it: &mut std::slice::Iter<'_, String>) -> Result<f64, CliError> {
+    let raw = it
+        .next()
+        .ok_or_else(|| CliError("flag needs a numeric value".into()))?;
+    raw.parse()
+        .map_err(|_| CliError(format!("`{raw}` is not a number")))
+}
+
+/// Netlist-file parser signature shared by the supported formats.
+type NetlistParser = fn(&str) -> Result<Netlist, svtox_netlist::NetlistError>;
+
+/// Loads a circuit: a built-in benchmark name, a `.bench` file, or a flat
+/// structural Verilog `.v` file (files are mapped to primitives).
+///
+/// # Errors
+///
+/// Returns [`CliError`] if no interpretation works.
+pub fn load_circuit(target: &str) -> Result<Netlist, CliError> {
+    let parse: Option<NetlistParser> = if target.ends_with(".bench") {
+        Some(parse_bench)
+    } else if target.ends_with(".v") {
+        Some(parse_verilog)
+    } else {
+        None
+    };
+    if let Some(parse) = parse {
+        let text = std::fs::read_to_string(target)
+            .map_err(|e| CliError(format!("cannot read {target}: {e}")))?;
+        let raw = parse(&text).map_err(|e| CliError(format!("{target}: {e}")))?;
+        map_to_primitives(&raw, MappingOptions::default())
+            .map_err(|e| CliError(format!("{target}: mapping failed: {e}")))
+    } else {
+        benchmark(target).map_err(|e| CliError(format!("{e}; try `svtox suite` for names")))
+    }
+}
+
+/// Executes a parsed command, writing human-readable output into a string
+/// (so tests can assert on it).
+///
+/// # Errors
+///
+/// Returns an error for I/O failures or optimization errors.
+pub fn run(command: Command) -> Result<String, Box<dyn Error>> {
+    let mut out = String::new();
+    match command {
+        Command::Help => out.push_str(USAGE),
+        Command::Suite => {
+            writeln!(
+                out,
+                "{:<8} {:>7} {:>8} {:>8}  realization",
+                "name", "inputs", "outputs", "gates"
+            )?;
+            for p in BenchmarkProfile::all() {
+                let n = p.build()?;
+                writeln!(
+                    out,
+                    "{:<8} {:>7} {:>8} {:>8}  {}",
+                    p.name,
+                    n.num_inputs(),
+                    n.num_outputs(),
+                    n.num_gates(),
+                    realization_note(p.name)
+                )?;
+            }
+        }
+        Command::Library(args) => {
+            let lib = Library::new(Technology::predictive_65nm(), args.options)
+                .map_err(|e| CliError(e.to_string()))?;
+            writeln!(
+                out,
+                "characterized {} cells across {} kinds",
+                lib.total_library_cells(),
+                lib.cells().count()
+            )?;
+            let mut kinds: Vec<_> = lib.cells().map(|c| c.kind()).collect();
+            kinds.sort();
+            for kind in kinds {
+                let cell = lib.cell(kind)?;
+                writeln!(
+                    out,
+                    "  {:<6} {} versions",
+                    kind.to_string(),
+                    cell.num_library_versions()
+                )?;
+            }
+            if let Some(path) = args.liberty_out {
+                let text = to_liberty(&lib);
+                std::fs::write(&path, &text)?;
+                writeln!(out, "wrote {} bytes of Liberty to {path}", text.len())?;
+            }
+        }
+        Command::Sweep(args) => {
+            let netlist = load_circuit(&args.target)?;
+            let lib = Library::new(Technology::predictive_65nm(), LibraryOptions::default())?;
+            let problem = Problem::new(&netlist, &lib, TimingConfig::default())?;
+            let avg = random_average_leakage(&netlist, &lib, 2000, 42)?;
+            writeln!(
+                out,
+                "{}: average {:.2} µA",
+                netlist.name(),
+                avg.as_micro_amps()
+            )?;
+            writeln!(out, "{:>8} {:>12} {:>8}", "penalty", "leakage µA", "X")?;
+            for p in args.penalties {
+                let sol = problem
+                    .optimizer(DelayPenalty::new(p)?, Mode::Proposed)
+                    .heuristic1()?;
+                writeln!(
+                    out,
+                    "{:>7.0}% {:>12.2} {:>8.1}",
+                    p * 100.0,
+                    sol.leakage.as_micro_amps(),
+                    sol.reduction_vs(avg.total)
+                )?;
+            }
+        }
+        Command::Report(args) => {
+            let netlist = load_circuit(&args.target)?;
+            let lib = Library::new(Technology::predictive_65nm(), LibraryOptions::default())?;
+            let problem = Problem::new(&netlist, &lib, TimingConfig::default())?;
+            let penalty = DelayPenalty::new(*args.penalties.first().unwrap_or(&0.05))?;
+            let sol = problem.optimizer(penalty, Mode::Proposed).heuristic1()?;
+            writeln!(
+                out,
+                "{netlist} at a {:.0}% penalty",
+                penalty.fraction() * 100.0
+            )?;
+            // Version-usage histogram: which trade-off points the gate tree
+            // actually picked.
+            let mut sim = Simulator::new(&netlist);
+            sim.set_inputs(&sol.vector);
+            let mut sta = Sta::new(&netlist, &lib, problem.timing())?;
+            let mut histogram: BTreeMap<String, usize> = BTreeMap::new();
+            for (gid, gate) in netlist.gates() {
+                let state = sim.gate_state(gid);
+                let opt = problem.option(gate.kind(), state, sol.choices[gid.index()]);
+                let cell = lib.cell(gate.kind())?;
+                let label = cell.version(opt.version()).label();
+                let family = label.split('@').next().unwrap_or(label);
+                *histogram.entry(family.to_string()).or_insert(0) += 1;
+                sta.set_gate(gid, GateConfig::from(opt));
+            }
+            writeln!(out, "\nchosen trade-off points:")?;
+            for (family, count) in &histogram {
+                writeln!(
+                    out,
+                    "  {:<10} {:>6} gates ({:.0}%)",
+                    family,
+                    count,
+                    100.0 * *count as f64 / netlist.num_gates() as f64
+                )?;
+            }
+            writeln!(
+                out,
+                "\ncritical path ({:.1} of budget {:.1}):",
+                sta.max_delay(),
+                problem.delay_budget(penalty)
+            )?;
+            for gid in sta.critical_path() {
+                let gate = netlist.gate(gid);
+                let (rise, fall) = sta.arrival(gate.output());
+                let state = sim.gate_state(gid);
+                let opt = problem.option(gate.kind(), state, sol.choices[gid.index()]);
+                writeln!(
+                    out,
+                    "  {:<18} {:<6} state {:<4} {:<12} arr {:.1}",
+                    netlist.net(gate.output()).name(),
+                    gate.kind().to_string(),
+                    state.to_string(),
+                    lib.cell(gate.kind())?.version(opt.version()).label(),
+                    rise.max(fall)
+                )?;
+            }
+        }
+        Command::Optimize(args) => {
+            let netlist = load_circuit(&args.target)?;
+            let lib = Library::new(Technology::predictive_65nm(), args.library)?;
+            let problem = Problem::new(&netlist, &lib, TimingConfig::default())?;
+            let avg = random_average_leakage(&netlist, &lib, args.vectors, 42)?;
+            let optimizer = problem.optimizer(DelayPenalty::new(args.penalty)?, args.mode);
+            let mut sol: Solution = match args.heuristic2 {
+                Some(budget) => optimizer.heuristic2(budget)?,
+                None => optimizer.heuristic1()?,
+            };
+            if args.refine_passes > 0 {
+                sol = optimizer.refine(sol, args.refine_passes)?;
+            }
+            sol.verify(&problem)?;
+            let (isub, igate) = sol.leakage_breakdown(&problem)?;
+            writeln!(out, "circuit  : {netlist}")?;
+            writeln!(
+                out,
+                "baseline : {:.2} µA avg over {} random vectors (Igate share {:.0}%)",
+                avg.as_micro_amps(),
+                args.vectors,
+                avg.igate_share() * 100.0
+            )?;
+            writeln!(
+                out,
+                "result   : {:.2} µA ({:.1}x) — Isub {:.2} µA, Igate {:.2} µA",
+                sol.leakage.as_micro_amps(),
+                sol.reduction_vs(avg.total),
+                isub.as_micro_amps(),
+                igate.as_micro_amps()
+            )?;
+            writeln!(
+                out,
+                "delay    : {:.1} of budget {:.1} (D_fast {:.1}, D_slow {:.1})",
+                sol.delay,
+                problem.delay_budget(DelayPenalty::new(args.penalty)?),
+                problem.d_fast(),
+                problem.d_slow()
+            )?;
+            writeln!(
+                out,
+                "runtime  : {:.2?}, {} leaves",
+                sol.runtime, sol.leaves_explored
+            )?;
+            let vector: String = sol
+                .vector
+                .iter()
+                .map(|&b| if b { '1' } else { '0' })
+                .collect();
+            writeln!(out, "vector   : {vector}")?;
+            if let Some(path) = args.emit_sleep {
+                let gated = insert_sleep_vector(&netlist, &sol.vector)?;
+                std::fs::write(&path, gated.to_bench())?;
+                writeln!(
+                    out,
+                    "wrote sleep-gated netlist ({} gates) to {path}",
+                    gated.num_gates()
+                )?;
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn realization_note(name: &str) -> &'static str {
+    match name {
+        "c6288" => "16x16 array multiplier (functional)",
+        "alu64" => "64-bit ALU (functional)",
+        "c499" => "32-bit SEC decoder (functional)",
+        "c1355" => "32-bit SEC decoder, NAND2-expanded (functional)",
+        _ => "calibrated random DAG (profile-matched)",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn parses_optimize() {
+        let cmd = parse_args(&argv(
+            "optimize c432 --penalty 10 --mode vt --two-option --vectors 100",
+        ))
+        .unwrap();
+        let Command::Optimize(args) = cmd else {
+            panic!("wrong command")
+        };
+        assert_eq!(args.target, "c432");
+        assert!((args.penalty - 0.10).abs() < 1e-12);
+        assert_eq!(args.mode, Mode::StateAndVt);
+        assert_eq!(args.library.tradeoff_points, TradeoffPoints::Two);
+        assert_eq!(args.vectors, 100);
+    }
+
+    #[test]
+    fn parses_refine_flag() {
+        let cmd = parse_args(&argv("optimize c432 --refine 3")).unwrap();
+        let Command::Optimize(args) = cmd else {
+            panic!("wrong command")
+        };
+        assert_eq!(args.refine_passes, 3);
+    }
+
+    #[test]
+    fn parses_sweep_and_library() {
+        let cmd = parse_args(&argv("sweep c880 --penalties 0,5,25")).unwrap();
+        let Command::Sweep(args) = cmd else {
+            panic!("wrong command")
+        };
+        assert_eq!(args.penalties, vec![0.0, 0.05, 0.25]);
+        let cmd = parse_args(&argv("library --uniform-stack --liberty /tmp/x.lib")).unwrap();
+        let Command::Library(args) = cmd else {
+            panic!("wrong command")
+        };
+        assert!(args.options.uniform_stack);
+        assert_eq!(args.liberty_out.as_deref(), Some("/tmp/x.lib"));
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse_args(&argv("optimize")).is_err());
+        assert!(parse_args(&argv("optimize c432 --mode banana")).is_err());
+        assert!(parse_args(&argv("optimize c432 --penalty abc")).is_err());
+        assert!(parse_args(&argv("frobnicate")).is_err());
+        assert!(parse_args(&argv("optimize c432 extra")).is_err());
+        assert!(parse_args(&argv("library --bogus")).is_err());
+    }
+
+    #[test]
+    fn help_paths() {
+        assert_eq!(parse_args(&[]).unwrap(), Command::Help);
+        assert_eq!(parse_args(&argv("--help")).unwrap(), Command::Help);
+        let out = run(Command::Help).unwrap();
+        assert!(out.contains("USAGE"));
+    }
+
+    #[test]
+    fn report_prints_histogram_and_path() {
+        let cmd = parse_args(&argv("report c432 --penalties 5")).unwrap();
+        let out = run(cmd).unwrap();
+        assert!(out.contains("chosen trade-off points"));
+        assert!(out.contains("critical path"));
+        assert!(out.contains("fast") || out.contains("min-leak"));
+    }
+
+    #[test]
+    fn suite_lists_all_rows() {
+        let out = run(Command::Suite).unwrap();
+        for name in ["c432", "c6288", "alu64"] {
+            assert!(out.contains(name));
+        }
+        assert!(out.contains("array multiplier"));
+    }
+
+    #[test]
+    fn optimize_runs_end_to_end() {
+        let tmp = std::env::temp_dir().join("svtox_cli_test.bench");
+        let cmd = parse_args(&argv(&format!(
+            "optimize c432 --penalty 5 --vectors 200 --emit-sleep {}",
+            tmp.display()
+        )))
+        .unwrap();
+        let out = run(cmd).unwrap();
+        assert!(out.contains("result"));
+        assert!(out.contains("vector"));
+        // The emitted sleep netlist parses and has the documented overhead.
+        let text = std::fs::read_to_string(&tmp).unwrap();
+        let gated = parse_bench(&text).unwrap();
+        assert_eq!(gated.num_inputs(), 37);
+        std::fs::remove_file(&tmp).ok();
+    }
+
+    #[test]
+    fn bench_file_roundtrip() {
+        // Write a small circuit, then optimize it through the file path.
+        let tmp = std::env::temp_dir().join("svtox_cli_in.bench");
+        let n = svtox_netlist::generators::benchmark("c432").unwrap();
+        std::fs::write(&tmp, n.to_bench()).unwrap();
+        let loaded = load_circuit(tmp.to_str().unwrap()).unwrap();
+        assert_eq!(loaded.num_gates(), n.num_gates());
+        std::fs::remove_file(&tmp).ok();
+        assert!(load_circuit("no_such_thing").is_err());
+        assert!(load_circuit("/does/not/exist.bench").is_err());
+    }
+
+    #[test]
+    fn verilog_file_loads() {
+        let tmp = std::env::temp_dir().join("svtox_cli_in.v");
+        let n = svtox_netlist::generators::benchmark("c432").unwrap();
+        std::fs::write(&tmp, n.to_verilog()).unwrap();
+        let loaded = load_circuit(tmp.to_str().unwrap()).unwrap();
+        assert_eq!(loaded.num_gates(), n.num_gates());
+        std::fs::remove_file(&tmp).ok();
+    }
+}

@@ -1,0 +1,21 @@
+//! The `svtox` binary: thin shell over [`svtox_cli::run`].
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match svtox_cli::parse_args(&args).map(svtox_cli::run) {
+        Ok(Ok(output)) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Ok(Err(e)) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", svtox_cli::USAGE);
+            ExitCode::FAILURE
+        }
+    }
+}

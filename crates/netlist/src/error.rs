@@ -1,0 +1,97 @@
+//! Error type for netlist construction, parsing and mapping.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by netlist construction, `.bench` parsing or mapping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetlistError {
+    /// A gate was given the wrong number of inputs for its kind.
+    ArityMismatch {
+        /// The gate kind name.
+        kind: String,
+        /// Inputs the kind expects.
+        expected: usize,
+        /// Inputs actually supplied.
+        got: usize,
+    },
+    /// A net id referenced a net that does not exist.
+    UnknownNet(u32),
+    /// A signal name was referenced before being defined and never defined.
+    UndefinedSignal(String),
+    /// A signal was driven more than once.
+    MultipleDrivers(String),
+    /// The netlist contains a combinational cycle through the named net.
+    CombinationalCycle(String),
+    /// The netlist has no primary inputs or no gates.
+    Empty,
+    /// A `.bench` line could not be parsed.
+    Parse {
+        /// 1-based source line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// A gate kind is not supported by the requested operation.
+    UnsupportedKind(String),
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::ArityMismatch {
+                kind,
+                expected,
+                got,
+            } => {
+                write!(f, "gate `{kind}` expects {expected} inputs, got {got}")
+            }
+            Self::UnknownNet(id) => write!(f, "unknown net id {id}"),
+            Self::UndefinedSignal(name) => write!(f, "signal `{name}` is never defined"),
+            Self::MultipleDrivers(name) => write!(f, "signal `{name}` has multiple drivers"),
+            Self::CombinationalCycle(name) => {
+                write!(f, "combinational cycle through net `{name}`")
+            }
+            Self::Empty => write!(f, "netlist has no inputs or no gates"),
+            Self::Parse { line, message } => write!(f, "parse error on line {line}: {message}"),
+            Self::UnsupportedKind(kind) => write!(f, "unsupported gate kind `{kind}`"),
+        }
+    }
+}
+
+impl Error for NetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = NetlistError::ArityMismatch {
+            kind: "INV".into(),
+            expected: 1,
+            got: 2,
+        };
+        assert_eq!(e.to_string(), "gate `INV` expects 1 inputs, got 2");
+        assert!(NetlistError::UnknownNet(7).to_string().contains('7'));
+        assert!(NetlistError::UndefinedSignal("x".into())
+            .to_string()
+            .contains('x'));
+        assert!(NetlistError::MultipleDrivers("y".into())
+            .to_string()
+            .contains('y'));
+        assert!(NetlistError::CombinationalCycle("z".into())
+            .to_string()
+            .contains('z'));
+        assert!(NetlistError::Empty.to_string().contains("no inputs"));
+        let p = NetlistError::Parse {
+            line: 3,
+            message: "bad token".into(),
+        };
+        assert!(p.to_string().contains("line 3"));
+        assert!(NetlistError::UnsupportedKind("FOO".into())
+            .to_string()
+            .contains("FOO"));
+    }
+}

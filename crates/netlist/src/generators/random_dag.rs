@@ -1,0 +1,372 @@
+//! Seeded layered random-DAG generator calibrated to ISCAS-like profiles.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::builder::NetlistBuilder;
+use crate::error::NetlistError;
+use crate::gate::GateKind;
+use crate::netlist::{NetId, Netlist};
+
+/// Relative frequencies of primitive gate kinds in a generated circuit.
+///
+/// The default mix approximates the composition of synthesized ISCAS-85
+/// circuits (NAND-rich, with a meaningful NOR and inverter population).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KindMix {
+    /// Weight of inverters.
+    pub inv: f64,
+    /// Weight of 2-input NANDs.
+    pub nand2: f64,
+    /// Weight of 3-input NANDs.
+    pub nand3: f64,
+    /// Weight of 2-input NORs.
+    pub nor2: f64,
+    /// Weight of 3-input NORs.
+    pub nor3: f64,
+}
+
+impl Default for KindMix {
+    fn default() -> Self {
+        Self {
+            inv: 0.14,
+            nand2: 0.34,
+            nand3: 0.13,
+            nor2: 0.26,
+            nor3: 0.13,
+        }
+    }
+}
+
+impl KindMix {
+    fn pick(&self, rng: &mut SmallRng) -> GateKind {
+        let total = self.inv + self.nand2 + self.nand3 + self.nor2 + self.nor3;
+        let mut x = rng.gen_range(0.0..total);
+        for (w, kind) in [
+            (self.inv, GateKind::Inv),
+            (self.nand2, GateKind::Nand(2)),
+            (self.nand3, GateKind::Nand(3)),
+            (self.nor2, GateKind::Nor(2)),
+            (self.nor3, GateKind::Nor(3)),
+        ] {
+            if x < w {
+                return kind;
+            }
+            x -= w;
+        }
+        GateKind::Nand(2)
+    }
+}
+
+/// Specification of a random layered DAG.
+///
+/// # Example
+///
+/// ```
+/// use svtox_netlist::generators::{random_dag, RandomDagSpec};
+///
+/// let spec = RandomDagSpec::new("tiny", 8, 4, 40, 8);
+/// let n = random_dag(&spec)?;
+/// assert_eq!(n.num_gates(), 40);
+/// assert_eq!(n.num_inputs(), 8);
+/// # Ok::<(), svtox_netlist::NetlistError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RandomDagSpec {
+    /// Circuit name.
+    pub name: String,
+    /// Primary-input count.
+    pub num_inputs: usize,
+    /// Approximate primary-output count (actual count is every unconsumed
+    /// net, padded up to this number).
+    pub num_outputs: usize,
+    /// Exact gate count.
+    pub num_gates: usize,
+    /// Target logic depth (approximate upper shape of the layering).
+    pub depth: usize,
+    /// RNG seed — same seed, same netlist.
+    pub seed: u64,
+    /// Gate-kind mix.
+    pub mix: KindMix,
+}
+
+impl RandomDagSpec {
+    /// Creates a spec with the default mix and a seed derived from the name.
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        num_inputs: usize,
+        num_outputs: usize,
+        num_gates: usize,
+        depth: usize,
+    ) -> Self {
+        let name = name.into();
+        let seed = name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+            (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3)
+        });
+        Self {
+            name,
+            num_inputs,
+            num_outputs,
+            num_gates,
+            depth,
+            seed,
+            mix: KindMix::default(),
+        }
+    }
+}
+
+/// Generates a random layered DAG of primitive gates matching the spec.
+///
+/// Construction invariants:
+///
+/// * the gate count equals `spec.num_gates` exactly;
+/// * every primary input is consumed by at least one gate (given enough
+///   gate input pins — the generator draws unconsumed signals first);
+/// * every gate output is either consumed or becomes a primary output, so
+///   no logic is dangling;
+/// * the first input of each gate comes from the previous layer, which
+///   keeps the depth close to `spec.depth`.
+///
+/// # Errors
+///
+/// Returns an error if the spec is degenerate (no inputs, no gates, zero
+/// depth, or fewer total input pins than primary inputs).
+pub fn random_dag(spec: &RandomDagSpec) -> Result<Netlist, NetlistError> {
+    if spec.num_inputs == 0 || spec.num_gates == 0 || spec.depth == 0 {
+        return Err(NetlistError::Empty);
+    }
+    // A gate has at least one pin; we need enough pins to consume all PIs.
+    if spec.num_gates * 3 < spec.num_inputs {
+        return Err(NetlistError::ArityMismatch {
+            kind: "random_dag".into(),
+            expected: spec.num_inputs,
+            got: spec.num_gates * 3,
+        });
+    }
+    let mut rng = SmallRng::seed_from_u64(spec.seed);
+    let mut b = NetlistBuilder::new(spec.name.clone());
+    let inputs: Vec<NetId> = (0..spec.num_inputs)
+        .map(|i| b.add_input(format!("pi{i}")))
+        .collect();
+
+    let depth = spec.depth.min(spec.num_gates);
+    // Distribute gates over layers: wider near the inputs, tapering toward
+    // the outputs (the usual synthesized-circuit shape).
+    let mut layer_sizes = vec![0usize; depth];
+    for (i, size) in layer_sizes.iter_mut().enumerate() {
+        let weight = 1.0 + 1.5 * (1.0 - i as f64 / depth as f64);
+        *size = weight as usize; // provisional, refined below
+    }
+    {
+        let weights: Vec<f64> = (0..depth)
+            .map(|i| 1.0 + 1.5 * (1.0 - i as f64 / depth as f64))
+            .collect();
+        let total: f64 = weights.iter().sum();
+        let mut assigned = 0usize;
+        for i in 0..depth {
+            let share = ((weights[i] / total) * spec.num_gates as f64).floor() as usize;
+            layer_sizes[i] = share.max(1);
+            assigned += layer_sizes[i];
+        }
+        // Fix rounding drift so the total is exact.
+        let mut i = 0;
+        while assigned < spec.num_gates {
+            layer_sizes[i % depth] += 1;
+            assigned += 1;
+            i += 1;
+        }
+        while assigned > spec.num_gates {
+            let j = (0..depth).rev().find(|&j| layer_sizes[j] > 1).unwrap_or(0);
+            layer_sizes[j] -= 1;
+            assigned -= 1;
+        }
+    }
+
+    // `unconsumed` holds nets without a consumer yet; PIs are drawn first so
+    // every input gets used.
+    let mut unconsumed_pis: Vec<NetId> = inputs.clone();
+    let mut unconsumed: Vec<NetId> = Vec::new();
+    let mut prev_layer: Vec<NetId> = inputs.clone();
+    let mut all_nets: Vec<NetId> = inputs.clone();
+    let total_layers = layer_sizes.len();
+
+    for (li, &size) in layer_sizes.iter().enumerate() {
+        let mut this_layer = Vec::with_capacity(size);
+        let last_layers = li + 2 >= total_layers;
+        for _ in 0..size {
+            let kind = spec.mix.pick(&mut rng);
+            let arity = kind.arity();
+            let mut ins = Vec::with_capacity(arity);
+            // First pin: previous layer (depth shaping), preferring a net
+            // not yet consumed.
+            let first =
+                pick_preferring(&mut rng, &prev_layer, &mut unconsumed_pis, &mut unconsumed);
+            ins.push(first);
+            for _ in 1..arity {
+                let net = if let Some(pi) = pop_random(&mut rng, &mut unconsumed_pis) {
+                    pi
+                } else if (last_layers || rng.gen_bool(0.6)) && !unconsumed.is_empty() {
+                    pop_random(&mut rng, &mut unconsumed).expect("checked nonempty")
+                } else {
+                    all_nets[rng.gen_range(0..all_nets.len())]
+                };
+                if ins.contains(&net) {
+                    // Avoid duplicated pins; fall back to any distinct net.
+                    let alt = all_nets[rng.gen_range(0..all_nets.len())];
+                    if !ins.contains(&alt) {
+                        ins.push(alt);
+                    } else {
+                        // Duplicates are logically harmless; keep it rather
+                        // than loop forever on tiny circuits.
+                        ins.push(net);
+                    }
+                } else {
+                    ins.push(net);
+                }
+            }
+            let out = b.add_gate(kind, &ins)?;
+            this_layer.push(out);
+        }
+        // The layer's outputs only become visible to later layers, so gates
+        // cannot chain within a layer and blow past the target depth.
+        unconsumed.extend_from_slice(&this_layer);
+        all_nets.extend_from_slice(&this_layer);
+        prev_layer = this_layer;
+    }
+
+    // Anything still unconsumed becomes a primary output; pad with distinct
+    // late nets up to the requested output count.
+    let mut outputs: Vec<NetId> = unconsumed;
+    let mut candidates: Vec<NetId> = all_nets[spec.num_inputs..]
+        .iter()
+        .copied()
+        .filter(|n| !outputs.contains(n))
+        .collect();
+    while outputs.len() < spec.num_outputs && !candidates.is_empty() {
+        let pick = pop_random(&mut rng, &mut candidates).expect("checked nonempty");
+        outputs.push(pick);
+    }
+    for out in outputs {
+        b.mark_output(out);
+    }
+    b.finish()
+}
+
+/// Pops a uniformly random element from `v`.
+fn pop_random(rng: &mut SmallRng, v: &mut Vec<NetId>) -> Option<NetId> {
+    if v.is_empty() {
+        None
+    } else {
+        let i = rng.gen_range(0..v.len());
+        Some(v.swap_remove(i))
+    }
+}
+
+/// Picks a random member of `layer`, removing it from the unconsumed pools
+/// if present (prefer consuming fresh signals).
+fn pick_preferring(
+    rng: &mut SmallRng,
+    layer: &[NetId],
+    pis: &mut Vec<NetId>,
+    pool: &mut Vec<NetId>,
+) -> NetId {
+    let net = layer[rng.gen_range(0..layer.len())];
+    if let Some(pos) = pis.iter().position(|&n| n == net) {
+        pis.swap_remove(pos);
+    }
+    if let Some(pos) = pool.iter().position(|&n| n == net) {
+        pool.swap_remove(pos);
+    }
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> RandomDagSpec {
+        RandomDagSpec::new("t", 20, 10, 150, 12)
+    }
+
+    #[test]
+    fn exact_gate_count_and_primitive() {
+        let n = random_dag(&spec()).unwrap();
+        assert_eq!(n.num_gates(), 150);
+        assert_eq!(n.num_inputs(), 20);
+        assert!(n.is_primitive());
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = random_dag(&spec()).unwrap();
+        let b = random_dag(&spec()).unwrap();
+        assert_eq!(a.to_bench(), b.to_bench());
+        let mut other = spec();
+        other.seed ^= 1;
+        let c = random_dag(&other).unwrap();
+        assert_ne!(a.to_bench(), c.to_bench());
+    }
+
+    #[test]
+    fn all_inputs_consumed() {
+        let n = random_dag(&spec()).unwrap();
+        for &pi in n.inputs() {
+            assert!(
+                !n.net(pi).fanouts().is_empty(),
+                "input {} unused",
+                n.net(pi).name()
+            );
+        }
+    }
+
+    #[test]
+    fn no_dangling_logic() {
+        let n = random_dag(&spec()).unwrap();
+        for (_, net) in n.nets() {
+            if net.driver().is_some() && net.fanouts().is_empty() {
+                assert!(
+                    n.outputs().iter().any(|&o| n.net(o).name() == net.name()),
+                    "net {} dangles",
+                    net.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn depth_close_to_target() {
+        let n = random_dag(&spec()).unwrap();
+        assert!(n.depth() >= 8 && n.depth() <= 14, "depth {}", n.depth());
+    }
+
+    #[test]
+    fn large_profile_works() {
+        let big = RandomDagSpec::new("big", 178, 123, 1627, 40);
+        let n = random_dag(&big).unwrap();
+        assert_eq!(n.num_gates(), 1627);
+        assert!(n.num_outputs() >= 123);
+    }
+
+    #[test]
+    fn degenerate_specs_rejected() {
+        assert!(random_dag(&RandomDagSpec::new("x", 0, 1, 10, 3)).is_err());
+        assert!(random_dag(&RandomDagSpec::new("x", 5, 1, 0, 3)).is_err());
+        assert!(random_dag(&RandomDagSpec::new("x", 5, 1, 10, 0)).is_err());
+        assert!(random_dag(&RandomDagSpec::new("x", 100, 1, 10, 3)).is_err());
+    }
+
+    #[test]
+    fn mix_is_respected_roughly() {
+        let mut s = RandomDagSpec::new("mix", 30, 10, 1000, 20);
+        s.mix = KindMix {
+            inv: 1.0,
+            nand2: 0.0,
+            nand3: 0.0,
+            nor2: 0.0,
+            nor3: 0.0,
+        };
+        let n = random_dag(&s).unwrap();
+        assert!(n.gates().all(|(_, g)| g.kind() == GateKind::Inv));
+    }
+}

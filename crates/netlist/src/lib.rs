@@ -1,0 +1,62 @@
+//! Gate-level netlist infrastructure for the svtox workspace.
+//!
+//! The paper evaluates on ISCAS-85 benchmark circuits plus a 64-bit ALU,
+//! synthesized to a small standard-cell library. This crate provides the
+//! corresponding substrate:
+//!
+//! * an immutable, validated, combinational netlist IR ([`Netlist`]) with
+//!   typed ids, fanout lists and a cached topological order;
+//! * a [`NetlistBuilder`] for programmatic construction;
+//! * readers/writers for the ISCAS-85 `.bench` format ([`parse_bench`],
+//!   [`Netlist::to_bench`]) and flat structural Verilog ([`parse_verilog`],
+//!   [`Netlist::to_verilog`]), with ISCAS-89 `DFF` combinational extraction;
+//! * a technology-mapping pass ([`map_to_primitives`]) that lowers composite
+//!   gates (AND/OR/XOR/XNOR/BUF, wide fan-ins) onto the primitive standby
+//!   library cells (INV / NAND2-4 / NOR2-4);
+//! * a sleep-vector insertion pass ([`insert_sleep_vector`]) that
+//!   materializes a computed standby vector as forcing logic behind a new
+//!   `sleep` input;
+//! * deterministic benchmark **generators** ([`generators`]) that rebuild
+//!   the paper's evaluation suite: a real array multiplier (c6288 profile),
+//!   a real 64-bit ALU (alu64), XOR-dominated error-correction circuits
+//!   (c499/c1355 profiles) and calibrated layered random DAGs for the
+//!   remaining ISCAS-85 profiles.
+//!
+//! # Example
+//!
+//! ```
+//! use svtox_netlist::{GateKind, NetlistBuilder};
+//!
+//! # fn main() -> Result<(), svtox_netlist::NetlistError> {
+//! let mut b = NetlistBuilder::new("toy");
+//! let a = b.add_input("a");
+//! let c = b.add_input("c");
+//! let y = b.add_gate(GateKind::Nand(2), &[a, c])?;
+//! b.mark_output(y);
+//! let netlist = b.finish()?;
+//! assert_eq!(netlist.num_gates(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod error;
+mod gate;
+pub mod generators;
+mod mapping;
+mod netlist;
+mod parser;
+mod sleep;
+mod verilog;
+
+pub use builder::NetlistBuilder;
+pub use error::NetlistError;
+pub use gate::GateKind;
+pub use mapping::{map_to_primitives, MappingOptions};
+pub use netlist::{Gate, GateId, Net, NetId, Netlist, NetlistStats};
+pub use parser::parse_bench;
+pub use sleep::insert_sleep_vector;
+pub use verilog::parse_verilog;

@@ -1,0 +1,415 @@
+//! Technology mapping: lowering composite gates onto the primitive standby
+//! library (INV / NAND / NOR with bounded fan-in).
+//!
+//! The paper's library (Table 2) characterizes inverters, NANDs and NORs;
+//! benchmark sources and functional generators freely use AND/OR/XOR/XNOR
+//! and wide fan-ins. [`map_to_primitives`] rewrites any netlist into an
+//! equivalent one that uses only library cells:
+//!
+//! * buffers are absorbed (their consumers are rewired to the source);
+//! * `AND`/`OR` become `NAND`/`NOR` plus an inverter;
+//! * `XOR2` becomes the classic 4-NAND structure, `XNOR2` the 4-NOR dual;
+//! * fan-ins above [`MappingOptions::max_fanin`] are decomposed into
+//!   balanced trees.
+
+use crate::builder::NetlistBuilder;
+use crate::error::NetlistError;
+use crate::gate::GateKind;
+use crate::netlist::{NetId, Netlist};
+
+/// Options controlling [`map_to_primitives`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MappingOptions {
+    /// Maximum NAND/NOR fan-in emitted (2..=4). The paper's library tops out
+    /// at 3-input cells, so 3 is the default.
+    pub max_fanin: usize,
+    /// Keep buffers as inverter pairs instead of absorbing them.
+    pub keep_buffers: bool,
+}
+
+impl Default for MappingOptions {
+    fn default() -> Self {
+        Self {
+            max_fanin: 3,
+            keep_buffers: false,
+        }
+    }
+}
+
+/// Lowers a netlist onto primitive library cells.
+///
+/// The result computes the same Boolean function on every input vector
+/// (verified by property tests) and contains only gates for which
+/// [`GateKind::is_primitive`] holds.
+///
+/// # Errors
+///
+/// Returns an error if `options.max_fanin` is outside `2..=4`, or if the
+/// rebuilt netlist fails validation (which would indicate a bug in the
+/// source netlist's invariants).
+///
+/// # Example
+///
+/// ```
+/// use svtox_netlist::{map_to_primitives, GateKind, MappingOptions, NetlistBuilder};
+///
+/// # fn main() -> Result<(), svtox_netlist::NetlistError> {
+/// let mut b = NetlistBuilder::new("xor");
+/// let a = b.add_input("a");
+/// let c = b.add_input("b");
+/// let y = b.add_gate(GateKind::Xor2, &[a, c])?;
+/// b.mark_output(y);
+/// let mapped = map_to_primitives(&b.finish()?, MappingOptions::default())?;
+/// assert!(mapped.is_primitive());
+/// assert_eq!(mapped.num_gates(), 4); // 4-NAND XOR
+/// # Ok(())
+/// # }
+/// ```
+pub fn map_to_primitives(
+    netlist: &Netlist,
+    options: MappingOptions,
+) -> Result<Netlist, NetlistError> {
+    if !(2..=4).contains(&options.max_fanin) {
+        return Err(NetlistError::UnsupportedKind(format!(
+            "max_fanin {} outside 2..=4",
+            options.max_fanin
+        )));
+    }
+    let mut b = NetlistBuilder::new(netlist.name().to_string());
+    // Map from old net id to the new net computing the same signal.
+    let mut remap: Vec<Option<NetId>> = vec![None; netlist.num_nets()];
+    for &pi in netlist.inputs() {
+        let new = b.add_input(netlist.net(pi).name().to_string());
+        remap[pi.index()] = Some(new);
+    }
+    for &gid in netlist.topo_order() {
+        let gate = netlist.gate(gid);
+        let ins: Vec<NetId> = gate
+            .inputs()
+            .iter()
+            .map(|&n| remap[n.index()].expect("topo order guarantees fanin mapped"))
+            .collect();
+        let out = lower_gate(&mut b, gate.kind(), &ins, options)?;
+        remap[gate.output().index()] = Some(out);
+    }
+    if b.num_gates() == 0 && !options.keep_buffers {
+        // Degenerate source (buffers only): absorbing everything would leave
+        // an empty netlist, so materialize the buffers instead.
+        return map_to_primitives(
+            netlist,
+            MappingOptions {
+                keep_buffers: true,
+                ..options
+            },
+        );
+    }
+    for &po in netlist.outputs() {
+        b.mark_output(remap[po.index()].expect("outputs are driven"));
+    }
+    b.finish()
+}
+
+/// Emits the primitive implementation of one gate, returning the net that
+/// carries its output.
+fn lower_gate(
+    b: &mut NetlistBuilder,
+    kind: GateKind,
+    ins: &[NetId],
+    options: MappingOptions,
+) -> Result<NetId, NetlistError> {
+    let max = options.max_fanin;
+    match kind {
+        GateKind::Inv => b.add_gate(GateKind::Inv, ins),
+        GateKind::Buf => {
+            if options.keep_buffers {
+                let t = b.add_gate(GateKind::Inv, ins)?;
+                b.add_gate(GateKind::Inv, &[t])
+            } else {
+                Ok(ins[0])
+            }
+        }
+        GateKind::Nand(_) => nary(b, true, ins, max, true),
+        GateKind::Nor(_) => nary(b, false, ins, max, true),
+        GateKind::And(_) => nary(b, true, ins, max, false),
+        GateKind::Or(_) => nary(b, false, ins, max, false),
+        GateKind::Xor2 => {
+            // 4-NAND XOR: t = NAND(a,b); y = NAND(NAND(a,t), NAND(b,t)).
+            let t = b.add_gate(GateKind::Nand(2), ins)?;
+            let u = b.add_gate(GateKind::Nand(2), &[ins[0], t])?;
+            let v = b.add_gate(GateKind::Nand(2), &[ins[1], t])?;
+            b.add_gate(GateKind::Nand(2), &[u, v])
+        }
+        GateKind::Xnor2 => {
+            // 4-NOR XNOR: t = NOR(a,b); y = NOR(NOR(a,t), NOR(b,t)).
+            let t = b.add_gate(GateKind::Nor(2), ins)?;
+            let u = b.add_gate(GateKind::Nor(2), &[ins[0], t])?;
+            let v = b.add_gate(GateKind::Nor(2), &[ins[1], t])?;
+            b.add_gate(GateKind::Nor(2), &[u, v])
+        }
+    }
+}
+
+/// Builds an n-ary AND (`conj = true`) or OR tree.
+///
+/// `invert_root` selects NAND/NOR (true) vs AND/OR (false) semantics at the
+/// root. Internal tree levels use NAND+INV (resp. NOR+INV) pairs.
+fn nary(
+    b: &mut NetlistBuilder,
+    conj: bool,
+    ins: &[NetId],
+    max: usize,
+    invert_root: bool,
+) -> Result<NetId, NetlistError> {
+    debug_assert!(ins.len() >= 2);
+    let root_kind = |n: usize| {
+        if conj {
+            GateKind::Nand(n as u8)
+        } else {
+            GateKind::Nor(n as u8)
+        }
+    };
+    if ins.len() <= max {
+        let inverted = b.add_gate(root_kind(ins.len()), ins)?;
+        return if invert_root {
+            Ok(inverted)
+        } else {
+            b.add_gate(GateKind::Inv, &[inverted])
+        };
+    }
+    // Group inputs into chunks of ≤ max, reduce each chunk to its AND/OR
+    // (non-inverted), then recurse on the chunk results.
+    let mut reduced = Vec::with_capacity(ins.len().div_ceil(max));
+    for chunk in ins.chunks(max) {
+        if chunk.len() == 1 {
+            reduced.push(chunk[0]);
+        } else {
+            reduced.push(nary(b, conj, chunk, max, false)?);
+        }
+    }
+    nary(b, conj, &reduced, max, invert_root)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetlistBuilder;
+
+    /// Builds a single-gate netlist over `n` inputs.
+    fn single(kind: GateKind) -> Netlist {
+        let mut b = NetlistBuilder::new("single");
+        let ins: Vec<NetId> = (0..kind.arity())
+            .map(|i| b.add_input(format!("i{i}")))
+            .collect();
+        let y = b.add_gate(kind, &ins).unwrap();
+        b.mark_output(y);
+        b.finish().unwrap()
+    }
+
+    /// Checks functional equivalence on every input vector (inputs ≤ 12).
+    fn assert_equivalent(a: &Netlist, b: &Netlist) {
+        assert_eq!(a.num_inputs(), b.num_inputs());
+        let n = a.num_inputs();
+        assert!(n <= 12, "exhaustive check limited to 12 inputs");
+        for bits in 0..(1u32 << n) {
+            let vec: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
+            assert_eq!(
+                a.evaluate(&vec),
+                b.evaluate(&vec),
+                "mismatch on input {bits:b}"
+            );
+        }
+    }
+
+    #[test]
+    fn maps_every_composite_kind() {
+        for kind in [
+            GateKind::Buf,
+            GateKind::And(2),
+            GateKind::And(3),
+            GateKind::And(4),
+            GateKind::Or(2),
+            GateKind::Or(4),
+            GateKind::Xor2,
+            GateKind::Xnor2,
+            GateKind::Nand(4),
+            GateKind::Nor(4),
+            GateKind::Nand(8),
+            GateKind::Nor(9),
+            GateKind::And(9),
+            GateKind::Or(8),
+        ] {
+            let src = single(kind);
+            let mapped = map_to_primitives(&src, MappingOptions::default()).unwrap();
+            assert!(mapped.is_primitive(), "{kind} not fully mapped");
+            assert_equivalent(&src, &mapped);
+        }
+    }
+
+    #[test]
+    fn primitives_pass_through() {
+        for kind in [
+            GateKind::Inv,
+            GateKind::Nand(2),
+            GateKind::Nand(3),
+            GateKind::Nor(3),
+        ] {
+            let src = single(kind);
+            let mapped = map_to_primitives(&src, MappingOptions::default()).unwrap();
+            assert_eq!(mapped.num_gates(), 1);
+            assert_equivalent(&src, &mapped);
+        }
+    }
+
+    #[test]
+    fn buffer_absorbed_by_default() {
+        let mut b = NetlistBuilder::new("buf");
+        let a = b.add_input("a");
+        let t = b.add_gate(GateKind::Buf, &[a]).unwrap();
+        let y = b.add_gate(GateKind::Inv, &[t]).unwrap();
+        b.mark_output(y);
+        let src = b.finish().unwrap();
+        let mapped = map_to_primitives(&src, MappingOptions::default()).unwrap();
+        assert_eq!(mapped.num_gates(), 1);
+        let kept = map_to_primitives(
+            &src,
+            MappingOptions {
+                keep_buffers: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(kept.num_gates(), 3);
+        assert_equivalent(&src, &kept);
+    }
+
+    #[test]
+    fn respects_max_fanin() {
+        for max in 2..=4 {
+            let src = single(GateKind::Nand(9));
+            let mapped = map_to_primitives(
+                &src,
+                MappingOptions {
+                    max_fanin: max,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            for (_, g) in mapped.gates() {
+                assert!(g.inputs().len() <= max);
+            }
+            assert_equivalent(&src, &mapped);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_fanin_limit() {
+        let src = single(GateKind::And(2));
+        assert!(map_to_primitives(
+            &src,
+            MappingOptions {
+                max_fanin: 1,
+                ..Default::default()
+            }
+        )
+        .is_err());
+        assert!(map_to_primitives(
+            &src,
+            MappingOptions {
+                max_fanin: 5,
+                ..Default::default()
+            }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn xor_uses_four_nands() {
+        let mapped = map_to_primitives(&single(GateKind::Xor2), MappingOptions::default()).unwrap();
+        assert_eq!(mapped.num_gates(), 4);
+        assert!(mapped.gates().all(|(_, g)| g.kind() == GateKind::Nand(2)));
+    }
+
+    #[test]
+    fn xnor_uses_four_nors() {
+        let mapped =
+            map_to_primitives(&single(GateKind::Xnor2), MappingOptions::default()).unwrap();
+        assert_eq!(mapped.num_gates(), 4);
+        assert!(mapped.gates().all(|(_, g)| g.kind() == GateKind::Nor(2)));
+    }
+
+    #[test]
+    fn preserves_multi_output_structure() {
+        let mut b = NetlistBuilder::new("mo");
+        let a = b.add_input("a");
+        let c = b.add_input("b");
+        let s = b.add_gate(GateKind::Xor2, &[a, c]).unwrap();
+        let k = b.add_gate(GateKind::And(2), &[a, c]).unwrap();
+        b.mark_output(s);
+        b.mark_output(k);
+        let src = b.finish().unwrap();
+        let mapped = map_to_primitives(&src, MappingOptions::default()).unwrap();
+        assert_eq!(mapped.num_outputs(), 2);
+        assert_equivalent(&src, &mapped);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::builder::NetlistBuilder;
+    use proptest::prelude::*;
+
+    /// Strategy: a random small netlist over 4 inputs built from arbitrary
+    /// composite kinds.
+    fn arb_netlist() -> impl Strategy<Value = Netlist> {
+        let kinds = prop::sample::select(vec![
+            GateKind::Inv,
+            GateKind::Buf,
+            GateKind::Nand(2),
+            GateKind::Nand(3),
+            GateKind::Nor(2),
+            GateKind::And(2),
+            GateKind::And(4),
+            GateKind::Or(3),
+            GateKind::Xor2,
+            GateKind::Xnor2,
+        ]);
+        (prop::collection::vec((kinds, prop::collection::vec(0usize..64, 4)), 1..25)).prop_map(
+            |specs| {
+                let mut b = NetlistBuilder::new("prop");
+                let mut nets: Vec<NetId> = (0..4).map(|i| b.add_input(format!("i{i}"))).collect();
+                for (kind, picks) in specs {
+                    let ins: Vec<NetId> = (0..kind.arity())
+                        .map(|k| nets[picks[k % picks.len()] % nets.len()])
+                        .collect();
+                    let out = b.add_gate(kind, &ins).expect("arity matches");
+                    nets.push(out);
+                }
+                let last = *nets.last().expect("nonempty");
+                b.mark_output(last);
+                b.finish().expect("acyclic by construction")
+            },
+        )
+    }
+
+    proptest! {
+        #[test]
+        fn mapping_preserves_function(src in arb_netlist(), bits in 0u32..16) {
+            let mapped = map_to_primitives(&src, MappingOptions::default()).unwrap();
+            prop_assert!(mapped.is_primitive());
+            let vec: Vec<bool> = (0..4).map(|i| bits >> i & 1 == 1).collect();
+            prop_assert_eq!(src.evaluate(&vec), mapped.evaluate(&vec));
+        }
+
+        #[test]
+        fn mapping_bounds_fanin(src in arb_netlist()) {
+            let mapped = map_to_primitives(
+                &src,
+                MappingOptions { max_fanin: 2, ..Default::default() },
+            ).unwrap();
+            for (_, g) in mapped.gates() {
+                prop_assert!(g.inputs().len() <= 2);
+            }
+        }
+    }
+}

@@ -1,0 +1,525 @@
+//! The immutable, validated netlist IR.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::error::NetlistError;
+use crate::gate::GateKind;
+
+/// Identifier of a net (signal) within one [`Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NetId(pub(crate) u32);
+
+impl NetId {
+    /// The raw index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Identifier of a gate instance within one [`Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GateId(pub(crate) u32);
+
+impl GateId {
+    /// The raw index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for GateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+/// One signal: its name, its driver and its fanout (consumer pins).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Net {
+    pub(crate) name: String,
+    /// `None` means the net is a primary input.
+    pub(crate) driver: Option<GateId>,
+    /// `(gate, pin index)` pairs that consume this net.
+    pub(crate) fanouts: Vec<(GateId, u8)>,
+}
+
+impl Net {
+    /// The signal name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The driving gate, or `None` for a primary input.
+    #[must_use]
+    pub fn driver(&self) -> Option<GateId> {
+        self.driver
+    }
+
+    /// The consuming `(gate, pin)` pairs.
+    #[must_use]
+    pub fn fanouts(&self) -> &[(GateId, u8)] {
+        &self.fanouts
+    }
+}
+
+/// One gate instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Gate {
+    pub(crate) kind: GateKind,
+    pub(crate) inputs: Vec<NetId>,
+    pub(crate) output: NetId,
+}
+
+impl Gate {
+    /// The logic function.
+    #[must_use]
+    pub fn kind(&self) -> GateKind {
+        self.kind
+    }
+
+    /// Input nets in pin order.
+    #[must_use]
+    pub fn inputs(&self) -> &[NetId] {
+        &self.inputs
+    }
+
+    /// The output net.
+    #[must_use]
+    pub fn output(&self) -> NetId {
+        self.output
+    }
+}
+
+/// Summary statistics of a netlist (see [`Netlist::stats`]).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct NetlistStats {
+    /// Primary-input count.
+    pub inputs: usize,
+    /// Primary-output count.
+    pub outputs: usize,
+    /// Total gate count.
+    pub gates: usize,
+    /// Logic depth (longest PI→PO path in gate counts).
+    pub depth: usize,
+    /// Gate count per kind, sorted by kind.
+    pub kind_histogram: Vec<(GateKind, usize)>,
+}
+
+impl fmt::Display for NetlistStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} inputs, {} outputs, {} gates, depth {}",
+            self.inputs, self.outputs, self.gates, self.depth
+        )
+    }
+}
+
+/// A validated, acyclic, combinational gate-level netlist.
+///
+/// Construct via [`crate::NetlistBuilder`] or [`crate::parse_bench`]. The
+/// structure is immutable after construction; passes like
+/// [`crate::map_to_primitives`] produce new netlists.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Netlist {
+    pub(crate) name: String,
+    pub(crate) nets: Vec<Net>,
+    pub(crate) gates: Vec<Gate>,
+    pub(crate) inputs: Vec<NetId>,
+    pub(crate) outputs: Vec<NetId>,
+    /// Gates in topological (fanin-before-fanout) order.
+    pub(crate) topo: Vec<GateId>,
+    /// Longest-path level of each gate (PIs are level 0; a gate's level is
+    /// 1 + max level of its fanin gates).
+    pub(crate) levels: Vec<u32>,
+}
+
+impl Netlist {
+    /// The netlist name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of gates.
+    #[must_use]
+    pub fn num_gates(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Number of nets (primary inputs + gate outputs).
+    #[must_use]
+    pub fn num_nets(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// Number of primary inputs.
+    #[must_use]
+    pub fn num_inputs(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Number of primary outputs.
+    #[must_use]
+    pub fn num_outputs(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Primary-input nets in declaration order.
+    #[must_use]
+    pub fn inputs(&self) -> &[NetId] {
+        &self.inputs
+    }
+
+    /// Primary-output nets in declaration order.
+    #[must_use]
+    pub fn outputs(&self) -> &[NetId] {
+        &self.outputs
+    }
+
+    /// Looks up a gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for this netlist.
+    #[must_use]
+    pub fn gate(&self, id: GateId) -> &Gate {
+        &self.gates[id.index()]
+    }
+
+    /// Looks up a net.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for this netlist.
+    #[must_use]
+    pub fn net(&self, id: NetId) -> &Net {
+        &self.nets[id.index()]
+    }
+
+    /// Iterates over `(GateId, &Gate)` in id order.
+    pub fn gates(&self) -> impl ExactSizeIterator<Item = (GateId, &Gate)> + '_ {
+        self.gates
+            .iter()
+            .enumerate()
+            .map(|(i, g)| (GateId(i as u32), g))
+    }
+
+    /// Iterates over `(NetId, &Net)` in id order.
+    pub fn nets(&self) -> impl ExactSizeIterator<Item = (NetId, &Net)> + '_ {
+        self.nets
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (NetId(i as u32), n))
+    }
+
+    /// Gates in topological (fanin-before-fanout) order.
+    #[must_use]
+    pub fn topo_order(&self) -> &[GateId] {
+        &self.topo
+    }
+
+    /// Longest-path level of a gate (1 for gates fed only by PIs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for this netlist.
+    #[must_use]
+    pub fn level(&self, id: GateId) -> u32 {
+        self.levels[id.index()]
+    }
+
+    /// Logic depth: maximum gate level.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.levels.iter().copied().max().unwrap_or(0) as usize
+    }
+
+    /// Whether a net is a primary input.
+    #[must_use]
+    pub fn is_primary_input(&self, id: NetId) -> bool {
+        self.net(id).driver.is_none()
+    }
+
+    /// Whether a net is a primary output.
+    #[must_use]
+    pub fn is_primary_output(&self, id: NetId) -> bool {
+        self.outputs.contains(&id)
+    }
+
+    /// Finds a net by name.
+    #[must_use]
+    pub fn find_net(&self, name: &str) -> Option<NetId> {
+        self.nets
+            .iter()
+            .position(|n| n.name == name)
+            .map(|i| NetId(i as u32))
+    }
+
+    /// Whether every gate is a primitive standby-library cell.
+    #[must_use]
+    pub fn is_primitive(&self) -> bool {
+        self.gates.iter().all(|g| g.kind.is_primitive())
+    }
+
+    /// Computes summary statistics.
+    #[must_use]
+    pub fn stats(&self) -> NetlistStats {
+        let mut hist: HashMap<GateKind, usize> = HashMap::new();
+        for g in &self.gates {
+            *hist.entry(g.kind).or_insert(0) += 1;
+        }
+        let mut kind_histogram: Vec<_> = hist.into_iter().collect();
+        kind_histogram.sort();
+        NetlistStats {
+            inputs: self.inputs.len(),
+            outputs: self.outputs.len(),
+            gates: self.gates.len(),
+            depth: self.depth(),
+            kind_histogram,
+        }
+    }
+
+    /// Evaluates the netlist on one input vector, returning the primary
+    /// output values in declaration order.
+    ///
+    /// This is the reference Boolean semantics; the `svtox-sim` crate builds
+    /// faster and three-valued evaluation on top of the same IR.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != self.num_inputs()`.
+    #[must_use]
+    pub fn evaluate(&self, values: &[bool]) -> Vec<bool> {
+        assert_eq!(
+            values.len(),
+            self.num_inputs(),
+            "expected {} input values",
+            self.num_inputs()
+        );
+        let mut net_vals = vec![false; self.nets.len()];
+        for (&pi, &v) in self.inputs.iter().zip(values) {
+            net_vals[pi.index()] = v;
+        }
+        let mut scratch = Vec::new();
+        for &gid in &self.topo {
+            let g = &self.gates[gid.index()];
+            scratch.clear();
+            scratch.extend(g.inputs.iter().map(|&n| net_vals[n.index()]));
+            net_vals[g.output.index()] = g.kind.eval(&scratch);
+        }
+        self.outputs.iter().map(|&o| net_vals[o.index()]).collect()
+    }
+
+    /// Serializes to the ISCAS-85 `.bench` text format.
+    ///
+    /// The output can be re-read with [`crate::parse_bench`] **provided net
+    /// names are unique** — the textual formats identify signals by name,
+    /// so a netlist with duplicate names (possible when mixing auto-named
+    /// and hand-named nets) round-trips as a merged, invalid circuit. All
+    /// generators and passes in this crate produce unique names.
+    #[must_use]
+    pub fn to_bench(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("# {}\n", self.name));
+        for &pi in &self.inputs {
+            out.push_str(&format!("INPUT({})\n", self.net(pi).name));
+        }
+        for &po in &self.outputs {
+            out.push_str(&format!("OUTPUT({})\n", self.net(po).name));
+        }
+        for &gid in &self.topo {
+            let g = self.gate(gid);
+            let base = match g.kind {
+                GateKind::Inv => "NOT".to_string(),
+                GateKind::Buf => "BUFF".to_string(),
+                GateKind::Nand(_) => "NAND".to_string(),
+                GateKind::Nor(_) => "NOR".to_string(),
+                GateKind::And(_) => "AND".to_string(),
+                GateKind::Or(_) => "OR".to_string(),
+                GateKind::Xor2 => "XOR".to_string(),
+                GateKind::Xnor2 => "XNOR".to_string(),
+            };
+            let args: Vec<&str> = g.inputs.iter().map(|&n| self.net(n).name()).collect();
+            out.push_str(&format!(
+                "{} = {}({})\n",
+                self.net(g.output).name,
+                base,
+                args.join(", ")
+            ));
+        }
+        out
+    }
+
+    /// Validates internal consistency and computes topological order and
+    /// levels. Called by the builder.
+    pub(crate) fn finalize(mut self) -> Result<Self, NetlistError> {
+        if self.inputs.is_empty() || self.gates.is_empty() {
+            return Err(NetlistError::Empty);
+        }
+        // Every net must be driven (by a gate or by being a PI).
+        for (i, net) in self.nets.iter().enumerate() {
+            let is_pi = self.inputs.contains(&NetId(i as u32));
+            if net.driver.is_none() && !is_pi {
+                return Err(NetlistError::UndefinedSignal(net.name.clone()));
+            }
+        }
+        // Kahn's algorithm for topological order + cycle detection.
+        // Per-gate indegree = number of fanin nets driven by other gates.
+        let n = self.gates.len();
+        let mut fanin_count = vec![0u32; n];
+        for (gi, g) in self.gates.iter().enumerate() {
+            for &inp in &g.inputs {
+                if self.nets[inp.index()].driver.is_some() {
+                    fanin_count[gi] += 1;
+                }
+            }
+        }
+        let mut queue: Vec<usize> = (0..n).filter(|&i| fanin_count[i] == 0).collect();
+        let mut topo = Vec::with_capacity(n);
+        let mut levels = vec![0u32; n];
+        let mut head = 0;
+        while head < queue.len() {
+            let gi = queue[head];
+            head += 1;
+            topo.push(GateId(gi as u32));
+            let level = 1 + self.gates[gi]
+                .inputs
+                .iter()
+                .filter_map(|&inp| self.nets[inp.index()].driver)
+                .map(|d| levels[d.index()])
+                .max()
+                .unwrap_or(0);
+            levels[gi] = level;
+            let out = self.gates[gi].output;
+            for &(consumer, _pin) in &self.nets[out.index()].fanouts {
+                let ci = consumer.index();
+                fanin_count[ci] -= 1;
+                if fanin_count[ci] == 0 {
+                    queue.push(ci);
+                }
+            }
+        }
+        if topo.len() != n {
+            // Find a gate stuck in a cycle for the error message.
+            let stuck = (0..n).find(|&i| fanin_count[i] > 0).unwrap_or(0);
+            let name = self.nets[self.gates[stuck].output.index()].name.clone();
+            return Err(NetlistError::CombinationalCycle(name));
+        }
+        self.topo = topo;
+        self.levels = levels;
+        Ok(self)
+    }
+}
+
+impl fmt::Display for Netlist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.name, self.stats())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetlistBuilder;
+
+    fn toy() -> Netlist {
+        // y = NAND(a, INV(b)); z = NOR(y, b)
+        let mut b = NetlistBuilder::new("toy");
+        let a = b.add_input("a");
+        let bb = b.add_input("b");
+        let nb = b.add_gate(GateKind::Inv, &[bb]).unwrap();
+        let y = b.add_gate(GateKind::Nand(2), &[a, nb]).unwrap();
+        let z = b.add_gate(GateKind::Nor(2), &[y, bb]).unwrap();
+        b.mark_output(z);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let n = toy();
+        assert_eq!(n.name(), "toy");
+        assert_eq!(n.num_gates(), 3);
+        assert_eq!(n.num_inputs(), 2);
+        assert_eq!(n.num_outputs(), 1);
+        assert_eq!(n.num_nets(), 5);
+        assert!(n.is_primitive());
+        assert_eq!(n.gates().len(), 3);
+        assert_eq!(n.nets().len(), 5);
+    }
+
+    #[test]
+    fn topo_order_respects_dependencies() {
+        let n = toy();
+        let pos: HashMap<GateId, usize> = n
+            .topo_order()
+            .iter()
+            .enumerate()
+            .map(|(i, &g)| (g, i))
+            .collect();
+        for (gid, gate) in n.gates() {
+            for &inp in gate.inputs() {
+                if let Some(driver) = n.net(inp).driver() {
+                    assert!(pos[&driver] < pos[&gid]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn levels_and_depth() {
+        let n = toy();
+        assert_eq!(n.depth(), 3);
+        // INV(b) is level 1, NAND level 2, NOR level 3.
+        let levels: Vec<u32> = n.gates().map(|(g, _)| n.level(g)).collect();
+        assert_eq!(levels, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn fanout_lists() {
+        let n = toy();
+        let b_net = n.find_net("b").unwrap();
+        // b feeds the inverter (pin 0) and the NOR (pin 1).
+        assert_eq!(n.net(b_net).fanouts().len(), 2);
+        assert!(n.is_primary_input(b_net));
+        assert!(!n.is_primary_output(b_net));
+    }
+
+    #[test]
+    fn stats_histogram() {
+        let s = toy().stats();
+        assert_eq!(s.gates, 3);
+        assert_eq!(s.depth, 3);
+        assert_eq!(s.kind_histogram.len(), 3);
+        assert!(s.to_string().contains("3 gates"));
+    }
+
+    #[test]
+    fn bench_roundtrip() {
+        let n = toy();
+        let text = n.to_bench();
+        let parsed = crate::parse_bench(&text).unwrap();
+        assert_eq!(parsed.num_gates(), n.num_gates());
+        assert_eq!(parsed.num_inputs(), n.num_inputs());
+        assert_eq!(parsed.num_outputs(), n.num_outputs());
+        assert_eq!(parsed.depth(), n.depth());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let n = toy();
+        let shown = n.to_string();
+        assert!(shown.contains("toy"));
+        assert!(shown.contains("3 gates"));
+    }
+}

@@ -1,0 +1,192 @@
+//! Sleep-vector insertion — deploying a computed standby vector in hardware.
+//!
+//! The paper assumes the standby state is applied through modified input
+//! registers (its ref. [1], Halter & Najm). For flows without such
+//! registers, [`insert_sleep_vector`] materializes the mechanism in logic:
+//! a new `sleep` primary input gates every original input so that asserting
+//! `sleep` forces the optimizer's vector while `sleep = 0` leaves the
+//! function untouched:
+//!
+//! * a pin forced to 0 becomes `x' = x AND NOT sleep` (NAND + INV),
+//! * a pin forced to 1 becomes `x' = x OR sleep` (NOR + INV),
+//!
+//! so the inserted logic itself uses only primitive library cells and adds
+//! exactly `2·PI + 1` gates.
+
+use crate::builder::NetlistBuilder;
+use crate::error::NetlistError;
+use crate::gate::GateKind;
+use crate::netlist::{NetId, Netlist};
+
+/// Rewrites a netlist so that a `sleep` input forces the given standby
+/// vector onto the original primary inputs.
+///
+/// The result has the original inputs plus a trailing `sleep` input, the
+/// same outputs, and `2·PI + 1` additional primitive gates.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::ArityMismatch`] if `vector.len()` differs from
+/// the input count, or propagates builder errors.
+///
+/// # Example
+///
+/// ```
+/// use svtox_netlist::{insert_sleep_vector, GateKind, NetlistBuilder};
+///
+/// # fn main() -> Result<(), svtox_netlist::NetlistError> {
+/// let mut b = NetlistBuilder::new("t");
+/// let a = b.add_input("a");
+/// let c = b.add_input("b");
+/// let y = b.add_gate(GateKind::Nand(2), &[a, c])?;
+/// b.mark_output(y);
+/// let n = b.finish()?;
+/// let gated = insert_sleep_vector(&n, &[true, false])?;
+/// // sleep = 1 forces (1, 0) regardless of a/b → NAND = 1.
+/// assert_eq!(gated.evaluate(&[false, true, true]), vec![true]);
+/// // sleep = 0 preserves the original function.
+/// assert_eq!(gated.evaluate(&[true, true, false]), vec![false]);
+/// # Ok(())
+/// # }
+/// ```
+pub fn insert_sleep_vector(netlist: &Netlist, vector: &[bool]) -> Result<Netlist, NetlistError> {
+    if vector.len() != netlist.num_inputs() {
+        return Err(NetlistError::ArityMismatch {
+            kind: "sleep vector".to_string(),
+            expected: netlist.num_inputs(),
+            got: vector.len(),
+        });
+    }
+    let mut b = NetlistBuilder::new(format!("{}_sleep", netlist.name()));
+    let mut remap: Vec<Option<NetId>> = vec![None; netlist.num_nets()];
+    let originals: Vec<NetId> = netlist
+        .inputs()
+        .iter()
+        .map(|&pi| b.add_input(netlist.net(pi).name().to_string()))
+        .collect();
+    let sleep = b.add_input("sleep");
+    // Gating nets need names that cannot collide with the source netlist's
+    // (including its auto-generated `_w*` names), or serialization would
+    // merge distinct signals.
+    let mut counter = 0usize;
+    let mut fresh = |prefix: &str| loop {
+        let name = format!("__sleep_{prefix}{counter}");
+        counter += 1;
+        if netlist.find_net(&name).is_none() {
+            return name;
+        }
+    };
+    let nsleep = b.add_gate_named(GateKind::Inv, &[sleep], fresh("n"))?;
+    for ((&old, &new), &forced) in netlist.inputs().iter().zip(&originals).zip(vector) {
+        let gated = if forced {
+            // x OR sleep = INV(NOR(x, sleep)).
+            let nor = b.add_gate_named(GateKind::Nor(2), &[new, sleep], fresh("or"))?;
+            b.add_gate_named(GateKind::Inv, &[nor], fresh("mux"))?
+        } else {
+            // x AND NOT sleep = INV(NAND(x, sleep_n)).
+            let nand = b.add_gate_named(GateKind::Nand(2), &[new, nsleep], fresh("and"))?;
+            b.add_gate_named(GateKind::Inv, &[nand], fresh("mux"))?
+        };
+        remap[old.index()] = Some(gated);
+    }
+    for &gid in netlist.topo_order() {
+        let gate = netlist.gate(gid);
+        let ins: Vec<NetId> = gate
+            .inputs()
+            .iter()
+            .map(|&n| remap[n.index()].expect("topo order maps fanins first"))
+            .collect();
+        let out = b.add_gate_named(
+            gate.kind(),
+            &ins,
+            netlist.net(gate.output()).name().to_string(),
+        )?;
+        remap[gate.output().index()] = Some(out);
+    }
+    for &po in netlist.outputs() {
+        b.mark_output(remap[po.index()].expect("outputs driven"));
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{random_dag, RandomDagSpec};
+
+    fn sample() -> Netlist {
+        random_dag(&RandomDagSpec::new("sleepy", 10, 5, 60, 7)).unwrap()
+    }
+
+    #[test]
+    fn sleep_low_preserves_function() {
+        let n = sample();
+        let vector: Vec<bool> = (0..n.num_inputs()).map(|i| i % 3 == 0).collect();
+        let gated = insert_sleep_vector(&n, &vector).unwrap();
+        for seed in 0..20u64 {
+            let inputs: Vec<bool> = (0..n.num_inputs())
+                .map(|i| (seed >> (i % 8)) & 1 == 1)
+                .collect();
+            let mut with_sleep = inputs.clone();
+            with_sleep.push(false);
+            assert_eq!(n.evaluate(&inputs), gated.evaluate(&with_sleep));
+        }
+    }
+
+    #[test]
+    fn sleep_high_forces_the_vector() {
+        let n = sample();
+        let vector: Vec<bool> = (0..n.num_inputs()).map(|i| i % 2 == 0).collect();
+        let gated = insert_sleep_vector(&n, &vector).unwrap();
+        let forced_outputs = n.evaluate(&vector);
+        for seed in [0u64, 1, 0xff, 0x3_7a] {
+            let mut inputs: Vec<bool> = (0..n.num_inputs())
+                .map(|i| (seed >> (i % 8)) & 1 == 1)
+                .collect();
+            inputs.push(true); // sleep
+            assert_eq!(gated.evaluate(&inputs), forced_outputs);
+        }
+    }
+
+    #[test]
+    fn overhead_is_two_gates_per_input_plus_inverter() {
+        let n = sample();
+        let vector = vec![false; n.num_inputs()];
+        let gated = insert_sleep_vector(&n, &vector).unwrap();
+        assert_eq!(gated.num_gates(), n.num_gates() + 2 * n.num_inputs() + 1);
+        assert_eq!(gated.num_inputs(), n.num_inputs() + 1);
+        assert_eq!(gated.num_outputs(), n.num_outputs());
+        assert!(gated.is_primitive());
+        assert!(gated.name().ends_with("_sleep"));
+    }
+
+    #[test]
+    fn serialization_roundtrips_without_name_collisions() {
+        // Auto-generated `_w*` names in the source must not collide with
+        // the inserted gating nets when written out and re-read.
+        let n = sample();
+        let vector: Vec<bool> = (0..n.num_inputs()).map(|i| i % 2 == 1).collect();
+        let gated = insert_sleep_vector(&n, &vector).unwrap();
+        let reparsed = crate::parse_bench(&gated.to_bench()).unwrap();
+        assert_eq!(reparsed.num_gates(), gated.num_gates());
+        assert_eq!(reparsed.num_inputs(), gated.num_inputs());
+    }
+
+    #[test]
+    fn wrong_vector_length_rejected() {
+        let n = sample();
+        assert!(matches!(
+            insert_sleep_vector(&n, &[true]),
+            Err(NetlistError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn depth_grows_by_the_gating_stage() {
+        let n = sample();
+        let vector = vec![true; n.num_inputs()];
+        let gated = insert_sleep_vector(&n, &vector).unwrap();
+        assert!(gated.depth() >= n.depth() + 2);
+        assert!(gated.depth() <= n.depth() + 3);
+    }
+}

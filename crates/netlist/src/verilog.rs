@@ -1,0 +1,454 @@
+//! Structural Verilog reader/writer (gate-primitive subset).
+//!
+//! Complements the `.bench` format with the netlist interchange most flows
+//! speak. The supported subset is flat structural Verilog over the built-in
+//! gate primitives:
+//!
+//! ```verilog
+//! module c17 (N1, N2, N3, N6, N7, N22, N23);
+//!   input N1, N2, N3, N6, N7;
+//!   output N22, N23;
+//!   wire N10, N11, N16, N19;
+//!   nand g0 (N10, N1, N3);
+//!   nand g1 (N11, N3, N6);
+//!   ...
+//! endmodule
+//! ```
+//!
+//! Primitives `not`/`buf`/`and`/`nand`/`or`/`nor`/`xor`/`xnor` are
+//! supported with the Verilog convention (output terminal first). The
+//! writer emits the same subset, so [`parse_verilog`] ∘
+//! [`Netlist::to_verilog`] round-trips.
+
+use std::collections::HashMap;
+
+use crate::builder::NetlistBuilder;
+use crate::error::NetlistError;
+use crate::gate::GateKind;
+use crate::netlist::{NetId, Netlist};
+
+impl Netlist {
+    /// Serializes to flat structural Verilog over gate primitives.
+    ///
+    /// Net names are sanitized to Verilog identifiers (non-alphanumeric
+    /// characters become `_`; a leading digit gains an `n` prefix).
+    #[must_use]
+    pub fn to_verilog(&self) -> String {
+        let ident = |raw: &str| sanitize(raw);
+        let mut out = String::new();
+        let mut ports: Vec<String> = self
+            .inputs()
+            .iter()
+            .map(|&n| ident(self.net(n).name()))
+            .collect();
+        ports.extend(self.outputs().iter().map(|&n| ident(self.net(n).name())));
+        out.push_str(&format!(
+            "module {} ({});\n",
+            sanitize(self.name()),
+            ports.join(", ")
+        ));
+        let ins: Vec<String> = self
+            .inputs()
+            .iter()
+            .map(|&n| ident(self.net(n).name()))
+            .collect();
+        out.push_str(&format!("  input {};\n", ins.join(", ")));
+        let outs: Vec<String> = self
+            .outputs()
+            .iter()
+            .map(|&n| ident(self.net(n).name()))
+            .collect();
+        out.push_str(&format!("  output {};\n", outs.join(", ")));
+        let wires: Vec<String> = self
+            .nets()
+            .filter(|(id, net)| net.driver().is_some() && !self.is_primary_output(*id))
+            .map(|(_, net)| ident(net.name()))
+            .collect();
+        if !wires.is_empty() {
+            out.push_str(&format!("  wire {};\n", wires.join(", ")));
+        }
+        for (i, &gid) in self.topo_order().iter().enumerate() {
+            let gate = self.gate(gid);
+            let prim = match gate.kind() {
+                GateKind::Inv => "not",
+                GateKind::Buf => "buf",
+                GateKind::And(_) => "and",
+                GateKind::Nand(_) => "nand",
+                GateKind::Or(_) => "or",
+                GateKind::Nor(_) => "nor",
+                GateKind::Xor2 => "xor",
+                GateKind::Xnor2 => "xnor",
+            };
+            let mut terminals = vec![ident(self.net(gate.output()).name())];
+            terminals.extend(gate.inputs().iter().map(|&n| ident(self.net(n).name())));
+            out.push_str(&format!("  {prim} g{i} ({});\n", terminals.join(", ")));
+        }
+        out.push_str("endmodule\n");
+        out
+    }
+}
+
+fn sanitize(raw: &str) -> String {
+    let mut s: String = raw
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if s.chars().next().is_none_or(|c| c.is_ascii_digit()) {
+        s.insert(0, 'n');
+    }
+    s
+}
+
+/// Parses the structural-Verilog subset back into a [`Netlist`].
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Parse`] for anything outside the subset
+/// (behavioral constructs, vectors, module instances) plus the usual
+/// structural validation errors.
+///
+/// # Example
+///
+/// ```
+/// let src = "
+/// module t (a, b, y);
+///   input a, b;
+///   output y;
+///   nand g0 (y, a, b);
+/// endmodule
+/// ";
+/// let n = svtox_netlist::parse_verilog(src)?;
+/// assert_eq!(n.num_gates(), 1);
+/// assert_eq!(n.name(), "t");
+/// # Ok::<(), svtox_netlist::NetlistError>(())
+/// ```
+pub fn parse_verilog(text: &str) -> Result<Netlist, NetlistError> {
+    // Statement-split on `;`, tracking line numbers for diagnostics.
+    let cleaned = strip_comments(text);
+    let mut builder: Option<NetlistBuilder> = None;
+    let mut by_name: HashMap<String, NetId> = HashMap::new();
+    let mut output_names: Vec<String> = Vec::new();
+    let mut saw_endmodule = false;
+
+    let mut line_of = 1usize;
+    for raw_stmt in cleaned.split(';') {
+        let leading_newlines = raw_stmt.matches('\n').count();
+        let stmt = raw_stmt.trim();
+        let lineno = line_of;
+        line_of += leading_newlines;
+        if stmt.is_empty() {
+            continue;
+        }
+        // `endmodule` has no trailing semicolon; it may be glued to the
+        // last statement's split chunk.
+        let stmt = if let Some(rest) = stmt.strip_suffix("endmodule") {
+            saw_endmodule = true;
+            let rest = rest.trim();
+            if rest.is_empty() {
+                continue;
+            }
+            rest
+        } else {
+            stmt
+        };
+        let mut tokens = stmt.split_whitespace();
+        let keyword = tokens.next().unwrap_or("");
+        match keyword {
+            "module" => {
+                let rest = stmt["module".len()..].trim();
+                let name_end = rest
+                    .find(|c: char| !(c.is_ascii_alphanumeric() || c == '_'))
+                    .unwrap_or(rest.len());
+                let name = &rest[..name_end];
+                if name.is_empty() {
+                    return Err(parse_err(lineno, "module needs a name"));
+                }
+                builder = Some(NetlistBuilder::new(name));
+            }
+            "input" | "output" | "wire" => {
+                let b = builder
+                    .as_mut()
+                    .ok_or_else(|| parse_err(lineno, "declaration before module"))?;
+                let list = stmt[keyword.len()..].trim();
+                for name in list.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+                    if !is_ident(name) {
+                        return Err(parse_err(
+                            lineno,
+                            &format!(
+                                "bad identifier `{name}` (vectors and ranges are unsupported)"
+                            ),
+                        ));
+                    }
+                    let id = *by_name
+                        .entry(name.to_string())
+                        .or_insert_with(|| b.declare_net(name));
+                    match keyword {
+                        "input" => b.promote_to_input(id).map_err(|_| {
+                            parse_err(lineno, &format!("`{name}` declared input twice"))
+                        })?,
+                        "output" => output_names.push(name.to_string()),
+                        _ => {}
+                    }
+                }
+            }
+            prim @ ("not" | "buf" | "and" | "nand" | "or" | "nor" | "xor" | "xnor") => {
+                let b = builder
+                    .as_mut()
+                    .ok_or_else(|| parse_err(lineno, "instance before module"))?;
+                let open = stmt
+                    .find('(')
+                    .ok_or_else(|| parse_err(lineno, "primitive instance needs terminals"))?;
+                let close = stmt
+                    .rfind(')')
+                    .ok_or_else(|| parse_err(lineno, "missing `)`"))?;
+                let terms: Vec<&str> = stmt[open + 1..close]
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .collect();
+                if terms.len() < 2 {
+                    return Err(parse_err(lineno, "primitive needs an output and inputs"));
+                }
+                let kind = verilog_kind(prim, terms.len() - 1).ok_or_else(|| {
+                    parse_err(
+                        lineno,
+                        &format!("`{prim}` cannot take {} inputs", terms.len() - 1),
+                    )
+                })?;
+                let mut ids = Vec::with_capacity(terms.len());
+                for t in &terms {
+                    if !is_ident(t) {
+                        return Err(parse_err(lineno, &format!("bad terminal `{t}`")));
+                    }
+                    let id = *by_name
+                        .entry((*t).to_string())
+                        .or_insert_with(|| b.declare_net(*t));
+                    ids.push(id);
+                }
+                b.add_gate_driving(kind, &ids[1..], ids[0])?;
+            }
+            other => {
+                return Err(parse_err(
+                    lineno,
+                    &format!("unsupported construct `{other}` (structural primitives only)"),
+                ));
+            }
+        }
+    }
+    let mut b = builder.ok_or_else(|| parse_err(1, "no module found"))?;
+    if !saw_endmodule {
+        return Err(parse_err(line_of, "missing endmodule"));
+    }
+    for name in output_names {
+        let id = *by_name
+            .get(&name)
+            .ok_or(NetlistError::UndefinedSignal(name))?;
+        b.mark_output(id);
+    }
+    b.finish()
+}
+
+fn parse_err(line: usize, message: &str) -> NetlistError {
+    NetlistError::Parse {
+        line,
+        message: message.to_string(),
+    }
+}
+
+fn is_ident(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+        && !s.starts_with(|c: char| c.is_ascii_digit())
+}
+
+fn verilog_kind(prim: &str, inputs: usize) -> Option<GateKind> {
+    let n = u8::try_from(inputs).ok()?;
+    let kind = match prim {
+        "not" => (inputs == 1).then_some(GateKind::Inv)?,
+        "buf" => (inputs == 1).then_some(GateKind::Buf)?,
+        "and" => GateKind::And(n),
+        "nand" => GateKind::Nand(n),
+        "or" => GateKind::Or(n),
+        "nor" => GateKind::Nor(n),
+        "xor" => (inputs == 2).then_some(GateKind::Xor2)?,
+        "xnor" => (inputs == 2).then_some(GateKind::Xnor2)?,
+        _ => return None,
+    };
+    kind.validate().ok()?;
+    Some(kind)
+}
+
+/// Removes `//` line comments and `/* */` block comments.
+fn strip_comments(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let mut chars = text.chars().peekable();
+    while let Some(c) = chars.next() {
+        if c == '/' {
+            match chars.peek() {
+                Some('/') => {
+                    for c2 in chars.by_ref() {
+                        if c2 == '\n' {
+                            out.push('\n');
+                            break;
+                        }
+                    }
+                }
+                Some('*') => {
+                    chars.next();
+                    let mut prev = ' ';
+                    for c2 in chars.by_ref() {
+                        if c2 == '\n' {
+                            out.push('\n'); // keep line numbers aligned
+                        }
+                        if prev == '*' && c2 == '/' {
+                            break;
+                        }
+                        prev = c2;
+                    }
+                }
+                _ => out.push(c),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{random_dag, RandomDagSpec};
+
+    const C17: &str = "
+// c17 in structural Verilog
+module c17 (N1, N2, N3, N6, N7, N22, N23);
+  input N1, N2, N3, N6, N7;
+  output N22, N23;
+  wire N10, N11, N16, N19;
+  nand g0 (N10, N1, N3);
+  nand g1 (N11, N3, N6);
+  nand g2 (N16, N2, N11);
+  nand g3 (N19, N11, N7);
+  nand g4 (N22, N10, N16);
+  nand g5 (N23, N16, N19);
+endmodule
+";
+
+    #[test]
+    fn parses_c17() {
+        let n = parse_verilog(C17).unwrap();
+        assert_eq!(n.name(), "c17");
+        assert_eq!(n.num_inputs(), 5);
+        assert_eq!(n.num_outputs(), 2);
+        assert_eq!(n.num_gates(), 6);
+        assert!(n.is_primitive());
+    }
+
+    #[test]
+    fn roundtrip_preserves_function() {
+        let spec = RandomDagSpec::new("vrt", 8, 4, 60, 6);
+        let original = random_dag(&spec).unwrap();
+        let text = original.to_verilog();
+        let reparsed = parse_verilog(&text).unwrap();
+        assert_eq!(reparsed.num_gates(), original.num_gates());
+        assert_eq!(reparsed.num_inputs(), original.num_inputs());
+        for bits in [0u32, 0x5a, 0xff, 0x133] {
+            let v: Vec<bool> = (0..8).map(|i| bits >> i & 1 == 1).collect();
+            assert_eq!(original.evaluate(&v), reparsed.evaluate(&v));
+        }
+    }
+
+    #[test]
+    fn block_and_line_comments_stripped() {
+        let src = "
+module t (a, y); /* ports */
+  input a; // the input
+  output y;
+  /* multi
+     line */
+  not g0 (y, a);
+endmodule
+";
+        let n = parse_verilog(src).unwrap();
+        assert_eq!(n.num_gates(), 1);
+    }
+
+    #[test]
+    fn composite_primitives_map_to_kinds() {
+        let src = "
+module t (a, b, c, y);
+  input a, b, c;
+  output y;
+  wire w1, w2;
+  xor g0 (w1, a, b);
+  and g1 (w2, w1, c);
+  buf g2 (y, w2);
+endmodule
+";
+        let n = parse_verilog(src).unwrap();
+        assert_eq!(n.num_gates(), 3);
+        // It maps into primitives cleanly.
+        let mapped = crate::map_to_primitives(&n, crate::MappingOptions::default()).unwrap();
+        assert!(mapped.is_primitive());
+    }
+
+    #[test]
+    fn rejects_unsupported_constructs() {
+        assert!(matches!(
+            parse_verilog("module t (a); input a; assign b = a; endmodule"),
+            Err(NetlistError::Parse { .. })
+        ));
+        assert!(matches!(
+            parse_verilog("module t (a, y); input a; output y; not g0 (y, a);"),
+            Err(NetlistError::Parse { .. }) // missing endmodule
+        ));
+        assert!(matches!(
+            parse_verilog("not g0 (y, a); endmodule"),
+            Err(NetlistError::Parse { .. }) // instance before module
+        ));
+        assert!(matches!(
+            parse_verilog("module t (a, y); input a[3:0]; endmodule"),
+            Err(NetlistError::Parse { .. }) // vectors unsupported
+        ));
+        assert!(matches!(
+            parse_verilog("module t (y); output y; xor g0 (y, a, b, c); endmodule"),
+            Err(NetlistError::Parse { .. }) // xor is 2-input only
+        ));
+    }
+
+    #[test]
+    fn sanitizes_awkward_names() {
+        let mut b = NetlistBuilder::new("2weird");
+        let a = b.add_input("a.b");
+        let y = b.add_gate_named(GateKind::Inv, &[a], "3$out").unwrap();
+        b.mark_output(y);
+        let n = b.finish().unwrap();
+        let text = n.to_verilog();
+        assert!(text.contains("module n2weird"));
+        assert!(text.contains("a_b"));
+        assert!(text.contains("n3_out"));
+        // And the sanitized text parses.
+        assert!(parse_verilog(&text).is_ok());
+    }
+
+    #[test]
+    fn never_panics_on_junk() {
+        for junk in [
+            "",
+            "module",
+            "module t (",
+            "endmodule",
+            "((((",
+            "module t (a); garbage g (a);",
+        ] {
+            let _ = parse_verilog(junk);
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! Three-valued logic.
+
+use std::fmt;
+
+use svtox_netlist::GateKind;
+
+/// A three-valued logic level: known 0, known 1, or unknown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Logic {
+    /// Known logic 0.
+    Zero,
+    /// Known logic 1.
+    One,
+    /// Unknown / undecided.
+    #[default]
+    X,
+}
+
+impl Logic {
+    /// Whether the value is decided.
+    #[must_use]
+    pub fn is_known(self) -> bool {
+        self != Self::X
+    }
+
+    /// The Boolean value, if known.
+    #[must_use]
+    pub fn to_bool(self) -> Option<bool> {
+        match self {
+            Self::Zero => Some(false),
+            Self::One => Some(true),
+            Self::X => None,
+        }
+    }
+
+    /// Three-valued inversion (X stays X).
+    ///
+    /// Deliberately named like [`std::ops::Not::not`]; implementing the
+    /// operator trait itself would hide the three-valued semantics behind
+    /// `!`, which reads as Boolean negation.
+    #[allow(clippy::should_implement_trait)]
+    #[must_use]
+    pub fn not(self) -> Self {
+        match self {
+            Self::Zero => Self::One,
+            Self::One => Self::Zero,
+            Self::X => Self::X,
+        }
+    }
+
+    /// Evaluates a gate kind over three-valued inputs using
+    /// controlling-value semantics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != kind.arity()`.
+    #[must_use]
+    pub fn eval_gate(kind: GateKind, inputs: &[Logic]) -> Logic {
+        assert_eq!(inputs.len(), kind.arity(), "arity mismatch for {kind}");
+        let and_like = |invert: bool| -> Logic {
+            // Controlling value 0: any known 0 forces the output.
+            if inputs.contains(&Logic::Zero) {
+                if invert {
+                    Logic::One
+                } else {
+                    Logic::Zero
+                }
+            } else if inputs.iter().all(|&l| l == Logic::One) {
+                if invert {
+                    Logic::Zero
+                } else {
+                    Logic::One
+                }
+            } else {
+                Logic::X
+            }
+        };
+        let or_like = |invert: bool| -> Logic {
+            if inputs.contains(&Logic::One) {
+                if invert {
+                    Logic::Zero
+                } else {
+                    Logic::One
+                }
+            } else if inputs.iter().all(|&l| l == Logic::Zero) {
+                if invert {
+                    Logic::One
+                } else {
+                    Logic::Zero
+                }
+            } else {
+                Logic::X
+            }
+        };
+        match kind {
+            GateKind::Inv => inputs[0].not(),
+            GateKind::Buf => inputs[0],
+            GateKind::And(_) => and_like(false),
+            GateKind::Nand(_) => and_like(true),
+            GateKind::Or(_) => or_like(false),
+            GateKind::Nor(_) => or_like(true),
+            GateKind::Xor2 | GateKind::Xnor2 => match (inputs[0].to_bool(), inputs[1].to_bool()) {
+                (Some(a), Some(b)) => {
+                    let v = a ^ b;
+                    let v = if kind == GateKind::Xnor2 { !v } else { v };
+                    Logic::from(v)
+                }
+                _ => Logic::X,
+            },
+        }
+    }
+}
+
+impl From<bool> for Logic {
+    fn from(b: bool) -> Self {
+        if b {
+            Self::One
+        } else {
+            Self::Zero
+        }
+    }
+}
+
+impl fmt::Display for Logic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Self::Zero => "0",
+            Self::One => "1",
+            Self::X => "X",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_not() {
+        assert_eq!(Logic::from(true), Logic::One);
+        assert_eq!(Logic::from(false), Logic::Zero);
+        assert_eq!(Logic::One.to_bool(), Some(true));
+        assert_eq!(Logic::X.to_bool(), None);
+        assert_eq!(Logic::X.not(), Logic::X);
+        assert_eq!(Logic::Zero.not(), Logic::One);
+        assert!(Logic::One.is_known());
+        assert!(!Logic::X.is_known());
+    }
+
+    #[test]
+    fn controlling_values_pierce_x() {
+        use Logic::{One, Zero, X};
+        assert_eq!(Logic::eval_gate(GateKind::Nand(2), &[Zero, X]), One);
+        assert_eq!(Logic::eval_gate(GateKind::Nand(2), &[One, X]), X);
+        assert_eq!(Logic::eval_gate(GateKind::Nor(2), &[One, X]), Zero);
+        assert_eq!(Logic::eval_gate(GateKind::Nor(2), &[Zero, X]), X);
+        assert_eq!(Logic::eval_gate(GateKind::And(3), &[One, Zero, X]), Zero);
+        assert_eq!(Logic::eval_gate(GateKind::Or(3), &[Zero, X, One]), One);
+    }
+
+    #[test]
+    fn known_inputs_match_two_valued() {
+        for kind in [
+            GateKind::Inv,
+            GateKind::Buf,
+            GateKind::Nand(2),
+            GateKind::Nor(3),
+            GateKind::And(2),
+            GateKind::Or(4),
+            GateKind::Xor2,
+            GateKind::Xnor2,
+        ] {
+            let n = kind.arity();
+            for bits in 0..(1u32 << n) {
+                let bools: Vec<bool> = (0..n).map(|i| bits >> i & 1 == 1).collect();
+                let tri: Vec<Logic> = bools.iter().map(|&b| Logic::from(b)).collect();
+                assert_eq!(
+                    Logic::eval_gate(kind, &tri),
+                    Logic::from(kind.eval(&bools)),
+                    "{kind} on {bits:b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn xor_with_unknown_is_unknown() {
+        use Logic::{One, X};
+        assert_eq!(Logic::eval_gate(GateKind::Xor2, &[One, X]), X);
+        assert_eq!(Logic::eval_gate(GateKind::Xnor2, &[X, X]), X);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Logic::Zero.to_string(), "0");
+        assert_eq!(Logic::One.to_string(), "1");
+        assert_eq!(Logic::X.to_string(), "X");
+    }
+}

@@ -1,0 +1,628 @@
+//! Static timing analysis for the svtox workspace.
+//!
+//! [`Sta`] propagates rise/fall arrival times and transition times (slews)
+//! through a primitive netlist using the precharacterized NLDM-style tables
+//! of a [`svtox_cells::Library`]. Because every primitive cell inverts,
+//! an output **rise** is launched by an input **fall** and vice versa — the
+//! engine tracks both polarities, which is what makes the library's
+//! asymmetric trade-off points (fast-rise vs fast-fall versions) meaningful.
+//!
+//! The optimizer swaps cell versions one gate at a time;
+//! [`Sta::set_gate`] + [`Sta::max_delay`] re-propagate only the affected
+//! cone (a version change perturbs the gate's own drive *and* the loads of
+//! its fanin nets, so the update seeds include the fanin drivers).
+//!
+//! # Example
+//!
+//! ```
+//! use svtox_cells::{Library, LibraryOptions};
+//! use svtox_netlist::generators::benchmark;
+//! use svtox_sta::{Sta, TimingConfig};
+//! use svtox_tech::Technology;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let lib = Library::new(Technology::predictive_65nm(), LibraryOptions::default())?;
+//! let c432 = benchmark("c432")?;
+//! let mut sta = Sta::new(&c432, &lib, TimingConfig::default())?;
+//! let d_fast = sta.max_delay();
+//! sta.set_all_slow();
+//! let d_slow = sta.max_delay();
+//! assert!(d_slow > d_fast); // the all-slow design nearly doubles delay
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use svtox_cells::{CellData, Library, LibraryError, StateOption, VersionId};
+use svtox_netlist::{GateId, NetId, Netlist};
+use svtox_tech::{Capacitance, Time};
+
+/// Boundary conditions of the analysis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimingConfig {
+    /// Transition time assumed at every primary input.
+    pub primary_input_slew: Time,
+    /// Capacitive load on every primary output.
+    pub primary_output_load: Capacitance,
+    /// Estimated wire capacitance per fanout connection.
+    pub wire_cap_per_fanout: Capacitance,
+}
+
+impl Default for TimingConfig {
+    fn default() -> Self {
+        Self {
+            primary_input_slew: Time::new(20.0),
+            primary_output_load: Capacitance::new(4.0),
+            wire_cap_per_fanout: Capacitance::new(0.3),
+        }
+    }
+}
+
+/// The cell configuration of one gate: a physical version plus the pin
+/// permutation routing logical pins onto physical pins.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GateConfig {
+    /// The physical version in the gate's cell.
+    pub version: VersionId,
+    /// `perm[i]` = logical pin routed to physical pin `i`.
+    pub perm: Vec<u8>,
+}
+
+impl GateConfig {
+    /// Identity-routed configuration of a version.
+    #[must_use]
+    pub fn identity(version: VersionId, arity: usize) -> Self {
+        Self {
+            version,
+            perm: (0..arity as u8).collect(),
+        }
+    }
+
+    /// The physical pin a logical pin is routed to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `logical` is out of range.
+    #[must_use]
+    pub fn physical_pin(&self, logical: usize) -> usize {
+        self.perm
+            .iter()
+            .position(|&p| p as usize == logical)
+            .expect("logical pin within arity")
+    }
+}
+
+impl From<&StateOption> for GateConfig {
+    fn from(opt: &StateOption) -> Self {
+        Self {
+            version: opt.version(),
+            perm: opt.perm().to_vec(),
+        }
+    }
+}
+
+/// Per-net timing state: worst rise/fall arrivals and slews.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+struct NetTiming {
+    arr_rise: Time,
+    arr_fall: Time,
+    slew_rise: Time,
+    slew_fall: Time,
+}
+
+impl NetTiming {
+    fn worst(&self) -> Time {
+        self.arr_rise.max(self.arr_fall)
+    }
+
+    fn close_to(&self, other: &NetTiming) -> bool {
+        const EPS: f64 = 1e-9;
+        (self.arr_rise - other.arr_rise).abs() < EPS
+            && (self.arr_fall - other.arr_fall).abs() < EPS
+            && (self.slew_rise - other.slew_rise).abs() < EPS
+            && (self.slew_fall - other.slew_fall).abs() < EPS
+    }
+}
+
+/// The static timing engine.
+///
+/// Holds the current per-gate cell configuration and keeps arrival/slew
+/// state incrementally up to date as configurations change.
+#[derive(Debug, Clone)]
+pub struct Sta<'a> {
+    netlist: &'a Netlist,
+    config: TimingConfig,
+    cells: Vec<&'a CellData>,
+    gate_configs: Vec<GateConfig>,
+    timing: Vec<NetTiming>,
+    loads: Vec<Capacitance>,
+    queued: Vec<bool>,
+    dirty: Vec<GateId>,
+}
+
+impl<'a> Sta<'a> {
+    /// Creates an analyzer with every gate at its fast version.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the netlist contains a gate kind absent from the
+    /// library (run `map_to_primitives` first).
+    pub fn new(
+        netlist: &'a Netlist,
+        library: &'a Library,
+        config: TimingConfig,
+    ) -> Result<Self, LibraryError> {
+        let cells: Vec<&CellData> = netlist
+            .gates()
+            .map(|(_, g)| library.cell(g.kind()))
+            .collect::<Result<_, _>>()?;
+        let gate_configs = netlist
+            .gates()
+            .map(|(gid, g)| {
+                GateConfig::identity(cells[gid.index()].fast_version(), g.kind().arity())
+            })
+            .collect();
+        let mut sta = Self {
+            netlist,
+            config,
+            cells,
+            gate_configs,
+            timing: vec![NetTiming::default(); netlist.num_nets()],
+            loads: vec![Capacitance::ZERO; netlist.num_nets()],
+            queued: vec![false; netlist.num_gates()],
+            dirty: Vec::new(),
+        };
+        sta.full_analyze();
+        Ok(sta)
+    }
+
+    /// The netlist under analysis.
+    #[must_use]
+    pub fn netlist(&self) -> &'a Netlist {
+        self.netlist
+    }
+
+    /// The current configuration of a gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    #[must_use]
+    pub fn gate_config(&self, gate: GateId) -> &GateConfig {
+        &self.gate_configs[gate.index()]
+    }
+
+    /// Reconfigures one gate. The timing update is deferred to the next
+    /// query ([`Sta::max_delay`] / [`Sta::arrival`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range or the permutation arity mismatches.
+    pub fn set_gate(&mut self, gate: GateId, config: GateConfig) {
+        assert_eq!(
+            config.perm.len(),
+            self.netlist.gate(gate).kind().arity(),
+            "perm arity mismatch"
+        );
+        if self.gate_configs[gate.index()] == config {
+            return;
+        }
+        self.gate_configs[gate.index()] = config;
+        // The gate's own delay changed, and its input caps changed the
+        // loads of its fanin nets, perturbing the fanin *drivers* too.
+        self.mark_dirty(gate);
+        let fanins: Vec<NetId> = self.netlist.gate(gate).inputs().to_vec();
+        for net in fanins {
+            self.refresh_load(net);
+            if let Some(driver) = self.netlist.net(net).driver() {
+                self.mark_dirty(driver);
+            }
+        }
+        self.refresh_load(self.netlist.gate(gate).output());
+    }
+
+    /// Sets every gate to its fast version with identity routing.
+    pub fn set_all_fast(&mut self) {
+        for (gid, gate) in self.netlist.gates() {
+            let v = self.cells[gid.index()].fast_version();
+            self.set_gate(gid, GateConfig::identity(v, gate.kind().arity()));
+        }
+    }
+
+    /// Sets every gate to the synthetic all-slow version (the paper's
+    /// delay-penalty normalization reference).
+    pub fn set_all_slow(&mut self) {
+        for (gid, gate) in self.netlist.gates() {
+            let v = self.cells[gid.index()].all_slow_version();
+            self.set_gate(gid, GateConfig::identity(v, gate.kind().arity()));
+        }
+    }
+
+    /// Worst arrival time over all primary outputs (the circuit delay).
+    pub fn max_delay(&mut self) -> Time {
+        self.flush();
+        self.netlist
+            .outputs()
+            .iter()
+            .map(|&o| self.timing[o.index()].worst())
+            .fold(Time::ZERO, Time::max)
+    }
+
+    /// Worst (rise, fall) arrival at a net.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn arrival(&mut self, net: NetId) -> (Time, Time) {
+        self.flush();
+        let t = &self.timing[net.index()];
+        (t.arr_rise, t.arr_fall)
+    }
+
+    /// Per-gate slack against a required circuit delay: the smallest margin
+    /// by which any path through the gate meets `constraint`. Positive
+    /// slack = timing met.
+    ///
+    /// Used by the optimizer to order gates (small slack = critical).
+    pub fn slacks(&mut self, constraint: Time) -> Vec<Time> {
+        self.flush();
+        // Required times per net, backward pass (worst of rise/fall).
+        let mut required = vec![Time::new(f64::INFINITY); self.netlist.num_nets()];
+        for &o in self.netlist.outputs() {
+            required[o.index()] = constraint;
+        }
+        for &gid in self.netlist.topo_order().iter().rev() {
+            let gate = self.netlist.gate(gid);
+            let out = gate.output();
+            let req_out = required[out.index()];
+            for (logical, &inp) in gate.inputs().iter().enumerate() {
+                let d = self.worst_arc_delay(gid, logical);
+                let cand = req_out - d;
+                if cand < required[inp.index()] {
+                    required[inp.index()] = cand;
+                }
+            }
+        }
+        self.netlist
+            .gates()
+            .map(|(_, gate)| {
+                let out = gate.output();
+                required[out.index()] - self.timing[out.index()].worst()
+            })
+            .collect()
+    }
+
+    /// Extracts one critical path as gate ids from inputs to the worst
+    /// output.
+    pub fn critical_path(&mut self) -> Vec<GateId> {
+        self.flush();
+        let mut path = Vec::new();
+        // Find the worst PO.
+        let Some(&worst_po) = self.netlist.outputs().iter().max_by(|&&a, &&b| {
+            self.timing[a.index()]
+                .worst()
+                .partial_cmp(&self.timing[b.index()].worst())
+                .expect("finite arrivals")
+        }) else {
+            return path;
+        };
+        let mut net = worst_po;
+        while let Some(gid) = self.netlist.net(net).driver() {
+            path.push(gid);
+            // Follow the worst-arrival fanin.
+            let gate = self.netlist.gate(gid);
+            let next = gate
+                .inputs()
+                .iter()
+                .max_by(|&&a, &&b| {
+                    self.timing[a.index()]
+                        .worst()
+                        .partial_cmp(&self.timing[b.index()].worst())
+                        .expect("finite arrivals")
+                })
+                .copied()
+                .expect("gates have inputs");
+            net = next;
+        }
+        path.reverse();
+        path
+    }
+
+    /// Forces a full (non-incremental) recomputation — used by tests to
+    /// cross-check the incremental engine.
+    pub fn recompute(&mut self) {
+        self.dirty.clear();
+        for q in &mut self.queued {
+            *q = false;
+        }
+        self.full_analyze();
+    }
+
+    fn mark_dirty(&mut self, gate: GateId) {
+        if !self.queued[gate.index()] {
+            self.queued[gate.index()] = true;
+            self.dirty.push(gate);
+        }
+    }
+
+    /// Applies pending configuration changes incrementally.
+    fn flush(&mut self) {
+        if self.dirty.is_empty() {
+            return;
+        }
+        let mut heap: BinaryHeap<Reverse<(u32, GateId)>> = BinaryHeap::new();
+        for gid in std::mem::take(&mut self.dirty) {
+            heap.push(Reverse((self.netlist.level(gid), gid)));
+        }
+        while let Some(Reverse((_lvl, gid))) = heap.pop() {
+            self.queued[gid.index()] = false;
+            let out = self.netlist.gate(gid).output();
+            let new = self.evaluate_gate(gid);
+            if !new.close_to(&self.timing[out.index()]) {
+                self.timing[out.index()] = new;
+                for &(g, _pin) in self.netlist.net(out).fanouts() {
+                    if !self.queued[g.index()] {
+                        self.queued[g.index()] = true;
+                        heap.push(Reverse((self.netlist.level(g), g)));
+                    }
+                }
+            }
+        }
+    }
+
+    fn full_analyze(&mut self) {
+        for (nid, _) in self.netlist.nets() {
+            self.refresh_load(nid);
+        }
+        for &pi in self.netlist.inputs() {
+            self.timing[pi.index()] = NetTiming {
+                arr_rise: Time::ZERO,
+                arr_fall: Time::ZERO,
+                slew_rise: self.config.primary_input_slew,
+                slew_fall: self.config.primary_input_slew,
+            };
+        }
+        for &gid in self.netlist.topo_order() {
+            let out = self.netlist.gate(gid).output();
+            self.timing[out.index()] = self.evaluate_gate(gid);
+        }
+    }
+
+    /// Computes a gate's output timing from its fanin timing.
+    fn evaluate_gate(&self, gate: GateId) -> NetTiming {
+        let g = self.netlist.gate(gate);
+        let cell = self.cells[gate.index()];
+        let cfg = &self.gate_configs[gate.index()];
+        let load = self.loads[g.output().index()];
+        let mut out = NetTiming {
+            arr_rise: Time::new(f64::NEG_INFINITY),
+            arr_fall: Time::new(f64::NEG_INFINITY),
+            slew_rise: Time::ZERO,
+            slew_fall: Time::ZERO,
+        };
+        for (logical, &inp) in g.inputs().iter().enumerate() {
+            let t_in = &self.timing[inp.index()];
+            let arc = cell.arc_physical(cfg.version, cfg.physical_pin(logical));
+            // Inverting cells: output rise launched by input fall.
+            let (d_rise, s_rise) = arc.rise.lookup(t_in.slew_fall, load);
+            let cand_rise = t_in.arr_fall + d_rise;
+            if cand_rise > out.arr_rise {
+                out.arr_rise = cand_rise;
+                out.slew_rise = s_rise;
+            }
+            let (d_fall, s_fall) = arc.fall.lookup(t_in.slew_rise, load);
+            let cand_fall = t_in.arr_rise + d_fall;
+            if cand_fall > out.arr_fall {
+                out.arr_fall = cand_fall;
+                out.slew_fall = s_fall;
+            }
+        }
+        out
+    }
+
+    /// Worst of the rise/fall delays of one arc at current slews/loads.
+    fn worst_arc_delay(&self, gate: GateId, logical: usize) -> Time {
+        let g = self.netlist.gate(gate);
+        let cell = self.cells[gate.index()];
+        let cfg = &self.gate_configs[gate.index()];
+        let load = self.loads[g.output().index()];
+        let inp = g.inputs()[logical];
+        let t_in = &self.timing[inp.index()];
+        let arc = cell.arc_physical(cfg.version, cfg.physical_pin(logical));
+        let (d_rise, _) = arc.rise.lookup(t_in.slew_fall, load);
+        let (d_fall, _) = arc.fall.lookup(t_in.slew_rise, load);
+        d_rise.max(d_fall)
+    }
+
+    /// Recomputes the capacitive load on a net from its consumers.
+    fn refresh_load(&mut self, net: NetId) {
+        let n = self.netlist.net(net);
+        let mut load = self.config.wire_cap_per_fanout * n.fanouts().len() as f64;
+        if self.netlist.is_primary_output(net) {
+            load += self.config.primary_output_load;
+        }
+        for &(g, pin) in n.fanouts() {
+            let cell = self.cells[g.index()];
+            let cfg = &self.gate_configs[g.index()];
+            load += cell.input_cap_physical(cfg.version, cfg.physical_pin(pin as usize));
+        }
+        self.loads[net.index()] = load;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    use svtox_cells::{InputState, LibraryOptions};
+    use svtox_netlist::generators::benchmark;
+    use svtox_netlist::{GateKind, NetlistBuilder};
+    use svtox_tech::Technology;
+
+    fn library() -> Library {
+        Library::new(Technology::predictive_65nm(), LibraryOptions::default()).unwrap()
+    }
+
+    fn chain(n: usize) -> Netlist {
+        let mut b = NetlistBuilder::new("chain");
+        let mut net = b.add_input("a");
+        for _ in 0..n {
+            net = b.add_gate(GateKind::Inv, &[net]).unwrap();
+        }
+        b.mark_output(net);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn longer_chains_are_slower() {
+        let lib = library();
+        let c4 = chain(4);
+        let c8 = chain(8);
+        let d4 = Sta::new(&c4, &lib, TimingConfig::default())
+            .unwrap()
+            .max_delay();
+        let d8 = Sta::new(&c8, &lib, TimingConfig::default())
+            .unwrap()
+            .max_delay();
+        assert!(d8 > d4 * 1.5);
+        assert!(d4 > Time::ZERO);
+    }
+
+    #[test]
+    fn all_slow_nearly_doubles_delay() {
+        let lib = library();
+        let n = benchmark("c432").unwrap();
+        let mut sta = Sta::new(&n, &lib, TimingConfig::default()).unwrap();
+        let fast = sta.max_delay();
+        sta.set_all_slow();
+        let slow = sta.max_delay();
+        let ratio = slow / fast;
+        // Paper §6: "a simple replacement of all fast devices with their
+        // slowest counterparts would nearly double the total circuit delay."
+        assert!(ratio > 1.6 && ratio < 2.4, "slow/fast ratio {ratio}");
+    }
+
+    #[test]
+    fn incremental_matches_full_recompute() {
+        let lib = library();
+        let n = benchmark("c880").unwrap();
+        let mut sta = Sta::new(&n, &lib, TimingConfig::default()).unwrap();
+        let mut rng = SmallRng::seed_from_u64(42);
+        for step in 0..120 {
+            let gid = n.topo_order()[rng.gen_range(0..n.num_gates())];
+            let gate = n.gate(gid);
+            let cell = lib.cell(gate.kind()).unwrap();
+            // Pick a random option of a random state.
+            let arity = gate.kind().arity();
+            let state = InputState::from_bits(rng.gen_range(0..(1 << arity)) as u16, arity);
+            let opts = cell.options_for(state);
+            let opt = &opts[rng.gen_range(0..opts.len())];
+            sta.set_gate(gid, GateConfig::from(opt));
+            let incremental = sta.max_delay();
+            let mut fresh = sta.clone();
+            fresh.recompute();
+            let full = fresh.max_delay();
+            assert!(
+                (incremental - full).abs() < 1e-6,
+                "step {step}: incremental {incremental} vs full {full}"
+            );
+        }
+    }
+
+    #[test]
+    fn slower_version_never_speeds_up_the_circuit() {
+        let lib = library();
+        let n = benchmark("c432").unwrap();
+        let mut sta = Sta::new(&n, &lib, TimingConfig::default()).unwrap();
+        let base = sta.max_delay();
+        // Upgrade every gate one at a time to its state-11... use the
+        // min-leakage option of the all-ones state; delay must never drop
+        // below the fast baseline (monotonicity sanity).
+        for (gid, gate) in n.gates().take(40) {
+            let cell = lib.cell(gate.kind()).unwrap();
+            let arity = gate.kind().arity();
+            let all_ones = InputState::from_bits(((1usize << arity) - 1) as u16, arity);
+            let opt = &cell.options_for(all_ones)[0];
+            sta.set_gate(gid, GateConfig::from(opt));
+            let d = sta.max_delay();
+            assert!(d >= base - Time::new(1e-6), "delay dropped: {d} < {base}");
+        }
+    }
+
+    #[test]
+    fn slacks_are_consistent_with_constraint() {
+        let lib = library();
+        let n = benchmark("c432").unwrap();
+        let mut sta = Sta::new(&n, &lib, TimingConfig::default()).unwrap();
+        let d = sta.max_delay();
+        let slacks = sta.slacks(d);
+        // At the exact constraint, the most critical gate has ~zero slack
+        // and nothing is negative beyond numeric noise.
+        let min = slacks
+            .iter()
+            .fold(Time::new(f64::INFINITY), |a, &b| a.min(b));
+        assert!(min.abs() < 1e-6, "min slack {min}");
+        let loose = sta.slacks(d + Time::new(100.0));
+        assert!(loose.iter().all(|s| *s >= Time::new(99.9)));
+    }
+
+    #[test]
+    fn critical_path_is_a_real_path() {
+        let lib = library();
+        let n = benchmark("c432").unwrap();
+        let mut sta = Sta::new(&n, &lib, TimingConfig::default()).unwrap();
+        let path = sta.critical_path();
+        assert!(!path.is_empty());
+        // Consecutive path entries must be connected.
+        for w in path.windows(2) {
+            let out = n.gate(w[0]).output();
+            assert!(n.gate(w[1]).inputs().contains(&out));
+        }
+        // Path length is bounded by the logic depth.
+        assert!(path.len() <= n.depth());
+    }
+
+    #[test]
+    fn gate_config_round_trip() {
+        let lib = library();
+        let v = lib.cell(GateKind::Nand(2)).unwrap().fast_version();
+        let cfg = GateConfig {
+            version: v,
+            perm: vec![1, 0],
+        };
+        assert_eq!(cfg.physical_pin(0), 1);
+        assert_eq!(cfg.physical_pin(1), 0);
+        let id = GateConfig::identity(v, 3);
+        assert_eq!(id.physical_pin(2), 2);
+    }
+
+    #[test]
+    fn permuted_config_affects_loads_not_totals_for_symmetric_fast() {
+        // The fast version is symmetric; swapping pins must not change the
+        // circuit delay.
+        let lib = library();
+        let n = benchmark("c432").unwrap();
+        let mut sta = Sta::new(&n, &lib, TimingConfig::default()).unwrap();
+        let base = sta.max_delay();
+        for (gid, gate) in n.gates() {
+            if gate.kind().arity() == 2 {
+                let v = lib.cell(gate.kind()).unwrap().fast_version();
+                sta.set_gate(
+                    gid,
+                    GateConfig {
+                        version: v,
+                        perm: vec![1, 0],
+                    },
+                );
+            }
+        }
+        let swapped = sta.max_delay();
+        assert!((swapped - base).abs() < 1e-6, "{base} vs {swapped}");
+    }
+}

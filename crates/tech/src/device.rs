@@ -1,0 +1,412 @@
+//! The analytic MOSFET standby model.
+//!
+//! A [`Device`] is one transistor instance inside a library cell: its type
+//! (NMOS/PMOS), its threshold-voltage class, its oxide-thickness class and
+//! its width (in multiples of the unit width). The two assignment knobs the
+//! paper optimizes — [`VtClass`] and [`OxideClass`] — live here.
+//!
+//! Sign conventions: all voltages passed to the current models are
+//! **magnitudes in the device's own frame** — for PMOS pass `Vsg` and `Vsd`
+//! where the NMOS equations say `Vgs` and `Vds`. This keeps the equations
+//! identical for both polarities; the cell-level DC solver in `svtox-cells`
+//! performs the frame conversion.
+
+use std::fmt;
+
+use crate::params::Technology;
+use crate::units::{Capacitance, Current, Resistance, Voltage};
+
+/// Transistor polarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum MosType {
+    /// N-channel device (pull-down networks).
+    Nmos,
+    /// P-channel device (pull-up networks).
+    Pmos,
+}
+
+impl fmt::Display for MosType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Self::Nmos => "NMOS",
+            Self::Pmos => "PMOS",
+        })
+    }
+}
+
+/// Threshold-voltage class of a device — the `Vt` assignment knob.
+///
+/// High-`Vt` suppresses subthreshold leakage (~17.8× NMOS / ~16.7× PMOS in
+/// the calibrated technology) at a ~1.36× drive-resistance cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub enum VtClass {
+    /// Nominal (fast, leaky) threshold.
+    #[default]
+    Low,
+    /// Raised threshold (slow, low Isub).
+    High,
+}
+
+impl fmt::Display for VtClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Self::Low => "low-Vt",
+            Self::High => "high-Vt",
+        })
+    }
+}
+
+/// Oxide-thickness class of a device — the `Tox` assignment knob.
+///
+/// Thick oxide suppresses gate tunneling (~11× in the calibrated technology)
+/// at a ~1.27× drive-resistance cost and slightly lower input capacitance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub enum OxideClass {
+    /// Nominal thin oxide (fast, gate-leaky).
+    #[default]
+    Thin,
+    /// Thick oxide (slow, low Igate).
+    Thick,
+}
+
+impl fmt::Display for OxideClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Self::Thin => "thin-ox",
+            Self::Thick => "thick-ox",
+        })
+    }
+}
+
+/// One transistor instance with its assignment state.
+///
+/// # Example
+///
+/// ```
+/// use svtox_tech::{Device, MosType, OxideClass, Technology, Voltage, VtClass};
+///
+/// let tech = Technology::predictive_65nm();
+/// let dev = Device::new(MosType::Nmos, VtClass::Low, OxideClass::Thin, 1.0);
+/// // A fully-ON NMOS (Vgs = Vgd = Vdd) tunnels the calibrated ~55 nA.
+/// let ig = dev.igate(&tech, tech.vdd(), tech.vdd());
+/// assert!((ig.value() - 55.0).abs() < 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Device {
+    mos: MosType,
+    vt: VtClass,
+    tox: OxideClass,
+    width: f64,
+}
+
+impl Device {
+    /// Creates a device instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is not strictly positive and finite.
+    #[must_use]
+    pub fn new(mos: MosType, vt: VtClass, tox: OxideClass, width: f64) -> Self {
+        assert!(
+            width.is_finite() && width > 0.0,
+            "device width must be positive and finite, got {width}"
+        );
+        Self {
+            mos,
+            vt,
+            tox,
+            width,
+        }
+    }
+
+    /// The device polarity.
+    #[must_use]
+    pub fn mos(&self) -> MosType {
+        self.mos
+    }
+
+    /// The threshold-voltage class.
+    #[must_use]
+    pub fn vt_class(&self) -> VtClass {
+        self.vt
+    }
+
+    /// The oxide-thickness class.
+    #[must_use]
+    pub fn tox_class(&self) -> OxideClass {
+        self.tox
+    }
+
+    /// The width in unit widths.
+    #[must_use]
+    pub fn width(&self) -> f64 {
+        self.width
+    }
+
+    /// Returns a copy with a different assignment.
+    #[must_use]
+    pub fn with_assignment(&self, vt: VtClass, tox: OxideClass) -> Self {
+        Self { vt, tox, ..*self }
+    }
+
+    /// Threshold voltage magnitude under the given technology.
+    #[must_use]
+    pub fn vt(&self, tech: &Technology) -> Voltage {
+        tech.vt(self.mos, self.vt)
+    }
+
+    /// Whether a channel exists (device conducts) at the given `Vgs`
+    /// magnitude.
+    #[must_use]
+    pub fn is_on(&self, tech: &Technology, vgs: Voltage) -> bool {
+        vgs > self.vt(tech)
+    }
+
+    /// Subthreshold (OFF-state) drain current.
+    ///
+    /// `vgs` and `vds` are magnitudes in the device frame (see module docs).
+    /// The model is the standard exponential subthreshold equation with DIBL
+    /// and drain-saturation factor:
+    ///
+    /// ```text
+    /// Isub = I0·W·exp((Vgs − Vt + η·Vds)/(n·vT))·(1 − exp(−Vds/vT))
+    /// ```
+    ///
+    /// The `(1 − exp(−Vds/vT))` factor makes series stacks of OFF devices
+    /// exhibit the stack effect when intermediate node voltages are solved.
+    #[must_use]
+    pub fn isub(&self, tech: &Technology, vgs: Voltage, vds: Voltage) -> Current {
+        let vds = vds.value().max(0.0);
+        let vt_thermal = tech.thermal_voltage();
+        let nvt = tech.subthreshold_slope() * vt_thermal;
+        let exponent = (vgs.value() - self.vt(tech).value() + tech.dibl() * vds) / nvt;
+        // Cap the exponent: the subthreshold formula is only used for devices
+        // at or below threshold; the cap keeps the DC solver's residuals
+        // finite if it probes an ON corner.
+        let exponent = exponent.min(0.0);
+        let sat = 1.0 - (-vds / vt_thermal).exp();
+        tech.isub0(self.mos) * (self.width * exponent.exp() * sat)
+    }
+
+    /// Gate tunneling current (channel + overlap components).
+    ///
+    /// `vgs` and `vgd` are *signed* gate-to-source / gate-to-drain voltages
+    /// in the device frame (positive = gate attracts the channel). The
+    /// channel component exists only when the device is ON and splits evenly
+    /// between source and drain halves; each half scales as
+    /// `exp(α·(V − Vdd))`, the compact direct-tunneling voltage dependence.
+    /// A reverse overlap (EDT) component flows when `vgd` (or `vgs`) is
+    /// negative, as in an OFF device whose drain sits at `Vdd`.
+    #[must_use]
+    pub fn igate(&self, tech: &Technology, vgs: Voltage, vgd: Voltage) -> Current {
+        let vdd = tech.vdd().value();
+        let alpha = tech.gate_voltage_alpha();
+        let shape = |v: f64| -> f64 {
+            if v <= 0.0 {
+                0.0
+            } else {
+                (alpha * (v.min(vdd) - vdd)).exp()
+            }
+        };
+        let mut total = 0.0;
+        if self.is_on(tech, vgs) {
+            let full = tech.igate_on(self.mos).value() * self.width;
+            total += 0.5 * full * (shape(vgs.value()) + shape(vgd.value()));
+        }
+        // Edge direct tunneling through the gate-drain / gate-source overlap
+        // under reverse bias (channel absent, overlap region only).
+        let edt_full = tech.igate_edt().value() * self.width;
+        if vgd.value() < 0.0 {
+            total += edt_full * shape(-vgd.value());
+        }
+        if vgs.value() < 0.0 {
+            total += edt_full * shape(-vgs.value());
+        }
+        let reduction = match self.tox {
+            OxideClass::Thin => 1.0,
+            OxideClass::Thick => tech.tox_gate_reduction(),
+        };
+        Current::new(total / reduction)
+    }
+
+    /// Effective ON drive resistance (for the delay kernel).
+    #[must_use]
+    pub fn r_on(&self, tech: &Technology) -> Resistance {
+        tech.r_on(self.mos) * (tech.r_multiplier(self.vt, self.tox) / self.width)
+    }
+
+    /// Gate input capacitance presented to the driver of this gate terminal.
+    #[must_use]
+    pub fn c_gate(&self, tech: &Technology) -> Capacitance {
+        tech.c_gate(self.tox) * self.width
+    }
+
+    /// Drain parasitic capacitance contributed at a connected output node.
+    #[must_use]
+    pub fn c_drain(&self, tech: &Technology) -> Capacitance {
+        tech.c_drain() * self.width
+    }
+}
+
+impl fmt::Display for Device {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} w={} {} {}", self.mos, self.width, self.vt, self.tox)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tech() -> Technology {
+        Technology::predictive_65nm()
+    }
+
+    fn nmos(vt: VtClass, tox: OxideClass) -> Device {
+        Device::new(MosType::Nmos, vt, tox, 1.0)
+    }
+
+    fn pmos(vt: VtClass, tox: OxideClass) -> Device {
+        Device::new(MosType::Pmos, vt, tox, 1.0)
+    }
+
+    #[test]
+    fn calibrated_off_currents() {
+        let t = tech();
+        let vdd = t.vdd();
+        let n = nmos(VtClass::Low, OxideClass::Thin).isub(&t, Voltage::ZERO, vdd);
+        let p = pmos(VtClass::Low, OxideClass::Thin).isub(&t, Voltage::ZERO, vdd);
+        assert!((n.value() - 80.0).abs() < 0.5, "NMOS off current {n}");
+        assert!((p.value() - 95.0).abs() < 0.5, "PMOS off current {p}");
+    }
+
+    #[test]
+    fn high_vt_reduction_ratios() {
+        let t = tech();
+        let vdd = t.vdd();
+        let rn = nmos(VtClass::Low, OxideClass::Thin).isub(&t, Voltage::ZERO, vdd)
+            / nmos(VtClass::High, OxideClass::Thin).isub(&t, Voltage::ZERO, vdd);
+        let rp = pmos(VtClass::Low, OxideClass::Thin).isub(&t, Voltage::ZERO, vdd)
+            / pmos(VtClass::High, OxideClass::Thin).isub(&t, Voltage::ZERO, vdd);
+        assert!((rn - 17.8).abs() < 0.2, "NMOS Isub ratio {rn}");
+        assert!((rp - 16.7).abs() < 0.2, "PMOS Isub ratio {rp}");
+    }
+
+    #[test]
+    fn thick_oxide_gate_reduction() {
+        let t = tech();
+        let vdd = t.vdd();
+        let thin = nmos(VtClass::Low, OxideClass::Thin).igate(&t, vdd, vdd);
+        let thick = nmos(VtClass::Low, OxideClass::Thick).igate(&t, vdd, vdd);
+        assert!((thin / thick - 11.0).abs() < 0.1);
+        assert!((thin.value() - 55.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn off_device_has_only_edt_gate_current() {
+        let t = tech();
+        let vdd = t.vdd();
+        let d = nmos(VtClass::Low, OxideClass::Thin);
+        // OFF with drain at Vdd: Vgs = 0, Vgd = -Vdd → reverse EDT only.
+        let rev = d.igate(&t, Voltage::ZERO, -vdd);
+        assert!((rev.value() - t.igate_edt().value()).abs() < 1e-9);
+        // Much smaller than the ON channel current.
+        assert!(rev.value() * 5.0 < d.igate(&t, vdd, vdd).value());
+    }
+
+    #[test]
+    fn gate_current_drops_fast_with_reduced_bias() {
+        let t = tech();
+        let vdd = t.vdd();
+        let d = nmos(VtClass::Low, OxideClass::Thin);
+        // The pin-reordering argument: once a source floats up to Vdd − Vt,
+        // the device's own Vgs collapses to ≈ Vt and gate current vanishes.
+        let v_small = d.vt(&t) * 1.05;
+        let reduced = d.igate(&t, v_small, v_small);
+        let full = d.igate(&t, vdd, vdd);
+        assert!(
+            reduced.value() < 0.01 * full.value(),
+            "reduced {reduced} vs full {full}"
+        );
+    }
+
+    #[test]
+    fn pmos_channel_gate_current_negligible_by_default() {
+        let t = tech();
+        let vdd = t.vdd();
+        let d = pmos(VtClass::Low, OxideClass::Thin);
+        // Channel component zero (SiO2 hole tunneling), EDT still present.
+        let ig = d.igate(&t, vdd, vdd);
+        assert_eq!(ig, Current::ZERO);
+    }
+
+    #[test]
+    fn stack_saturation_factor() {
+        let t = tech();
+        let d = nmos(VtClass::Low, OxideClass::Thin);
+        // Small Vds strangles the current (stack effect ingredient).
+        let small = d.isub(&t, Voltage::ZERO, Voltage::new(0.03));
+        let full = d.isub(&t, Voltage::ZERO, t.vdd());
+        assert!(small.value() < 0.75 * full.value());
+        // Zero Vds → zero current.
+        assert_eq!(d.isub(&t, Voltage::ZERO, Voltage::ZERO), Current::ZERO);
+    }
+
+    #[test]
+    fn width_scales_currents_and_divides_resistance() {
+        let t = tech();
+        let vdd = t.vdd();
+        let d1 = Device::new(MosType::Nmos, VtClass::Low, OxideClass::Thin, 1.0);
+        let d2 = Device::new(MosType::Nmos, VtClass::Low, OxideClass::Thin, 2.0);
+        assert!(
+            (d2.isub(&t, Voltage::ZERO, vdd).value()
+                - 2.0 * d1.isub(&t, Voltage::ZERO, vdd).value())
+            .abs()
+                < 1e-9
+        );
+        assert!((d1.r_on(&t).value() - 2.0 * d2.r_on(&t).value()).abs() < 1e-9);
+        assert!((d2.c_gate(&t).value() - 2.0 * d1.c_gate(&t).value()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn subthreshold_grows_with_temperature_but_tunneling_does_not() {
+        let room = tech();
+        let hot = Technology::builder().temperature(380.0).build().unwrap();
+        let d = nmos(VtClass::Low, OxideClass::Thin);
+        let vdd = room.vdd();
+        let isub_room = d.isub(&room, Voltage::ZERO, vdd);
+        let isub_hot = d.isub(&hot, Voltage::ZERO, vdd);
+        assert!(
+            isub_hot.value() > 2.0 * isub_room.value(),
+            "hot {isub_hot} vs room {isub_room}"
+        );
+        // Direct tunneling is temperature-insensitive in this model.
+        assert_eq!(d.igate(&room, vdd, vdd), d.igate(&hot, vdd, vdd));
+    }
+
+    #[test]
+    fn slow_assignments_raise_resistance() {
+        let t = tech();
+        let base = nmos(VtClass::Low, OxideClass::Thin).r_on(&t);
+        let hv = nmos(VtClass::High, OxideClass::Thin).r_on(&t);
+        let tk = nmos(VtClass::Low, OxideClass::Thick).r_on(&t);
+        let both = nmos(VtClass::High, OxideClass::Thick).r_on(&t);
+        assert!(base < hv && base < tk && hv < both && tk < both);
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be positive")]
+    fn zero_width_panics() {
+        let _ = Device::new(MosType::Nmos, VtClass::Low, OxideClass::Thin, 0.0);
+    }
+
+    #[test]
+    fn display_formats() {
+        let d = nmos(VtClass::High, OxideClass::Thick);
+        let s = d.to_string();
+        assert!(s.contains("NMOS") && s.contains("high-Vt") && s.contains("thick-ox"));
+        assert_eq!(MosType::Pmos.to_string(), "PMOS");
+        assert_eq!(VtClass::Low.to_string(), "low-Vt");
+        assert_eq!(OxideClass::Thin.to_string(), "thin-ox");
+    }
+}

@@ -1,0 +1,51 @@
+//! Delay-penalty sweep for one circuit — the data behind the paper's
+//! Figure 5 (leakage vs delay constraint, proposed vs baselines).
+//!
+//! ```sh
+//! cargo run --release --example delay_sweep [circuit]
+//! ```
+
+use std::error::Error;
+
+use svtox_cells::{Library, LibraryOptions};
+use svtox_core::{DelayPenalty, Mode, Problem};
+use svtox_netlist::generators::benchmark;
+use svtox_sim::random_average_leakage;
+use svtox_sta::TimingConfig;
+use svtox_tech::Technology;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "c880".to_string());
+    println!("== delay-penalty sweep: {name} ==");
+    let netlist = benchmark(&name)?;
+    let library = Library::new(Technology::predictive_65nm(), LibraryOptions::default())?;
+    let problem = Problem::new(&netlist, &library, TimingConfig::default())?;
+    let avg = random_average_leakage(&netlist, &library, 5_000, 42)?;
+    println!(
+        "average (5k random vectors): {:.2} µA\n",
+        avg.as_micro_amps()
+    );
+
+    println!(
+        "{:>8} {:>12} {:>12} {:>12}",
+        "penalty", "state µA", "state+Vt µA", "proposed µA"
+    );
+    for pct in [0.0, 1.0, 2.0, 5.0, 10.0, 15.0, 25.0, 50.0, 75.0, 100.0] {
+        let penalty = DelayPenalty::new(pct / 100.0)?;
+        let state = problem.optimizer(penalty, Mode::StateOnly).heuristic1()?;
+        let vt = problem.optimizer(penalty, Mode::StateAndVt).heuristic1()?;
+        let proposed = problem.optimizer(penalty, Mode::Proposed).heuristic1()?;
+        println!(
+            "{:>7}% {:>12.2} {:>12.2} {:>12.2}",
+            pct,
+            state.leakage.as_micro_amps(),
+            vt.leakage.as_micro_amps(),
+            proposed.leakage.as_micro_amps()
+        );
+    }
+    println!("\n(compare the shape with Figure 5 of the paper: the proposed");
+    println!("curve drops fast and saturates beyond ~10% penalty)");
+    Ok(())
+}

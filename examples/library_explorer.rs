@@ -1,0 +1,90 @@
+//! Library explorer: prints every generated version of each library cell
+//! with its per-state leakage and delay trade-offs — the data behind the
+//! paper's §4 and Tables 1–2.
+//!
+//! ```sh
+//! cargo run --release --example library_explorer
+//! ```
+
+use std::error::Error;
+
+use svtox_cells::{InputState, Library, LibraryOptions, TradeoffPoints};
+use svtox_netlist::GateKind;
+use svtox_sta::GateConfig;
+use svtox_tech::{Capacitance, Technology, Time};
+
+fn main() -> Result<(), Box<dyn Error>> {
+    println!("== svtox library explorer ==\n");
+    let tech = Technology::predictive_65nm();
+    let library = Library::new(tech.clone(), LibraryOptions::default())?;
+    let two = Library::new(
+        tech,
+        LibraryOptions {
+            tradeoff_points: TradeoffPoints::Two,
+            ..Default::default()
+        },
+    )?;
+
+    let kinds = [
+        GateKind::Inv,
+        GateKind::Nand(2),
+        GateKind::Nand(3),
+        GateKind::Nor(2),
+        GateKind::Nor(3),
+    ];
+
+    println!("cell version counts (paper Table 2):");
+    println!(
+        "{:<10} {:>14} {:>14}",
+        "cell", "4 trade-offs", "2 trade-offs"
+    );
+    for kind in kinds {
+        println!(
+            "{:<10} {:>14} {:>14}",
+            kind.to_string(),
+            library.cell(kind)?.num_library_versions(),
+            two.cell(kind)?.num_library_versions()
+        );
+    }
+
+    let load = Capacitance::new(4.0);
+    let slew = Time::new(20.0);
+    for kind in kinds {
+        let cell = library.cell(kind)?;
+        println!(
+            "\n=== {kind} — {} versions ===",
+            cell.num_library_versions()
+        );
+        for (i, v) in cell.versions().iter().enumerate() {
+            if i == 1 {
+                continue; // synthetic all-slow reference
+            }
+            println!("  version {i}: {v}");
+        }
+        for state in InputState::all(kind.arity()) {
+            println!("  state {state}:");
+            for opt in cell.options_for(state) {
+                let cfg = GateConfig::from(opt);
+                let arc = cell.arc_physical(cfg.version, cfg.physical_pin(0));
+                let (rise, _) = arc.rise.lookup(slew, load);
+                let (fall, _) = arc.fall.lookup(slew, load);
+                let fast_arc = cell.arc_physical(cell.fast_version(), 0);
+                let (r0, _) = fast_arc.rise.lookup(slew, load);
+                let (f0, _) = fast_arc.fall.lookup(slew, load);
+                println!(
+                    "    {:<22} leak {:>8.1} nA   rise {:.2}x  fall {:.2}x{}",
+                    cell.version(opt.version()).label(),
+                    opt.leakage().value(),
+                    rise / r0,
+                    fall / f0,
+                    if opt.perm().windows(2).any(|w| w[0] > w[1]) {
+                        "  (pins reordered)"
+                    } else {
+                        ""
+                    }
+                );
+            }
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,69 @@
+//! Quickstart: minimize the standby leakage of one benchmark circuit.
+//!
+//! ```sh
+//! cargo run --release --example quickstart [circuit] [penalty%]
+//! ```
+
+use std::error::Error;
+
+use svtox_cells::{Library, LibraryOptions};
+use svtox_core::{DelayPenalty, Mode, Problem};
+use svtox_netlist::generators::benchmark;
+use svtox_sim::random_average_leakage;
+use svtox_sta::TimingConfig;
+use svtox_tech::Technology;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let mut args = std::env::args().skip(1);
+    let name = args.next().unwrap_or_else(|| "c432".to_string());
+    let penalty_pct: f64 = args.next().map(|s| s.parse()).transpose()?.unwrap_or(5.0);
+
+    println!("== svtox quickstart ==");
+    let netlist = benchmark(&name)?;
+    println!("circuit : {netlist}");
+
+    println!("characterizing library …");
+    let library = Library::new(Technology::predictive_65nm(), LibraryOptions::default())?;
+    println!(
+        "library : {} cells across {} kinds",
+        library.total_library_cells(),
+        library.cells().count()
+    );
+
+    let problem = Problem::new(&netlist, &library, TimingConfig::default())?;
+    println!(
+        "timing  : D_fast = {:.1}, D_slow = {:.1} ({:.2}x)",
+        problem.d_fast(),
+        problem.d_slow(),
+        problem.d_slow() / problem.d_fast()
+    );
+
+    let avg = random_average_leakage(&netlist, &library, 10_000, 42)?;
+    println!(
+        "baseline: {:.2} µA average over 10k random vectors",
+        avg.as_micro_amps()
+    );
+
+    let penalty = DelayPenalty::new(penalty_pct / 100.0)?;
+    let solution = problem.optimizer(penalty, Mode::Proposed).heuristic1()?;
+    solution.verify(&problem)?;
+
+    println!(
+        "result  : {:.2} µA at a {penalty_pct}% delay penalty → {:.1}x reduction",
+        solution.leakage.as_micro_amps(),
+        solution.reduction_vs(avg.total)
+    );
+    println!(
+        "          delay {:.1} (budget {:.1}), found in {:.2?}",
+        solution.delay,
+        problem.delay_budget(penalty),
+        solution.runtime
+    );
+    let vector: String = solution
+        .vector
+        .iter()
+        .map(|&b| if b { '1' } else { '0' })
+        .collect();
+    println!("standby vector: {vector}");
+    Ok(())
+}
