@@ -1,0 +1,20 @@
+#!/usr/bin/env sh
+# Offline CI gate: format, lint, build, test. No network access required —
+# the workspace has no external dependencies.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release --workspace --all-targets
+
+echo "==> cargo test"
+cargo test --workspace --release -q
+
+echo "==> CI green"

@@ -1,68 +1,53 @@
-//! Ablation benchmarks (Criterion): runtime cost of the design choices
+//! Ablation benchmarks (plain harness): runtime cost of the design choices
 //! DESIGN.md §5 calls out. The *quality* side of the same ablations is
-//! printed by `cargo run -p svtox-bench --bin ablation`.
-
-use std::time::Duration;
-
-use criterion::{criterion_group, criterion_main, Criterion};
+//! printed by `cargo run -p svtox-bench --bin ablation`. Run with
+//! `cargo bench -p svtox-bench --bench ablation`.
 
 use svtox_bench::library_with;
+use svtox_bench::timing::time_case;
 use svtox_cells::LibraryOptions;
 use svtox_core::{DelayPenalty, GateOrder, Mode, Problem};
 use svtox_netlist::generators::benchmark;
 use svtox_sta::TimingConfig;
 
-fn bench_gate_order(c: &mut Criterion) {
+fn bench_gate_order() {
     let library = library_with(LibraryOptions::default());
     let netlist = benchmark("c432").expect("benchmark builds");
     let problem =
         Problem::new(&netlist, &library, TimingConfig::default()).expect("problem builds");
-    let mut group = c.benchmark_group("ablation/gate_order");
     for (name, order) in [
         ("savings_desc", GateOrder::SavingsDescending),
         ("topological", GateOrder::Topological),
     ] {
-        group.bench_function(name, |b| {
-            b.iter(|| {
-                problem
-                    .optimizer(DelayPenalty::five_percent(), Mode::Proposed)
-                    .with_gate_order(order)
-                    .heuristic1()
-                    .expect("heuristic1 runs")
-            });
+        time_case(&format!("ablation/gate_order/{name}"), 10, || {
+            problem
+                .optimizer(DelayPenalty::five_percent(), Mode::Proposed)
+                .with_gate_order(order)
+                .heuristic1()
+                .expect("heuristic1 runs")
         });
     }
-    group.finish();
 }
 
-fn bench_reordering(c: &mut Criterion) {
+fn bench_reordering() {
     let with = library_with(LibraryOptions::default());
     let without = library_with(LibraryOptions {
         pin_reordering: false,
         ..Default::default()
     });
     let netlist = benchmark("c432").expect("benchmark builds");
-    let mut group = c.benchmark_group("ablation/pin_reordering");
     for (name, lib) in [("on", &with), ("off", &without)] {
         let problem = Problem::new(&netlist, lib, TimingConfig::default()).expect("builds");
-        group.bench_function(name, |b| {
-            b.iter(|| {
-                problem
-                    .optimizer(DelayPenalty::five_percent(), Mode::Proposed)
-                    .heuristic1()
-                    .expect("heuristic1 runs")
-            });
+        time_case(&format!("ablation/pin_reordering/{name}"), 10, || {
+            problem
+                .optimizer(DelayPenalty::five_percent(), Mode::Proposed)
+                .heuristic1()
+                .expect("heuristic1 runs")
         });
     }
-    group.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default()
-        .sample_size(10)
-        .warm_up_time(Duration::from_millis(300))
-        .measurement_time(Duration::from_secs(2));
-    targets = bench_gate_order, bench_reordering
+fn main() {
+    bench_gate_order();
+    bench_reordering();
 }
-criterion_main!(benches);

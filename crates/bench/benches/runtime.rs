@@ -1,96 +1,82 @@
-//! Runtime benchmarks of the building blocks (Criterion).
+//! Runtime benchmarks of the building blocks (plain harness, no external
+//! framework).
 //!
 //! These track the costs that dominate the Table 3 "Time" column: library
 //! characterization, random-vector simulation, incremental timing, and the
-//! Heuristic-1 end-to-end pass.
-
-use std::time::Duration;
-
-use criterion::{criterion_group, criterion_main, Criterion};
+//! Heuristic-1 end-to-end pass. Run with
+//! `cargo bench -p svtox-bench --bench runtime`.
 
 use svtox_bench::default_library;
+use svtox_bench::timing::time_case;
 use svtox_cells::InputState;
 use svtox_core::{DelayPenalty, Mode, Problem};
 use svtox_netlist::generators::benchmark;
 use svtox_sim::{expected_leakage, random_average_leakage, Simulator};
 use svtox_sta::{GateConfig, Sta, TimingConfig};
 
-fn bench_library_characterization(c: &mut Criterion) {
-    c.bench_function("library/characterize_default", |b| {
-        b.iter(default_library);
-    });
+fn bench_library_characterization() {
+    time_case("library/characterize_default", 10, default_library);
 }
 
-fn bench_simulation(c: &mut Criterion) {
+fn bench_simulation() {
     let library = default_library();
     let netlist = benchmark("c880").expect("benchmark builds");
-    c.bench_function("sim/random_average_c880_100v", |b| {
-        b.iter(|| random_average_leakage(&netlist, &library, 100, 7).expect("simulates"));
+    time_case("sim/random_average_c880_100v", 10, || {
+        random_average_leakage(&netlist, &library, 100, 7).expect("simulates")
     });
-    c.bench_function("sim/expected_leakage_c880", |b| {
-        b.iter(|| expected_leakage(&netlist, &library).expect("estimates"));
+    time_case("sim/expected_leakage_c880", 10, || {
+        expected_leakage(&netlist, &library).expect("estimates")
     });
     let mut sim = Simulator::new(&netlist);
     let mut i = 0usize;
     let mut v = false;
-    c.bench_function("sim/incremental_flip_c880", |b| {
-        b.iter(|| {
-            i = (i + 1) % netlist.num_inputs();
-            if i == 0 {
-                v = !v;
-            }
-            sim.set_input(i, v)
-        });
+    time_case("sim/incremental_flip_c880", 10_000, || {
+        i = (i + 1) % netlist.num_inputs();
+        if i == 0 {
+            v = !v;
+        }
+        sim.set_input(i, v)
     });
 }
 
-fn bench_sta(c: &mut Criterion) {
+fn bench_sta() {
     let library = default_library();
     let netlist = benchmark("c880").expect("benchmark builds");
     let mut sta = Sta::new(&netlist, &library, TimingConfig::default()).expect("sta builds");
     let gates: Vec<_> = netlist.gates().map(|(gid, g)| (gid, g.kind())).collect();
     let mut k = 0usize;
-    c.bench_function("sta/incremental_swap_c880", |b| {
-        b.iter(|| {
-            let (gid, kind) = gates[k % gates.len()];
-            k += 1;
-            let cell = library.cell(kind).expect("cell");
-            let arity = kind.arity();
-            let state = InputState::from_bits(((k / gates.len()) % (1 << arity)) as u16, arity);
-            let opt = &cell.options_for(state)[0];
-            sta.set_gate(gid, GateConfig::from(opt));
-            sta.max_delay()
-        });
+    time_case("sta/incremental_swap_c880", 1000, || {
+        let (gid, kind) = gates[k % gates.len()];
+        k += 1;
+        let cell = library.cell(kind).expect("cell");
+        let arity = kind.arity();
+        let state = InputState::from_bits(((k / gates.len()) % (1 << arity)) as u16, arity);
+        let opt = &cell.options_for(state)[0];
+        sta.set_gate(gid, GateConfig::from(opt));
+        sta.max_delay()
     });
-    c.bench_function("sta/full_recompute_c880", |b| {
-        b.iter(|| {
-            sta.recompute();
-            sta.max_delay()
-        });
+    time_case("sta/full_recompute_c880", 100, || {
+        sta.recompute();
+        sta.max_delay()
     });
 }
 
-fn bench_optimizer(c: &mut Criterion) {
+fn bench_optimizer() {
     let library = default_library();
     let netlist = benchmark("c432").expect("benchmark builds");
     let problem =
         Problem::new(&netlist, &library, TimingConfig::default()).expect("problem builds");
-    c.bench_function("core/heuristic1_c432_5pct", |b| {
-        b.iter(|| {
-            problem
-                .optimizer(DelayPenalty::five_percent(), Mode::Proposed)
-                .heuristic1()
-                .expect("heuristic1 runs")
-        });
+    time_case("core/heuristic1_c432_5pct", 10, || {
+        problem
+            .optimizer(DelayPenalty::five_percent(), Mode::Proposed)
+            .heuristic1()
+            .expect("heuristic1 runs")
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default()
-        .sample_size(10)
-        .warm_up_time(Duration::from_millis(300))
-        .measurement_time(Duration::from_secs(2));
-    targets = bench_library_characterization, bench_simulation, bench_sta, bench_optimizer
+fn main() {
+    bench_library_characterization();
+    bench_simulation();
+    bench_sta();
+    bench_optimizer();
 }
-criterion_main!(benches);

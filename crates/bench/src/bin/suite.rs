@@ -1,0 +1,46 @@
+//! Parallel suite runner: Heuristic-1 across circuits × penalties.
+//!
+//! ```text
+//! cargo run --release -p svtox-bench --bin suite -- [--quick] [--threads N]
+//! ```
+//!
+//! `--threads 0` uses one worker per available CPU. Results are identical
+//! for any thread count: tasks reduce in a fixed order and Heuristic 1 is
+//! deterministic.
+
+use svtox_bench::{run_suite, ua, x_factor, BenchArgs};
+use svtox_exec::ExecConfig;
+
+fn threads_from_env() -> usize {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--threads" {
+            let value = args.next().expect("--threads needs a value");
+            return value.parse().expect("--threads needs an integer");
+        }
+    }
+    1
+}
+
+fn main() {
+    let args = BenchArgs::from_env();
+    let exec = ExecConfig::with_threads(threads_from_env());
+    let penalties = [0.05, 0.10, 0.25];
+    let (entries, stats) = run_suite(&args, &penalties, &exec);
+
+    println!(
+        "{:<8} {:>8} {:>12} {:>12} {:>6}",
+        "circuit", "penalty", "avg (µA)", "opt (µA)", "X"
+    );
+    for e in &entries {
+        println!(
+            "{:<8} {:>7}% {:>12} {:>12} {:>6}",
+            e.circuit,
+            (e.penalty * 100.0).round(),
+            ua(e.average),
+            ua(e.solution.leakage),
+            x_factor(e.average, e.solution.leakage),
+        );
+    }
+    println!("\nengine: {stats}");
+}

@@ -23,11 +23,14 @@ use std::time::Duration;
 
 use svtox_cells::{Library, LibraryOptions};
 use svtox_core::{DelayPenalty, Mode, Problem, Solution};
+use svtox_exec::{map_tasks, Budget, ExecConfig, SearchStats};
 use svtox_netlist::generators::{benchmark, benchmark_names};
 use svtox_netlist::Netlist;
 use svtox_sim::random_average_leakage;
 use svtox_sta::TimingConfig;
 use svtox_tech::{Current, Technology};
+
+pub mod timing;
 
 /// Harness configuration shared by the experiment binaries.
 #[derive(Debug, Clone)]
@@ -149,6 +152,69 @@ impl<'a> Instance<'a> {
     }
 }
 
+/// One (circuit, penalty) result of a parallel suite run.
+#[derive(Debug)]
+pub struct SuiteEntry {
+    /// Circuit name.
+    pub circuit: &'static str,
+    /// Delay penalty the optimization ran at.
+    pub penalty: f64,
+    /// Random-vector baseline of the all-fast circuit.
+    pub average: Current,
+    /// The Heuristic-1 solution.
+    pub solution: Solution,
+}
+
+/// Runs the whole suite — one (circuit, penalty) Heuristic-1 optimization
+/// per task — over the workers of `exec`.
+///
+/// Baselines are computed first (one task per circuit), then every
+/// circuit × penalty pair becomes an independent optimization task. Both
+/// stages return results in task order, so the output is identical for any
+/// thread count; Heuristic 1 itself is deterministic, so the *solutions*
+/// are too.
+///
+/// # Panics
+///
+/// Panics on generator, library, or optimizer failure (bugs, not input
+/// errors).
+#[must_use]
+pub fn run_suite(
+    args: &BenchArgs,
+    penalties: &[f64],
+    exec: &ExecConfig,
+) -> (Vec<SuiteEntry>, SearchStats) {
+    let library = default_library();
+    let (prepared, mut stats) = map_tasks(
+        exec,
+        args.circuits.len(),
+        &Budget::unlimited(),
+        |_worker| (),
+        |(), i, _ws| Some(Instance::prepare(args.circuits[i], &library, args.vectors)),
+    );
+    let instances: Vec<Instance<'_>> = prepared.into_iter().flatten().collect();
+    let (entries, solve_stats) = map_tasks(
+        exec,
+        instances.len() * penalties.len(),
+        &Budget::unlimited(),
+        |_worker| (),
+        |(), t, _ws| {
+            let inst = &instances[t / penalties.len()];
+            let penalty = penalties[t % penalties.len()];
+            let problem = inst.problem();
+            let solution = inst.heuristic1(&problem, penalty, Mode::Proposed);
+            Some(SuiteEntry {
+                circuit: inst.name,
+                penalty,
+                average: inst.average,
+                solution,
+            })
+        },
+    );
+    stats.absorb(&solve_stats);
+    (entries.into_iter().flatten().collect(), stats)
+}
+
 /// Formats a current in the paper's µA with one decimal.
 #[must_use]
 pub fn ua(current: Current) -> String {
@@ -173,6 +239,30 @@ mod tests {
         assert!(q.h2_budget < f.h2_budget);
         assert!(q.circuits.len() < f.circuits.len());
         assert_eq!(f.circuits.len(), 11);
+    }
+
+    #[test]
+    fn suite_runner_is_thread_count_invariant() {
+        let args = BenchArgs {
+            quick: true,
+            vectors: 50,
+            h2_budget: Duration::from_millis(10),
+            circuits: vec!["c432"],
+        };
+        let penalties = [0.05, 0.25];
+        let (serial, _) = run_suite(&args, &penalties, &ExecConfig::serial());
+        let (par, stats) = run_suite(&args, &penalties, &ExecConfig::with_threads(4));
+        assert_eq!(serial.len(), 2);
+        assert_eq!(par.len(), 2);
+        assert_eq!(stats.tasks_executed(), 3, "1 baseline + 2 optimizations");
+        for (a, b) in serial.iter().zip(&par) {
+            assert_eq!(a.circuit, b.circuit);
+            assert_eq!(a.penalty, b.penalty);
+            assert_eq!(a.average, b.average);
+            assert_eq!(a.solution.vector, b.solution.vector);
+            assert_eq!(a.solution.choices, b.solution.choices);
+            assert_eq!(a.solution.leakage, b.solution.leakage);
+        }
     }
 
     #[test]

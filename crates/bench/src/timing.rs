@@ -1,0 +1,64 @@
+//! Minimal wall-clock measurement for the `benches/` harnesses.
+//!
+//! The workspace carries no external benchmarking framework; these helpers
+//! give the harnesses warm-up, repetition, and a stable one-line report
+//! format without any dependency.
+
+use std::time::{Duration, Instant};
+
+/// One measured case: minimum and mean wall time over the timed iterations.
+#[derive(Debug, Clone, Copy)]
+pub struct Measurement {
+    /// Fastest single iteration — the least-noisy point estimate.
+    pub min: Duration,
+    /// Mean over all timed iterations.
+    pub mean: Duration,
+    /// Number of timed iterations.
+    pub iters: usize,
+}
+
+/// Runs `f` once to warm up, then `iters` timed iterations.
+pub fn measure<T>(iters: usize, mut f: impl FnMut() -> T) -> Measurement {
+    assert!(iters > 0, "need at least one iteration");
+    let _ = f();
+    let mut min = Duration::MAX;
+    let total_start = Instant::now();
+    for _ in 0..iters {
+        let start = Instant::now();
+        let _ = f();
+        min = min.min(start.elapsed());
+    }
+    let total = total_start.elapsed();
+    Measurement {
+        min,
+        mean: total / u32::try_from(iters).expect("iteration count fits u32"),
+        iters,
+    }
+}
+
+/// Measures `f` and prints a one-line `name  min …  mean …` report.
+pub fn time_case<T>(name: &str, iters: usize, f: impl FnMut() -> T) -> Measurement {
+    let m = measure(iters, f);
+    println!(
+        "{name:<44} min {:>12}  mean {:>12}  ({} iters)",
+        format!("{:.3?}", m.min),
+        format!("{:.3?}", m.mean),
+        m.iters
+    );
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_counts_and_orders() {
+        let mut calls = 0usize;
+        let m = measure(5, || calls += 1);
+        // 5 timed + 1 warm-up.
+        assert_eq!(calls, 6);
+        assert_eq!(m.iters, 5);
+        assert!(m.min <= m.mean);
+    }
+}

@@ -214,6 +214,12 @@ impl CellData {
         &self.versions[id.index()]
     }
 
+    /// Ids of every stored version, fast first. Used by consumers that need
+    /// per-arc floors over all configurations (e.g. relaxed timing bounds).
+    pub fn version_ids(&self) -> impl Iterator<Item = VersionId> {
+        (0..self.versions.len() as u8).map(VersionId)
+    }
+
     /// All versions, fast first.
     #[must_use]
     pub fn versions(&self) -> &[CellVersion] {

@@ -488,9 +488,12 @@ mod tests {
 }
 
 #[cfg(test)]
-mod proptests {
+mod fuzz_tests {
+    //! Deterministic seeded fuzzing — the in-tree replacement for the
+    //! proptest properties this module used to hold.
+
     use super::*;
-    use proptest::prelude::*;
+    use svtox_exec::rng::Xoshiro256pp;
 
     fn all_kinds() -> Vec<GateKind> {
         vec![
@@ -504,13 +507,16 @@ mod proptests {
         ]
     }
 
-    fn arb_case() -> impl Strategy<Value = (GateKind, u16, u16, u16)> {
-        // (kind, state bits, vt mask, tox mask) — masks over global indices.
+    /// Draws (kind, state bits, vt mask, tox mask) — masks over global
+    /// indices.
+    fn random_case(rng: &mut Xoshiro256pp) -> (GateKind, u16, u16, u16) {
+        let kinds = all_kinds();
+        let kind = kinds[rng.gen_index(kinds.len())];
         (
-            prop::sample::select(all_kinds()),
-            any::<u16>(),
-            any::<u16>(),
-            any::<u16>(),
+            kind,
+            rng.next_u64() as u16,
+            rng.next_u64() as u16,
+            rng.next_u64() as u16,
         )
     }
 
@@ -533,71 +539,85 @@ mod proptests {
             .collect()
     }
 
-    proptest! {
-        /// Leakage is always finite, non-negative, and both components sum.
-        #[test]
-        fn leakage_is_sane((kind, sbits, vt, tox) in arb_case()) {
-            let t = Technology::predictive_65nm();
+    /// Leakage is always finite, non-negative, and both components sum.
+    #[test]
+    fn leakage_is_sane() {
+        let mut rng = Xoshiro256pp::seed_from_u64(0x1ea);
+        let t = Technology::predictive_65nm();
+        for _ in 0..256 {
+            let (kind, sbits, vt, tox) = random_case(&mut rng);
             let topo = CellTopology::for_kind(kind).unwrap();
             let a = assignment_from(&topo, vt, tox);
             let s = InputState::from_bits(sbits % (1 << kind.arity()), kind.arity());
             let b = solve_leakage(&t, &topo, &a, s);
-            prop_assert!(b.isub.value().is_finite() && b.isub.value() >= 0.0);
-            prop_assert!(b.igate.value().is_finite() && b.igate.value() >= 0.0);
-            prop_assert!((b.total() - (b.isub + b.igate)).abs() < 1e-12);
+            assert!(b.isub.value().is_finite() && b.isub.value() >= 0.0);
+            assert!(b.igate.value().is_finite() && b.igate.value() >= 0.0);
+            assert!((b.total() - (b.isub + b.igate)).abs() < 1e-12);
             // A single gate never leaks more than a few µA in this model.
-            prop_assert!(b.total().value() < 10_000.0, "total {}", b.total());
+            assert!(b.total().value() < 10_000.0, "total {}", b.total());
         }
+    }
 
-        /// Raising one device's Vt never increases the *subthreshold*
-        /// component it targets. (The total can rise: raising the Vt of a
-        /// stack device lowers the floating internal nodes, which can expose
-        /// an ON neighbour to a larger gate bias — node redistribution that
-        /// SPICE shows too, and the reason the library characterizes whole
-        /// versions rather than assuming per-device monotonicity.)
-        #[test]
-        fn raising_vt_never_raises_isub((kind, sbits, _vt, tox) in arb_case(), which in 0usize..8) {
-            let t = Technology::predictive_65nm();
+    /// Raising one device's Vt never increases the *subthreshold*
+    /// component it targets. (The total can rise: raising the Vt of a
+    /// stack device lowers the floating internal nodes, which can expose
+    /// an ON neighbour to a larger gate bias — node redistribution that
+    /// SPICE shows too, and the reason the library characterizes whole
+    /// versions rather than assuming per-device monotonicity.)
+    #[test]
+    fn raising_vt_never_raises_isub() {
+        let mut rng = Xoshiro256pp::seed_from_u64(0x157b);
+        let t = Technology::predictive_65nm();
+        for _ in 0..256 {
+            let (kind, sbits, _vt, tox) = random_case(&mut rng);
             let topo = CellTopology::for_kind(kind).unwrap();
             let mut a = assignment_from(&topo, 0, tox);
             let s = InputState::from_bits(sbits % (1 << kind.arity()), kind.arity());
             let before = solve_leakage(&t, &topo, &a, s).isub;
-            let target = which % topo.num_transistors();
+            let target = rng.gen_index(topo.num_transistors());
             a[target].0 = VtClass::High;
             let after = solve_leakage(&t, &topo, &a, s).isub;
-            prop_assert!(
+            assert!(
                 after.value() <= before.value() * 1.05 + 0.5,
                 "{kind} state {s}: vt on device {target} raised isub {before} → {after}"
             );
         }
+    }
 
-        /// Thickening one device's oxide never increases total leakage.
-        #[test]
-        fn thickening_never_hurts((kind, sbits, vt, _tox) in arb_case(), which in 0usize..8) {
-            let t = Technology::predictive_65nm();
+    /// Thickening one device's oxide never increases total leakage.
+    #[test]
+    fn thickening_never_hurts() {
+        let mut rng = Xoshiro256pp::seed_from_u64(0x70c5);
+        let t = Technology::predictive_65nm();
+        for _ in 0..256 {
+            let (kind, sbits, vt, _tox) = random_case(&mut rng);
             let topo = CellTopology::for_kind(kind).unwrap();
             let mut a = assignment_from(&topo, vt, 0);
             let s = InputState::from_bits(sbits % (1 << kind.arity()), kind.arity());
             let before = solve_leakage(&t, &topo, &a, s).total();
-            let target = which % topo.num_transistors();
+            let target = rng.gen_index(topo.num_transistors());
             a[target].1 = OxideClass::Thick;
             let after = solve_leakage(&t, &topo, &a, s).total();
-            prop_assert!(
+            assert!(
                 after.value() <= before.value() * 1.05 + 0.5,
                 "{kind} state {s}: tox on device {target} raised leakage {before} → {after}"
             );
         }
+    }
 
-        /// The all-slow corner is near the floor for subthreshold leakage.
-        ///
-        /// Note the *total* has no such property: slowing the output-side
-        /// device of a stack lowers the floating internal nodes, which can
-        /// raise a middle device's gate tunneling by more than the thick
-        /// oxide saves — a real node-redistribution effect this model
-        /// shares with SPICE. Isub, however, only falls.
-        #[test]
-        fn all_slow_floors_isub((kind, sbits, vt, tox) in arb_case()) {
-            let t = Technology::predictive_65nm();
+    /// The all-slow corner is near the floor for subthreshold leakage.
+    ///
+    /// Note the *total* has no such property: slowing the output-side
+    /// device of a stack lowers the floating internal nodes, which can
+    /// raise a middle device's gate tunneling by more than the thick
+    /// oxide saves — a real node-redistribution effect this model
+    /// shares with SPICE. Isub, however, only falls.
+    #[test]
+    fn all_slow_floors_isub() {
+        let mut rng = Xoshiro256pp::seed_from_u64(0xa115);
+        let t = Technology::predictive_65nm();
+        for _ in 0..256 {
+            let (kind, sbits, vt, tox) = random_case(&mut rng);
             let topo = CellTopology::for_kind(kind).unwrap();
             let s = InputState::from_bits(sbits % (1 << kind.arity()), kind.arity());
             let any = solve_leakage(&t, &topo, &assignment_from(&topo, vt, tox), s).isub;
@@ -608,7 +628,7 @@ mod proptests {
                 s,
             )
             .isub;
-            prop_assert!(slow.value() <= any.value() * 1.05 + 0.5);
+            assert!(slow.value() <= any.value() * 1.05 + 0.5);
         }
     }
 

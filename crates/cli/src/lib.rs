@@ -22,12 +22,12 @@ use std::time::Duration;
 use std::collections::BTreeMap;
 
 use svtox_cells::{to_liberty, Library, LibraryOptions, TradeoffPoints};
-use svtox_core::{DelayPenalty, Mode, Problem, Solution};
+use svtox_core::{DelayPenalty, ExecConfig, Mode, Problem, Solution};
 use svtox_netlist::generators::{benchmark, BenchmarkProfile};
 use svtox_netlist::{
     insert_sleep_vector, map_to_primitives, parse_bench, parse_verilog, MappingOptions, Netlist,
 };
-use svtox_sim::{random_average_leakage, Simulator};
+use svtox_sim::{random_average_leakage, random_average_leakage_parallel, Simulator};
 use svtox_sta::{GateConfig, Sta, TimingConfig};
 use svtox_tech::Technology;
 
@@ -61,6 +61,11 @@ pub struct OptimizeArgs {
     pub heuristic2: Option<Duration>,
     /// Hill-climbing refinement passes after the heuristic.
     pub refine_passes: usize,
+    /// Worker threads for the search engine (`0` = one per CPU).
+    pub threads: usize,
+    /// Wall-clock budget for the improvement pass (overrides
+    /// `--heuristic2`'s budget when both are given).
+    pub time_budget: Option<Duration>,
     /// Library options.
     pub library: LibraryOptions,
     /// Write the sleep-gated netlist to this `.bench` path.
@@ -107,7 +112,7 @@ USAGE:
   svtox optimize <circuit|file.bench> [--penalty PCT] [--mode proposed|vt|state]
                  [--heuristic2 SECONDS] [--refine PASSES] [--two-option]
                  [--uniform-stack] [--no-reorder] [--vectors N]
-                 [--emit-sleep FILE]
+                 [--threads N] [--time-budget SECONDS] [--emit-sleep FILE]
   svtox sweep <circuit|file.bench> [--penalties 0,5,10,25,100]
   svtox library [--two-option] [--uniform-stack] [--liberty FILE]
   svtox report <circuit|file.bench> [--penalties 5]
@@ -116,6 +121,11 @@ USAGE:
 Circuits: built-in reconstructions (c432 … c7552, alu64), ISCAS-85/89
 `.bench` files, or flat structural Verilog `.v` files (composite gates are
 mapped onto the primitive library; flip-flops are extracted).
+
+`optimize` runs the parallel search engine: `--threads N` sets the worker
+count (0 = one per CPU; results are identical for any count) and
+`--time-budget SECONDS` caps the branch-and-bound improvement pass (default
+1 s, or the `--heuristic2` budget when given).
 ";
 
 /// Parses raw arguments (excluding the program name).
@@ -137,6 +147,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 mode: Mode::Proposed,
                 heuristic2: None,
                 refine_passes: 0,
+                threads: 1,
+                time_budget: None,
                 library: LibraryOptions::default(),
                 emit_sleep: None,
                 vectors: 2000,
@@ -152,8 +164,12 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                             other => return Err(CliError(format!("unknown mode `{other}`"))),
                         }
                     }
-                    "--heuristic2" => out.heuristic2 = Some(Duration::from_secs_f64(pct(&mut it)?)),
+                    "--heuristic2" => out.heuristic2 = Some(seconds(&mut it, "--heuristic2")?),
                     "--refine" => out.refine_passes = pct(&mut it)? as usize,
+                    "--threads" => out.threads = pct(&mut it)? as usize,
+                    "--time-budget" => {
+                        out.time_budget = Some(seconds(&mut it, "--time-budget")?);
+                    }
                     "--two-option" => {
                         out.library.tradeoff_points = TradeoffPoints::Two;
                     }
@@ -240,6 +256,16 @@ fn pct(it: &mut std::slice::Iter<'_, String>) -> Result<f64, CliError> {
         .ok_or_else(|| CliError("flag needs a numeric value".into()))?;
     raw.parse()
         .map_err(|_| CliError(format!("`{raw}` is not a number")))
+}
+
+fn seconds(it: &mut std::slice::Iter<'_, String>, flag: &str) -> Result<Duration, CliError> {
+    let secs = pct(it)?;
+    if !secs.is_finite() || secs < 0.0 {
+        return Err(CliError(format!(
+            "{flag} needs a non-negative number of seconds, got `{secs}`"
+        )));
+    }
+    Ok(Duration::from_secs_f64(secs))
 }
 
 /// Netlist-file parser signature shared by the supported formats.
@@ -412,12 +438,16 @@ pub fn run(command: Command) -> Result<String, Box<dyn Error>> {
             let netlist = load_circuit(&args.target)?;
             let lib = Library::new(Technology::predictive_65nm(), args.library)?;
             let problem = Problem::new(&netlist, &lib, TimingConfig::default())?;
-            let avg = random_average_leakage(&netlist, &lib, args.vectors, 42)?;
+            // The improvement pass always runs under the engine: default to
+            // a short budget, let --heuristic2 or --time-budget widen it.
+            let budget = args
+                .time_budget
+                .or(args.heuristic2)
+                .unwrap_or(Duration::from_secs(1));
+            let exec = ExecConfig::with_threads(args.threads).with_time_budget(budget);
+            let avg = random_average_leakage_parallel(&netlist, &lib, args.vectors, 42, &exec)?;
             let optimizer = problem.optimizer(DelayPenalty::new(args.penalty)?, args.mode);
-            let mut sol: Solution = match args.heuristic2 {
-                Some(budget) => optimizer.heuristic2(budget)?,
-                None => optimizer.heuristic1()?,
-            };
+            let (mut sol, stats): (Solution, _) = optimizer.heuristic2_parallel(&exec)?;
             if args.refine_passes > 0 {
                 sol = optimizer.refine(sol, args.refine_passes)?;
             }
@@ -452,6 +482,7 @@ pub fn run(command: Command) -> Result<String, Box<dyn Error>> {
                 "runtime  : {:.2?}, {} leaves",
                 sol.runtime, sol.leaves_explored
             )?;
+            writeln!(out, "engine   : {stats}")?;
             let vector: String = sol
                 .vector
                 .iter()
@@ -513,6 +544,25 @@ mod tests {
             panic!("wrong command")
         };
         assert_eq!(args.refine_passes, 3);
+    }
+
+    #[test]
+    fn parses_engine_flags() {
+        let cmd = parse_args(&argv("optimize c432 --threads 8 --time-budget 2.5")).unwrap();
+        let Command::Optimize(args) = cmd else {
+            panic!("wrong command")
+        };
+        assert_eq!(args.threads, 8);
+        assert_eq!(args.time_budget, Some(Duration::from_secs_f64(2.5)));
+        // Defaults: one worker, no explicit budget.
+        let Command::Optimize(defaults) = parse_args(&argv("optimize c432")).unwrap() else {
+            panic!("wrong command")
+        };
+        assert_eq!(defaults.threads, 1);
+        assert_eq!(defaults.time_budget, None);
+        // Negative and non-finite budgets are rejected, not panicked on.
+        assert!(parse_args(&argv("optimize c432 --time-budget -1")).is_err());
+        assert!(parse_args(&argv("optimize c432 --heuristic2 NaN")).is_err());
     }
 
     #[test]

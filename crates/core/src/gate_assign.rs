@@ -184,6 +184,15 @@ pub(crate) fn exact_assign(
         .map(|(gid, gate)| problem.fast_index(gate.kind(), states[gid.index()]))
         .collect();
 
+    // Undecided gates must contribute a delay *floor*, not the identity-fast
+    // delay: an option's pin permutation can route a late signal onto a
+    // faster physical pin and beat identity, so pruning a prefix against
+    // the identity-fast completion can discard feasible optima. Relaxed
+    // gates give a true lower bound; decided gates use their real option.
+    for &gid in &visit {
+        sta.set_relaxed(gid, true);
+    }
+
     let mut stack = vec![Frame {
         depth: 0,
         remaining: option_list(problem, netlist, &visit, states, mode, 0),
@@ -192,7 +201,8 @@ pub(crate) fn exact_assign(
     while let Some(frame) = stack.last_mut() {
         let depth = frame.depth;
         if depth == n {
-            // Leaf: feasibility held at every step; record if better.
+            // Leaf: every gate is decided, so the feasibility check at the
+            // last descent was exact; record if better.
             let partial = frame.partial;
             if partial < best_leak {
                 best_leak = partial;
@@ -200,8 +210,7 @@ pub(crate) fn exact_assign(
             }
             stack.pop();
             if let Some(parent) = stack.last() {
-                let gid = visit[parent.depth];
-                sta.set_gate(gid, fast_cfg(gid));
+                sta.set_relaxed(visit[parent.depth], true);
             }
             continue;
         }
@@ -212,8 +221,7 @@ pub(crate) fn exact_assign(
             // Exhausted this level; undo and backtrack.
             stack.pop();
             if let Some(parent) = stack.last() {
-                let pg = visit[parent.depth];
-                sta.set_gate(pg, fast_cfg(pg));
+                sta.set_relaxed(visit[parent.depth], true);
             }
             continue;
         };
@@ -224,8 +232,9 @@ pub(crate) fn exact_assign(
             continue; // prune this option (others may still fit)
         }
         sta.set_gate(gid, GateConfig::from(opt));
+        sta.set_relaxed(gid, false);
         if sta.max_delay() > budget_eps {
-            sta.set_gate(gid, fast_cfg(gid));
+            sta.set_relaxed(gid, true);
             continue;
         }
         current[gid.index()] = idx;
@@ -240,8 +249,9 @@ pub(crate) fn exact_assign(
             partial,
         });
     }
-    // Restore all-fast.
+    // Clear relaxation and restore all-fast.
     for &gid in &visit {
+        sta.set_relaxed(gid, false);
         sta.set_gate(gid, fast_cfg(gid));
     }
 

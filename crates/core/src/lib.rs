@@ -58,3 +58,7 @@ pub use error::OptError;
 pub use problem::{DelayPenalty, GateOrder, InputOrder, Mode, Problem};
 pub use solution::Solution;
 pub use state_search::Optimizer;
+
+// Re-exported so optimizer callers can configure the parallel searches
+// without depending on `svtox-exec` directly.
+pub use svtox_exec::{ExecConfig, SearchStats};

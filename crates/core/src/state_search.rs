@@ -14,6 +14,8 @@ use svtox_sim::{Logic, TriSimulator};
 use svtox_sta::Sta;
 use svtox_tech::{Current, Time};
 
+mod parallel;
+
 use crate::error::OptError;
 use crate::gate_assign::{exact_assign, gate_states, greedy_assign};
 use crate::problem::{DelayPenalty, GateOrder, InputOrder, Mode, Problem};

@@ -1,0 +1,360 @@
+//! Parallel state-tree search: root splitting with a shared incumbent.
+//!
+//! The serial searches ([`Optimizer::heuristic2`], [`Optimizer::exact`])
+//! walk the state tree depth first, false branch first. The parallel
+//! variants split that tree at the root over the first `k` inputs of the
+//! branching order: prefix index `p` fixes input `d` (for `d < k`) to bit
+//! `k-1-d` of `p`, so *ascending task index is exactly the serial
+//! exploration order*. Each task searches its subtree with the same
+//! descent and bounds as the serial code, workers share the incumbent
+//! leakage through a [`SharedMinF64`], and the per-task bests reduce with
+//! [`min_by_stable`] in task order.
+//!
+//! Determinism: a task prunes with `>=` against its *task-local*
+//! incumbent (exactly the serial rule, confined to the subtree) but only
+//! with strict `>` against the shared cross-worker incumbent. The shared
+//! bound is always at least the global minimum, so the path to the
+//! serial-first optimal leaf can never be cut by a bound that merely
+//! *equals* it — whichever worker finds the optimum first in wall time.
+//! Every other subtree either reports a strictly worse value or nothing,
+//! and the stable reduction keeps the earliest minimum, which is the
+//! serial witness. Results are therefore bit-identical to the serial
+//! search for any thread count, while still profiting from cross-worker
+//! pruning.
+
+use std::time::Instant;
+
+use svtox_exec::{
+    map_tasks, min_by_stable, Budget, ExecConfig, SearchStats, SharedMinF64, WorkerStats,
+};
+use svtox_sim::Logic;
+use svtox_sta::Sta;
+use svtox_tech::Time;
+
+use crate::error::OptError;
+use crate::gate_assign::{exact_assign, gate_states};
+use crate::solution::Solution;
+
+use super::{BoundTracker, Optimizer};
+
+/// How a surviving leaf of the state tree is evaluated.
+#[derive(Clone, Copy)]
+enum LeafKind {
+    /// Greedy gate tree (Heuristics 1/2).
+    Greedy,
+    /// Exact gate-tree branch and bound.
+    Exact,
+}
+
+/// Everything one worker reuses across its tasks.
+struct WorkerCtx<'p, 'n> {
+    sta: Sta<'n>,
+    tracker: BoundTracker<'p, 'n>,
+    vector: Vec<bool>,
+}
+
+/// Number of prefix inputs to split on: enough tasks to keep every worker
+/// busy through imbalance (~8 tasks per worker), capped so task setup
+/// stays negligible and floored so stealing has room even single-threaded.
+fn prefix_depth(threads: usize, num_inputs: usize) -> usize {
+    let want = (threads * 8).next_power_of_two().trailing_zeros() as usize;
+    want.clamp(3, 10).min(num_inputs)
+}
+
+impl<'a> Optimizer<'a> {
+    /// **Heuristic 2, parallel**: [`Optimizer::heuristic1`] plus a
+    /// parallel branch-and-bound improvement pass over the state tree,
+    /// split across the engine's workers.
+    ///
+    /// The pass honours `exec`'s wall-clock budget (measured from entry,
+    /// so it covers the embedded Heuristic 1 descent like the serial
+    /// method); with no budget it exhausts the tree. The result is
+    /// bit-identical to a generously budgeted serial
+    /// [`Optimizer::heuristic2`] for any thread count, and never worse
+    /// than Heuristic 1 — an expired budget returns the incumbent.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on library lookup failure.
+    pub fn heuristic2_parallel(
+        &self,
+        exec: &ExecConfig,
+    ) -> Result<(Solution, SearchStats), OptError> {
+        let start = Instant::now();
+        let budget = exec.budget();
+        let seed = self.heuristic1()?;
+        let base_leaves = seed.leaves_explored;
+        let shared = SharedMinF64::new(seed.leakage.value());
+        let (best, stats) =
+            self.search_parallel(exec, &budget, &shared, Some(seed), LeafKind::Greedy)?;
+        let mut best = best.expect("seeded search always has an incumbent");
+        best.runtime = start.elapsed();
+        best.leaves_explored = base_leaves + stats.leaves_evaluated() as usize;
+        Ok((best, stats))
+    }
+
+    /// **Exact, parallel**: the two-tree branch and bound of
+    /// [`Optimizer::exact`], split across the engine's workers.
+    ///
+    /// Exhaustive by definition, so any wall-clock budget on `exec` is
+    /// ignored — a truncated "exact" answer would be indistinguishable
+    /// from a wrong one. The result is bit-identical to the serial
+    /// search for any thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptError::TooManyInputs`] beyond `max_inputs` primary
+    /// inputs, or an error on library lookup failure.
+    pub fn exact_parallel(
+        &self,
+        max_inputs: usize,
+        exec: &ExecConfig,
+    ) -> Result<(Solution, SearchStats), OptError> {
+        let netlist = self.problem.netlist();
+        if netlist.num_inputs() > max_inputs {
+            return Err(OptError::TooManyInputs {
+                inputs: netlist.num_inputs(),
+                limit: max_inputs,
+            });
+        }
+        let start = Instant::now();
+        // Surface library errors once, on the caller's thread.
+        Sta::new(netlist, self.problem.library(), self.problem.timing())?;
+        let budget = Budget::unlimited();
+        let shared = SharedMinF64::new(f64::INFINITY);
+        let (best, stats) = self.search_parallel(exec, &budget, &shared, None, LeafKind::Exact)?;
+        let mut best = best.expect("an unbudgeted search evaluates at least one leaf");
+        best.runtime = start.elapsed();
+        best.leaves_explored = stats.leaves_evaluated() as usize;
+        Ok((best, stats))
+    }
+
+    /// Root-split branch and bound common to both parallel searches.
+    fn search_parallel(
+        &self,
+        exec: &ExecConfig,
+        budget: &Budget,
+        shared: &SharedMinF64,
+        seed: Option<Solution>,
+        leaf: LeafKind,
+    ) -> Result<(Option<Solution>, SearchStats), OptError> {
+        let netlist = self.problem.netlist();
+        let order = self.input_order();
+        let k = prefix_depth(exec.threads(), order.len());
+        let num_tasks = 1usize << k;
+        let seed_leak = seed.as_ref().map_or(f64::INFINITY, |s| s.leakage.value());
+        let delay_budget = self.budget();
+
+        let (results, stats) = map_tasks(
+            exec,
+            num_tasks,
+            budget,
+            |_worker| WorkerCtx {
+                // `Sta::new` was already run once by the caller (directly
+                // or inside Heuristic 1), so the library is known good.
+                sta: Sta::new(netlist, self.problem.library(), self.problem.timing())
+                    .expect("library already validated"),
+                tracker: BoundTracker::new(self.problem, self.mode),
+                vector: vec![false; netlist.num_inputs()],
+            },
+            |ctx, p, ws| {
+                self.search_subtree(
+                    ctx,
+                    p,
+                    k,
+                    &order,
+                    budget,
+                    shared,
+                    seed_leak,
+                    delay_budget,
+                    leaf,
+                    ws,
+                )
+            },
+        );
+        let best = min_by_stable(seed, results, |a, b| a.leakage < b.leakage);
+        Ok((best, stats))
+    }
+
+    /// Searches the subtree under prefix `p`, returning its best leaf (or
+    /// `None` if the whole subtree pruned away or yielded nothing better
+    /// than the task-local seed).
+    #[allow(clippy::too_many_arguments)]
+    fn search_subtree(
+        &self,
+        ctx: &mut WorkerCtx<'a, 'a>,
+        p: usize,
+        k: usize,
+        order: &[usize],
+        budget: &Budget,
+        shared: &SharedMinF64,
+        seed_leak: f64,
+        delay_budget: Time,
+        leaf: LeafKind,
+        ws: &mut WorkerStats,
+    ) -> Option<Solution> {
+        let task_start = Instant::now();
+        let n = order.len();
+        // Apply the prefix: depth d takes bit k-1-d of p, making ascending
+        // task index the serial (false-first) exploration order.
+        for (d, &input) in order.iter().enumerate().take(k) {
+            let value = (p >> (k - 1 - d)) & 1 == 1;
+            ctx.vector[input] = value;
+            ctx.tracker.set_input(input, Logic::from(value));
+            ws.nodes_expanded += 1;
+        }
+
+        let mut local: Option<Solution> = None;
+        let mut local_leak = seed_leak;
+        let prefix_bound = ctx.tracker.bound().value();
+        let prefix_pruned = if prefix_bound >= local_leak {
+            ws.prunes_local += 1;
+            true
+        } else if prefix_bound > shared.get() {
+            ws.prunes_shared += 1;
+            true
+        } else {
+            false
+        };
+
+        if !prefix_pruned && k == n {
+            // The prefix already decides every input: the task is a leaf.
+            ws.leaves_evaluated += 1;
+            let candidate = self.evaluate_kind(ctx, leaf, delay_budget, task_start, ws);
+            if candidate.leakage.value() < local_leak {
+                local_leak = candidate.leakage.value();
+                shared.update_min(local_leak);
+                local = Some(candidate);
+            }
+        } else if !prefix_pruned {
+            // Same iterative DFS as the serial searches, over depths k..n.
+            struct Frame {
+                depth: usize,
+                remaining: Vec<bool>,
+            }
+            let mut stack = vec![Frame {
+                depth: k,
+                remaining: vec![true, false],
+            }];
+            while let Some(frame) = stack.last_mut() {
+                if budget.expired() {
+                    break;
+                }
+                let depth = frame.depth;
+                if depth == n {
+                    ws.leaves_evaluated += 1;
+                    let candidate = self.evaluate_kind(ctx, leaf, delay_budget, task_start, ws);
+                    if candidate.leakage.value() < local_leak {
+                        local_leak = candidate.leakage.value();
+                        shared.update_min(local_leak);
+                        local = Some(candidate);
+                    }
+                    stack.pop();
+                    if let Some(parent) = stack.last() {
+                        ctx.tracker.set_input(order[parent.depth], Logic::X);
+                    }
+                    continue;
+                }
+                let Some(value) = frame.remaining.pop() else {
+                    stack.pop();
+                    if let Some(parent) = stack.last() {
+                        ctx.tracker.set_input(order[parent.depth], Logic::X);
+                    }
+                    continue;
+                };
+                let input = order[depth];
+                ctx.tracker.set_input(input, Logic::from(value));
+                ws.nodes_expanded += 1;
+                let bound = ctx.tracker.bound().value();
+                // `>=` against the task-local incumbent (the serial rule);
+                // strict `>` against the shared one so an equal cross-worker
+                // bound can never cut the serial witness path.
+                if bound >= local_leak {
+                    ws.prunes_local += 1;
+                    ctx.tracker.set_input(input, Logic::X);
+                    continue;
+                }
+                if bound > shared.get() {
+                    ws.prunes_shared += 1;
+                    ctx.tracker.set_input(input, Logic::X);
+                    continue;
+                }
+                ctx.vector[input] = value;
+                stack.push(Frame {
+                    depth: depth + 1,
+                    remaining: vec![true, false],
+                });
+            }
+            // Unwind whatever the budget interrupted.
+            for frame in stack.iter().rev().skip(1) {
+                ctx.tracker.set_input(order[frame.depth], Logic::X);
+            }
+        }
+
+        for &input in order.iter().take(k) {
+            ctx.tracker.set_input(input, Logic::X);
+        }
+        local
+    }
+
+    /// Evaluates the fully-decided vector in `ctx` per the leaf kind.
+    fn evaluate_kind(
+        &self,
+        ctx: &mut WorkerCtx<'a, 'a>,
+        leaf: LeafKind,
+        delay_budget: Time,
+        task_start: Instant,
+        ws: &WorkerStats,
+    ) -> Solution {
+        match leaf {
+            LeafKind::Greedy => self.evaluate_leaf(
+                &ctx.vector,
+                &mut ctx.sta,
+                task_start,
+                ws.leaves_evaluated as usize,
+            ),
+            LeafKind::Exact => {
+                let states = gate_states(self.problem, &ctx.vector);
+                let assignment =
+                    exact_assign(self.problem, &states, self.mode, delay_budget, &mut ctx.sta);
+                Solution {
+                    vector: ctx.vector.clone(),
+                    choices: assignment.choices,
+                    leakage: assignment.leakage,
+                    delay: assignment.delay,
+                    runtime: task_start.elapsed(),
+                    leaves_explored: ws.leaves_evaluated as usize,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefix_depth_scales_with_threads_and_clamps() {
+        assert_eq!(prefix_depth(1, 20), 3);
+        assert_eq!(prefix_depth(4, 20), 5);
+        assert_eq!(prefix_depth(8, 20), 6);
+        assert_eq!(prefix_depth(1024, 20), 10);
+        assert_eq!(prefix_depth(8, 4), 4);
+        assert_eq!(prefix_depth(1, 0), 0);
+    }
+
+    #[test]
+    fn prefix_bits_follow_serial_order() {
+        // Prefix 0 is all-false (the first serial branch), the last prefix
+        // all-true, and bit k-1-d of p drives depth d.
+        let k = 3;
+        let decoded: Vec<Vec<bool>> = (0..1usize << k)
+            .map(|p| (0..k).map(|d| (p >> (k - 1 - d)) & 1 == 1).collect())
+            .collect();
+        assert_eq!(decoded[0], vec![false, false, false]);
+        assert_eq!(decoded[1], vec![false, false, true]);
+        assert_eq!(decoded[6], vec![true, true, false]);
+        assert_eq!(decoded[7], vec![true, true, true]);
+    }
+}

@@ -1,0 +1,136 @@
+//! Cooperative cancellation and wall-clock budgets.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A shared cancellation flag.
+///
+/// Cloning is cheap; every clone observes the same flag. Workers poll
+/// [`CancelToken::is_cancelled`] at node granularity, so cancellation is
+/// cooperative and prompt but not preemptive.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation. Idempotent.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation was requested.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A wall-clock budget combined with a cancellation token.
+///
+/// A budget expires when its deadline passes *or* its token is cancelled;
+/// the first worker to observe the deadline cancels the token so the rest
+/// stop on a cheap flag test instead of a clock read.
+#[derive(Debug, Clone)]
+pub struct Budget {
+    deadline: Option<Instant>,
+    token: CancelToken,
+}
+
+impl Budget {
+    /// A budget that never expires on its own (cancellable only).
+    #[must_use]
+    pub fn unlimited() -> Self {
+        Self {
+            deadline: None,
+            token: CancelToken::new(),
+        }
+    }
+
+    /// A budget expiring `duration` from now.
+    #[must_use]
+    pub fn with_duration(duration: Duration) -> Self {
+        Self {
+            deadline: Some(Instant::now() + duration),
+            token: CancelToken::new(),
+        }
+    }
+
+    /// A budget from an optional duration (`None` = unlimited).
+    #[must_use]
+    pub fn from_option(duration: Option<Duration>) -> Self {
+        match duration {
+            Some(d) => Self::with_duration(d),
+            None => Self::unlimited(),
+        }
+    }
+
+    /// The shared cancellation token.
+    #[must_use]
+    pub fn token(&self) -> &CancelToken {
+        &self.token
+    }
+
+    /// Requests cancellation of everything sharing this budget.
+    pub fn cancel(&self) {
+        self.token.cancel();
+    }
+
+    /// Whether the budget is spent (deadline passed or cancelled).
+    ///
+    /// On deadline expiry the token is cancelled as a side effect, so
+    /// sibling workers observe expiry without reading the clock.
+    #[must_use]
+    pub fn expired(&self) -> bool {
+        if self.token.is_cancelled() {
+            return true;
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                self.token.cancel();
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_propagates_to_clones() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        assert!(!b.is_cancelled());
+        a.cancel();
+        assert!(b.is_cancelled());
+    }
+
+    #[test]
+    fn unlimited_budget_never_expires() {
+        let b = Budget::unlimited();
+        assert!(!b.expired());
+        b.cancel();
+        assert!(b.expired());
+    }
+
+    #[test]
+    fn zero_budget_expires_immediately_and_cancels_token() {
+        let b = Budget::with_duration(Duration::ZERO);
+        assert!(b.expired());
+        assert!(b.token().is_cancelled());
+    }
+
+    #[test]
+    fn from_option_maps_none_to_unlimited() {
+        assert!(!Budget::from_option(None).expired());
+        assert!(Budget::from_option(Some(Duration::ZERO)).expired());
+    }
+}

@@ -1,0 +1,59 @@
+//! `svtox-exec` — the in-tree parallel execution engine.
+//!
+//! A zero-external-dependency engine on `std::thread` that the optimizer
+//! (`svtox-core`), the random-vector baseline (`svtox-sim`), the benchmark
+//! suite (`svtox-bench`) and the CLI all share:
+//!
+//! * [`map_tasks`] — a scoped worker pool over a shared work queue
+//!   (per-worker chunk deques + condvar, with stealing). Results come back
+//!   in task order, so reductions are deterministic regardless of thread
+//!   count or scheduling.
+//! * [`Budget`] / [`CancelToken`] — wall-clock budgets with cooperative
+//!   cancellation; the first worker to hit the deadline flips a shared
+//!   [`std::sync::atomic::AtomicBool`] and the rest stop on a flag test.
+//! * [`SharedMinF64`] — the incumbent bound of a parallel branch and
+//!   bound, `f64` bits in an `AtomicU64`, so workers prune against each
+//!   other's best solution as soon as it is found.
+//! * [`min_by_stable`] — the deterministic reduction combinator: strict
+//!   improvement with earliest-index tie-breaking, making parallel results
+//!   bit-identical to the serial ones.
+//! * [`SearchStats`] / [`WorkerStats`] — per-worker instrumentation
+//!   (nodes expanded, prunes by bound type, steals, idle time).
+//! * [`rng`] — seeded `SplitMix64` / `xoshiro256++` generators with
+//!   deterministic per-stream seed derivation for chunked sampling.
+//!
+//! # Example
+//!
+//! ```
+//! use svtox_exec::{map_tasks, min_by_stable, Budget, ExecConfig};
+//!
+//! let config = ExecConfig::with_threads(4);
+//! let (squares, stats) = map_tasks(
+//!     &config,
+//!     32,
+//!     &Budget::unlimited(),
+//!     |_worker| (),
+//!     |(), i, _stats| Some((i as i64 - 20).pow(2)),
+//! );
+//! let min = min_by_stable(None, squares, |a, b| a < b).unwrap();
+//! assert_eq!(min, 0);
+//! assert_eq!(stats.tasks_executed(), 32);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod budget;
+mod pool;
+mod queue;
+mod reduce;
+pub mod rng;
+mod shared;
+mod stats;
+
+pub use budget::{Budget, CancelToken};
+pub use pool::{map_tasks, ExecConfig};
+pub use queue::{Chunk, TaskQueue};
+pub use reduce::min_by_stable;
+pub use shared::SharedMinF64;
+pub use stats::{SearchStats, WorkerStats};

@@ -1,0 +1,282 @@
+//! The scoped worker pool.
+//!
+//! [`map_tasks`] executes `num_tasks` independent tasks over a fixed set of
+//! workers and returns the results *in task order*, which is what makes a
+//! deterministic reduction possible afterwards: however the chunks were
+//! scheduled or stolen, task `i`'s result always lands in slot `i`.
+
+use std::time::{Duration, Instant};
+
+use crate::budget::Budget;
+use crate::queue::TaskQueue;
+use crate::stats::{SearchStats, WorkerStats};
+
+/// Execution configuration: worker count and an optional wall-clock budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExecConfig {
+    threads: usize,
+    time_budget: Option<Duration>,
+}
+
+impl ExecConfig {
+    /// Single-threaded execution, no budget — the reference configuration.
+    #[must_use]
+    pub fn serial() -> Self {
+        Self {
+            threads: 1,
+            time_budget: None,
+        }
+    }
+
+    /// Execution with an explicit worker count (`0` = one worker per
+    /// available CPU).
+    #[must_use]
+    pub fn with_threads(threads: usize) -> Self {
+        Self {
+            threads,
+            time_budget: None,
+        }
+    }
+
+    /// Adds a wall-clock budget.
+    #[must_use]
+    pub fn with_time_budget(mut self, budget: Duration) -> Self {
+        self.time_budget = Some(budget);
+        self
+    }
+
+    /// The resolved worker count (at least 1).
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        } else {
+            self.threads
+        }
+    }
+
+    /// The configured wall-clock budget, if any.
+    #[must_use]
+    pub fn time_budget(&self) -> Option<Duration> {
+        self.time_budget
+    }
+
+    /// A fresh [`Budget`] honouring the configured time budget.
+    #[must_use]
+    pub fn budget(&self) -> Budget {
+        Budget::from_option(self.time_budget)
+    }
+}
+
+/// Runs tasks `0..num_tasks` across the configured workers.
+///
+/// * `init` builds one per-worker state (simulators, trackers, scratch
+///   buffers) so tasks can reuse expensive structures;
+/// * `task` executes one task; returning `None` records "no result" (the
+///   task pruned itself away);
+/// * tasks that have not started when `budget` expires are skipped and
+///   counted in [`SearchStats::tasks_skipped`].
+///
+/// Results are returned in task order, untouched by scheduling. With one
+/// worker the tasks run inline on the caller's thread.
+pub fn map_tasks<T, S, I, F>(
+    config: &ExecConfig,
+    num_tasks: usize,
+    budget: &Budget,
+    init: I,
+    task: F,
+) -> (Vec<Option<T>>, SearchStats)
+where
+    T: Send,
+    I: Fn(usize) -> S + Sync,
+    F: Fn(&mut S, usize, &mut WorkerStats) -> Option<T> + Sync,
+{
+    let start = Instant::now();
+    let threads = config.threads().max(1).min(num_tasks.max(1));
+    let mut results: Vec<Option<T>> = std::iter::repeat_with(|| None).take(num_tasks).collect();
+
+    let workers: Vec<WorkerStats> = if threads == 1 {
+        let mut ws = WorkerStats::default();
+        let mut state = init(0);
+        for (i, slot) in results.iter_mut().enumerate() {
+            if budget.expired() {
+                ws.tasks_skipped += 1;
+                continue;
+            }
+            let busy = Instant::now();
+            *slot = task(&mut state, i, &mut ws);
+            ws.tasks_executed += 1;
+            ws.busy += busy.elapsed();
+        }
+        vec![ws]
+    } else {
+        let queue = TaskQueue::new(threads);
+        // Four chunks per worker gives stealing room without lock churn.
+        let chunk_size = num_tasks.div_ceil(threads * 4).max(1);
+        queue.distribute(num_tasks, chunk_size);
+        queue.close();
+        let mut gathered: Vec<(WorkerStats, Vec<(usize, T)>)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|w| {
+                    let queue = &queue;
+                    let init = &init;
+                    let task = &task;
+                    scope.spawn(move || {
+                        let mut ws = WorkerStats::default();
+                        let mut state = init(w);
+                        let mut produced: Vec<(usize, T)> = Vec::new();
+                        loop {
+                            let wait = Instant::now();
+                            let Some((chunk, stolen)) = queue.pop(w) else {
+                                break;
+                            };
+                            ws.idle += wait.elapsed();
+                            if stolen {
+                                ws.steals += 1;
+                            }
+                            for i in chunk.start..chunk.end {
+                                if budget.expired() {
+                                    ws.tasks_skipped += 1;
+                                    continue;
+                                }
+                                let busy = Instant::now();
+                                if let Some(value) = task(&mut state, i, &mut ws) {
+                                    produced.push((i, value));
+                                }
+                                ws.tasks_executed += 1;
+                                ws.busy += busy.elapsed();
+                            }
+                        }
+                        (ws, produced)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
+        });
+        let mut workers = Vec::with_capacity(threads);
+        for (ws, produced) in &mut gathered {
+            for (i, value) in produced.drain(..) {
+                results[i] = Some(value);
+            }
+            workers.push(std::mem::take(ws));
+        }
+        workers
+    };
+
+    let stats = SearchStats {
+        completed: workers.iter().map(|w| w.tasks_skipped).sum::<u64>() == 0,
+        workers,
+        wall: start.elapsed(),
+        tasks_total: num_tasks,
+    };
+    (results, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn results_land_in_task_order() {
+        for threads in [1, 2, 4, 8] {
+            let config = ExecConfig::with_threads(threads);
+            let (results, stats) = map_tasks(
+                &config,
+                100,
+                &Budget::unlimited(),
+                |_| (),
+                |(), i, ws| {
+                    ws.nodes_expanded += 1;
+                    Some(i * i)
+                },
+            );
+            let expect: Vec<Option<usize>> = (0..100).map(|i| Some(i * i)).collect();
+            assert_eq!(results, expect, "threads={threads}");
+            assert_eq!(stats.tasks_executed(), 100);
+            assert_eq!(stats.nodes_expanded(), 100);
+            assert!(stats.completed);
+        }
+    }
+
+    #[test]
+    fn per_worker_state_is_reused() {
+        let inits = AtomicU64::new(0);
+        let config = ExecConfig::with_threads(2);
+        let (_, stats) = map_tasks(
+            &config,
+            50,
+            &Budget::unlimited(),
+            |_| {
+                inits.fetch_add(1, Ordering::Relaxed);
+                0u64
+            },
+            |state, _, _| {
+                *state += 1;
+                Some(*state)
+            },
+        );
+        assert!(inits.load(Ordering::Relaxed) <= 2);
+        assert_eq!(stats.tasks_executed(), 50);
+    }
+
+    #[test]
+    fn expired_budget_skips_everything() {
+        let config = ExecConfig::with_threads(4);
+        let budget = Budget::with_duration(Duration::ZERO);
+        let (results, stats) = map_tasks(&config, 20, &budget, |_| (), |(), i, _| Some(i));
+        assert!(results.iter().all(Option::is_none));
+        assert_eq!(stats.tasks_skipped(), 20);
+        assert!(!stats.completed);
+    }
+
+    #[test]
+    fn cancellation_mid_run_stops_remaining_tasks() {
+        let config = ExecConfig::serial();
+        let budget = Budget::unlimited();
+        let (results, stats) = map_tasks(
+            &config,
+            10,
+            &budget,
+            |_| (),
+            |(), i, _| {
+                if i == 3 {
+                    budget.cancel();
+                }
+                Some(i)
+            },
+        );
+        assert_eq!(results[3], Some(3));
+        assert!(results[4..].iter().all(Option::is_none));
+        assert_eq!(stats.tasks_skipped(), 6);
+    }
+
+    #[test]
+    fn more_threads_than_tasks_is_fine() {
+        let config = ExecConfig::with_threads(8);
+        let (results, stats) = map_tasks(
+            &config,
+            3,
+            &Budget::unlimited(),
+            |_| (),
+            |(), i, _| Some(i + 1),
+        );
+        assert_eq!(results, vec![Some(1), Some(2), Some(3)]);
+        assert!(stats.num_workers() <= 3);
+    }
+
+    #[test]
+    fn config_resolution() {
+        assert_eq!(ExecConfig::serial().threads(), 1);
+        assert_eq!(ExecConfig::with_threads(5).threads(), 5);
+        assert!(ExecConfig::with_threads(0).threads() >= 1);
+        let c = ExecConfig::with_threads(2).with_time_budget(Duration::from_secs(1));
+        assert_eq!(c.time_budget(), Some(Duration::from_secs(1)));
+        assert!(!c.budget().expired());
+    }
+}

@@ -1,0 +1,181 @@
+//! The shared work queue: per-worker chunk deques with stealing.
+//!
+//! Tasks are dense indices `0..n`, grouped into contiguous [`Chunk`]s.
+//! Each worker owns a deque of chunks; a worker that drains its own deque
+//! steals the *last* chunk of the fullest other deque (classic steal-from-
+//! the-cold-end). One mutex plus a condvar guards the whole structure —
+//! chunks are coarse, so the lock is touched a few dozen times per run and
+//! never contended in the hot path.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// A contiguous run of task indices assigned to one home worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Chunk {
+    /// First task index (inclusive).
+    pub start: usize,
+    /// Last task index (exclusive).
+    pub end: usize,
+    /// The worker whose deque initially held this chunk.
+    pub home: usize,
+}
+
+impl Chunk {
+    /// Number of tasks in the chunk.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the chunk is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.start >= self.end
+    }
+}
+
+#[derive(Debug)]
+struct State {
+    deques: Vec<VecDeque<Chunk>>,
+    closed: bool,
+}
+
+/// The queue. See the module docs.
+#[derive(Debug)]
+pub struct TaskQueue {
+    state: Mutex<State>,
+    available: Condvar,
+}
+
+impl TaskQueue {
+    /// An empty queue for `workers` workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0`.
+    #[must_use]
+    pub fn new(workers: usize) -> Self {
+        assert!(workers > 0, "need at least one worker");
+        Self {
+            state: Mutex::new(State {
+                deques: (0..workers).map(|_| VecDeque::new()).collect(),
+                closed: false,
+            }),
+            available: Condvar::new(),
+        }
+    }
+
+    /// Splits `0..num_tasks` into chunks of at most `chunk_size` and deals
+    /// them round-robin onto the worker deques.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_size == 0`.
+    pub fn distribute(&self, num_tasks: usize, chunk_size: usize) {
+        assert!(chunk_size > 0, "chunk_size must be positive");
+        let mut state = self.state.lock().expect("queue lock");
+        let workers = state.deques.len();
+        let mut start = 0;
+        let mut w = 0;
+        while start < num_tasks {
+            let end = (start + chunk_size).min(num_tasks);
+            state.deques[w].push_back(Chunk {
+                start,
+                end,
+                home: w,
+            });
+            start = end;
+            w = (w + 1) % workers;
+        }
+        drop(state);
+        self.available.notify_all();
+    }
+
+    /// Marks the queue complete: once every deque drains, poppers get
+    /// `None` instead of blocking.
+    pub fn close(&self) {
+        self.state.lock().expect("queue lock").closed = true;
+        self.available.notify_all();
+    }
+
+    /// Takes the next chunk for `worker`: front of its own deque, else a
+    /// steal from the back of the fullest other deque. Blocks while the
+    /// queue is open but empty; returns `None` once closed and drained.
+    ///
+    /// The second tuple field is `true` when the chunk was stolen.
+    pub fn pop(&self, worker: usize) -> Option<(Chunk, bool)> {
+        let mut state = self.state.lock().expect("queue lock");
+        loop {
+            if let Some(chunk) = state.deques[worker].pop_front() {
+                return Some((chunk, false));
+            }
+            let victim = (0..state.deques.len())
+                .filter(|&v| v != worker)
+                .max_by_key(|&v| state.deques[v].len())
+                .filter(|&v| !state.deques[v].is_empty());
+            if let Some(v) = victim {
+                let chunk = state.deques[v].pop_back().expect("victim checked nonempty");
+                return Some((chunk, true));
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.available.wait(state).expect("queue lock");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distributes_all_tasks_exactly_once() {
+        let q = TaskQueue::new(3);
+        q.distribute(10, 2);
+        q.close();
+        let mut seen = [false; 10];
+        while let Some((chunk, _)) = q.pop(0) {
+            for (i, slot) in seen
+                .iter_mut()
+                .enumerate()
+                .take(chunk.end)
+                .skip(chunk.start)
+            {
+                assert!(!*slot, "task {i} delivered twice");
+                *slot = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn own_deque_first_then_steal() {
+        let q = TaskQueue::new(2);
+        q.distribute(4, 1); // deques: w0=[0,2], w1=[1,3]
+        q.close();
+        let (c, stolen) = q.pop(0).unwrap();
+        assert_eq!((c.start, c.home, stolen), (0, 0, false));
+        let (c, stolen) = q.pop(0).unwrap();
+        assert_eq!((c.start, c.home, stolen), (2, 0, false));
+        // Worker 0's deque is empty: the next pop steals from worker 1's
+        // cold end.
+        let (c, stolen) = q.pop(0).unwrap();
+        assert_eq!((c.start, c.home, stolen), (3, 1, true));
+        let (c, stolen) = q.pop(1).unwrap();
+        assert_eq!((c.start, c.home, stolen), (1, 1, false));
+        assert!(q.pop(0).is_none());
+    }
+
+    #[test]
+    fn close_unblocks_waiters() {
+        let q = TaskQueue::new(1);
+        std::thread::scope(|scope| {
+            let handle = scope.spawn(|| q.pop(0));
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            q.close();
+            assert!(handle.join().unwrap().is_none());
+        });
+    }
+}

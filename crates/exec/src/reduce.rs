@@ -1,0 +1,64 @@
+//! Deterministic reductions over ordered task results.
+
+/// Folds task results (in task order) into the minimum under `better`,
+/// keeping the *earliest* of any ties: a candidate replaces the incumbent
+/// only when strictly better. Starting from `seed`, the outcome is a pure
+/// function of the input sequence — identical for any thread count or
+/// scheduling order, because [`crate::pool::map_tasks`] returns results in
+/// task order.
+pub fn min_by_stable<T>(
+    seed: Option<T>,
+    candidates: impl IntoIterator<Item = Option<T>>,
+    mut better: impl FnMut(&T, &T) -> bool,
+) -> Option<T> {
+    let mut best = seed;
+    for candidate in candidates.into_iter().flatten() {
+        match &best {
+            Some(incumbent) if !better(&candidate, incumbent) => {}
+            _ => best = Some(candidate),
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn by_value(a: &(f64, &str), b: &(f64, &str)) -> bool {
+        a.0 < b.0
+    }
+
+    #[test]
+    fn earliest_tie_wins() {
+        let out = min_by_stable(
+            None,
+            vec![
+                Some((2.0, "a")),
+                None,
+                Some((1.0, "first-min")),
+                Some((1.0, "later-tie")),
+                Some((3.0, "c")),
+            ],
+            by_value,
+        );
+        assert_eq!(out, Some((1.0, "first-min")));
+    }
+
+    #[test]
+    fn seed_survives_ties_but_not_improvements() {
+        let seed = Some((1.0, "seed"));
+        let kept = min_by_stable(seed, vec![Some((1.0, "tie"))], by_value);
+        assert_eq!(kept, Some((1.0, "seed")));
+        let replaced = min_by_stable(Some((1.0, "seed")), vec![Some((0.5, "win"))], by_value);
+        assert_eq!(replaced, Some((0.5, "win")));
+    }
+
+    #[test]
+    fn all_none_yields_seed() {
+        let out = min_by_stable(Some(7), vec![None, None], |a, b| a < b);
+        assert_eq!(out, Some(7));
+        let empty: Option<i32> = min_by_stable(None, vec![None], |a, b| a < b);
+        assert_eq!(empty, None);
+    }
+}

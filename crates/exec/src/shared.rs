@@ -1,0 +1,78 @@
+//! Lock-free shared state for cooperating workers.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonically decreasing shared `f64` — the incumbent bound of a
+/// parallel branch and bound, stored as `f64` bits in an [`AtomicU64`].
+///
+/// Workers publish every improvement and prune against the global minimum,
+/// so a bound found in one subtree cuts the others. Values must be
+/// non-negative and non-NaN (leakage currents are), which makes the CAS
+/// loop's float comparison total.
+#[derive(Debug)]
+pub struct SharedMinF64(AtomicU64);
+
+impl SharedMinF64 {
+    /// Creates the cell with an initial value (often `f64::INFINITY`).
+    #[must_use]
+    pub fn new(value: f64) -> Self {
+        Self(AtomicU64::new(value.to_bits()))
+    }
+
+    /// The current minimum.
+    #[must_use]
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+
+    /// Lowers the minimum to `value` if it improves it. Returns `true` if
+    /// this call changed the stored value.
+    pub fn update_min(&self, value: f64) -> bool {
+        let mut current = self.0.load(Ordering::Relaxed);
+        loop {
+            if value >= f64::from_bits(current) {
+                return false;
+            }
+            match self.0.compare_exchange_weak(
+                current,
+                value.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return true,
+                Err(observed) => current = observed,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn only_improvements_land() {
+        let m = SharedMinF64::new(f64::INFINITY);
+        assert!(m.update_min(10.0));
+        assert!(!m.update_min(11.0));
+        assert!(m.update_min(9.5));
+        assert!((m.get() - 9.5).abs() < 1e-12);
+        assert!(!m.update_min(9.5));
+    }
+
+    #[test]
+    fn concurrent_updates_keep_the_minimum() {
+        let m = SharedMinF64::new(f64::INFINITY);
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let m = &m;
+                scope.spawn(move || {
+                    for i in 0..1000 {
+                        m.update_min(1.0 + ((t * 1000 + i) % 997) as f64);
+                    }
+                });
+            }
+        });
+        assert!((m.get() - 1.0).abs() < 1e-12);
+    }
+}

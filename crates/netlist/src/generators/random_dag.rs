@@ -1,7 +1,6 @@
 //! Seeded layered random-DAG generator calibrated to ISCAS-like profiles.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use svtox_exec::rng::Xoshiro256pp;
 
 use crate::builder::NetlistBuilder;
 use crate::error::NetlistError;
@@ -39,9 +38,9 @@ impl Default for KindMix {
 }
 
 impl KindMix {
-    fn pick(&self, rng: &mut SmallRng) -> GateKind {
+    fn pick(&self, rng: &mut Xoshiro256pp) -> GateKind {
         let total = self.inv + self.nand2 + self.nand3 + self.nor2 + self.nor3;
-        let mut x = rng.gen_range(0.0..total);
+        let mut x = rng.gen_range_f64(0.0, total);
         for (w, kind) in [
             (self.inv, GateKind::Inv),
             (self.nand2, GateKind::Nand(2)),
@@ -144,7 +143,7 @@ pub fn random_dag(spec: &RandomDagSpec) -> Result<Netlist, NetlistError> {
             got: spec.num_gates * 3,
         });
     }
-    let mut rng = SmallRng::seed_from_u64(spec.seed);
+    let mut rng = Xoshiro256pp::seed_from_u64(spec.seed);
     let mut b = NetlistBuilder::new(spec.name.clone());
     let inputs: Vec<NetId> = (0..spec.num_inputs)
         .map(|i| b.add_input(format!("pi{i}")))
@@ -209,11 +208,11 @@ pub fn random_dag(spec: &RandomDagSpec) -> Result<Netlist, NetlistError> {
                 } else if (last_layers || rng.gen_bool(0.6)) && !unconsumed.is_empty() {
                     pop_random(&mut rng, &mut unconsumed).expect("checked nonempty")
                 } else {
-                    all_nets[rng.gen_range(0..all_nets.len())]
+                    all_nets[rng.gen_index(all_nets.len())]
                 };
                 if ins.contains(&net) {
                     // Avoid duplicated pins; fall back to any distinct net.
-                    let alt = all_nets[rng.gen_range(0..all_nets.len())];
+                    let alt = all_nets[rng.gen_index(all_nets.len())];
                     if !ins.contains(&alt) {
                         ins.push(alt);
                     } else {
@@ -254,11 +253,11 @@ pub fn random_dag(spec: &RandomDagSpec) -> Result<Netlist, NetlistError> {
 }
 
 /// Pops a uniformly random element from `v`.
-fn pop_random(rng: &mut SmallRng, v: &mut Vec<NetId>) -> Option<NetId> {
+fn pop_random(rng: &mut Xoshiro256pp, v: &mut Vec<NetId>) -> Option<NetId> {
     if v.is_empty() {
         None
     } else {
-        let i = rng.gen_range(0..v.len());
+        let i = rng.gen_index(v.len());
         Some(v.swap_remove(i))
     }
 }
@@ -266,12 +265,12 @@ fn pop_random(rng: &mut SmallRng, v: &mut Vec<NetId>) -> Option<NetId> {
 /// Picks a random member of `layer`, removing it from the unconsumed pools
 /// if present (prefer consuming fresh signals).
 fn pick_preferring(
-    rng: &mut SmallRng,
+    rng: &mut Xoshiro256pp,
     layer: &[NetId],
     pis: &mut Vec<NetId>,
     pool: &mut Vec<NetId>,
 ) -> NetId {
-    let net = layer[rng.gen_range(0..layer.len())];
+    let net = layer[rng.gen_index(layer.len())];
     if let Some(pos) = pis.iter().position(|&n| n == net) {
         pis.swap_remove(pos);
     }

@@ -354,15 +354,18 @@ mod tests {
 }
 
 #[cfg(test)]
-mod proptests {
+mod fuzz_tests {
+    //! Deterministic seeded fuzzing — the in-tree replacement for the
+    //! proptest properties this module used to hold.
+
     use super::*;
     use crate::builder::NetlistBuilder;
-    use proptest::prelude::*;
+    use svtox_exec::rng::Xoshiro256pp;
 
-    /// Strategy: a random small netlist over 4 inputs built from arbitrary
-    /// composite kinds.
-    fn arb_netlist() -> impl Strategy<Value = Netlist> {
-        let kinds = prop::sample::select(vec![
+    /// Builds a random small netlist over 4 inputs from arbitrary composite
+    /// kinds (the old proptest strategy, driven by a seeded generator).
+    fn random_netlist(rng: &mut Xoshiro256pp) -> Netlist {
+        let kinds = [
             GateKind::Inv,
             GateKind::Buf,
             GateKind::Nand(2),
@@ -373,42 +376,52 @@ mod proptests {
             GateKind::Or(3),
             GateKind::Xor2,
             GateKind::Xnor2,
-        ]);
-        (prop::collection::vec((kinds, prop::collection::vec(0usize..64, 4)), 1..25)).prop_map(
-            |specs| {
-                let mut b = NetlistBuilder::new("prop");
-                let mut nets: Vec<NetId> = (0..4).map(|i| b.add_input(format!("i{i}"))).collect();
-                for (kind, picks) in specs {
-                    let ins: Vec<NetId> = (0..kind.arity())
-                        .map(|k| nets[picks[k % picks.len()] % nets.len()])
-                        .collect();
-                    let out = b.add_gate(kind, &ins).expect("arity matches");
-                    nets.push(out);
-                }
-                let last = *nets.last().expect("nonempty");
-                b.mark_output(last);
-                b.finish().expect("acyclic by construction")
-            },
-        )
+        ];
+        let num_gates = 1 + rng.gen_index(24);
+        let mut b = NetlistBuilder::new("fuzz");
+        let mut nets: Vec<NetId> = (0..4).map(|i| b.add_input(format!("i{i}"))).collect();
+        for _ in 0..num_gates {
+            let kind = kinds[rng.gen_index(kinds.len())];
+            let ins: Vec<NetId> = (0..kind.arity())
+                .map(|_| nets[rng.gen_index(nets.len())])
+                .collect();
+            let out = b.add_gate(kind, &ins).expect("arity matches");
+            nets.push(out);
+        }
+        let last = *nets.last().expect("nonempty");
+        b.mark_output(last);
+        b.finish().expect("acyclic by construction")
     }
 
-    proptest! {
-        #[test]
-        fn mapping_preserves_function(src in arb_netlist(), bits in 0u32..16) {
+    #[test]
+    fn mapping_preserves_function() {
+        let mut rng = Xoshiro256pp::seed_from_u64(0x0a99);
+        for _ in 0..256 {
+            let src = random_netlist(&mut rng);
             let mapped = map_to_primitives(&src, MappingOptions::default()).unwrap();
-            prop_assert!(mapped.is_primitive());
-            let vec: Vec<bool> = (0..4).map(|i| bits >> i & 1 == 1).collect();
-            prop_assert_eq!(src.evaluate(&vec), mapped.evaluate(&vec));
+            assert!(mapped.is_primitive());
+            for bits in 0u32..16 {
+                let vec: Vec<bool> = (0..4).map(|i| bits >> i & 1 == 1).collect();
+                assert_eq!(src.evaluate(&vec), mapped.evaluate(&vec));
+            }
         }
+    }
 
-        #[test]
-        fn mapping_bounds_fanin(src in arb_netlist()) {
+    #[test]
+    fn mapping_bounds_fanin() {
+        let mut rng = Xoshiro256pp::seed_from_u64(0x0fa2);
+        for _ in 0..256 {
+            let src = random_netlist(&mut rng);
             let mapped = map_to_primitives(
                 &src,
-                MappingOptions { max_fanin: 2, ..Default::default() },
-            ).unwrap();
+                MappingOptions {
+                    max_fanin: 2,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
             for (_, g) in mapped.gates() {
-                prop_assert!(g.inputs().len() <= 2);
+                assert!(g.inputs().len() <= 2);
             }
         }
     }

@@ -45,6 +45,9 @@ mod two;
 
 pub use logic::Logic;
 pub use probability::{expected_leakage, signal_probabilities};
-pub use random::{random_average_leakage, vector_leakage, LeakageTotals};
+pub use random::{
+    random_average_leakage, random_average_leakage_parallel, vector_leakage, LeakageTotals,
+    CHUNK_SIZE,
+};
 pub use tri::TriSimulator;
 pub use two::Simulator;

@@ -1,13 +1,25 @@
 //! Random-vector average leakage — the paper's no-optimization baseline.
-
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+//!
+//! Sampling is *chunked*: vectors are drawn in fixed-size chunks of
+//! [`CHUNK_SIZE`], chunk `i` seeded via [`derive_seed`]`(seed, i)`, and the
+//! per-chunk partial sums are reduced in chunk-index order. The estimate is
+//! therefore bit-identical for any worker count — the serial entry point
+//! [`random_average_leakage`] is just the parallel one run on one thread.
 
 use svtox_cells::{Library, LibraryError};
+use svtox_exec::rng::{derive_seed, Xoshiro256pp};
+use svtox_exec::{map_tasks, Budget, ExecConfig};
 use svtox_netlist::Netlist;
 use svtox_tech::Current;
 
 use crate::two::Simulator;
+
+/// Number of vectors per independently-seeded sampling chunk.
+///
+/// Fixed (not derived from the worker count) so the chunk boundaries — and
+/// with them every drawn vector — are the same no matter how the work is
+/// spread over threads.
+pub const CHUNK_SIZE: usize = 256;
 
 /// Aggregated leakage of one vector or an average of many.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -94,27 +106,64 @@ pub fn random_average_leakage(
     num_vectors: usize,
     seed: u64,
 ) -> Result<LeakageTotals, LibraryError> {
+    random_average_leakage_parallel(netlist, library, num_vectors, seed, &ExecConfig::serial())
+}
+
+/// [`random_average_leakage`] spread over the workers of `exec`.
+///
+/// Bit-identical to the serial estimate for any thread count: chunk `i`
+/// draws its vectors from a stream derived as `derive_seed(seed, i)` and
+/// the per-chunk sums are folded in chunk-index order.
+///
+/// # Errors
+///
+/// Returns an error if the netlist uses a gate kind absent from the library.
+pub fn random_average_leakage_parallel(
+    netlist: &Netlist,
+    library: &Library,
+    num_vectors: usize,
+    seed: u64,
+    exec: &ExecConfig,
+) -> Result<LeakageTotals, LibraryError> {
     assert!(num_vectors > 0, "need at least one vector");
-    let mut rng = SmallRng::seed_from_u64(seed);
-    let mut sim = Simulator::new(netlist);
     // Resolve each gate's cell once; per-vector work is pure table lookups.
     let cells: Vec<_> = netlist
         .gates()
         .map(|(_, g)| library.cell(g.kind()))
-        .collect::<Result<_, _>>()?;
-    let mut vector = vec![false; netlist.num_inputs()];
+        .collect::<Result<Vec<_>, _>>()?;
+    let num_chunks = num_vectors.div_ceil(CHUNK_SIZE);
+    // The baseline is part of the answer, not a search: ignore any time
+    // budget on `exec` and always sample every chunk.
+    let (partials, _stats) = map_tasks(
+        exec,
+        num_chunks,
+        &Budget::unlimited(),
+        |_worker| (Simulator::new(netlist), vec![false; netlist.num_inputs()]),
+        |(sim, vector), chunk, _ws| {
+            let start = chunk * CHUNK_SIZE;
+            let end = (start + CHUNK_SIZE).min(num_vectors);
+            let mut rng = Xoshiro256pp::seed_from_u64(derive_seed(seed, chunk as u64));
+            let mut sum_isub = 0.0;
+            let mut sum_igate = 0.0;
+            for _ in start..end {
+                for v in vector.iter_mut() {
+                    *v = rng.gen_bool(0.5);
+                }
+                sim.set_inputs(vector);
+                for ((gid, _), cell) in netlist.gates().zip(&cells) {
+                    let split = cell.leakage_breakdown(cell.fast_version(), sim.gate_state(gid));
+                    sum_isub += split.isub.value();
+                    sum_igate += split.igate.value();
+                }
+            }
+            Some((sum_isub, sum_igate))
+        },
+    );
     let mut sum_isub = 0.0;
     let mut sum_igate = 0.0;
-    for _ in 0..num_vectors {
-        for v in &mut vector {
-            *v = rng.gen_bool(0.5);
-        }
-        sim.set_inputs(&vector);
-        for ((gid, _), cell) in netlist.gates().zip(&cells) {
-            let split = cell.leakage_breakdown(cell.fast_version(), sim.gate_state(gid));
-            sum_isub += split.isub.value();
-            sum_igate += split.igate.value();
-        }
+    for (isub, igate) in partials.into_iter().flatten() {
+        sum_isub += isub;
+        sum_igate += igate;
     }
     let isub = Current::new(sum_isub / num_vectors as f64);
     let igate = Current::new(sum_igate / num_vectors as f64);
@@ -198,6 +247,25 @@ mod tests {
                 (avg.isub + avg.igate - avg.total).abs() < 1e-9,
                 "components must sum"
             );
+        }
+    }
+
+    #[test]
+    fn parallel_estimate_is_thread_count_invariant() {
+        let lib = library();
+        let n = benchmark("c432").unwrap();
+        // 600 vectors → 3 chunks, so the work actually splits.
+        let serial = random_average_leakage(&n, &lib, 600, 9).unwrap();
+        for threads in [2, 4, 8] {
+            let par = random_average_leakage_parallel(
+                &n,
+                &lib,
+                600,
+                9,
+                &ExecConfig::with_threads(threads),
+            )
+            .unwrap();
+            assert_eq!(serial, par, "threads={threads}");
         }
     }
 

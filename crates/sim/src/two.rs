@@ -152,8 +152,7 @@ impl<'a> Simulator<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::{Rng, SeedableRng};
+    use svtox_exec::rng::Xoshiro256pp;
     use svtox_netlist::generators::{benchmark, random_dag, RandomDagSpec};
     use svtox_netlist::{GateKind, NetlistBuilder};
 
@@ -182,12 +181,12 @@ mod tests {
     fn incremental_matches_full_on_random_dag() {
         let spec = RandomDagSpec::new("sim-test", 24, 8, 300, 14);
         let n = random_dag(&spec).unwrap();
-        let mut rng = SmallRng::seed_from_u64(7);
+        let mut rng = Xoshiro256pp::seed_from_u64(7);
         let mut vector = vec![false; n.num_inputs()];
         let mut sim = Simulator::new(&n);
         let mut reference = Simulator::new(&n);
         for _ in 0..200 {
-            let i = rng.gen_range(0..vector.len());
+            let i = rng.gen_index(vector.len());
             vector[i] = !vector[i];
             sim.set_input(i, vector[i]);
             reference.set_inputs(&vector);

@@ -139,6 +139,8 @@ pub struct Sta<'a> {
     config: TimingConfig,
     cells: Vec<&'a CellData>,
     gate_configs: Vec<GateConfig>,
+    /// Gates evaluated as floor bounds instead of concrete configurations.
+    relaxed: Vec<bool>,
     timing: Vec<NetTiming>,
     loads: Vec<Capacitance>,
     queued: Vec<bool>,
@@ -172,6 +174,7 @@ impl<'a> Sta<'a> {
             config,
             cells,
             gate_configs,
+            relaxed: vec![false; netlist.num_gates()],
             timing: vec![NetTiming::default(); netlist.num_nets()],
             loads: vec![Capacitance::ZERO; netlist.num_nets()],
             queued: vec![false; netlist.num_gates()],
@@ -224,6 +227,48 @@ impl<'a> Sta<'a> {
             }
         }
         self.refresh_load(self.netlist.gate(gate).output());
+    }
+
+    /// Marks a gate *relaxed*: its timing is evaluated as a floor — for
+    /// every logical input the minimum arc delay, slew, and input
+    /// capacitance over **all** versions × physical pins of its cell.
+    ///
+    /// A relaxed gate's output arrival is a valid lower bound on its
+    /// arrival under *any* concrete configuration (the per-arc minimum even
+    /// ignores that a real permutation must route pins distinctly), so
+    /// [`Sta::max_delay`] with some gates relaxed lower-bounds the delay of
+    /// every completion of the decided gates. Branch-and-bound searches use
+    /// this for sound feasibility pruning: the identity-fast configuration
+    /// is *not* such a bound, because a pin permutation can route a
+    /// late-arriving signal onto a faster physical pin.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn set_relaxed(&mut self, gate: GateId, relaxed: bool) {
+        if self.relaxed[gate.index()] == relaxed {
+            return;
+        }
+        self.relaxed[gate.index()] = relaxed;
+        self.mark_dirty(gate);
+        let fanins: Vec<NetId> = self.netlist.gate(gate).inputs().to_vec();
+        for net in fanins {
+            self.refresh_load(net);
+            if let Some(driver) = self.netlist.net(net).driver() {
+                self.mark_dirty(driver);
+            }
+        }
+        self.refresh_load(self.netlist.gate(gate).output());
+    }
+
+    /// Whether a gate is currently relaxed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    #[must_use]
+    pub fn is_relaxed(&self, gate: GateId) -> bool {
+        self.relaxed[gate.index()]
     }
 
     /// Sets every gate to its fast version with identity routing.
@@ -395,6 +440,9 @@ impl<'a> Sta<'a> {
 
     /// Computes a gate's output timing from its fanin timing.
     fn evaluate_gate(&self, gate: GateId) -> NetTiming {
+        if self.relaxed[gate.index()] {
+            return self.evaluate_gate_relaxed(gate);
+        }
         let g = self.netlist.gate(gate);
         let cell = self.cells[gate.index()];
         let cfg = &self.gate_configs[gate.index()];
@@ -425,6 +473,42 @@ impl<'a> Sta<'a> {
         out
     }
 
+    /// Floor timing of a relaxed gate: per logical input the minimum delay
+    /// and slew over all versions × physical pins. Output slews take the
+    /// global minimum, which keeps downstream lookups (monotone in input
+    /// slew) lower bounds as well.
+    fn evaluate_gate_relaxed(&self, gate: GateId) -> NetTiming {
+        let g = self.netlist.gate(gate);
+        let cell = self.cells[gate.index()];
+        let load = self.loads[g.output().index()];
+        let arity = g.kind().arity();
+        let mut out = NetTiming {
+            arr_rise: Time::new(f64::NEG_INFINITY),
+            arr_fall: Time::new(f64::NEG_INFINITY),
+            slew_rise: Time::new(f64::INFINITY),
+            slew_fall: Time::new(f64::INFINITY),
+        };
+        for &inp in g.inputs() {
+            let t_in = &self.timing[inp.index()];
+            let mut d_rise = Time::new(f64::INFINITY);
+            let mut d_fall = Time::new(f64::INFINITY);
+            for version in cell.version_ids() {
+                for pin in 0..arity {
+                    let arc = cell.arc_physical(version, pin);
+                    let (dr, sr) = arc.rise.lookup(t_in.slew_fall, load);
+                    d_rise = d_rise.min(dr);
+                    out.slew_rise = out.slew_rise.min(sr);
+                    let (df, sf) = arc.fall.lookup(t_in.slew_rise, load);
+                    d_fall = d_fall.min(df);
+                    out.slew_fall = out.slew_fall.min(sf);
+                }
+            }
+            out.arr_rise = out.arr_rise.max(t_in.arr_fall + d_rise);
+            out.arr_fall = out.arr_fall.max(t_in.arr_rise + d_fall);
+        }
+        out
+    }
+
     /// Worst of the rise/fall delays of one arc at current slews/loads.
     fn worst_arc_delay(&self, gate: GateId, logical: usize) -> Time {
         let g = self.netlist.gate(gate);
@@ -448,8 +532,20 @@ impl<'a> Sta<'a> {
         }
         for &(g, pin) in n.fanouts() {
             let cell = self.cells[g.index()];
-            let cfg = &self.gate_configs[g.index()];
-            load += cell.input_cap_physical(cfg.version, cfg.physical_pin(pin as usize));
+            if self.relaxed[g.index()] {
+                // Floor: the smallest pin capacitance any configuration
+                // could present.
+                let mut min_cap = Capacitance::new(f64::INFINITY);
+                for version in cell.version_ids() {
+                    for p in 0..cell.arity() {
+                        min_cap = min_cap.min(cell.input_cap_physical(version, p));
+                    }
+                }
+                load += min_cap;
+            } else {
+                let cfg = &self.gate_configs[g.index()];
+                load += cell.input_cap_physical(cfg.version, cfg.physical_pin(pin as usize));
+            }
         }
         self.loads[net.index()] = load;
     }
@@ -458,9 +554,8 @@ impl<'a> Sta<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::{Rng, SeedableRng};
     use svtox_cells::{InputState, LibraryOptions};
+    use svtox_exec::rng::Xoshiro256pp;
     use svtox_netlist::generators::benchmark;
     use svtox_netlist::{GateKind, NetlistBuilder};
     use svtox_tech::Technology;
@@ -513,16 +608,16 @@ mod tests {
         let lib = library();
         let n = benchmark("c880").unwrap();
         let mut sta = Sta::new(&n, &lib, TimingConfig::default()).unwrap();
-        let mut rng = SmallRng::seed_from_u64(42);
+        let mut rng = Xoshiro256pp::seed_from_u64(42);
         for step in 0..120 {
-            let gid = n.topo_order()[rng.gen_range(0..n.num_gates())];
+            let gid = n.topo_order()[rng.gen_index(n.num_gates())];
             let gate = n.gate(gid);
             let cell = lib.cell(gate.kind()).unwrap();
             // Pick a random option of a random state.
             let arity = gate.kind().arity();
-            let state = InputState::from_bits(rng.gen_range(0..(1 << arity)) as u16, arity);
+            let state = InputState::from_bits(rng.gen_index(1 << arity) as u16, arity);
             let opts = cell.options_for(state);
-            let opt = &opts[rng.gen_range(0..opts.len())];
+            let opt = &opts[rng.gen_index(opts.len())];
             sta.set_gate(gid, GateConfig::from(opt));
             let incremental = sta.max_delay();
             let mut fresh = sta.clone();
@@ -553,6 +648,70 @@ mod tests {
             let d = sta.max_delay();
             assert!(d >= base - Time::new(1e-6), "delay dropped: {d} < {base}");
         }
+    }
+
+    #[test]
+    fn relaxed_gates_lower_bound_every_configuration() {
+        let lib = library();
+        let n = benchmark("c432").unwrap();
+        let mut sta = Sta::new(&n, &lib, TimingConfig::default()).unwrap();
+        let fast = sta.max_delay();
+        // Fully relaxed floor is below (or at) the all-fast delay.
+        for (gid, _) in n.gates() {
+            sta.set_relaxed(gid, true);
+            assert!(sta.is_relaxed(gid));
+        }
+        let floor = sta.max_delay();
+        assert!(floor <= fast + Time::new(1e-9), "floor {floor} fast {fast}");
+        assert!(floor > Time::ZERO);
+        // Deciding gates one by one to arbitrary options never drops the
+        // bound below the floor, and un-relaxing everything restores the
+        // exact configured delay (cross-checked against a cold analyzer).
+        let mut rng = Xoshiro256pp::seed_from_u64(7);
+        let mut cold = Sta::new(&n, &lib, TimingConfig::default()).unwrap();
+        for (gid, gate) in n.gates() {
+            let cell = lib.cell(gate.kind()).unwrap();
+            let arity = gate.kind().arity();
+            let state = InputState::from_bits(rng.gen_index(1 << arity) as u16, arity);
+            let opts = cell.options_for(state);
+            let opt = &opts[rng.gen_index(opts.len())];
+            sta.set_gate(gid, GateConfig::from(opt));
+            sta.set_relaxed(gid, false);
+            cold.set_gate(gid, GateConfig::from(opt));
+            let bound = sta.max_delay();
+            assert!(
+                bound >= floor - Time::new(1e-6),
+                "bound {bound} under floor {floor}"
+            );
+        }
+        cold.recompute();
+        assert!((sta.max_delay() - cold.max_delay()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn relaxed_bound_grows_as_gates_are_decided() {
+        let lib = library();
+        let n = benchmark("c880").unwrap();
+        let mut sta = Sta::new(&n, &lib, TimingConfig::default()).unwrap();
+        for (gid, _) in n.gates() {
+            sta.set_relaxed(gid, true);
+        }
+        // Decide every gate into its identity-fast config: the bound must be
+        // non-decreasing, ending exactly at the all-fast delay.
+        let all_fast = Sta::new(&n, &lib, TimingConfig::default())
+            .unwrap()
+            .max_delay();
+        let mut prev = sta.max_delay();
+        for (gid, _) in n.gates() {
+            sta.set_relaxed(gid, false);
+            let now = sta.max_delay();
+            assert!(
+                now >= prev - Time::new(1e-6),
+                "bound shrank: {now} < {prev}"
+            );
+            prev = now;
+        }
+        assert!((prev - all_fast).abs() < 1e-6);
     }
 
     #[test]

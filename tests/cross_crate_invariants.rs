@@ -1,73 +1,100 @@
-//! Property-based cross-crate invariants: random circuits and random
-//! optimizer configurations must uphold the contracts the crates promise
-//! each other.
-
-use proptest::prelude::*;
+//! Seeded cross-crate invariants: random circuits and random optimizer
+//! configurations must uphold the contracts the crates promise each other.
+//!
+//! Deterministic replacement for the proptest properties this file used to
+//! hold: each test draws its cases from a fixed-seed in-tree generator.
 
 use svtox_cells::{InputState, Library, LibraryOptions};
 use svtox_core::{DelayPenalty, Mode, Problem};
+use svtox_exec::rng::Xoshiro256pp;
 use svtox_netlist::generators::{random_dag, RandomDagSpec};
+use svtox_netlist::Netlist;
 use svtox_sim::{vector_leakage, Simulator, TriSimulator};
 use svtox_sta::{Sta, TimingConfig};
 use svtox_tech::{Technology, Time};
+
+const CASES: usize = 12;
 
 fn library() -> Library {
     Library::new(Technology::predictive_65nm(), LibraryOptions::default()).expect("library builds")
 }
 
-fn arb_circuit() -> impl Strategy<Value = (u64, usize, usize)> {
-    (0u64..1000, 6usize..14, 20usize..90)
+/// Draws (seed, inputs, gates) in the old strategy's ranges.
+fn random_circuit_params(rng: &mut Xoshiro256pp) -> (u64, usize, usize) {
+    (
+        rng.next_u64() % 1000,
+        6 + rng.gen_index(8),
+        20 + rng.gen_index(70),
+    )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
+fn random_circuit(name: &str, seed: u64, inputs: usize, gates: usize) -> Netlist {
+    let mut spec = RandomDagSpec::new(name, inputs, 4, gates, 6);
+    spec.seed = seed;
+    random_dag(&spec).unwrap()
+}
 
-    /// Any solution the optimizer returns must (a) meet its budget and
-    /// (b) survive a cold re-evaluation.
-    #[test]
-    fn solutions_verify_and_meet_budget(
-        (seed, inputs, gates) in arb_circuit(),
-        penalty_pct in 0usize..=4,
-    ) {
-        let penalties = [0.0, 0.05, 0.10, 0.25, 1.0];
-        let mut spec = RandomDagSpec::new("prop", inputs, 4, gates, 6);
-        spec.seed = seed;
-        let n = random_dag(&spec).unwrap();
-        let lib = library();
+/// Any solution the optimizer returns must (a) meet its budget and (b)
+/// survive a cold re-evaluation.
+#[test]
+fn solutions_verify_and_meet_budget() {
+    let penalties = [0.0, 0.05, 0.10, 0.25, 1.0];
+    let lib = library();
+    let mut rng = Xoshiro256pp::seed_from_u64(0xcc01);
+    for _ in 0..CASES {
+        let (seed, inputs, gates) = random_circuit_params(&mut rng);
+        let n = random_circuit("prop", seed, inputs, gates);
         let problem = Problem::new(&n, &lib, TimingConfig::default()).unwrap();
-        let penalty = DelayPenalty::new(penalties[penalty_pct]).unwrap();
-        let sol = problem.optimizer(penalty, Mode::Proposed).heuristic1().unwrap();
+        let penalty = DelayPenalty::new(penalties[rng.gen_index(penalties.len())]).unwrap();
+        let sol = problem
+            .optimizer(penalty, Mode::Proposed)
+            .heuristic1()
+            .unwrap();
         sol.verify(&problem).unwrap();
-        prop_assert!(sol.delay <= problem.delay_budget(penalty) + Time::new(1e-6));
+        assert!(sol.delay <= problem.delay_budget(penalty) + Time::new(1e-6));
     }
+}
 
-    /// The optimized leakage never exceeds the all-fast leakage of the same
-    /// vector, and modes are totally ordered.
-    #[test]
-    fn optimization_only_helps((seed, inputs, gates) in arb_circuit()) {
-        let mut spec = RandomDagSpec::new("prop2", inputs, 4, gates, 6);
-        spec.seed = seed;
-        let n = random_dag(&spec).unwrap();
-        let lib = library();
+/// The optimized leakage never exceeds the all-fast leakage of the same
+/// vector, and modes are totally ordered.
+#[test]
+fn optimization_only_helps() {
+    let lib = library();
+    let mut rng = Xoshiro256pp::seed_from_u64(0xcc02);
+    for _ in 0..CASES {
+        let (seed, inputs, gates) = random_circuit_params(&mut rng);
+        let n = random_circuit("prop2", seed, inputs, gates);
         let problem = Problem::new(&n, &lib, TimingConfig::default()).unwrap();
         let penalty = DelayPenalty::five_percent();
-        let proposed = problem.optimizer(penalty, Mode::Proposed).heuristic1().unwrap();
-        let vt = problem.optimizer(penalty, Mode::StateAndVt).heuristic1().unwrap();
-        let only = problem.optimizer(penalty, Mode::StateOnly).heuristic1().unwrap();
-        prop_assert!(proposed.leakage.value() <= vt.leakage.value() + 1e-9);
-        prop_assert!(vt.leakage.value() <= only.leakage.value() + 1e-9);
+        let proposed = problem
+            .optimizer(penalty, Mode::Proposed)
+            .heuristic1()
+            .unwrap();
+        let vt = problem
+            .optimizer(penalty, Mode::StateAndVt)
+            .heuristic1()
+            .unwrap();
+        let only = problem
+            .optimizer(penalty, Mode::StateOnly)
+            .heuristic1()
+            .unwrap();
+        assert!(proposed.leakage.value() <= vt.leakage.value() + 1e-9);
+        assert!(vt.leakage.value() <= only.leakage.value() + 1e-9);
         let fast_same_vector = vector_leakage(&n, &lib, &proposed.vector).unwrap().total;
-        prop_assert!(proposed.leakage.value() <= fast_same_vector.value() + 1e-9);
+        assert!(proposed.leakage.value() <= fast_same_vector.value() + 1e-9);
     }
+}
 
-    /// Three-valued simulation with a fully decided vector agrees with the
-    /// two-valued simulator on every gate state, and its possible-state sets
-    /// always cover the realized state while partially decided.
-    #[test]
-    fn tri_sim_covers_two_sim((seed, inputs, gates) in arb_circuit(), fill in 0.0f64..1.0) {
-        let mut spec = RandomDagSpec::new("prop3", inputs, 4, gates, 6);
-        spec.seed = seed;
-        let n = random_dag(&spec).unwrap();
+/// Three-valued simulation with a fully decided vector agrees with the
+/// two-valued simulator on every gate state, and its possible-state sets
+/// always cover the realized state while partially decided.
+#[test]
+fn tri_sim_covers_two_sim() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0xcc03);
+    for _ in 0..CASES {
+        let (seed, inputs, gates) = random_circuit_params(&mut rng);
+        let n = random_circuit("prop3", seed, inputs, gates);
+        let fill = rng.gen_f64();
         let decided = ((inputs as f64) * fill) as usize;
         let mut tri = TriSimulator::new(&n);
         let vector: Vec<bool> = (0..inputs).map(|i| (seed >> (i % 60)) & 1 == 1).collect();
@@ -78,35 +105,38 @@ proptest! {
         two.set_inputs(&vector);
         for (gid, _) in n.gates() {
             let actual = two.gate_state(gid);
-            prop_assert!(tri.possible_states(gid).contains(&actual));
+            assert!(tri.possible_states(gid).contains(&actual));
         }
     }
+}
 
-    /// Incremental STA equals a cold recompute after an arbitrary series of
-    /// version changes.
-    #[test]
-    fn sta_incremental_equals_cold(
-        (seed, inputs, gates) in arb_circuit(),
-        flips in prop::collection::vec((0usize..1000, 0u16..16), 1..20),
-    ) {
-        let mut spec = RandomDagSpec::new("prop4", inputs, 4, gates, 6);
-        spec.seed = seed;
-        let n = random_dag(&spec).unwrap();
-        let lib = library();
+/// Incremental STA equals a cold recompute after an arbitrary series of
+/// version changes.
+#[test]
+fn sta_incremental_equals_cold() {
+    let lib = library();
+    let mut rng = Xoshiro256pp::seed_from_u64(0xcc04);
+    for _ in 0..CASES {
+        let (seed, inputs, gates) = random_circuit_params(&mut rng);
+        let n = random_circuit("prop4", seed, inputs, gates);
         let mut sta = Sta::new(&n, &lib, TimingConfig::default()).unwrap();
-        for (gpick, spick) in flips {
-            let gid = n.topo_order()[gpick % n.num_gates()];
+        let num_flips = 1 + rng.gen_index(19);
+        for _ in 0..num_flips {
+            let gid = n.topo_order()[rng.gen_index(n.num_gates())];
             let kind = n.gate(gid).kind();
             let cell = lib.cell(kind).unwrap();
             let arity = kind.arity();
-            let state = InputState::from_bits(spick % (1 << arity), arity);
+            let state = InputState::from_bits(rng.gen_index(1 << arity) as u16, arity);
             let opts = cell.options_for(state);
-            let opt = &opts[(gpick / 7) % opts.len()];
+            let opt = &opts[rng.gen_index(opts.len())];
             sta.set_gate(gid, svtox_sta::GateConfig::from(opt));
         }
         let inc = sta.max_delay();
         sta.recompute();
         let cold = sta.max_delay();
-        prop_assert!((inc - cold).abs() < 1e-6, "incremental {inc} vs cold {cold}");
+        assert!(
+            (inc - cold).abs() < 1e-6,
+            "incremental {inc} vs cold {cold}"
+        );
     }
 }
