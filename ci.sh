@@ -17,4 +17,7 @@ cargo build --release --workspace --all-targets
 echo "==> cargo test"
 cargo test --workspace --release -q
 
+echo "==> suite smoke run (--quick, machine-readable)"
+cargo run --release -p svtox-bench --bin suite -- --quick --threads 0 --json > /dev/null
+
 echo "==> CI green"

@@ -1,15 +1,19 @@
 //! Parallel suite runner: Heuristic-1 across circuits × penalties.
 //!
 //! ```text
-//! cargo run --release -p svtox-bench --bin suite -- [--quick] [--threads N]
+//! cargo run --release -p svtox-bench --bin suite -- \
+//!     [--quick] [--threads N] [--json] [--trace FILE]
 //! ```
 //!
 //! `--threads 0` uses one worker per available CPU. Results are identical
 //! for any thread count: tasks reduce in a fixed order and Heuristic 1 is
-//! deterministic.
+//! deterministic. `--json` prints one machine-readable JSON document
+//! (entries plus counters) instead of the table; `--trace FILE` writes the
+//! JSONL event trace.
 
 use svtox_bench::{run_suite, ua, x_factor, BenchArgs};
 use svtox_exec::ExecConfig;
+use svtox_obs::{json, JsonlSink, Obs};
 
 fn threads_from_env() -> usize {
     let mut args = std::env::args();
@@ -22,11 +26,80 @@ fn threads_from_env() -> usize {
     1
 }
 
+fn trace_from_env() -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--trace" {
+            return Some(args.next().expect("--trace needs a file path"));
+        }
+    }
+    None
+}
+
 fn main() {
     let args = BenchArgs::from_env();
     let exec = ExecConfig::with_threads(threads_from_env());
+    let as_json = std::env::args().any(|a| a == "--json");
+    let trace = trace_from_env();
+    let obs = if as_json || trace.is_some() {
+        Obs::enabled()
+    } else {
+        Obs::disabled()
+    };
+    if let Some(path) = &trace {
+        let sink = JsonlSink::to_file(path).expect("trace file creates");
+        obs.set_sink(Box::new(sink));
+    }
     let penalties = [0.05, 0.10, 0.25];
-    let (entries, stats) = run_suite(&args, &penalties, &exec);
+    let (entries, stats) = run_suite(&args, &penalties, &exec, &obs);
+    obs.emit_counters();
+    obs.flush();
+
+    if as_json {
+        // One JSON document on stdout: suite entries + final counters.
+        let mut root = std::collections::BTreeMap::new();
+        let list: Vec<json::Value> = entries
+            .iter()
+            .map(|e| {
+                let mut obj = std::collections::BTreeMap::new();
+                obj.insert(
+                    "circuit".to_string(),
+                    json::Value::Str(e.circuit.to_string()),
+                );
+                obj.insert("penalty".to_string(), json::Value::Num(e.penalty));
+                obj.insert(
+                    "avg_ua".to_string(),
+                    json::Value::Num(e.average.as_micro_amps()),
+                );
+                obj.insert(
+                    "opt_ua".to_string(),
+                    json::Value::Num(e.solution.leakage.as_micro_amps()),
+                );
+                obj.insert(
+                    "reduction_x".to_string(),
+                    json::Value::Num(e.average.value() / e.solution.leakage.value()),
+                );
+                obj.insert(
+                    "leaves".to_string(),
+                    json::Value::Num(e.solution.leaves_explored as f64),
+                );
+                json::Value::Obj(obj)
+            })
+            .collect();
+        root.insert("entries".to_string(), json::Value::Arr(list));
+        let counters: std::collections::BTreeMap<String, json::Value> = obs
+            .counter_snapshot()
+            .into_iter()
+            .map(|(k, v)| (k, json::Value::Num(v as f64)))
+            .collect();
+        root.insert("counters".to_string(), json::Value::Obj(counters));
+        root.insert(
+            "tasks_executed".to_string(),
+            json::Value::Num(stats.tasks_executed() as f64),
+        );
+        println!("{}", json::Value::Obj(root));
+        return;
+    }
 
     println!(
         "{:<8} {:>8} {:>12} {:>12} {:>6}",

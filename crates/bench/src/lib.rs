@@ -26,7 +26,8 @@ use svtox_core::{DelayPenalty, Mode, Problem, Solution};
 use svtox_exec::{map_tasks, Budget, ExecConfig, SearchStats};
 use svtox_netlist::generators::{benchmark, benchmark_names};
 use svtox_netlist::Netlist;
-use svtox_sim::random_average_leakage;
+use svtox_obs::Obs;
+use svtox_sim::random_average_leakage_parallel;
 use svtox_sta::TimingConfig;
 use svtox_tech::{Current, Technology};
 
@@ -115,10 +116,34 @@ impl<'a> Instance<'a> {
     /// Panics on generator or library failure (bugs, not input errors).
     #[must_use]
     pub fn prepare(name: &'static str, library: &'a Library, vectors: usize) -> Self {
+        Self::prepare_with_obs(name, library, vectors, Obs::disabled_ref())
+    }
+
+    /// [`Instance::prepare`] recording the baseline sampling (the
+    /// `sim.vectors_sampled` counter and `sim.random_average` span) on
+    /// `obs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on generator or library failure (bugs, not input errors).
+    #[must_use]
+    pub fn prepare_with_obs(
+        name: &'static str,
+        library: &'a Library,
+        vectors: usize,
+        obs: &Obs,
+    ) -> Self {
         let netlist = benchmark(name).expect("known benchmark name");
-        let average = random_average_leakage(&netlist, library, vectors, 42)
-            .expect("suite kinds are in the library")
-            .total;
+        let average = random_average_leakage_parallel(
+            &netlist,
+            library,
+            vectors,
+            42,
+            &ExecConfig::serial(),
+            obs,
+        )
+        .expect("suite kinds are in the library")
+        .total;
         Self {
             name,
             netlist,
@@ -172,37 +197,59 @@ pub struct SuiteEntry {
 /// circuit × penalty pair becomes an independent optimization task. Both
 /// stages return results in task order, so the output is identical for any
 /// thread count; Heuristic 1 itself is deterministic, so the *solutions*
-/// are too.
+/// are too. The `core.*`, `sta.*`, and `sim.*` counters recorded on `obs`
+/// are likewise thread-count invariant — every task does the same serial
+/// work no matter which worker runs it (engine-shape counters like
+/// `exec.steals` are scheduling-dependent by nature).
 ///
 /// # Panics
 ///
 /// Panics on generator, library, or optimizer failure (bugs, not input
-/// errors).
+/// errors) — including a panicking suite task surfacing from the engine.
 #[must_use]
 pub fn run_suite(
     args: &BenchArgs,
     penalties: &[f64],
     exec: &ExecConfig,
+    obs: &Obs,
 ) -> (Vec<SuiteEntry>, SearchStats) {
+    let _span = obs.span("bench.run_suite");
     let library = default_library();
     let (prepared, mut stats) = map_tasks(
         exec,
         args.circuits.len(),
         &Budget::unlimited(),
+        obs,
         |_worker| (),
-        |(), i, _ws| Some(Instance::prepare(args.circuits[i], &library, args.vectors)),
-    );
+        |(), i, _ws| {
+            Some(Instance::prepare_with_obs(
+                args.circuits[i],
+                &library,
+                args.vectors,
+                obs,
+            ))
+        },
+    )
+    .expect("baseline tasks do not panic");
     let instances: Vec<Instance<'_>> = prepared.into_iter().flatten().collect();
     let (entries, solve_stats) = map_tasks(
         exec,
         instances.len() * penalties.len(),
         &Budget::unlimited(),
+        obs,
         |_worker| (),
         |(), t, _ws| {
             let inst = &instances[t / penalties.len()];
             let penalty = penalties[t % penalties.len()];
             let problem = inst.problem();
-            let solution = inst.heuristic1(&problem, penalty, Mode::Proposed);
+            let solution = problem
+                .optimizer(
+                    DelayPenalty::new(penalty).expect("penalty in range"),
+                    Mode::Proposed,
+                )
+                .with_obs(obs)
+                .heuristic1()
+                .expect("heuristic1 succeeds");
             Some(SuiteEntry {
                 circuit: inst.name,
                 penalty,
@@ -210,7 +257,8 @@ pub fn run_suite(
                 solution,
             })
         },
-    );
+    )
+    .expect("optimization tasks do not panic");
     stats.absorb(&solve_stats);
     (entries.into_iter().flatten().collect(), stats)
 }
@@ -250,8 +298,18 @@ mod tests {
             circuits: vec!["c432"],
         };
         let penalties = [0.05, 0.25];
-        let (serial, _) = run_suite(&args, &penalties, &ExecConfig::serial());
-        let (par, stats) = run_suite(&args, &penalties, &ExecConfig::with_threads(4));
+        let (serial, _) = run_suite(
+            &args,
+            &penalties,
+            &ExecConfig::serial(),
+            Obs::disabled_ref(),
+        );
+        let (par, stats) = run_suite(
+            &args,
+            &penalties,
+            &ExecConfig::with_threads(4),
+            Obs::disabled_ref(),
+        );
         assert_eq!(serial.len(), 2);
         assert_eq!(par.len(), 2);
         assert_eq!(stats.tasks_executed(), 3, "1 baseline + 2 optimizations");
@@ -262,6 +320,47 @@ mod tests {
             assert_eq!(a.solution.vector, b.solution.vector);
             assert_eq!(a.solution.choices, b.solution.choices);
             assert_eq!(a.solution.leakage, b.solution.leakage);
+        }
+    }
+
+    #[test]
+    fn suite_counters_are_thread_count_invariant() {
+        let args = BenchArgs {
+            quick: true,
+            vectors: 50,
+            h2_budget: Duration::from_millis(10),
+            circuits: vec!["c432"],
+        };
+        let penalties = [0.05, 0.25];
+        // Algorithmic counters (core.*, sta.*, sim.*) must not depend on
+        // how tasks were scheduled; engine-shape counters (exec.steals,
+        // span timings) legitimately do and are excluded.
+        let mut reference = None;
+        for threads in [1usize, 2, 4] {
+            let obs = Obs::enabled();
+            let _ = run_suite(&args, &penalties, &ExecConfig::with_threads(threads), &obs);
+            let snap: Vec<(String, u64)> = obs
+                .counter_snapshot()
+                .into_iter()
+                .filter(|(name, _)| {
+                    name.starts_with("core.")
+                        || name.starts_with("sta.")
+                        || name.starts_with("sim.")
+                })
+                .collect();
+            assert!(
+                snap.iter().any(|(n, _)| n == "core.h1.leaves"),
+                "optimizer counters present"
+            );
+            assert!(
+                snap.iter()
+                    .any(|(n, v)| n == "sim.vectors_sampled" && *v == 50),
+                "baseline sampling counted"
+            );
+            match &reference {
+                None => reference = Some(snap),
+                Some(expect) => assert_eq!(expect, &snap, "threads={threads}"),
+            }
         }
     }
 

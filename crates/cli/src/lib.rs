@@ -27,6 +27,7 @@ use svtox_netlist::generators::{benchmark, BenchmarkProfile};
 use svtox_netlist::{
     insert_sleep_vector, map_to_primitives, parse_bench, parse_verilog, MappingOptions, Netlist,
 };
+use svtox_obs::{JsonlSink, Obs};
 use svtox_sim::{random_average_leakage, random_average_leakage_parallel, Simulator};
 use svtox_sta::{GateConfig, Sta, TimingConfig};
 use svtox_tech::Technology;
@@ -72,6 +73,10 @@ pub struct OptimizeArgs {
     pub emit_sleep: Option<String>,
     /// Random vectors for the baseline column.
     pub vectors: usize,
+    /// Write a JSONL event trace (spans, counters) to this path.
+    pub trace: Option<String>,
+    /// Print the final counter/gauge table after the run.
+    pub metrics: bool,
 }
 
 /// Arguments of `svtox sweep`.
@@ -113,6 +118,7 @@ USAGE:
                  [--heuristic2 SECONDS] [--refine PASSES] [--two-option]
                  [--uniform-stack] [--no-reorder] [--vectors N]
                  [--threads N] [--time-budget SECONDS] [--emit-sleep FILE]
+                 [--trace FILE] [--metrics]
   svtox sweep <circuit|file.bench> [--penalties 0,5,10,25,100]
   svtox library [--two-option] [--uniform-stack] [--liberty FILE]
   svtox report <circuit|file.bench> [--penalties 5]
@@ -126,6 +132,11 @@ mapped onto the primitive library; flip-flops are extracted).
 count (0 = one per CPU; results are identical for any count) and
 `--time-budget SECONDS` caps the branch-and-bound improvement pass (default
 1 s, or the `--heuristic2` budget when given).
+
+Observability: `--trace FILE` writes a JSONL event trace (spans, counters,
+events) covering the optimizer, the timing analyzer, and the worker pool;
+`--metrics` prints the final counter/gauge table after the run. Both are
+off by default and cost nothing when off.
 ";
 
 /// Parses raw arguments (excluding the program name).
@@ -152,6 +163,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 library: LibraryOptions::default(),
                 emit_sleep: None,
                 vectors: 2000,
+                trace: None,
+                metrics: false,
             };
             while let Some(a) = it.next() {
                 match a.as_str() {
@@ -165,8 +178,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                         }
                     }
                     "--heuristic2" => out.heuristic2 = Some(seconds(&mut it, "--heuristic2")?),
-                    "--refine" => out.refine_passes = pct(&mut it)? as usize,
-                    "--threads" => out.threads = pct(&mut it)? as usize,
+                    "--refine" => out.refine_passes = uint(&mut it, "--refine")?,
+                    "--threads" => out.threads = uint(&mut it, "--threads")?,
                     "--time-budget" => {
                         out.time_budget = Some(seconds(&mut it, "--time-budget")?);
                     }
@@ -175,8 +188,10 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     }
                     "--uniform-stack" => out.library.uniform_stack = true,
                     "--no-reorder" => out.library.pin_reordering = false,
-                    "--vectors" => out.vectors = pct(&mut it)? as usize,
+                    "--vectors" => out.vectors = uint(&mut it, "--vectors")?,
                     "--emit-sleep" => out.emit_sleep = Some(next(&mut it, "--emit-sleep")?),
+                    "--trace" => out.trace = Some(next(&mut it, "--trace")?),
+                    "--metrics" => out.metrics = true,
                     flag if flag.starts_with("--") => {
                         return Err(CliError(format!("unknown flag `{flag}`")))
                     }
@@ -258,14 +273,27 @@ fn pct(it: &mut std::slice::Iter<'_, String>) -> Result<f64, CliError> {
         .map_err(|_| CliError(format!("`{raw}` is not a number")))
 }
 
+/// Parses a non-negative integer flag value.
+///
+/// Counts (threads, passes, vectors) were previously routed through the
+/// float parser and truncated with `as usize`, which silently accepted
+/// `--threads 2.7` (as 2) and mapped `--threads -1` to an enormous count.
+/// Integers are now parsed as integers; anything else is a clear error.
+fn uint(it: &mut std::slice::Iter<'_, String>, flag: &str) -> Result<usize, CliError> {
+    let raw = it
+        .next()
+        .ok_or_else(|| CliError(format!("{flag} needs a value")))?;
+    raw.parse::<usize>()
+        .map_err(|_| CliError(format!("{flag} needs a non-negative integer, got `{raw}`")))
+}
+
 fn seconds(it: &mut std::slice::Iter<'_, String>, flag: &str) -> Result<Duration, CliError> {
     let secs = pct(it)?;
-    if !secs.is_finite() || secs < 0.0 {
-        return Err(CliError(format!(
+    Duration::try_from_secs_f64(secs).map_err(|_| {
+        CliError(format!(
             "{flag} needs a non-negative number of seconds, got `{secs}`"
-        )));
-    }
-    Ok(Duration::from_secs_f64(secs))
+        ))
+    })
 }
 
 /// Netlist-file parser signature shared by the supported formats.
@@ -438,6 +466,18 @@ pub fn run(command: Command) -> Result<String, Box<dyn Error>> {
             let netlist = load_circuit(&args.target)?;
             let lib = Library::new(Technology::predictive_65nm(), args.library)?;
             let problem = Problem::new(&netlist, &lib, TimingConfig::default())?;
+            // Observability is opt-in: a disabled handle keeps every probe
+            // on the branch-only fast path.
+            let obs = if args.trace.is_some() || args.metrics {
+                Obs::enabled()
+            } else {
+                Obs::disabled()
+            };
+            if let Some(path) = &args.trace {
+                let sink = JsonlSink::to_file(path)
+                    .map_err(|e| CliError(format!("cannot create trace file {path}: {e}")))?;
+                obs.set_sink(Box::new(sink));
+            }
             // The improvement pass always runs under the engine: default to
             // a short budget, let --heuristic2 or --time-budget widen it.
             let budget = args
@@ -445,12 +485,19 @@ pub fn run(command: Command) -> Result<String, Box<dyn Error>> {
                 .or(args.heuristic2)
                 .unwrap_or(Duration::from_secs(1));
             let exec = ExecConfig::with_threads(args.threads).with_time_budget(budget);
-            let avg = random_average_leakage_parallel(&netlist, &lib, args.vectors, 42, &exec)?;
-            let optimizer = problem.optimizer(DelayPenalty::new(args.penalty)?, args.mode);
-            let (mut sol, stats): (Solution, _) = optimizer.heuristic2_parallel(&exec)?;
-            if args.refine_passes > 0 {
-                sol = optimizer.refine(sol, args.refine_passes)?;
-            }
+            let (sol, stats, avg) = {
+                let _span = obs.span("cli.optimize");
+                let avg =
+                    random_average_leakage_parallel(&netlist, &lib, args.vectors, 42, &exec, &obs)?;
+                let optimizer = problem
+                    .optimizer(DelayPenalty::new(args.penalty)?, args.mode)
+                    .with_obs(&obs);
+                let (mut sol, stats): (Solution, _) = optimizer.heuristic2_parallel(&exec)?;
+                if args.refine_passes > 0 {
+                    sol = optimizer.refine(sol, args.refine_passes)?;
+                }
+                (sol, stats, avg)
+            };
             sol.verify(&problem)?;
             let (isub, igate) = sol.leakage_breakdown(&problem)?;
             writeln!(out, "circuit  : {netlist}")?;
@@ -497,6 +544,17 @@ pub fn run(command: Command) -> Result<String, Box<dyn Error>> {
                     "wrote sleep-gated netlist ({} gates) to {path}",
                     gated.num_gates()
                 )?;
+            }
+            // Final counter values go into the trace (and the --metrics
+            // table) after all spans above have closed.
+            obs.emit_counters();
+            obs.flush();
+            if args.metrics {
+                writeln!(out, "\nmetrics:")?;
+                out.push_str(&obs.render_metrics());
+            }
+            if let Some(path) = &args.trace {
+                writeln!(out, "wrote event trace to {path}")?;
             }
         }
     }
@@ -588,6 +646,84 @@ mod tests {
         assert!(parse_args(&argv("frobnicate")).is_err());
         assert!(parse_args(&argv("optimize c432 extra")).is_err());
         assert!(parse_args(&argv("library --bogus")).is_err());
+    }
+
+    #[test]
+    fn count_flags_require_integers() {
+        // Regression: these were parsed as floats and truncated with
+        // `as usize`, so `--threads 2.7` silently ran 2 workers and
+        // `--threads -1` saturated to usize::MAX.
+        for flag in ["--threads", "--refine", "--vectors"] {
+            for bad in ["2.7", "-1", "abc", "1e3"] {
+                let err = parse_args(&argv(&format!("optimize c432 {flag} {bad}")))
+                    .expect_err(&format!("{flag} {bad} must be rejected"));
+                assert!(
+                    err.0.contains("non-negative integer"),
+                    "unhelpful message: {err}"
+                );
+            }
+            assert!(parse_args(&argv(&format!("optimize c432 {flag} 4"))).is_ok());
+        }
+    }
+
+    #[test]
+    fn parses_observability_flags() {
+        let cmd = parse_args(&argv("optimize c432 --trace /tmp/t.jsonl --metrics")).unwrap();
+        let Command::Optimize(args) = cmd else {
+            panic!("wrong command")
+        };
+        assert_eq!(args.trace.as_deref(), Some("/tmp/t.jsonl"));
+        assert!(args.metrics);
+        let Command::Optimize(defaults) = parse_args(&argv("optimize c432")).unwrap() else {
+            panic!("wrong command")
+        };
+        assert_eq!(defaults.trace, None);
+        assert!(!defaults.metrics);
+    }
+
+    #[test]
+    fn trace_produces_valid_jsonl_and_metrics_table() {
+        let trace = std::env::temp_dir().join("svtox_cli_trace.jsonl");
+        let cmd = parse_args(&argv(&format!(
+            "optimize c432 --penalty 5 --vectors 100 --threads 2 --metrics --trace {}",
+            trace.display()
+        )))
+        .unwrap();
+        let out = run(cmd).unwrap();
+        assert!(out.contains("metrics:"));
+        assert!(out.contains("core.h1.decisions"));
+        assert!(out.contains("exec.tasks_executed"));
+        // Every line of the trace must parse back as a JSON object with a
+        // known record type; spans and counters from all three layers
+        // (optimizer, STA, pool) must be present.
+        let text = std::fs::read_to_string(&trace).unwrap();
+        let mut kinds = std::collections::BTreeSet::new();
+        let mut names = std::collections::BTreeSet::new();
+        for line in text.lines() {
+            let v = svtox_obs::json::parse(line).expect("trace line parses");
+            let kind = v.get("type").and_then(|t| t.as_str()).unwrap().to_string();
+            assert!(
+                ["meta", "span", "event", "counter", "gauge"].contains(&kind.as_str()),
+                "unknown record type {kind}"
+            );
+            if let Some(name) = v.get("name").and_then(|n| n.as_str()) {
+                names.insert(name.to_string());
+            }
+            kinds.insert(kind);
+        }
+        assert!(kinds.contains("meta") && kinds.contains("span") && kinds.contains("counter"));
+        for expected in [
+            "cli.optimize",
+            "core.heuristic2_parallel",
+            "core.h1.decisions",
+            "sta.full_analyzes",
+            "exec.map_tasks",
+            "exec.tasks_executed",
+            "sim.vectors_sampled",
+        ] {
+            assert!(names.contains(expected), "missing {expected} in trace");
+        }
+        std::fs::remove_file(&trace).ok();
     }
 
     #[test]

@@ -4,6 +4,7 @@ use std::error::Error;
 use std::fmt;
 
 use svtox_cells::LibraryError;
+use svtox_exec::ExecError;
 
 /// Error produced by problem construction or optimization.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -12,6 +13,8 @@ pub enum OptError {
     /// A library lookup failed (netlist not mapped to primitives, or the
     /// library was built without the needed fan-in).
     Library(LibraryError),
+    /// The parallel execution engine failed (e.g. a worker panicked).
+    Exec(ExecError),
     /// The exact search was requested on a circuit with too many primary
     /// inputs for exhaustive state enumeration.
     TooManyInputs {
@@ -28,6 +31,7 @@ impl fmt::Display for OptError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Self::Library(e) => write!(f, "library error: {e}"),
+            Self::Exec(e) => write!(f, "execution error: {e}"),
             Self::TooManyInputs { inputs, limit } => {
                 write!(
                     f,
@@ -49,6 +53,7 @@ impl Error for OptError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             Self::Library(e) => Some(e),
+            Self::Exec(e) => Some(e),
             _ => None,
         }
     }
@@ -57,6 +62,12 @@ impl Error for OptError {
 impl From<LibraryError> for OptError {
     fn from(e: LibraryError) -> Self {
         Self::Library(e)
+    }
+}
+
+impl From<ExecError> for OptError {
+    fn from(e: ExecError) -> Self {
+        Self::Exec(e)
     }
 }
 
@@ -78,5 +89,11 @@ mod tests {
         assert!(e.source().is_none());
         let e = OptError::InvalidPenalty(2.0f64.to_bits());
         assert!(e.to_string().contains('2'));
+        let e = OptError::from(ExecError::WorkerPanic {
+            worker: 1,
+            message: "boom".to_string(),
+        });
+        assert!(e.to_string().contains("worker 1 panicked"));
+        assert!(e.source().is_some());
     }
 }

@@ -60,5 +60,7 @@ pub use solution::Solution;
 pub use state_search::Optimizer;
 
 // Re-exported so optimizer callers can configure the parallel searches
-// without depending on `svtox-exec` directly.
-pub use svtox_exec::{ExecConfig, SearchStats};
+// and attach observability without depending on the engine crates
+// directly.
+pub use svtox_exec::{ExecConfig, ExecError, SearchStats};
+pub use svtox_obs::Obs;

@@ -10,8 +10,9 @@
 use std::time::{Duration, Instant};
 
 use svtox_netlist::GateId;
+use svtox_obs::Obs;
 use svtox_sim::{Logic, TriSimulator};
-use svtox_sta::Sta;
+use svtox_sta::{Sta, StaCounters};
 use svtox_tech::{Current, Time};
 
 mod parallel;
@@ -88,6 +89,7 @@ pub struct Optimizer<'a> {
     mode: Mode,
     gate_order: GateOrder,
     input_order: InputOrder,
+    obs: &'a Obs,
 }
 
 impl<'a> Optimizer<'a> {
@@ -98,6 +100,7 @@ impl<'a> Optimizer<'a> {
             mode,
             gate_order: GateOrder::default(),
             input_order: InputOrder::default(),
+            obs: Obs::disabled_ref(),
         }
     }
 
@@ -115,6 +118,37 @@ impl<'a> Optimizer<'a> {
         self
     }
 
+    /// Attaches an observability handle: every search phase then records
+    /// spans (`core.heuristic1`, `core.exact`, …) and counters
+    /// (`core.search.nodes`, `core.search.prunes_local`, `sta.flushes`,
+    /// …). The default is the disabled handle, which costs one branch per
+    /// phase boundary — hot loops accumulate plain integers either way and
+    /// publish deltas only when a phase ends.
+    #[must_use]
+    pub fn with_obs(mut self, obs: &'a Obs) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// Publishes the work an analyzer did since `base` (deltas, plus the
+    /// dirty-set high-water mark). A fresh analyzer pairs with
+    /// [`StaCounters::default`] as base so its construction full-analysis
+    /// is counted too.
+    pub(crate) fn flush_sta(&self, sta: &Sta<'_>, base: StaCounters) {
+        if !self.obs.is_enabled() {
+            return;
+        }
+        let now = sta.counters();
+        self.obs
+            .add("sta.full_analyzes", now.full_analyzes - base.full_analyzes);
+        self.obs.add("sta.flushes", now.flushes - base.flushes);
+        self.obs.add(
+            "sta.gates_reevaluated",
+            now.gates_reevaluated - base.gates_reevaluated,
+        );
+        self.obs.raise_to("sta.max_dirty", now.max_dirty);
+    }
+
     /// The delay budget this optimizer works against.
     #[must_use]
     pub fn budget(&self) -> Time {
@@ -128,6 +162,7 @@ impl<'a> Optimizer<'a> {
     ///
     /// Returns an error on library lookup failure.
     pub fn heuristic1(&self) -> Result<Solution, OptError> {
+        let _span = self.obs.span("core.heuristic1");
         let start = Instant::now();
         let mut tracker = BoundTracker::new(self.problem, self.mode);
         let order = self.input_order();
@@ -148,6 +183,9 @@ impl<'a> Optimizer<'a> {
         }
         let mut sta = Sta::new(netlist, self.problem.library(), self.problem.timing())?;
         let solution = self.evaluate_leaf(&vector, &mut sta, start, 1);
+        self.obs.add("core.h1.decisions", order.len() as u64);
+        self.obs.add("core.h1.leaves", 1);
+        self.flush_sta(&sta, StaCounters::default());
         Ok(solution)
     }
 
@@ -165,11 +203,14 @@ impl<'a> Optimizer<'a> {
     pub fn heuristic2(&self, time_budget: Duration) -> Result<Solution, OptError> {
         let start = Instant::now();
         let mut best = self.heuristic1()?;
+        let _span = self.obs.span("core.heuristic2");
         let netlist = self.problem.netlist();
         let mut sta = Sta::new(netlist, self.problem.library(), self.problem.timing())?;
         let mut tracker = BoundTracker::new(self.problem, self.mode);
         let order = self.input_order();
         let mut leaves = best.leaves_explored;
+        let base_leaves = leaves;
+        let (mut nodes, mut prunes, mut incumbents) = (0u64, 0u64, 0u64);
 
         // Iterative DFS: at each depth, branches still to explore.
         struct Frame {
@@ -191,6 +232,7 @@ impl<'a> Optimizer<'a> {
                 let candidate = self.evaluate_leaf(&vector, &mut sta, start, leaves);
                 if candidate.leakage < best.leakage {
                     best = candidate;
+                    incumbents += 1;
                 }
                 stack.pop();
                 if let Some(parent) = stack.last() {
@@ -207,7 +249,9 @@ impl<'a> Optimizer<'a> {
             };
             let input = order[depth];
             tracker.set_input(input, Logic::from(value));
+            nodes += 1;
             if tracker.bound() >= best.leakage {
+                prunes += 1;
                 tracker.set_input(input, Logic::X);
                 continue;
             }
@@ -219,6 +263,12 @@ impl<'a> Optimizer<'a> {
         }
         best.runtime = start.elapsed();
         best.leaves_explored = leaves;
+        self.obs.add("core.search.nodes", nodes);
+        self.obs
+            .add("core.search.leaves", (leaves - base_leaves) as u64);
+        self.obs.add("core.search.prunes_local", prunes);
+        self.obs.add("core.search.incumbent_updates", incumbents);
+        self.flush_sta(&sta, StaCounters::default());
         Ok(best)
     }
 
@@ -236,11 +286,14 @@ impl<'a> Optimizer<'a> {
     ///
     /// Returns an error on library lookup failure.
     pub fn refine(&self, start: Solution, max_passes: usize) -> Result<Solution, OptError> {
+        let _span = self.obs.span("core.refine");
         let begin = Instant::now();
         let netlist = self.problem.netlist();
         let mut sta = Sta::new(netlist, self.problem.library(), self.problem.timing())?;
         let mut best = start;
         let mut leaves = best.leaves_explored;
+        let base_leaves = leaves;
+        let mut incumbents = 0u64;
         let started_runtime = best.runtime;
         for _pass in 0..max_passes {
             let mut improved = false;
@@ -252,6 +305,7 @@ impl<'a> Optimizer<'a> {
                 if candidate.leakage < best.leakage {
                     best = candidate;
                     improved = true;
+                    incumbents += 1;
                 }
             }
             if !improved {
@@ -260,6 +314,10 @@ impl<'a> Optimizer<'a> {
         }
         best.runtime = started_runtime + begin.elapsed();
         best.leaves_explored = leaves;
+        self.obs
+            .add("core.refine.trials", (leaves - base_leaves) as u64);
+        self.obs.add("core.refine.improvements", incumbents);
+        self.flush_sta(&sta, StaCounters::default());
         Ok(best)
     }
 
@@ -281,6 +339,7 @@ impl<'a> Optimizer<'a> {
                 limit: max_inputs,
             });
         }
+        let _span = self.obs.span("core.exact");
         let start = Instant::now();
         let mut sta = Sta::new(netlist, self.problem.library(), self.problem.timing())?;
         let budget = self.budget();
@@ -288,6 +347,7 @@ impl<'a> Optimizer<'a> {
         let order = self.input_order();
         let mut best: Option<Solution> = None;
         let mut leaves = 0usize;
+        let (mut nodes, mut prunes, mut incumbents) = (0u64, 0u64, 0u64);
         let mut vector = vec![false; netlist.num_inputs()];
 
         struct Frame {
@@ -306,6 +366,7 @@ impl<'a> Optimizer<'a> {
                 let assignment = exact_assign(self.problem, &states, self.mode, budget, &mut sta);
                 let better = best.as_ref().is_none_or(|b| assignment.leakage < b.leakage);
                 if better {
+                    incumbents += 1;
                     best = Some(Solution {
                         vector: vector.clone(),
                         choices: assignment.choices,
@@ -330,8 +391,10 @@ impl<'a> Optimizer<'a> {
             };
             let input = order[depth];
             tracker.set_input(input, Logic::from(value));
+            nodes += 1;
             if let Some(b) = &best {
                 if tracker.bound() >= b.leakage {
+                    prunes += 1;
                     tracker.set_input(input, Logic::X);
                     continue;
                 }
@@ -345,6 +408,11 @@ impl<'a> Optimizer<'a> {
         let mut best = best.expect("at least one leaf is evaluated");
         best.runtime = start.elapsed();
         best.leaves_explored = leaves;
+        self.obs.add("core.search.nodes", nodes);
+        self.obs.add("core.search.leaves", leaves as u64);
+        self.obs.add("core.search.prunes_local", prunes);
+        self.obs.add("core.search.incumbent_updates", incumbents);
+        self.flush_sta(&sta, StaCounters::default());
         Ok(best)
     }
 

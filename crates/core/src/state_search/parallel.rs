@@ -83,6 +83,7 @@ impl<'a> Optimizer<'a> {
         let start = Instant::now();
         let budget = exec.budget();
         let seed = self.heuristic1()?;
+        let _span = self.obs.span("core.heuristic2_parallel");
         let base_leaves = seed.leaves_explored;
         let shared = SharedMinF64::new(seed.leakage.value());
         let (best, stats) =
@@ -117,6 +118,7 @@ impl<'a> Optimizer<'a> {
                 limit: max_inputs,
             });
         }
+        let _span = self.obs.span("core.exact_parallel");
         let start = Instant::now();
         // Surface library errors once, on the caller's thread.
         Sta::new(netlist, self.problem.library(), self.problem.timing())?;
@@ -149,6 +151,7 @@ impl<'a> Optimizer<'a> {
             exec,
             num_tasks,
             budget,
+            self.obs,
             |_worker| WorkerCtx {
                 // `Sta::new` was already run once by the caller (directly
                 // or inside Heuristic 1), so the library is known good.
@@ -171,7 +174,15 @@ impl<'a> Optimizer<'a> {
                     ws,
                 )
             },
-        );
+        )?;
+        self.obs.add("core.search.nodes", stats.nodes_expanded());
+        self.obs.add("core.search.leaves", stats.leaves_evaluated());
+        self.obs
+            .add("core.search.prunes_local", stats.prunes_local());
+        self.obs
+            .add("core.search.prunes_shared", stats.prunes_shared());
+        self.obs
+            .add("core.search.incumbent_updates", stats.incumbent_updates());
         let best = min_by_stable(seed, results, |a, b| a.leakage < b.leakage);
         Ok((best, stats))
     }
@@ -223,7 +234,9 @@ impl<'a> Optimizer<'a> {
             let candidate = self.evaluate_kind(ctx, leaf, delay_budget, task_start, ws);
             if candidate.leakage.value() < local_leak {
                 local_leak = candidate.leakage.value();
-                shared.update_min(local_leak);
+                if shared.update_min(local_leak) {
+                    ws.incumbent_updates += 1;
+                }
                 local = Some(candidate);
             }
         } else if !prefix_pruned {
@@ -246,7 +259,9 @@ impl<'a> Optimizer<'a> {
                     let candidate = self.evaluate_kind(ctx, leaf, delay_budget, task_start, ws);
                     if candidate.leakage.value() < local_leak {
                         local_leak = candidate.leakage.value();
-                        shared.update_min(local_leak);
+                        if shared.update_min(local_leak) {
+                            ws.incumbent_updates += 1;
+                        }
                         local = Some(candidate);
                     }
                     stack.pop();

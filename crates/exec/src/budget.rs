@@ -53,10 +53,14 @@ impl Budget {
     }
 
     /// A budget expiring `duration` from now.
+    ///
+    /// A duration too large to represent as a deadline (e.g.
+    /// [`Duration::MAX`]) is treated as unlimited instead of overflowing
+    /// the monotonic clock.
     #[must_use]
     pub fn with_duration(duration: Duration) -> Self {
         Self {
-            deadline: Some(Instant::now() + duration),
+            deadline: Instant::now().checked_add(duration),
             token: CancelToken::new(),
         }
     }
@@ -126,6 +130,14 @@ mod tests {
         let b = Budget::with_duration(Duration::ZERO);
         assert!(b.expired());
         assert!(b.token().is_cancelled());
+    }
+
+    #[test]
+    fn huge_duration_saturates_to_unlimited_instead_of_panicking() {
+        let b = Budget::with_duration(Duration::MAX);
+        assert!(!b.expired());
+        b.cancel();
+        assert!(b.expired());
     }
 
     #[test]

@@ -1,0 +1,52 @@
+//! Typed errors surfaced by the execution engine.
+
+use std::fmt;
+
+/// An error from a parallel engine invocation.
+///
+/// The engine distinguishes *expected* outcomes (budget expiry, which is
+/// reported through `SearchStats::completed`) from *failures*: conditions
+/// that invalidate the run. Callers get the latter as a value instead of a
+/// process abort, so a panicking task in one worker can be reported — and
+/// the remaining workers drained — rather than tearing the whole process
+/// down from a coordinator `expect`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ExecError {
+    /// A worker thread panicked while executing a task.
+    ///
+    /// The coordinator cancels the shared budget, joins the surviving
+    /// workers, and reports the first panic observed (by worker index).
+    WorkerPanic {
+        /// Index of the worker whose task panicked.
+        worker: usize,
+        /// The panic payload when it was a string, or a placeholder.
+        message: String,
+    },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::WorkerPanic { worker, message } => {
+                write!(f, "worker {worker} panicked: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_worker_and_payload() {
+        let e = ExecError::WorkerPanic {
+            worker: 2,
+            message: "index out of bounds".to_string(),
+        };
+        assert_eq!(e.to_string(), "worker 2 panicked: index out of bounds");
+    }
+}

@@ -22,19 +22,29 @@
 //! * [`rng`] — seeded `SplitMix64` / `xoshiro256++` generators with
 //!   deterministic per-stream seed derivation for chunked sampling.
 //!
+//! Failures are typed: a panicking task surfaces as
+//! [`ExecError::WorkerPanic`] after the pool cancels the shared budget and
+//! drains the surviving workers, instead of aborting the process from the
+//! coordinator. Observability rides along through an [`svtox_obs::Obs`]
+//! handle — spans, pool counters, and per-worker events when enabled,
+//! a single branch per call when not.
+//!
 //! # Example
 //!
 //! ```
 //! use svtox_exec::{map_tasks, min_by_stable, Budget, ExecConfig};
+//! use svtox_obs::Obs;
 //!
 //! let config = ExecConfig::with_threads(4);
 //! let (squares, stats) = map_tasks(
 //!     &config,
 //!     32,
 //!     &Budget::unlimited(),
+//!     Obs::disabled_ref(),
 //!     |_worker| (),
 //!     |(), i, _stats| Some((i as i64 - 20).pow(2)),
-//! );
+//! )
+//! .unwrap();
 //! let min = min_by_stable(None, squares, |a, b| a < b).unwrap();
 //! assert_eq!(min, 0);
 //! assert_eq!(stats.tasks_executed(), 32);
@@ -44,6 +54,7 @@
 #![warn(missing_docs)]
 
 mod budget;
+mod error;
 mod pool;
 mod queue;
 mod reduce;
@@ -52,6 +63,7 @@ mod shared;
 mod stats;
 
 pub use budget::{Budget, CancelToken};
+pub use error::ExecError;
 pub use pool::{map_tasks, ExecConfig};
 pub use queue::{Chunk, TaskQueue};
 pub use reduce::min_by_stable;

@@ -5,9 +5,13 @@
 //! deterministic reduction possible afterwards: however the chunks were
 //! scheduled or stolen, task `i`'s result always lands in slot `i`.
 
+use std::any::Any;
 use std::time::{Duration, Instant};
 
+use svtox_obs::{FieldValue, Obs};
+
 use crate::budget::Budget;
+use crate::error::ExecError;
 use crate::queue::TaskQueue;
 use crate::stats::{SearchStats, WorkerStats};
 
@@ -70,6 +74,43 @@ impl ExecConfig {
     }
 }
 
+/// The first panic observed while joining, rendered as a string.
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Publishes one finished run into the observability registry.
+fn record_run(obs: &Obs, stats: &SearchStats) {
+    if !obs.is_enabled() {
+        return;
+    }
+    obs.add("exec.tasks_executed", stats.tasks_executed());
+    obs.add("exec.tasks_skipped", stats.tasks_skipped());
+    obs.add("exec.steals", stats.steals());
+    obs.set_gauge("exec.workers", stats.num_workers() as u64);
+    for (w, ws) in stats.workers.iter().enumerate() {
+        obs.add("exec.idle_us", ws.idle.as_micros() as u64);
+        obs.add("exec.busy_us", ws.busy.as_micros() as u64);
+        obs.event(
+            "exec.worker",
+            &[
+                ("worker", FieldValue::from(w)),
+                ("tasks", FieldValue::from(ws.tasks_executed)),
+                ("skipped", FieldValue::from(ws.tasks_skipped)),
+                ("steals", FieldValue::from(ws.steals)),
+                ("idle_us", FieldValue::from(ws.idle.as_micros() as u64)),
+                ("busy_us", FieldValue::from(ws.busy.as_micros() as u64)),
+            ],
+        );
+    }
+}
+
 /// Runs tasks `0..num_tasks` across the configured workers.
 ///
 /// * `init` builds one per-worker state (simulators, trackers, scratch
@@ -77,22 +118,38 @@ impl ExecConfig {
 /// * `task` executes one task; returning `None` records "no result" (the
 ///   task pruned itself away);
 /// * tasks that have not started when `budget` expires are skipped and
-///   counted in [`SearchStats::tasks_skipped`].
+///   counted in [`SearchStats::tasks_skipped`];
+/// * `obs` receives an `exec.map_tasks` span, pool counters
+///   (`exec.tasks_executed`, `exec.steals`, `exec.idle_us`, …), the
+///   initial queue depth as the `exec.queue_chunks` gauge, and one
+///   `exec.worker` event per worker. Pass [`Obs::disabled_ref`] for none
+///   of that — the disabled handle costs one branch per call.
 ///
 /// Results are returned in task order, untouched by scheduling. With one
 /// worker the tasks run inline on the caller's thread.
+///
+/// # Errors
+///
+/// Returns [`ExecError::WorkerPanic`] when a task panics on a pool
+/// worker: the coordinator cancels `budget` (so surviving workers stop at
+/// the next flag test), joins every remaining worker, and reports the
+/// first panic by worker index. On the inline single-worker path there is
+/// no pool to drain, so a panicking task propagates to the caller
+/// directly, as any serial call would.
 pub fn map_tasks<T, S, I, F>(
     config: &ExecConfig,
     num_tasks: usize,
     budget: &Budget,
+    obs: &Obs,
     init: I,
     task: F,
-) -> (Vec<Option<T>>, SearchStats)
+) -> Result<(Vec<Option<T>>, SearchStats), ExecError>
 where
     T: Send,
     I: Fn(usize) -> S + Sync,
     F: Fn(&mut S, usize, &mut WorkerStats) -> Option<T> + Sync,
 {
+    let _span = obs.span("exec.map_tasks");
     let start = Instant::now();
     let threads = config.threads().max(1).min(num_tasks.max(1));
     let mut results: Vec<Option<T>> = std::iter::repeat_with(|| None).take(num_tasks).collect();
@@ -117,7 +174,11 @@ where
         let chunk_size = num_tasks.div_ceil(threads * 4).max(1);
         queue.distribute(num_tasks, chunk_size);
         queue.close();
-        let mut gathered: Vec<(WorkerStats, Vec<(usize, T)>)> = std::thread::scope(|scope| {
+        obs.set_gauge("exec.queue_chunks", num_tasks.div_ceil(chunk_size) as u64);
+        // One worker's outcome: its stats plus (task index, value) pairs,
+        // or the panic payload from `join`.
+        type WorkerOutcome<T> = std::thread::Result<(WorkerStats, Vec<(usize, T)>)>;
+        let joined: Vec<WorkerOutcome<T>> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..threads)
                 .map(|w| {
                     let queue = &queue;
@@ -153,17 +214,46 @@ where
                     })
                 })
                 .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("worker panicked"))
-                .collect()
+            // Join everything even after a panic: cancel the budget so
+            // survivors stop at the next flag test, then keep draining.
+            // The queue was closed before any worker spawned, so pops
+            // cannot block forever and every join terminates.
+            let mut joined = Vec::with_capacity(handles.len());
+            for h in handles {
+                let r = h.join();
+                if r.is_err() {
+                    budget.cancel();
+                }
+                joined.push(r);
+            }
+            joined
         });
         let mut workers = Vec::with_capacity(threads);
-        for (ws, produced) in &mut gathered {
-            for (i, value) in produced.drain(..) {
-                results[i] = Some(value);
+        let mut first_panic: Option<(usize, String)> = None;
+        for (w, r) in joined.into_iter().enumerate() {
+            match r {
+                Ok((ws, produced)) => {
+                    for (i, value) in produced {
+                        results[i] = Some(value);
+                    }
+                    workers.push(ws);
+                }
+                Err(payload) => {
+                    if first_panic.is_none() {
+                        first_panic = Some((w, panic_message(payload.as_ref())));
+                    }
+                }
             }
-            workers.push(std::mem::take(ws));
+        }
+        if let Some((worker, message)) = first_panic {
+            obs.event(
+                "exec.worker_panic",
+                &[
+                    ("worker", FieldValue::from(worker)),
+                    ("message", FieldValue::from(message.as_str())),
+                ],
+            );
+            return Err(ExecError::WorkerPanic { worker, message });
         }
         workers
     };
@@ -174,13 +264,15 @@ where
         wall: start.elapsed(),
         tasks_total: num_tasks,
     };
-    (results, stats)
+    record_run(obs, &stats);
+    Ok((results, stats))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::sync::atomic::{AtomicU64, Ordering};
+    use svtox_obs::{json, MemorySink};
 
     #[test]
     fn results_land_in_task_order() {
@@ -190,12 +282,14 @@ mod tests {
                 &config,
                 100,
                 &Budget::unlimited(),
+                Obs::disabled_ref(),
                 |_| (),
                 |(), i, ws| {
                     ws.nodes_expanded += 1;
                     Some(i * i)
                 },
-            );
+            )
+            .unwrap();
             let expect: Vec<Option<usize>> = (0..100).map(|i| Some(i * i)).collect();
             assert_eq!(results, expect, "threads={threads}");
             assert_eq!(stats.tasks_executed(), 100);
@@ -212,6 +306,7 @@ mod tests {
             &config,
             50,
             &Budget::unlimited(),
+            Obs::disabled_ref(),
             |_| {
                 inits.fetch_add(1, Ordering::Relaxed);
                 0u64
@@ -220,7 +315,8 @@ mod tests {
                 *state += 1;
                 Some(*state)
             },
-        );
+        )
+        .unwrap();
         assert!(inits.load(Ordering::Relaxed) <= 2);
         assert_eq!(stats.tasks_executed(), 50);
     }
@@ -229,7 +325,15 @@ mod tests {
     fn expired_budget_skips_everything() {
         let config = ExecConfig::with_threads(4);
         let budget = Budget::with_duration(Duration::ZERO);
-        let (results, stats) = map_tasks(&config, 20, &budget, |_| (), |(), i, _| Some(i));
+        let (results, stats) = map_tasks(
+            &config,
+            20,
+            &budget,
+            Obs::disabled_ref(),
+            |_| (),
+            |(), i, _| Some(i),
+        )
+        .unwrap();
         assert!(results.iter().all(Option::is_none));
         assert_eq!(stats.tasks_skipped(), 20);
         assert!(!stats.completed);
@@ -243,6 +347,7 @@ mod tests {
             &config,
             10,
             &budget,
+            Obs::disabled_ref(),
             |_| (),
             |(), i, _| {
                 if i == 3 {
@@ -250,7 +355,8 @@ mod tests {
                 }
                 Some(i)
             },
-        );
+        )
+        .unwrap();
         assert_eq!(results[3], Some(3));
         assert!(results[4..].iter().all(Option::is_none));
         assert_eq!(stats.tasks_skipped(), 6);
@@ -263,11 +369,86 @@ mod tests {
             &config,
             3,
             &Budget::unlimited(),
+            Obs::disabled_ref(),
             |_| (),
             |(), i, _| Some(i + 1),
-        );
+        )
+        .unwrap();
         assert_eq!(results, vec![Some(1), Some(2), Some(3)]);
         assert!(stats.num_workers() <= 3);
+    }
+
+    #[test]
+    fn worker_panic_surfaces_as_typed_error() {
+        let config = ExecConfig::with_threads(4);
+        let budget = Budget::unlimited();
+        let err = map_tasks(
+            &config,
+            64,
+            &budget,
+            Obs::disabled_ref(),
+            |_| (),
+            |(), i, _| {
+                if i == 10 {
+                    panic!("task {i} exploded");
+                }
+                Some(i)
+            },
+        )
+        .unwrap_err();
+        let ExecError::WorkerPanic { worker, message } = err;
+        assert!(worker < 4);
+        assert_eq!(message, "task 10 exploded");
+        // The shared budget was cancelled so survivors stopped early.
+        assert!(budget.token().is_cancelled());
+    }
+
+    #[test]
+    fn multiple_panics_report_the_lowest_worker_index() {
+        let config = ExecConfig::with_threads(4);
+        let err = map_tasks(
+            &config,
+            16,
+            &Budget::unlimited(),
+            Obs::disabled_ref(),
+            |_| (),
+            |(), _, _| -> Option<usize> { panic!("boom") },
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            ExecError::WorkerPanic { ref message, .. } if message == "boom"
+        ));
+    }
+
+    #[test]
+    fn pool_counters_reach_the_registry_and_trace() {
+        let obs = Obs::enabled();
+        let sink = MemorySink::new();
+        let lines = sink.lines();
+        obs.set_sink(Box::new(sink));
+        let config = ExecConfig::with_threads(2);
+        let (_, stats) = map_tasks(
+            &config,
+            40,
+            &Budget::unlimited(),
+            &obs,
+            |_| (),
+            |(), i, _| Some(i),
+        )
+        .unwrap();
+        obs.flush();
+        let snap = obs.counter_snapshot();
+        assert_eq!(snap["exec.tasks_executed"], 40);
+        assert_eq!(snap["exec.tasks_executed"], stats.tasks_executed());
+        assert_eq!(snap["span.exec.map_tasks.count"], 1);
+        let lines = lines.lock().unwrap();
+        let workers = lines
+            .iter()
+            .map(|l| json::parse(l).unwrap())
+            .filter(|v| v.get("name").and_then(json::Value::as_str) == Some("exec.worker"))
+            .count();
+        assert_eq!(workers, stats.num_workers());
     }
 
     #[test]

@@ -19,6 +19,8 @@ pub struct WorkerStats {
     pub prunes_local: u64,
     /// Subtrees pruned against the shared (cross-worker) incumbent.
     pub prunes_shared: u64,
+    /// Times this worker improved the shared incumbent.
+    pub incumbent_updates: u64,
     /// Tasks this worker executed.
     pub tasks_executed: u64,
     /// Tasks skipped because the budget expired before they started.
@@ -75,6 +77,12 @@ impl SearchStats {
         self.workers.iter().map(|w| w.prunes_shared).sum()
     }
 
+    /// Total improvements of the shared incumbent.
+    #[must_use]
+    pub fn incumbent_updates(&self) -> u64 {
+        self.workers.iter().map(|w| w.incumbent_updates).sum()
+    }
+
     /// Total chunks stolen.
     #[must_use]
     pub fn steals(&self) -> u64 {
@@ -118,6 +126,7 @@ impl SearchStats {
             mine.leaves_evaluated += theirs.leaves_evaluated;
             mine.prunes_local += theirs.prunes_local;
             mine.prunes_shared += theirs.prunes_shared;
+            mine.incumbent_updates += theirs.incumbent_updates;
             mine.tasks_executed += theirs.tasks_executed;
             mine.tasks_skipped += theirs.tasks_skipped;
             mine.steals += theirs.steals;

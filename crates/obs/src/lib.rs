@@ -1,0 +1,462 @@
+//! `svtox-obs` — dependency-free observability for the svtox workspace.
+//!
+//! Three pieces, all on `std` alone:
+//!
+//! * a [`Registry`] of named atomic [`Counter`]s and [`Gauge`]s — hot
+//!   layers accumulate plain integers locally and flush deltas at phase
+//!   boundaries, so enabling metrics never touches an inner loop;
+//! * hierarchical [`SpanGuard`] spans with monotonic timing and per-thread
+//!   parent tracking;
+//! * a buffered JSONL [`EventSink`] ([`JsonlSink`] for files,
+//!   [`MemorySink`] for tests) receiving `span`, `event`, and `counter`
+//!   records, plus a minimal [`json`] parser so every line can be
+//!   validated without external crates.
+//!
+//! The entry point is [`Obs`], a cheap cloneable handle. A *disabled*
+//! handle ([`Obs::disabled`]) turns every operation into an `Option` check
+//! on a `None` — near-zero overhead — which is what the optimizer, STA,
+//! and pool run with unless `--trace`/`--metrics` is given.
+//!
+//! # Event schema (JSONL, one object per line)
+//!
+//! | `type` | fields |
+//! |--------|--------|
+//! | `meta` | `schema` (version, currently 1), `tool` |
+//! | `span` | `name`, `id`, `parent` (id or null), `start_us`, `dur_us` |
+//! | `event` | `name`, `t_us`, `fields` (object) |
+//! | `counter` | `name`, `value`, `t_us` |
+//! | `gauge` | `name`, `value`, `t_us` |
+//!
+//! All times are microseconds on the handle's own monotonic clock,
+//! measured from [`Obs::enabled`].
+//!
+//! # Example
+//!
+//! ```
+//! use svtox_obs::{json, MemorySink, Obs};
+//!
+//! let obs = Obs::enabled();
+//! let sink = MemorySink::new();
+//! let lines = sink.lines();
+//! obs.set_sink(Box::new(sink));
+//! {
+//!     let _phase = obs.span("demo.phase");
+//!     obs.add("demo.widgets", 3);
+//! }
+//! obs.emit_counters();
+//! obs.flush();
+//! for line in lines.lock().unwrap().iter() {
+//!     json::parse(line).expect("every line is valid JSON");
+//! }
+//! assert_eq!(obs.counter_snapshot()["demo.widgets"], 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+mod metrics;
+mod sink;
+mod span;
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+pub use metrics::{Counter, Gauge, Registry};
+pub use sink::{EventSink, JsonlSink, MemorySink};
+pub use span::SpanGuard;
+
+/// One field of a point event: a name paired with a scalar value.
+#[derive(Debug, Clone, Copy)]
+pub enum FieldValue<'a> {
+    /// An unsigned integer.
+    U64(u64),
+    /// A signed integer.
+    I64(i64),
+    /// A float (non-finite values serialize as `null`).
+    F64(f64),
+    /// A boolean.
+    Bool(bool),
+    /// A string.
+    Str(&'a str),
+}
+
+impl From<u64> for FieldValue<'_> {
+    fn from(v: u64) -> Self {
+        Self::U64(v)
+    }
+}
+
+impl From<usize> for FieldValue<'_> {
+    fn from(v: usize) -> Self {
+        Self::U64(v as u64)
+    }
+}
+
+impl From<u32> for FieldValue<'_> {
+    fn from(v: u32) -> Self {
+        Self::U64(u64::from(v))
+    }
+}
+
+impl From<i64> for FieldValue<'_> {
+    fn from(v: i64) -> Self {
+        Self::I64(v)
+    }
+}
+
+impl From<f64> for FieldValue<'_> {
+    fn from(v: f64) -> Self {
+        Self::F64(v)
+    }
+}
+
+impl From<bool> for FieldValue<'_> {
+    fn from(v: bool) -> Self {
+        Self::Bool(v)
+    }
+}
+
+impl<'a> From<&'a str> for FieldValue<'a> {
+    fn from(v: &'a str) -> Self {
+        Self::Str(v)
+    }
+}
+
+impl FieldValue<'_> {
+    fn write_json(&self, out: &mut String) {
+        match self {
+            Self::U64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Self::I64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Self::F64(v) => json::number_into(out, *v),
+            Self::Bool(v) => {
+                let _ = write!(out, "{v}");
+            }
+            Self::Str(v) => json::escape_into(out, v),
+        }
+    }
+}
+
+/// The shared state behind an enabled handle.
+pub(crate) struct ObsInner {
+    epoch: Instant,
+    registry: Registry,
+    sink: Mutex<Option<Box<dyn EventSink>>>,
+    next_span: AtomicU64,
+}
+
+impl std::fmt::Debug for ObsInner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ObsInner")
+            .field("epoch", &self.epoch)
+            .field("registry", &self.registry)
+            .field("next_span", &self.next_span)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ObsInner {
+    pub(crate) fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+
+    pub(crate) fn emit(&self, line: &str) {
+        if let Some(sink) = self.sink.lock().expect("sink lock").as_mut() {
+            sink.write_line(line);
+        }
+    }
+
+    pub(crate) fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    pub(crate) fn next_span_id(&self) -> u64 {
+        self.next_span.fetch_add(1, Ordering::Relaxed) + 1
+    }
+}
+
+/// The observability handle: cloneable, shareable across threads.
+///
+/// Disabled handles carry no state; every operation on them is a branch
+/// and a return. Enabled handles share one registry, clock, and sink.
+#[derive(Debug, Clone, Default)]
+pub struct Obs(Option<Arc<ObsInner>>);
+
+/// The process-wide inert handle behind [`Obs::disabled_ref`].
+static DISABLED: Obs = Obs::disabled();
+
+impl Obs {
+    /// An inert handle: every operation is a no-op.
+    #[must_use]
+    pub const fn disabled() -> Self {
+        Self(None)
+    }
+
+    /// A `'static` borrow of an inert handle, for APIs that take `&Obs`
+    /// and default to "off".
+    #[must_use]
+    pub fn disabled_ref() -> &'static Self {
+        &DISABLED
+    }
+
+    /// A live handle with a fresh registry and clock, and no sink (metrics
+    /// only — attach a sink with [`Obs::set_sink`] for tracing).
+    #[must_use]
+    pub fn enabled() -> Self {
+        Self(Some(Arc::new(ObsInner {
+            epoch: Instant::now(),
+            registry: Registry::new(),
+            sink: Mutex::new(None),
+            next_span: AtomicU64::new(0),
+        })))
+    }
+
+    /// Whether this handle records anything.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Installs (or replaces) the trace sink and emits the `meta` header
+    /// line. No-op on a disabled handle.
+    pub fn set_sink(&self, sink: Box<dyn EventSink>) {
+        let Some(inner) = &self.0 else { return };
+        *inner.sink.lock().expect("sink lock") = Some(sink);
+        inner.emit("{\"type\":\"meta\",\"schema\":1,\"tool\":\"svtox-obs\"}");
+    }
+
+    /// Adds `delta` to the counter `name`.
+    pub fn add(&self, name: &str, delta: u64) {
+        if let Some(inner) = &self.0 {
+            inner.registry.add(name, delta);
+        }
+    }
+
+    /// Raises the counter `name` to `value` if larger (high-water marks).
+    pub fn raise_to(&self, name: &str, value: u64) {
+        if let Some(inner) = &self.0 {
+            inner.registry.raise_to(name, value);
+        }
+    }
+
+    /// Stores `value` in the gauge `name`.
+    pub fn set_gauge(&self, name: &str, value: u64) {
+        if let Some(inner) = &self.0 {
+            inner.registry.set_gauge(name, value);
+        }
+    }
+
+    /// A cached counter handle for hot paths, or `None` when disabled.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<Arc<Counter>> {
+        self.0.as_ref().map(|inner| inner.registry.counter(name))
+    }
+
+    /// Opens a span; it closes (and emits) when the guard drops.
+    #[must_use]
+    pub fn span(&self, name: &str) -> SpanGuard<'_> {
+        span::begin(self.0.as_deref(), name)
+    }
+
+    /// Emits one point event with scalar fields.
+    pub fn event(&self, name: &str, fields: &[(&str, FieldValue<'_>)]) {
+        let Some(inner) = &self.0 else { return };
+        let mut line = String::with_capacity(96 + 24 * fields.len());
+        line.push_str("{\"type\":\"event\",\"name\":");
+        json::escape_into(&mut line, name);
+        let _ = write!(line, ",\"t_us\":{}", inner.now_us());
+        line.push_str(",\"fields\":{");
+        for (i, (key, value)) in fields.iter().enumerate() {
+            if i > 0 {
+                line.push(',');
+            }
+            json::escape_into(&mut line, key);
+            line.push(':');
+            value.write_json(&mut line);
+        }
+        line.push_str("}}");
+        inner.emit(&line);
+    }
+
+    /// Emits one `counter`/`gauge` line per registered metric (sorted by
+    /// name), so a trace file carries the final totals.
+    pub fn emit_counters(&self) {
+        let Some(inner) = &self.0 else { return };
+        let t_us = inner.now_us();
+        for (name, value) in inner.registry.counter_snapshot() {
+            let mut line = String::with_capacity(64 + name.len());
+            line.push_str("{\"type\":\"counter\",\"name\":");
+            json::escape_into(&mut line, &name);
+            let _ = write!(line, ",\"value\":{value},\"t_us\":{t_us}}}");
+            inner.emit(&line);
+        }
+        for (name, value) in inner.registry.gauge_snapshot() {
+            let mut line = String::with_capacity(64 + name.len());
+            line.push_str("{\"type\":\"gauge\",\"name\":");
+            json::escape_into(&mut line, &name);
+            let _ = write!(line, ",\"value\":{value},\"t_us\":{t_us}}}");
+            inner.emit(&line);
+        }
+    }
+
+    /// Flushes the sink, if any.
+    pub fn flush(&self) {
+        if let Some(inner) = &self.0 {
+            if let Some(sink) = inner.sink.lock().expect("sink lock").as_mut() {
+                sink.flush();
+            }
+        }
+    }
+
+    /// Name-ordered snapshot of the counters (empty when disabled).
+    #[must_use]
+    pub fn counter_snapshot(&self) -> BTreeMap<String, u64> {
+        self.0
+            .as_ref()
+            .map(|inner| inner.registry.counter_snapshot())
+            .unwrap_or_default()
+    }
+
+    /// Name-ordered snapshot of the gauges (empty when disabled).
+    #[must_use]
+    pub fn gauge_snapshot(&self) -> BTreeMap<String, u64> {
+        self.0
+            .as_ref()
+            .map(|inner| inner.registry.gauge_snapshot())
+            .unwrap_or_default()
+    }
+
+    /// A human-readable, name-aligned table of every counter and gauge.
+    #[must_use]
+    pub fn render_metrics(&self) -> String {
+        let counters = self.counter_snapshot();
+        let gauges = self.gauge_snapshot();
+        let width = counters
+            .keys()
+            .chain(gauges.keys())
+            .map(String::len)
+            .max()
+            .unwrap_or(0);
+        let mut out = String::new();
+        for (name, value) in counters.iter().chain(gauges.iter()) {
+            let _ = writeln!(out, "  {name:<width$} {value:>12}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let obs = Obs::disabled();
+        assert!(!obs.is_enabled());
+        obs.add("x", 1);
+        obs.set_gauge("g", 2);
+        obs.event("e", &[("k", 1u64.into())]);
+        {
+            let _s = obs.span("s");
+        }
+        assert!(obs.counter_snapshot().is_empty());
+        assert!(obs.counter("x").is_none());
+        assert!(obs.render_metrics().is_empty());
+        assert!(!Obs::disabled_ref().is_enabled());
+    }
+
+    #[test]
+    fn spans_nest_with_parent_ids() {
+        let obs = Obs::enabled();
+        let sink = MemorySink::new();
+        let lines = sink.lines();
+        obs.set_sink(Box::new(sink));
+        {
+            let _outer = obs.span("outer");
+            {
+                let _inner = obs.span("inner");
+            }
+        }
+        obs.flush();
+        let lines = lines.lock().unwrap();
+        // meta + inner + outer (inner drops first).
+        assert_eq!(lines.len(), 3);
+        let inner = json::parse(&lines[1]).unwrap();
+        let outer = json::parse(&lines[2]).unwrap();
+        assert_eq!(
+            inner.get("name").and_then(json::Value::as_str),
+            Some("inner")
+        );
+        assert_eq!(outer.get("parent"), Some(&json::Value::Null));
+        assert_eq!(
+            inner.get("parent").and_then(json::Value::as_f64),
+            outer.get("id").and_then(json::Value::as_f64)
+        );
+    }
+
+    #[test]
+    fn events_and_counters_serialize_as_valid_json() {
+        let obs = Obs::enabled();
+        let sink = MemorySink::new();
+        let lines = sink.lines();
+        obs.set_sink(Box::new(sink));
+        obs.event(
+            "exec.worker",
+            &[
+                ("worker", 3usize.into()),
+                ("ratio", 0.5f64.into()),
+                ("label", "a\"b".into()),
+                ("ok", true.into()),
+                ("delta", (-2i64).into()),
+            ],
+        );
+        obs.add("a.count", 7);
+        obs.set_gauge("a.gauge", 9);
+        obs.emit_counters();
+        obs.flush();
+        let lines = lines.lock().unwrap();
+        assert!(lines.len() >= 3);
+        for line in lines.iter() {
+            let v = json::parse(line).unwrap_or_else(|e| panic!("{line}: {e}"));
+            assert!(v.get("type").is_some());
+        }
+        let event = json::parse(&lines[1]).unwrap();
+        let fields = event.get("fields").unwrap();
+        assert_eq!(
+            fields.get("label").and_then(json::Value::as_str),
+            Some("a\"b")
+        );
+        assert_eq!(
+            fields.get("delta").and_then(json::Value::as_f64),
+            Some(-2.0)
+        );
+    }
+
+    #[test]
+    fn clones_share_the_registry() {
+        let obs = Obs::enabled();
+        let other = obs.clone();
+        obs.add("shared", 1);
+        other.add("shared", 2);
+        assert_eq!(obs.counter_snapshot()["shared"], 3);
+        let rendered = obs.render_metrics();
+        assert!(rendered.contains("shared"));
+        assert!(rendered.contains('3'));
+    }
+
+    #[test]
+    fn metrics_only_handle_needs_no_sink() {
+        let obs = Obs::enabled();
+        obs.add("x", 5);
+        obs.emit_counters(); // no sink: silently dropped
+        obs.flush();
+        assert_eq!(obs.counter_snapshot()["x"], 5);
+    }
+}

@@ -1,0 +1,193 @@
+//! Atomic counters, gauges, and the named registry.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing atomic counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A fresh counter at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta`.
+    pub fn add(&self, delta: u64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Raises the counter to `value` if larger (for high-water marks).
+    pub fn raise_to(&self, value: u64) {
+        self.0.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value-wins atomic gauge.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// A fresh gauge at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stores `value`.
+    pub fn set(&self, value: u64) {
+        self.0.store(value, Ordering::Relaxed);
+    }
+
+    /// The last stored value.
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A registry of named counters and gauges.
+///
+/// Names are registered on first use; lookups take one mutex acquisition,
+/// so hot loops should accumulate locally and flush a delta at phase
+/// boundaries (the pattern every svtox layer follows). Snapshots come back
+/// in name order, which keeps machine-readable dumps deterministic.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counter registered under `name`, creating it at zero on first
+    /// use. The returned handle can be cached to skip future lookups.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.counters.lock().expect("registry lock");
+        if let Some(c) = map.get(name) {
+            return Arc::clone(c);
+        }
+        let c = Arc::new(Counter::new());
+        map.insert(name.to_string(), Arc::clone(&c));
+        c
+    }
+
+    /// Adds `delta` to the counter under `name`.
+    pub fn add(&self, name: &str, delta: u64) {
+        self.counter(name).add(delta);
+    }
+
+    /// Raises the counter under `name` to `value` if larger.
+    pub fn raise_to(&self, name: &str, value: u64) {
+        self.counter(name).raise_to(value);
+    }
+
+    /// The gauge registered under `name`, creating it at zero on first use.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = self.gauges.lock().expect("registry lock");
+        if let Some(g) = map.get(name) {
+            return Arc::clone(g);
+        }
+        let g = Arc::new(Gauge::new());
+        map.insert(name.to_string(), Arc::clone(&g));
+        g
+    }
+
+    /// Stores `value` in the gauge under `name`.
+    pub fn set_gauge(&self, name: &str, value: u64) {
+        self.gauge(name).set(value);
+    }
+
+    /// Name-ordered snapshot of every counter.
+    #[must_use]
+    pub fn counter_snapshot(&self) -> BTreeMap<String, u64> {
+        self.counters
+            .lock()
+            .expect("registry lock")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect()
+    }
+
+    /// Name-ordered snapshot of every gauge.
+    #[must_use]
+    pub fn gauge_snapshot(&self) -> BTreeMap<String, u64> {
+        self.gauges
+            .lock()
+            .expect("registry lock")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.get()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot_in_name_order() {
+        let r = Registry::new();
+        r.add("b.two", 2);
+        r.add("a.one", 1);
+        r.add("b.two", 3);
+        r.raise_to("c.max", 7);
+        r.raise_to("c.max", 4);
+        let snap = r.counter_snapshot();
+        let names: Vec<&str> = snap.keys().map(String::as_str).collect();
+        assert_eq!(names, vec!["a.one", "b.two", "c.max"]);
+        assert_eq!(snap["b.two"], 5);
+        assert_eq!(snap["c.max"], 7);
+    }
+
+    #[test]
+    fn gauges_store_the_last_value() {
+        let r = Registry::new();
+        r.set_gauge("workers", 4);
+        r.set_gauge("workers", 2);
+        assert_eq!(r.gauge_snapshot()["workers"], 2);
+    }
+
+    #[test]
+    fn handles_are_shared_across_lookups() {
+        let r = Registry::new();
+        let a = r.counter("x");
+        let b = r.counter("x");
+        a.add(1);
+        b.add(1);
+        assert_eq!(r.counter("x").get(), 2);
+    }
+
+    #[test]
+    fn concurrent_adds_do_not_lose_updates() {
+        let r = Registry::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let r = &r;
+                scope.spawn(move || {
+                    let c = r.counter("hot");
+                    for _ in 0..1000 {
+                        c.add(1);
+                    }
+                });
+            }
+        });
+        assert_eq!(r.counter("hot").get(), 4000);
+    }
+}

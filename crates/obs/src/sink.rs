@@ -1,0 +1,119 @@
+//! Event sinks: where JSONL trace lines go.
+
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+/// A consumer of trace lines (one JSON document per line, no newline).
+pub trait EventSink: Send {
+    /// Consumes one line.
+    fn write_line(&mut self, line: &str);
+
+    /// Flushes any buffering. Called by [`crate::Obs::flush`] and on drop
+    /// of the owning handle's sink slot.
+    fn flush(&mut self) {}
+}
+
+/// A buffered JSONL writer over any `Write` destination.
+pub struct JsonlSink {
+    out: BufWriter<Box<dyn Write + Send>>,
+}
+
+impl std::fmt::Debug for JsonlSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("JsonlSink")
+    }
+}
+
+impl JsonlSink {
+    /// A sink writing to (and truncating) the file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if the file cannot be created.
+    pub fn to_file(path: impl AsRef<Path>) -> io::Result<Self> {
+        let file = std::fs::File::create(path)?;
+        Ok(Self::from_writer(Box::new(file)))
+    }
+
+    /// A sink over an arbitrary writer.
+    #[must_use]
+    pub fn from_writer(out: Box<dyn Write + Send>) -> Self {
+        Self {
+            out: BufWriter::new(out),
+        }
+    }
+}
+
+impl EventSink for JsonlSink {
+    fn write_line(&mut self, line: &str) {
+        // Trace output is best-effort: a full disk must not take down the
+        // optimization it was observing.
+        let _ = writeln!(self.out, "{line}");
+    }
+
+    fn flush(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+/// An in-memory sink for tests: lines land in a shared vector.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    lines: Arc<Mutex<Vec<String>>>,
+}
+
+impl MemorySink {
+    /// A fresh, empty sink.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A handle to the captured lines, alive after the sink is installed.
+    #[must_use]
+    pub fn lines(&self) -> Arc<Mutex<Vec<String>>> {
+        Arc::clone(&self.lines)
+    }
+}
+
+impl EventSink for MemorySink {
+    fn write_line(&mut self, line: &str) {
+        self.lines.lock().expect("sink lock").push(line.to_string());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_sink_captures_lines() {
+        let mut sink = MemorySink::new();
+        let lines = sink.lines();
+        sink.write_line("{\"a\":1}");
+        sink.write_line("{\"b\":2}");
+        sink.flush();
+        assert_eq!(lines.lock().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn jsonl_sink_writes_newline_separated_lines() {
+        let path = std::env::temp_dir().join("svtox_obs_sink_test.jsonl");
+        {
+            let mut sink = JsonlSink::to_file(&path).unwrap();
+            sink.write_line("{\"x\":1}");
+            sink.write_line("{\"y\":2}");
+            sink.flush();
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, "{\"x\":1}\n{\"y\":2}\n");
+        std::fs::remove_file(&path).ok();
+    }
+}

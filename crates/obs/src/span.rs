@@ -1,0 +1,100 @@
+//! Hierarchical spans with monotonic timing.
+//!
+//! A span measures one phase (`optimizer.heuristic1`, `exec.map_tasks`, …)
+//! from creation to drop. Nesting is tracked per thread: a span opened
+//! while another is live on the same thread records it as its parent, so a
+//! trace reconstructs the phase tree without any global coordination.
+
+use std::cell::RefCell;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use crate::ObsInner;
+
+thread_local! {
+    /// Ids of the spans currently open on this thread, outermost first.
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+/// An RAII guard measuring one span; emits a `span` event when dropped.
+///
+/// Obtained from [`crate::Obs::span`]. When the owning handle is disabled
+/// the guard is inert and costs nothing beyond its `Option` check.
+#[derive(Debug)]
+pub struct SpanGuard<'a> {
+    active: Option<ActiveSpan<'a>>,
+}
+
+#[derive(Debug)]
+struct ActiveSpan<'a> {
+    inner: &'a ObsInner,
+    name: String,
+    id: u64,
+    parent: Option<u64>,
+    start_us: u64,
+    start: Instant,
+}
+
+pub(crate) fn begin<'a>(inner: Option<&'a ObsInner>, name: &str) -> SpanGuard<'a> {
+    let Some(inner) = inner else {
+        return SpanGuard { active: None };
+    };
+    let id = inner.next_span_id();
+    let parent = SPAN_STACK.with(|stack| {
+        let mut stack = stack.borrow_mut();
+        let parent = stack.last().copied();
+        stack.push(id);
+        parent
+    });
+    SpanGuard {
+        active: Some(ActiveSpan {
+            inner,
+            name: name.to_string(),
+            id,
+            parent,
+            start_us: inner.now_us(),
+            start: Instant::now(),
+        }),
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        let Some(span) = self.active.take() else {
+            return;
+        };
+        SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            // Guards normally drop innermost-first; tolerate out-of-order
+            // drops by removing this id wherever it sits.
+            if let Some(pos) = stack.iter().rposition(|&id| id == span.id) {
+                stack.remove(pos);
+            }
+        });
+        let dur_us = span.start.elapsed().as_micros() as u64;
+        let mut line = String::with_capacity(128);
+        line.push_str("{\"type\":\"span\",\"name\":");
+        crate::json::escape_into(&mut line, &span.name);
+        let _ = write!(line, ",\"id\":{}", span.id);
+        match span.parent {
+            Some(p) => {
+                let _ = write!(line, ",\"parent\":{p}");
+            }
+            None => line.push_str(",\"parent\":null"),
+        }
+        let _ = write!(
+            line,
+            ",\"start_us\":{},\"dur_us\":{dur_us}}}",
+            span.start_us
+        );
+        span.inner.emit(&line);
+        // Cumulative per-name duration and count, for `--metrics` style
+        // summaries without a trace file.
+        span.inner
+            .registry()
+            .add(&format!("span.{}.count", span.name), 1);
+        span.inner
+            .registry()
+            .add(&format!("span.{}.us", span.name), dur_us);
+    }
+}

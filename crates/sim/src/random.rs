@@ -10,6 +10,7 @@ use svtox_cells::{Library, LibraryError};
 use svtox_exec::rng::{derive_seed, Xoshiro256pp};
 use svtox_exec::{map_tasks, Budget, ExecConfig};
 use svtox_netlist::Netlist;
+use svtox_obs::Obs;
 use svtox_tech::Current;
 
 use crate::two::Simulator;
@@ -106,14 +107,23 @@ pub fn random_average_leakage(
     num_vectors: usize,
     seed: u64,
 ) -> Result<LeakageTotals, LibraryError> {
-    random_average_leakage_parallel(netlist, library, num_vectors, seed, &ExecConfig::serial())
+    random_average_leakage_parallel(
+        netlist,
+        library,
+        num_vectors,
+        seed,
+        &ExecConfig::serial(),
+        Obs::disabled_ref(),
+    )
 }
 
 /// [`random_average_leakage`] spread over the workers of `exec`.
 ///
 /// Bit-identical to the serial estimate for any thread count: chunk `i`
 /// draws its vectors from a stream derived as `derive_seed(seed, i)` and
-/// the per-chunk sums are folded in chunk-index order.
+/// the per-chunk sums are folded in chunk-index order. With an enabled
+/// `obs` handle the run records a `sim.random_average` span and the
+/// `sim.vectors_sampled` counter (also thread-count invariant).
 ///
 /// # Errors
 ///
@@ -124,6 +134,7 @@ pub fn random_average_leakage_parallel(
     num_vectors: usize,
     seed: u64,
     exec: &ExecConfig,
+    obs: &Obs,
 ) -> Result<LeakageTotals, LibraryError> {
     assert!(num_vectors > 0, "need at least one vector");
     // Resolve each gate's cell once; per-vector work is pure table lookups.
@@ -131,13 +142,17 @@ pub fn random_average_leakage_parallel(
         .gates()
         .map(|(_, g)| library.cell(g.kind()))
         .collect::<Result<Vec<_>, _>>()?;
+    let _span = obs.span("sim.random_average");
     let num_chunks = num_vectors.div_ceil(CHUNK_SIZE);
     // The baseline is part of the answer, not a search: ignore any time
-    // budget on `exec` and always sample every chunk.
+    // budget on `exec` and always sample every chunk. Sampling tasks are
+    // pure table lookups, so a worker panic here is a bug, not a
+    // recoverable condition.
     let (partials, _stats) = map_tasks(
         exec,
         num_chunks,
         &Budget::unlimited(),
+        obs,
         |_worker| (Simulator::new(netlist), vec![false; netlist.num_inputs()]),
         |(sim, vector), chunk, _ws| {
             let start = chunk * CHUNK_SIZE;
@@ -158,7 +173,9 @@ pub fn random_average_leakage_parallel(
             }
             Some((sum_isub, sum_igate))
         },
-    );
+    )
+    .expect("sampling tasks do not panic");
+    obs.add("sim.vectors_sampled", num_vectors as u64);
     let mut sum_isub = 0.0;
     let mut sum_igate = 0.0;
     for (isub, igate) in partials.into_iter().flatten() {
@@ -263,6 +280,7 @@ mod tests {
                 600,
                 9,
                 &ExecConfig::with_threads(threads),
+                Obs::disabled_ref(),
             )
             .unwrap();
             assert_eq!(serial, par, "threads={threads}");

@@ -106,6 +106,25 @@ impl From<&StateOption> for GateConfig {
     }
 }
 
+/// Cumulative work counters of one analyzer.
+///
+/// Plain `Copy` data with no dependency on any metrics subsystem: callers
+/// that want these in a registry snapshot them before and after a phase
+/// and publish the delta. Cloning an analyzer clones its counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StaCounters {
+    /// Full (non-incremental) analyses: construction plus [`Sta::recompute`].
+    pub full_analyzes: u64,
+    /// Incremental flushes that had pending dirty gates to process.
+    pub flushes: u64,
+    /// Gate evaluations, across full analyses and incremental flushes
+    /// (a flush may re-evaluate more gates than were marked dirty, as
+    /// changes ripple through fanout).
+    pub gates_reevaluated: u64,
+    /// Largest dirty-set size observed at the start of a flush.
+    pub max_dirty: u64,
+}
+
 /// Per-net timing state: worst rise/fall arrivals and slews.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 struct NetTiming {
@@ -145,6 +164,7 @@ pub struct Sta<'a> {
     loads: Vec<Capacitance>,
     queued: Vec<bool>,
     dirty: Vec<GateId>,
+    counters: StaCounters,
 }
 
 impl<'a> Sta<'a> {
@@ -179,6 +199,7 @@ impl<'a> Sta<'a> {
             loads: vec![Capacitance::ZERO; netlist.num_nets()],
             queued: vec![false; netlist.num_gates()],
             dirty: Vec::new(),
+            counters: StaCounters::default(),
         };
         sta.full_analyze();
         Ok(sta)
@@ -188,6 +209,12 @@ impl<'a> Sta<'a> {
     #[must_use]
     pub fn netlist(&self) -> &'a Netlist {
         self.netlist
+    }
+
+    /// Cumulative work counters since construction.
+    #[must_use]
+    pub fn counters(&self) -> StaCounters {
+        self.counters
     }
 
     /// The current configuration of a gate.
@@ -400,11 +427,14 @@ impl<'a> Sta<'a> {
         if self.dirty.is_empty() {
             return;
         }
+        self.counters.flushes += 1;
+        self.counters.max_dirty = self.counters.max_dirty.max(self.dirty.len() as u64);
         let mut heap: BinaryHeap<Reverse<(u32, GateId)>> = BinaryHeap::new();
         for gid in std::mem::take(&mut self.dirty) {
             heap.push(Reverse((self.netlist.level(gid), gid)));
         }
         while let Some(Reverse((_lvl, gid))) = heap.pop() {
+            self.counters.gates_reevaluated += 1;
             self.queued[gid.index()] = false;
             let out = self.netlist.gate(gid).output();
             let new = self.evaluate_gate(gid);
@@ -421,6 +451,8 @@ impl<'a> Sta<'a> {
     }
 
     fn full_analyze(&mut self) {
+        self.counters.full_analyzes += 1;
+        self.counters.gates_reevaluated += self.netlist.num_gates() as u64;
         for (nid, _) in self.netlist.nets() {
             self.refresh_load(nid);
         }
@@ -745,6 +777,37 @@ mod tests {
         }
         // Path length is bounded by the logic depth.
         assert!(path.len() <= n.depth());
+    }
+
+    #[test]
+    fn counters_track_full_and_incremental_work() {
+        let lib = library();
+        let n = benchmark("c432").unwrap();
+        let mut sta = Sta::new(&n, &lib, TimingConfig::default()).unwrap();
+        let after_new = sta.counters();
+        assert_eq!(after_new.full_analyzes, 1);
+        assert_eq!(after_new.gates_reevaluated, n.num_gates() as u64);
+        assert_eq!(after_new.flushes, 0);
+        // One gate change → one flush, at least one re-evaluation, and a
+        // dirty high-water mark covering the seeded gates.
+        let gid = n.topo_order()[0];
+        let gate = n.gate(gid);
+        let cell = lib.cell(gate.kind()).unwrap();
+        sta.set_gate(
+            gid,
+            GateConfig::identity(cell.all_slow_version(), gate.kind().arity()),
+        );
+        sta.max_delay();
+        let after_edit = sta.counters();
+        assert_eq!(after_edit.flushes, 1);
+        assert!(after_edit.gates_reevaluated > after_new.gates_reevaluated);
+        assert!(after_edit.max_dirty >= 1);
+        // A query with nothing dirty is not a flush.
+        sta.max_delay();
+        assert_eq!(sta.counters().flushes, 1);
+        // recompute() is a full analysis.
+        sta.recompute();
+        assert_eq!(sta.counters().full_analyzes, 2);
     }
 
     #[test]
