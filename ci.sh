@@ -17,6 +17,12 @@ cargo build --release --workspace --all-targets
 echo "==> cargo test"
 cargo test --workspace --release -q
 
+echo "==> property check (svtox-check differential oracles)"
+# Replays tests/corpus/ first (if any .case files exist), then fresh cases.
+# A property violation exits non-zero with the shrunk counterexample.
+cargo run --release -p svtox-cli --bin svtox -- \
+  check --cases 64 --seed 4 --threads 4 --corpus tests/corpus
+
 echo "==> suite smoke run (--quick, machine-readable)"
 cargo run --release -p svtox-bench --bin suite -- --quick --threads 0 --json > /dev/null
 

@@ -1,0 +1,104 @@
+//! Failure persistence: shrunk counterexamples as replayable corpus files.
+//!
+//! Each failure is stored as `<property>-<stream_seed>.case` under the
+//! corpus directory (`tests/corpus/` in this repository). The load-bearing
+//! content is two `key = value` lines — the property name and the per-case
+//! stream seed — because a case is a pure function of its stream seed: the
+//! runner regenerates the value, re-runs the property, and re-shrinks
+//! deterministically. The shrunk value and message ride along as comments
+//! for the human reading the file.
+
+use std::fs;
+use std::path::Path;
+
+use crate::report::Counterexample;
+
+/// Stream seeds of all stored cases for `property`, sorted for
+/// deterministic replay order. Unreadable or foreign files are skipped.
+#[must_use]
+pub fn stored_seeds(dir: &Path, property: &str) -> Vec<u64> {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return Vec::new();
+    };
+    let mut seeds: Vec<u64> = entries
+        .filter_map(Result::ok)
+        .filter_map(|e| {
+            let name = e.file_name().into_string().ok()?;
+            if !name.ends_with(".case") {
+                return None;
+            }
+            let text = fs::read_to_string(e.path()).ok()?;
+            let mut stored_property = None;
+            let mut stream_seed = None;
+            for line in text.lines() {
+                if let Some((key, value)) = line.split_once('=') {
+                    match key.trim() {
+                        "property" => stored_property = Some(value.trim().to_string()),
+                        "stream-seed" => stream_seed = value.trim().parse::<u64>().ok(),
+                        _ => {}
+                    }
+                }
+            }
+            (stored_property.as_deref() == Some(property)).then_some(stream_seed)?
+        })
+        .collect();
+    seeds.sort_unstable();
+    seeds.dedup();
+    seeds
+}
+
+/// Persists a counterexample for `property`, creating the directory if
+/// needed. Failures to write are reported, not fatal: a read-only checkout
+/// still runs the suite.
+pub fn store(dir: &Path, property: &str, cx: &Counterexample) -> std::io::Result<()> {
+    fs::create_dir_all(dir)?;
+    // Property names may contain separators; keep the file name flat.
+    let flat: String = property
+        .chars()
+        .map(|c| if c.is_alphanumeric() { c } else { '_' })
+        .collect();
+    let path = dir.join(format!("{flat}-{}.case", cx.stream_seed));
+    let mut text = String::new();
+    text.push_str(&format!("property = {property}\n"));
+    text.push_str(&format!("stream-seed = {}\n", cx.stream_seed));
+    text.push_str(&format!("# message: {}\n", cx.message.replace('\n', " ")));
+    text.push_str(&format!("# shrunk: {}\n", cx.value.replace('\n', " ")));
+    fs::write(path, text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cx(seed: u64) -> Counterexample {
+        Counterexample {
+            stream_seed: seed,
+            case: Some(0),
+            shrink_attempts: 3,
+            shrink_steps: 1,
+            value: "7".into(),
+            message: "multi\nline".into(),
+        }
+    }
+
+    #[test]
+    fn store_then_load_round_trips_and_filters_by_property() {
+        let dir = std::env::temp_dir().join("svtox_check_corpus_test");
+        let _ = fs::remove_dir_all(&dir);
+        store(&dir, "p.one", &cx(11)).unwrap();
+        store(&dir, "p.one", &cx(5)).unwrap();
+        store(&dir, "p.two", &cx(99)).unwrap();
+        fs::write(dir.join("README.md"), "not a case").unwrap();
+        fs::write(dir.join("broken.case"), "no keys here").unwrap();
+        assert_eq!(stored_seeds(&dir, "p.one"), vec![5, 11]);
+        assert_eq!(stored_seeds(&dir, "p.two"), vec![99]);
+        assert!(stored_seeds(&dir, "p.three").is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_directory_is_an_empty_corpus() {
+        let dir = std::env::temp_dir().join("svtox_check_no_such_corpus");
+        assert!(stored_seeds(&dir, "p").is_empty());
+    }
+}

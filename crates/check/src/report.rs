@@ -1,0 +1,181 @@
+//! Per-property reports: pass/fail status, shrunk counterexamples, and
+//! text/JSON rendering.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use svtox_obs::json::Value;
+
+/// A shrunk failing case.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Counterexample {
+    /// The per-case stream seed: `svtox check --replay <seed>` regenerates
+    /// this exact case, independent of `--cases` and `--seed`.
+    pub stream_seed: u64,
+    /// Index of the failing case in the run, if it came from fresh
+    /// generation (`None` when replayed from the corpus).
+    pub case: Option<usize>,
+    /// Shrink candidates tried.
+    pub shrink_attempts: usize,
+    /// Accepted shrink steps (how many times the value got smaller).
+    pub shrink_steps: usize,
+    /// Debug rendering of the shrunk value.
+    pub value: String,
+    /// The property's failure message for the shrunk value.
+    pub message: String,
+}
+
+/// The outcome of checking one property.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PropertyReport {
+    /// Property name (e.g. `sim.tri_covers_two`).
+    pub name: String,
+    /// Fresh cases executed.
+    pub cases: usize,
+    /// Corpus cases replayed before fresh generation.
+    pub replayed: usize,
+    /// Cases skipped because the execution budget expired.
+    pub skipped: usize,
+    /// The shrunk counterexample, if the property failed.
+    pub failure: Option<Counterexample>,
+}
+
+impl PropertyReport {
+    /// `true` when no counterexample was found.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.failure.is_none()
+    }
+}
+
+/// Renders reports as a human-readable table plus counterexample blocks.
+#[must_use]
+pub fn render_text(reports: &[PropertyReport]) -> String {
+    let mut out = String::new();
+    let width = reports.iter().map(|r| r.name.len()).max().unwrap_or(8);
+    for r in reports {
+        let status = if r.passed() { "ok" } else { "FAIL" };
+        let _ = writeln!(
+            out,
+            "{:<width$}  {:>5} cases  {:>3} replayed  {status}",
+            r.name, r.cases, r.replayed,
+        );
+    }
+    for r in reports {
+        if let Some(cx) = &r.failure {
+            let _ = writeln!(out, "\n{} failed:", r.name);
+            let _ = writeln!(out, "  message : {}", cx.message);
+            let _ = writeln!(
+                out,
+                "  shrunk  : {} ({} steps over {} attempts)",
+                cx.value, cx.shrink_steps, cx.shrink_attempts
+            );
+            let _ = writeln!(
+                out,
+                "  repro   : svtox check --property {} --replay {}",
+                r.name, cx.stream_seed
+            );
+        }
+    }
+    out
+}
+
+/// Renders reports as one deterministic JSON document (no timings, so the
+/// output is byte-identical across worker counts for the same seed).
+#[must_use]
+pub fn render_json(seed: u64, reports: &[PropertyReport]) -> Value {
+    let properties = reports
+        .iter()
+        .map(|r| {
+            let mut obj = BTreeMap::new();
+            obj.insert("name".into(), Value::Str(r.name.clone()));
+            obj.insert("cases".into(), Value::Num(r.cases as f64));
+            obj.insert("replayed".into(), Value::Num(r.replayed as f64));
+            obj.insert("skipped".into(), Value::Num(r.skipped as f64));
+            obj.insert(
+                "status".into(),
+                Value::Str(if r.passed() { "pass" } else { "fail" }.into()),
+            );
+            if let Some(cx) = &r.failure {
+                let mut c = BTreeMap::new();
+                // Stream seeds use the full u64 range; JSON numbers only
+                // hold 53 bits exactly, so the seed travels as a string.
+                c.insert("stream_seed".into(), Value::Str(cx.stream_seed.to_string()));
+                if let Some(case) = cx.case {
+                    c.insert("case".into(), Value::Num(case as f64));
+                }
+                c.insert("shrink_steps".into(), Value::Num(cx.shrink_steps as f64));
+                c.insert(
+                    "shrink_attempts".into(),
+                    Value::Num(cx.shrink_attempts as f64),
+                );
+                c.insert("value".into(), Value::Str(cx.value.clone()));
+                c.insert("message".into(), Value::Str(cx.message.clone()));
+                obj.insert("counterexample".into(), Value::Obj(c));
+            }
+            Value::Obj(obj)
+        })
+        .collect();
+    let mut root = BTreeMap::new();
+    root.insert("type".into(), Value::Str("check-report".into()));
+    root.insert("seed".into(), Value::Str(seed.to_string()));
+    root.insert(
+        "failures".into(),
+        Value::Num(reports.iter().filter(|r| !r.passed()).count() as f64),
+    );
+    root.insert("properties".into(), Value::Arr(properties));
+    Value::Obj(root)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<PropertyReport> {
+        vec![
+            PropertyReport {
+                name: "a.green".into(),
+                cases: 4,
+                replayed: 1,
+                skipped: 0,
+                failure: None,
+            },
+            PropertyReport {
+                name: "b.red".into(),
+                cases: 4,
+                replayed: 0,
+                skipped: 2,
+                failure: Some(Counterexample {
+                    stream_seed: 42,
+                    case: Some(3),
+                    shrink_attempts: 10,
+                    shrink_steps: 2,
+                    value: "Spec { gates: 1 }".into(),
+                    message: "boom".into(),
+                }),
+            },
+        ]
+    }
+
+    #[test]
+    fn text_report_includes_status_and_repro_line() {
+        let text = render_text(&sample());
+        assert!(text.contains("a.green"));
+        assert!(text.contains("ok"));
+        assert!(text.contains("b.red failed:"));
+        assert!(text.contains("--property b.red --replay 42"));
+    }
+
+    #[test]
+    fn json_report_round_trips_and_counts_failures() {
+        let doc = render_json(4, &sample());
+        let text = doc.to_string();
+        let parsed = svtox_obs::json::parse(&text).unwrap();
+        assert_eq!(parsed.get("failures").and_then(Value::as_f64), Some(1.0));
+        assert_eq!(
+            parsed.get("seed").and_then(Value::as_str),
+            Some("4"),
+            "seed travels as a string"
+        );
+    }
+}

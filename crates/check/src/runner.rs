@@ -1,0 +1,407 @@
+//! The property runner: corpus replay, parallel case execution, and
+//! greedy shrinking.
+//!
+//! Determinism contract: case `i` of a run draws its value from a fresh
+//! generator seeded with `derive_seed(config.seed, i)`. Cases are fanned
+//! out through [`svtox_exec::map_tasks`], whose results come back in task
+//! order, so the *first failing case index* — and therefore the reported
+//! counterexample, which is shrunk serially — is identical for any worker
+//! count. Reports carry no timings for the same reason.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+
+use svtox_exec::rng::{derive_seed, Xoshiro256pp};
+use svtox_exec::{map_tasks, ExecConfig};
+use svtox_obs::Obs;
+
+use crate::corpus;
+use crate::report::{Counterexample, PropertyReport};
+use crate::strategy::Strategy;
+
+/// Configuration of a check run.
+#[derive(Debug, Clone)]
+pub struct CheckConfig {
+    /// Fresh cases per property.
+    pub cases: usize,
+    /// Base seed; case `i` uses stream `derive_seed(seed, i)`.
+    pub seed: u64,
+    /// Maximum shrink candidates to try per failure.
+    pub shrink_limit: usize,
+    /// Execution engine configuration (threads, optional wall-clock
+    /// budget). With a budget, late cases may be skipped when it expires.
+    pub exec: ExecConfig,
+    /// Corpus directory for replay-first and failure persistence.
+    pub corpus_dir: Option<PathBuf>,
+    /// Replay exactly this stream seed instead of generating fresh cases.
+    pub replay: Option<u64>,
+}
+
+impl CheckConfig {
+    /// A serial configuration with the default shrink limit.
+    #[must_use]
+    pub fn new(cases: usize, seed: u64) -> Self {
+        Self {
+            cases,
+            seed,
+            shrink_limit: 1024,
+            exec: ExecConfig::serial(),
+            corpus_dir: None,
+            replay: None,
+        }
+    }
+
+    /// Sets the worker count (`0` = one per CPU).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        let budget = self.exec.time_budget();
+        self.exec = ExecConfig::with_threads(threads);
+        if let Some(budget) = budget {
+            self.exec = self.exec.with_time_budget(budget);
+        }
+        self
+    }
+
+    /// Sets the corpus directory.
+    #[must_use]
+    pub fn with_corpus(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.corpus_dir = Some(dir.into());
+        self
+    }
+}
+
+/// Runs `property` against `cases` strategy-generated values: corpus
+/// replay first, then fresh cases under the execution engine, then greedy
+/// shrinking of the first failure. New failures are persisted to the
+/// corpus.
+pub fn check_property<S, F>(
+    name: &str,
+    strategy: &S,
+    property: F,
+    config: &CheckConfig,
+) -> PropertyReport
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> Result<(), String> + Sync,
+{
+    let mut report = PropertyReport {
+        name: name.to_string(),
+        cases: 0,
+        replayed: 0,
+        skipped: 0,
+        failure: None,
+    };
+
+    // An explicit replay request bypasses everything else.
+    if let Some(stream_seed) = config.replay {
+        report.replayed = 1;
+        report.failure = run_case(strategy, &property, stream_seed, None, config.shrink_limit);
+        return report;
+    }
+
+    // 1. Corpus replay: known-bad cases run before any fresh generation.
+    if let Some(dir) = &config.corpus_dir {
+        for stream_seed in corpus::stored_seeds(dir, name) {
+            report.replayed += 1;
+            if report.failure.is_none() {
+                report.failure =
+                    run_case(strategy, &property, stream_seed, None, config.shrink_limit);
+            }
+        }
+        if report.failure.is_some() {
+            return report;
+        }
+    }
+
+    // 2. Fresh cases, fanned out across the engine. Tasks return the
+    // failure message only; the value is regenerated from the stream seed
+    // during shrinking, so nothing large crosses threads.
+    let results = map_tasks(
+        &config.exec,
+        config.cases,
+        &config.exec.budget(),
+        Obs::disabled_ref(),
+        |_worker| (),
+        |(), case, _stats| {
+            let stream_seed = derive_seed(config.seed, case as u64);
+            let value = generate_at(strategy, stream_seed);
+            Some(run_guarded(&property, &value).err())
+        },
+    );
+    let results = match results {
+        Ok((results, _stats)) => results,
+        Err(e) => {
+            // The engine itself failed (worker panic outside the property
+            // guard): report it as a non-shrinkable failure.
+            report.failure = Some(Counterexample {
+                stream_seed: config.seed,
+                case: None,
+                shrink_attempts: 0,
+                shrink_steps: 0,
+                value: "<execution engine>".into(),
+                message: format!("engine error: {e}"),
+            });
+            return report;
+        }
+    };
+
+    let mut first_failure = None;
+    for (case, outcome) in results.iter().enumerate() {
+        match outcome {
+            None => report.skipped += 1,
+            Some(None) => report.cases += 1,
+            Some(Some(_)) => {
+                report.cases += 1;
+                if first_failure.is_none() {
+                    first_failure = Some(case);
+                }
+            }
+        }
+    }
+
+    // 3. Shrink the earliest failure serially (deterministic), then
+    // persist it for replay-first on the next run.
+    if let Some(case) = first_failure {
+        let stream_seed = derive_seed(config.seed, case as u64);
+        report.failure = run_case(
+            strategy,
+            &property,
+            stream_seed,
+            Some(case),
+            config.shrink_limit,
+        );
+        if let (Some(dir), Some(cx)) = (&config.corpus_dir, &report.failure) {
+            if let Err(e) = corpus::store(dir, name, cx) {
+                eprintln!("svtox-check: cannot persist corpus case: {e}");
+            }
+        }
+    }
+    report
+}
+
+/// Generates the value of one case from its stream seed.
+fn generate_at<S: Strategy>(strategy: &S, stream_seed: u64) -> S::Value {
+    let mut rng = Xoshiro256pp::seed_from_u64(stream_seed);
+    strategy.generate(&mut rng)
+}
+
+/// Runs the property with a panic guard: a panicking property is a
+/// failing property, and shrinks like any other failure.
+fn run_guarded<V, F>(property: &F, value: &V) -> Result<(), String>
+where
+    F: Fn(&V) -> Result<(), String>,
+{
+    match catch_unwind(AssertUnwindSafe(|| property(value))) {
+        Ok(outcome) => outcome,
+        Err(payload) => {
+            let message = payload
+                .downcast_ref::<&str>()
+                .map(ToString::to_string)
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "opaque panic payload".into());
+            Err(format!("property panicked: {message}"))
+        }
+    }
+}
+
+/// Regenerates one case, checks it, and greedily shrinks any failure.
+fn run_case<S, F>(
+    strategy: &S,
+    property: &F,
+    stream_seed: u64,
+    case: Option<usize>,
+    shrink_limit: usize,
+) -> Option<Counterexample>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> Result<(), String> + Sync,
+{
+    let value = generate_at(strategy, stream_seed);
+    let message = run_guarded(property, &value).err()?;
+    let mut current = value;
+    let mut current_message = message;
+    let mut attempts = 0;
+    let mut steps = 0;
+    // Greedy descent: take the first failing candidate of each round and
+    // restart from it; stop at a round with no failing candidate (a local
+    // minimum) or at the attempt limit.
+    'descend: while attempts < shrink_limit {
+        for candidate in strategy.shrink(&current) {
+            if attempts >= shrink_limit {
+                break 'descend;
+            }
+            attempts += 1;
+            if let Err(msg) = run_guarded(property, &candidate) {
+                current = candidate;
+                current_message = msg;
+                steps += 1;
+                continue 'descend;
+            }
+        }
+        break;
+    }
+    Some(Counterexample {
+        stream_seed,
+        case,
+        shrink_attempts: attempts,
+        shrink_steps: steps,
+        value: format!("{current:?}"),
+        message: current_message,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::{int_range, vec_of};
+
+    #[test]
+    fn passing_property_reports_all_cases_green() {
+        let report = check_property(
+            "unit.pass",
+            &int_range(0, 100),
+            |_| Ok(()),
+            &CheckConfig::new(32, 1),
+        );
+        assert!(report.passed());
+        assert_eq!(report.cases, 32);
+        assert_eq!(report.replayed, 0);
+    }
+
+    #[test]
+    fn failure_shrinks_to_the_boundary() {
+        // Fails for any value >= 7: the shrinker must land exactly on 7.
+        let report = check_property(
+            "unit.boundary",
+            &int_range(0, 1000),
+            |&v| {
+                if v >= 7 {
+                    Err(format!("{v} too big"))
+                } else {
+                    Ok(())
+                }
+            },
+            &CheckConfig::new(64, 2),
+        );
+        let cx = report.failure.expect("must fail");
+        assert_eq!(cx.value, "7", "shrunk to the failure boundary");
+        assert!(cx.shrink_steps > 0);
+    }
+
+    #[test]
+    fn vec_failures_shrink_to_a_minimal_witness() {
+        // Fails when any element is >= 5: minimal witness is a vec [5].
+        let report = check_property(
+            "unit.vec",
+            &vec_of(int_range(0, 9), 1, 12),
+            |v: &Vec<usize>| {
+                if v.iter().any(|&x| x >= 5) {
+                    Err("contains big".into())
+                } else {
+                    Ok(())
+                }
+            },
+            &CheckConfig::new(64, 3),
+        );
+        let cx = report.failure.expect("must fail");
+        assert_eq!(cx.value, "[5]", "shrunk to the single minimal element");
+    }
+
+    #[test]
+    fn panics_are_failures_and_shrink_like_failures() {
+        let report = check_property(
+            "unit.panic",
+            &int_range(0, 100),
+            |&v| {
+                assert!(v < 10, "boom at {v}");
+                Ok(())
+            },
+            &CheckConfig::new(64, 4),
+        );
+        let cx = report.failure.expect("must fail");
+        assert_eq!(cx.value, "10");
+        assert!(cx.message.contains("property panicked"));
+        assert!(cx.message.contains("boom at 10"));
+    }
+
+    #[test]
+    fn reports_are_identical_for_any_worker_count() {
+        let run = |threads| {
+            check_property(
+                "unit.threads",
+                &int_range(0, 10_000),
+                |&v| {
+                    if v >= 9_000 {
+                        Err("hit".into())
+                    } else {
+                        Ok(())
+                    }
+                },
+                &CheckConfig::new(256, 5).with_threads(threads),
+            )
+        };
+        let serial = run(1);
+        assert!(serial.failure.is_some());
+        for threads in [2, 4] {
+            assert_eq!(run(threads), serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn corpus_failures_replay_before_fresh_cases() {
+        let dir = std::env::temp_dir().join("svtox_check_runner_corpus");
+        let _ = std::fs::remove_dir_all(&dir);
+        let config = CheckConfig::new(64, 6).with_corpus(&dir);
+        // First run fails somewhere and persists the case.
+        let failing = check_property(
+            "unit.corpus",
+            &int_range(0, 1000),
+            |&v| if v >= 3 { Err("big".into()) } else { Ok(()) },
+            &config,
+        );
+        let first = failing.failure.expect("must fail");
+        assert_eq!(corpus::stored_seeds(&dir, "unit.corpus").len(), 1);
+        // Second run replays the stored case before any fresh generation
+        // and reproduces the same shrunk counterexample.
+        let replayed = check_property(
+            "unit.corpus",
+            &int_range(0, 1000),
+            |&v| if v >= 3 { Err("big".into()) } else { Ok(()) },
+            &config,
+        );
+        assert_eq!(replayed.replayed, 1);
+        assert_eq!(replayed.cases, 0, "replay short-circuits fresh cases");
+        let second = replayed.failure.expect("still fails");
+        assert_eq!(second.stream_seed, first.stream_seed);
+        assert_eq!(second.value, first.value);
+        // Once fixed, the stored case replays green and fresh cases run.
+        let fixed = check_property("unit.corpus", &int_range(0, 1000), |_| Ok(()), &config);
+        assert!(fixed.passed());
+        assert_eq!(fixed.replayed, 1);
+        assert_eq!(fixed.cases, 64);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn replay_mode_runs_exactly_one_case() {
+        let mut config = CheckConfig::new(64, 7);
+        // Find a failing stream seed first.
+        let probe = check_property(
+            "unit.replay",
+            &int_range(0, 1000),
+            |&v| if v >= 2 { Err("big".into()) } else { Ok(()) },
+            &config,
+        );
+        let seed = probe.failure.expect("must fail").stream_seed;
+        config.replay = Some(seed);
+        let report = check_property(
+            "unit.replay",
+            &int_range(0, 1000),
+            |&v| if v >= 2 { Err("big".into()) } else { Ok(()) },
+            &config,
+        );
+        assert_eq!(report.cases, 0);
+        assert_eq!(report.replayed, 1);
+        assert_eq!(report.failure.expect("reproduces").value, "2");
+    }
+}

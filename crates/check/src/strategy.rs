@@ -1,0 +1,334 @@
+//! Composable value strategies: random generation plus shrinking.
+//!
+//! A [`Strategy`] owns both halves of a property-test case's life cycle:
+//! drawing a random value from a seeded [`Xoshiro256pp`], and proposing
+//! *smaller* variants of a failing value for the shrinker. Shrink
+//! candidates are ordered most-aggressive-first (jump to the minimum, then
+//! halve, then step), which gives the greedy shrinker in
+//! [`crate::runner`] binary-search behaviour on scalars and
+//! subset-then-element behaviour on collections.
+
+use std::fmt::Debug;
+
+use svtox_exec::rng::Xoshiro256pp;
+
+/// A generator-plus-shrinker for one value type.
+pub trait Strategy: Sync {
+    /// The generated value type.
+    type Value: Clone + Debug + Send;
+
+    /// Draws a value from the generator stream.
+    fn generate(&self, rng: &mut Xoshiro256pp) -> Self::Value;
+
+    /// Proposes strictly "smaller" variants of a failing value, most
+    /// aggressive first. An empty vector means the value is minimal.
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let _ = value;
+        Vec::new()
+    }
+}
+
+/// Uniform integers in `lo..=hi`, shrinking by binary search toward `lo`.
+#[derive(Debug, Clone, Copy)]
+pub struct IntRange {
+    lo: usize,
+    hi: usize,
+}
+
+/// Uniform integers in `lo..=hi` (inclusive; `lo <= hi` required).
+#[must_use]
+pub fn int_range(lo: usize, hi: usize) -> IntRange {
+    assert!(lo <= hi, "int_range({lo}, {hi}) is empty");
+    IntRange { lo, hi }
+}
+
+impl Strategy for IntRange {
+    type Value = usize;
+
+    fn generate(&self, rng: &mut Xoshiro256pp) -> usize {
+        self.lo + rng.gen_index(self.hi - self.lo + 1)
+    }
+
+    fn shrink(&self, value: &usize) -> Vec<usize> {
+        let v = *value;
+        if v <= self.lo {
+            return Vec::new();
+        }
+        let mut out = vec![self.lo];
+        let half = self.lo + (v - self.lo) / 2;
+        if half != self.lo && half != v {
+            out.push(half);
+        }
+        if v - 1 != half {
+            out.push(v - 1);
+        }
+        out
+    }
+}
+
+/// An arbitrary `u64`, typically a derived seed. Shrinks by halving toward
+/// zero (smaller seeds are not semantically simpler, but a canonical
+/// direction keeps shrinking deterministic).
+#[derive(Debug, Clone, Copy)]
+pub struct AnyU64;
+
+impl Strategy for AnyU64 {
+    type Value = u64;
+
+    fn generate(&self, rng: &mut Xoshiro256pp) -> u64 {
+        rng.next_u64()
+    }
+
+    fn shrink(&self, value: &u64) -> Vec<u64> {
+        match *value {
+            0 => Vec::new(),
+            1 => vec![0],
+            v => vec![0, v / 2],
+        }
+    }
+}
+
+/// A uniform pick from a fixed slice, shrinking toward earlier entries
+/// (order the slice simplest-first).
+#[derive(Debug, Clone, Copy)]
+pub struct Choice<'a, T> {
+    items: &'a [T],
+}
+
+/// A uniform pick from `items` (non-empty required).
+#[must_use]
+pub fn choice<T>(items: &[T]) -> Choice<'_, T> {
+    assert!(!items.is_empty(), "choice over an empty slice");
+    Choice { items }
+}
+
+impl<T: Clone + Debug + Send + Sync + PartialEq> Strategy for Choice<'_, T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut Xoshiro256pp) -> T {
+        self.items[rng.gen_index(self.items.len())].clone()
+    }
+
+    fn shrink(&self, value: &T) -> Vec<T> {
+        match self.items.iter().position(|i| i == value) {
+            Some(pos) => self.items[..pos].to_vec(),
+            None => Vec::new(),
+        }
+    }
+}
+
+/// A weighted union over a fixed slice of `(weight, value)` pairs,
+/// shrinking toward earlier entries regardless of weight.
+#[derive(Debug, Clone, Copy)]
+pub struct Weighted<'a, T> {
+    items: &'a [(f64, T)],
+}
+
+/// A weighted pick from `items` (non-empty, positive total weight).
+#[must_use]
+pub fn weighted<T>(items: &[(f64, T)]) -> Weighted<'_, T> {
+    assert!(
+        items.iter().map(|(w, _)| *w).sum::<f64>() > 0.0,
+        "weighted union needs positive total weight"
+    );
+    Weighted { items }
+}
+
+impl<T: Clone + Debug + Send + Sync + PartialEq> Strategy for Weighted<'_, T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut Xoshiro256pp) -> T {
+        let total: f64 = self.items.iter().map(|(w, _)| *w).sum();
+        let mut x = rng.gen_range_f64(0.0, total);
+        for (w, item) in self.items {
+            if x < *w {
+                return item.clone();
+            }
+            x -= w;
+        }
+        self.items[self.items.len() - 1].1.clone()
+    }
+
+    fn shrink(&self, value: &T) -> Vec<T> {
+        match self.items.iter().position(|(_, i)| i == value) {
+            Some(pos) => self.items[..pos].iter().map(|(_, i)| i.clone()).collect(),
+            None => Vec::new(),
+        }
+    }
+}
+
+/// A vector of values from an element strategy, with a uniform length in
+/// `min_len..=max_len`. Shrinks by subsetting first (drop half, drop one
+/// element at each index), then by shrinking individual elements in place.
+#[derive(Debug, Clone, Copy)]
+pub struct VecOf<S> {
+    elem: S,
+    min_len: usize,
+    max_len: usize,
+}
+
+/// A vector of `elem` values with length in `min_len..=max_len`.
+#[must_use]
+pub fn vec_of<S: Strategy>(elem: S, min_len: usize, max_len: usize) -> VecOf<S> {
+    assert!(min_len <= max_len, "vec_of({min_len}, {max_len}) is empty");
+    VecOf {
+        elem,
+        min_len,
+        max_len,
+    }
+}
+
+impl<S: Strategy> Strategy for VecOf<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut Xoshiro256pp) -> Vec<S::Value> {
+        let len = self.min_len + rng.gen_index(self.max_len - self.min_len + 1);
+        (0..len).map(|_| self.elem.generate(rng)).collect()
+    }
+
+    fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+        let mut out = Vec::new();
+        let len = value.len();
+        // Subset shrinking: halves, then single-element removals.
+        if len > self.min_len {
+            let keep = self.min_len.max(len / 2);
+            if keep < len {
+                out.push(value[..keep].to_vec());
+                out.push(value[len - keep..].to_vec());
+            }
+            for i in 0..len {
+                let mut v = value.clone();
+                v.remove(i);
+                out.push(v);
+            }
+        }
+        // Element shrinking, index by index.
+        for (i, elem) in value.iter().enumerate() {
+            for candidate in self.elem.shrink(elem) {
+                let mut v = value.clone();
+                v[i] = candidate;
+                out.push(v);
+            }
+        }
+        out
+    }
+}
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+
+    fn generate(&self, rng: &mut Xoshiro256pp) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng))
+    }
+
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let mut out: Vec<Self::Value> = self
+            .0
+            .shrink(&value.0)
+            .into_iter()
+            .map(|a| (a, value.1.clone()))
+            .collect();
+        out.extend(
+            self.1
+                .shrink(&value.1)
+                .into_iter()
+                .map(|b| (value.0.clone(), b)),
+        );
+        out
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+
+    fn generate(&self, rng: &mut Xoshiro256pp) -> Self::Value {
+        (
+            self.0.generate(rng),
+            self.1.generate(rng),
+            self.2.generate(rng),
+        )
+    }
+
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let mut out: Vec<Self::Value> = self
+            .0
+            .shrink(&value.0)
+            .into_iter()
+            .map(|a| (a, value.1.clone(), value.2.clone()))
+            .collect();
+        out.extend(
+            self.1
+                .shrink(&value.1)
+                .into_iter()
+                .map(|b| (value.0.clone(), b, value.2.clone())),
+        );
+        out.extend(
+            self.2
+                .shrink(&value.2)
+                .into_iter()
+                .map(|c| (value.0.clone(), value.1.clone(), c)),
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> Xoshiro256pp {
+        Xoshiro256pp::seed_from_u64(99)
+    }
+
+    #[test]
+    fn int_range_generates_in_bounds_and_shrinks_toward_lo() {
+        let s = int_range(10, 20);
+        let mut r = rng();
+        for _ in 0..200 {
+            let v = s.generate(&mut r);
+            assert!((10..=20).contains(&v));
+        }
+        let candidates = s.shrink(&20);
+        assert_eq!(candidates[0], 10, "first candidate jumps to the minimum");
+        assert!(candidates.contains(&15) && candidates.contains(&19));
+        assert!(s.shrink(&10).is_empty(), "minimum is a shrink fixpoint");
+    }
+
+    #[test]
+    fn choice_shrinks_toward_earlier_entries() {
+        let s = choice(&["a", "b", "c"]);
+        assert_eq!(s.shrink(&"c"), vec!["a", "b"]);
+        assert!(s.shrink(&"a").is_empty());
+    }
+
+    #[test]
+    fn weighted_respects_weights_roughly() {
+        let s = weighted(&[(0.9, 0u8), (0.1, 1u8)]);
+        let mut r = rng();
+        let ones = (0..5000).filter(|_| s.generate(&mut r) == 1).count();
+        assert!((300..800).contains(&ones), "10% weight drew {ones}/5000");
+        assert_eq!(s.shrink(&1), vec![0]);
+    }
+
+    #[test]
+    fn vec_of_shrinks_by_subset_then_element() {
+        let s = vec_of(int_range(0, 9), 1, 4);
+        let candidates = s.shrink(&vec![5, 7]);
+        assert!(candidates.contains(&vec![5]), "halving candidate");
+        assert!(candidates.contains(&vec![7]), "single-removal candidate");
+        assert!(candidates.contains(&vec![0, 7]), "element shrink candidate");
+        let mut r = rng();
+        for _ in 0..100 {
+            let v = s.generate(&mut r);
+            assert!((1..=4).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn tuples_shrink_one_component_at_a_time() {
+        let s = (int_range(0, 5), int_range(0, 5));
+        let candidates = s.shrink(&(3, 4));
+        assert!(candidates.iter().all(|&(a, b)| a == 3 || b == 4));
+        assert!(candidates.contains(&(0, 4)) && candidates.contains(&(3, 0)));
+    }
+}

@@ -1,0 +1,386 @@
+//! The built-in differential oracle suite.
+//!
+//! Each property pits two independent code paths against each other (or a
+//! cheap exhaustive enumeration against an optimized search) on randomly
+//! generated circuits, so a bug in either path surfaces as a disagreement
+//! and shrinks to a small witness:
+//!
+//! | property | oracle |
+//! |---|---|
+//! | `opt.heuristic_not_below_exact` | heuristic cost ≥ exact B&B cost; exact ≤ exhaustive all-fast enumeration; budgets met |
+//! | `opt.parallel_bit_identity` | serial `exact`/`heuristic2` vs `*_parallel` at 2–4 workers |
+//! | `sim.tri_covers_two` | `TriSimulator` possible-state sets vs two-valued `Simulator` |
+//! | `sta.incremental_equals_cold` | incremental arrival updates vs full recompute under random dirty-sets |
+//! | `sim.vector_leakage_consistent` | repeated evaluation, component sums, and `.bench` round-trip |
+//! | `parse.bench_never_panics` | mutated `.bench` text: typed errors only; `Ok` implies re-emittable |
+//! | `rng.gen_index_unbiased` | empirical uniformity of the workspace's index generator |
+//! | `tech.calibration_pinned` | the DESIGN.md device ratios, width-invariant |
+
+use std::time::Duration;
+
+use svtox_cells::InputState;
+use svtox_core::Problem;
+use svtox_exec::rng::Xoshiro256pp;
+use svtox_netlist::generators::random_dag;
+use svtox_netlist::parse_bench;
+use svtox_sim::{vector_leakage, Logic, Simulator, TriSimulator};
+use svtox_sta::{GateConfig, Sta, TimingConfig};
+use svtox_tech::{Current, Device, MosType, OxideClass, Technology, Time, Voltage, VtClass};
+
+use crate::domain::{random_circuit, test_library, BenchMutations, DagStrategy, OptConfigStrategy};
+use crate::report::PropertyReport;
+use crate::runner::{check_property, CheckConfig};
+use crate::strategy::{choice, int_range, AnyU64};
+
+/// Absolute slack for comparing leakage currents (nA scale).
+const LEAK_EPS: f64 = 1e-6;
+
+/// Runs every built-in property (optionally filtered by substring) under
+/// `config`. Heavy exact-oracle properties run a reduced case count so the
+/// suite stays within a CI budget; the reduction is deterministic.
+#[must_use]
+pub fn run_builtin_suite(config: &CheckConfig, filter: Option<&str>) -> Vec<PropertyReport> {
+    let scaled = |weight: f64| {
+        let mut c = config.clone();
+        c.cases = (((config.cases as f64) * weight).ceil() as usize).max(1);
+        c
+    };
+    let wanted = |name: &str| filter.is_none_or(|f| name.contains(f));
+    let mut reports = Vec::new();
+    let lib = test_library();
+
+    // --- Optimizer vs exact branch and bound, with an exhaustive
+    // enumeration as independent ground truth. -------------------------
+    if wanted("opt.heuristic_not_below_exact") {
+        let strategy = (DagStrategy::small(), OptConfigStrategy);
+        reports.push(check_property(
+            "opt.heuristic_not_below_exact",
+            &strategy,
+            |(spec, opt_config)| {
+                let n = random_dag(spec).map_err(|e| format!("generator: {e}"))?;
+                let problem =
+                    Problem::new(&n, &lib, TimingConfig::default()).map_err(|e| e.to_string())?;
+                let penalty = opt_config.delay_penalty();
+                let opt = problem.optimizer(penalty, opt_config.mode);
+                let exact = opt.exact(12).map_err(|e| format!("exact: {e}"))?;
+                let h1 = opt.heuristic1().map_err(|e| format!("heuristic1: {e}"))?;
+                exact
+                    .verify(&problem)
+                    .map_err(|e| format!("exact.verify: {e}"))?;
+                h1.verify(&problem).map_err(|e| format!("h1.verify: {e}"))?;
+                let budget = problem.delay_budget(penalty) + Time::new(1e-6);
+                if exact.delay > budget || h1.delay > budget {
+                    return Err(format!(
+                        "budget violated: exact {} / h1 {} vs {budget}",
+                        exact.delay, h1.delay
+                    ));
+                }
+                if h1.leakage.value() < exact.leakage.value() - LEAK_EPS {
+                    return Err(format!(
+                        "heuristic {} beat the exact optimum {}",
+                        h1.leakage, exact.leakage
+                    ));
+                }
+                // Independent exhaustive ground truth: enumerate every
+                // input state and take the best all-fast leakage through
+                // the simulator path. The exact search also optimizes the
+                // gate assignment, so it can never do worse.
+                let mut brute = Current::new(f64::INFINITY);
+                for bits in 0u64..(1 << n.num_inputs()) {
+                    let vector: Vec<bool> =
+                        (0..n.num_inputs()).map(|i| bits >> i & 1 == 1).collect();
+                    let total = vector_leakage(&n, &lib, &vector)
+                        .map_err(|e| e.to_string())?
+                        .total;
+                    brute = brute.min(total);
+                }
+                if exact.leakage.value() > brute.value() + LEAK_EPS {
+                    return Err(format!(
+                        "exact {} worse than exhaustive all-fast minimum {brute}",
+                        exact.leakage
+                    ));
+                }
+                Ok(())
+            },
+            &scaled(0.25),
+        ));
+    }
+
+    // --- Serial vs parallel bit-identity. ------------------------------
+    if wanted("opt.parallel_bit_identity") {
+        let strategy = (DagStrategy::small(), choice(&[2usize, 3, 4]));
+        reports.push(check_property(
+            "opt.parallel_bit_identity",
+            &strategy,
+            |(spec, threads)| {
+                let n = random_dag(spec).map_err(|e| format!("generator: {e}"))?;
+                let problem =
+                    Problem::new(&n, &lib, TimingConfig::default()).map_err(|e| e.to_string())?;
+                let opt = problem.optimizer(
+                    svtox_core::DelayPenalty::five_percent(),
+                    svtox_core::Mode::Proposed,
+                );
+                let exec = svtox_core::ExecConfig::with_threads(*threads);
+                let serial = opt.exact(12).map_err(|e| e.to_string())?;
+                let (parallel, _) = opt.exact_parallel(12, &exec).map_err(|e| e.to_string())?;
+                if parallel.vector != serial.vector
+                    || parallel.choices != serial.choices
+                    || parallel.leakage != serial.leakage
+                    || parallel.delay != serial.delay
+                {
+                    return Err(format!(
+                        "exact_parallel({threads}) diverged: {} vs serial {}",
+                        parallel.leakage, serial.leakage
+                    ));
+                }
+                let h2 = opt
+                    .heuristic2(Duration::from_secs(120))
+                    .map_err(|e| e.to_string())?;
+                let (h2p, _) = opt.heuristic2_parallel(&exec).map_err(|e| e.to_string())?;
+                if h2p.vector != h2.vector || h2p.choices != h2.choices || h2p.leakage != h2.leakage
+                {
+                    return Err(format!(
+                        "heuristic2_parallel({threads}) diverged: {} vs serial {}",
+                        h2p.leakage, h2.leakage
+                    ));
+                }
+                Ok(())
+            },
+            &scaled(0.25),
+        ));
+    }
+
+    // --- Three-valued vs two-valued simulation. ------------------------
+    if wanted("sim.tri_covers_two") {
+        let strategy = (
+            DagStrategy::medium(),
+            AnyU64,
+            choice(&[100usize, 0, 25, 50, 75]),
+        );
+        reports.push(check_property(
+            "sim.tri_covers_two",
+            &strategy,
+            |(spec, vector_bits, fill_pct)| {
+                let n = random_dag(spec).map_err(|e| format!("generator: {e}"))?;
+                let inputs = n.num_inputs();
+                let vector: Vec<bool> = (0..inputs)
+                    .map(|i| (vector_bits >> (i % 64)) & 1 == 1)
+                    .collect();
+                let decided = inputs * fill_pct / 100;
+                let mut tri = TriSimulator::new(&n);
+                for (i, &v) in vector.iter().enumerate().take(decided) {
+                    tri.set_input(i, Logic::from(v));
+                }
+                let mut two = Simulator::new(&n);
+                two.set_inputs(&vector);
+                for (gid, _) in n.gates() {
+                    let actual = two.gate_state(gid);
+                    let possible = tri.possible_states(gid);
+                    if !possible.contains(&actual) {
+                        return Err(format!(
+                            "gate {gid:?}: realized state {actual} not in possible set {possible:?}"
+                        ));
+                    }
+                    if decided == inputs && possible.len() != 1 {
+                        return Err(format!(
+                            "gate {gid:?}: fully decided inputs left {} possible states",
+                            possible.len()
+                        ));
+                    }
+                }
+                Ok(())
+            },
+            &scaled(1.0),
+        ));
+    }
+
+    // --- Incremental vs cold static timing analysis. -------------------
+    if wanted("sta.incremental_equals_cold") {
+        let strategy = (DagStrategy::medium(), AnyU64, int_range(1, 20));
+        reports.push(check_property(
+            "sta.incremental_equals_cold",
+            &strategy,
+            |(spec, flip_seed, num_flips)| {
+                let n = random_dag(spec).map_err(|e| format!("generator: {e}"))?;
+                let mut sta =
+                    Sta::new(&n, &lib, TimingConfig::default()).map_err(|e| e.to_string())?;
+                let mut rng = Xoshiro256pp::seed_from_u64(*flip_seed);
+                for _ in 0..*num_flips {
+                    let gid = n.topo_order()[rng.gen_index(n.num_gates())];
+                    let kind = n.gate(gid).kind();
+                    let cell = lib.cell(kind).map_err(|e| e.to_string())?;
+                    let arity = kind.arity();
+                    let state = InputState::from_bits(rng.gen_index(1 << arity) as u16, arity);
+                    let options = cell.options_for(state);
+                    let option = &options[rng.gen_index(options.len())];
+                    sta.set_gate(gid, GateConfig::from(option));
+                }
+                let incremental = sta.max_delay();
+                sta.recompute();
+                let cold = sta.max_delay();
+                if (incremental - cold).abs() >= 1e-6 {
+                    return Err(format!(
+                        "incremental {incremental} vs cold {cold} after {num_flips} flips"
+                    ));
+                }
+                Ok(())
+            },
+            &scaled(1.0),
+        ));
+    }
+
+    // --- Leakage evaluation consistency. -------------------------------
+    if wanted("sim.vector_leakage_consistent") {
+        let strategy = (DagStrategy::medium(), AnyU64);
+        reports.push(check_property(
+            "sim.vector_leakage_consistent",
+            &strategy,
+            |(spec, vector_bits)| {
+                let n = random_dag(spec).map_err(|e| format!("generator: {e}"))?;
+                let vector: Vec<bool> = (0..n.num_inputs())
+                    .map(|i| (vector_bits >> (i % 64)) & 1 == 1)
+                    .collect();
+                let first = vector_leakage(&n, &lib, &vector).map_err(|e| e.to_string())?;
+                let second = vector_leakage(&n, &lib, &vector).map_err(|e| e.to_string())?;
+                if first.total != second.total || first.isub != second.isub {
+                    return Err(format!(
+                        "re-evaluation drifted: {} vs {}",
+                        first.total, second.total
+                    ));
+                }
+                let sum = first.isub.value() + first.igate.value();
+                if (sum - first.total.value()).abs() > LEAK_EPS {
+                    return Err(format!(
+                        "components {sum} do not sum to total {}",
+                        first.total
+                    ));
+                }
+                // Round-trip through the textual netlist format.
+                let reparsed = parse_bench(&n.to_bench()).map_err(|e| format!("roundtrip: {e}"))?;
+                let again = vector_leakage(&reparsed, &lib, &vector).map_err(|e| e.to_string())?;
+                if (again.total.value() - first.total.value()).abs() > LEAK_EPS {
+                    return Err(format!(
+                        ".bench round-trip changed leakage: {} vs {}",
+                        again.total, first.total
+                    ));
+                }
+                Ok(())
+            },
+            &scaled(1.0),
+        ));
+    }
+
+    // --- Parser robustness under mutation. -----------------------------
+    if wanted("parse.bench_never_panics") {
+        let base = random_circuit("fuzz-base", 77, 8, 30).to_bench();
+        let strategy = BenchMutations::new(base, 6);
+        reports.push(check_property(
+            "parse.bench_never_panics",
+            &strategy,
+            |text| {
+                // Panics are caught by the runner and count as failures;
+                // a parse error is the expected rejection path.
+                if let Ok(n) = parse_bench(text) {
+                    parse_bench(&n.to_bench())
+                        .map_err(|e| format!("accepted text does not re-emit: {e}"))?;
+                }
+                Ok(())
+            },
+            &scaled(1.0),
+        ));
+    }
+
+    // --- RNG index uniformity (the seeded draw under everything). ------
+    if wanted("rng.gen_index_unbiased") {
+        let strategy = (int_range(2, 33), AnyU64);
+        reports.push(check_property(
+            "rng.gen_index_unbiased",
+            &strategy,
+            |(n, seed)| {
+                const DRAWS: usize = 4096;
+                let mut rng = Xoshiro256pp::seed_from_u64(*seed);
+                let mut counts = vec![0usize; *n];
+                for _ in 0..DRAWS {
+                    counts[rng.gen_index(*n)] += 1;
+                }
+                let p = 1.0 / *n as f64;
+                let expected = DRAWS as f64 * p;
+                let sigma = (DRAWS as f64 * p * (1.0 - p)).sqrt();
+                for (i, &c) in counts.iter().enumerate() {
+                    if (c as f64 - expected).abs() > 6.0 * sigma {
+                        return Err(format!(
+                            "n={n}: bucket {i} has {c}, expected {expected:.0}±{:.0}",
+                            6.0 * sigma
+                        ));
+                    }
+                }
+                Ok(())
+            },
+            &scaled(1.0),
+        ));
+    }
+
+    // --- Device-model calibration (catches e.g. a flipped stack factor
+    // in Isub long before any circuit-level oracle could). --------------
+    if wanted("tech.calibration_pinned") {
+        let strategy = int_range(1, 4);
+        reports.push(check_property(
+            "tech.calibration_pinned",
+            &strategy,
+            |&width| {
+                let t = Technology::predictive_65nm();
+                let vdd = t.vdd();
+                let w = width as f64;
+                let dev = |mos, vt, tox| Device::new(mos, vt, tox, w);
+                let isub =
+                    |mos, vt| dev(mos, vt, OxideClass::Thin).isub(&t, Voltage::ZERO, vdd).value();
+                let rn = isub(MosType::Nmos, VtClass::Low) / isub(MosType::Nmos, VtClass::High);
+                let rp = isub(MosType::Pmos, VtClass::Low) / isub(MosType::Pmos, VtClass::High);
+                if (rn - 17.8).abs() > 0.3 || (rp - 16.7).abs() > 0.3 {
+                    return Err(format!(
+                        "high-Vt Isub ratios drifted: NMOS {rn:.2}× / PMOS {rp:.2}× (DESIGN.md pins 17.8×/16.7×)"
+                    ));
+                }
+                let thin = dev(MosType::Nmos, VtClass::Low, OxideClass::Thin).igate(&t, vdd, vdd);
+                let thick = dev(MosType::Nmos, VtClass::Low, OxideClass::Thick).igate(&t, vdd, vdd);
+                let rt = thin / thick;
+                if (rt - 11.0).abs() > 0.2 {
+                    return Err(format!(
+                        "thick-Tox Igate reduction drifted: {rt:.2}× (DESIGN.md pins ~11×)"
+                    ));
+                }
+                Ok(())
+            },
+            &scaled(1.0),
+        ));
+    }
+
+    reports
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::render_json;
+
+    #[test]
+    fn filter_selects_a_single_property() {
+        let config = CheckConfig::new(4, 1);
+        let reports = run_builtin_suite(&config, Some("rng."));
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].name, "rng.gen_index_unbiased");
+        assert!(reports[0].passed(), "{:?}", reports[0].failure);
+    }
+
+    #[test]
+    fn cheap_properties_are_thread_count_invariant() {
+        let render = |threads: usize| {
+            let config = CheckConfig::new(8, 4).with_threads(threads);
+            let reports = run_builtin_suite(&config, Some("tech."));
+            render_json(4, &reports).to_string()
+        };
+        let serial = render(1);
+        assert_eq!(render(2), serial);
+        assert_eq!(render(4), serial);
+    }
+}

@@ -7,7 +7,9 @@
 //! * `sweep <circuit>` — leakage vs delay-penalty curve (Figure-5 style);
 //! * `library` — summarize or export the characterized library;
 //! * `report` — per-gate trade-off-point histogram + critical path;
-//! * `suite` — list the built-in benchmark reconstructions.
+//! * `suite` — list the built-in benchmark reconstructions;
+//! * `check` — run the property-based differential oracle suite
+//!   (`svtox-check`) with per-property pass/fail/counterexample reporting.
 //!
 //! The binary (`src/main.rs`) is a thin shell over [`run`]; everything here
 //! is unit-testable.
@@ -45,8 +47,32 @@ pub enum Command {
     Report(SweepArgs),
     /// `suite` subcommand.
     Suite,
+    /// `check` subcommand.
+    Check(CheckArgs),
     /// `--help` or no arguments.
     Help,
+}
+
+/// Arguments of `svtox check`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckArgs {
+    /// Fresh cases per property (scaled by per-property weights).
+    pub cases: usize,
+    /// Base seed for deterministic case generation.
+    pub seed: u64,
+    /// Maximum shrink candidates to try per failure.
+    pub shrink_limit: usize,
+    /// Worker threads (`0` = one per CPU; reports are identical for any
+    /// count).
+    pub threads: usize,
+    /// Emit the report as JSON instead of text.
+    pub json: bool,
+    /// Corpus directory for replay-first and failure persistence.
+    pub corpus: Option<String>,
+    /// Run only properties whose name contains this substring.
+    pub property: Option<String>,
+    /// Replay exactly this stream seed (requires `--property`).
+    pub replay: Option<u64>,
 }
 
 /// Arguments of `svtox optimize`.
@@ -123,6 +149,8 @@ USAGE:
   svtox library [--two-option] [--uniform-stack] [--liberty FILE]
   svtox report <circuit|file.bench> [--penalties 5]
   svtox suite
+  svtox check [--cases N] [--seed S] [--shrink-limit K] [--threads N]
+              [--json] [--corpus DIR] [--property NAME] [--replay STREAMSEED]
 
 Circuits: built-in reconstructions (c432 … c7552, alu64), ISCAS-85/89
 `.bench` files, or flat structural Verilog `.v` files (composite gates are
@@ -137,6 +165,13 @@ Observability: `--trace FILE` writes a JSONL event trace (spans, counters,
 events) covering the optimizer, the timing analyzer, and the worker pool;
 `--metrics` prints the final counter/gauge table after the run. Both are
 off by default and cost nothing when off.
+
+`check` runs the in-tree property-testing engine over the cross-crate
+differential oracles. Failures are shrunk to minimal counterexamples and,
+with `--corpus DIR`, persisted as `.case` files that replay before fresh
+generation on the next run. `--property NAME` filters by substring;
+`--replay STREAMSEED` re-runs one stored case (see tests/corpus/README.md).
+The report is deterministic for a given seed, independent of `--threads`.
 ";
 
 /// Parses raw arguments (excluding the program name).
@@ -254,6 +289,40 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             Ok(Command::Library(args))
         }
         "suite" => Ok(Command::Suite),
+        "check" => {
+            let mut args = CheckArgs {
+                cases: 256,
+                seed: 4,
+                shrink_limit: 1024,
+                threads: 1,
+                json: false,
+                corpus: None,
+                property: None,
+                replay: None,
+            };
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--cases" => args.cases = uint(&mut it, "--cases")?,
+                    "--seed" => args.seed = seed_u64(&mut it, "--seed")?,
+                    "--shrink-limit" => args.shrink_limit = uint(&mut it, "--shrink-limit")?,
+                    "--threads" => args.threads = uint(&mut it, "--threads")?,
+                    "--json" => args.json = true,
+                    "--corpus" => args.corpus = Some(next(&mut it, "--corpus")?),
+                    "--property" => args.property = Some(next(&mut it, "--property")?),
+                    "--replay" => args.replay = Some(seed_u64(&mut it, "--replay")?),
+                    other => return Err(CliError(format!("unknown flag `{other}`"))),
+                }
+            }
+            if args.replay.is_some() && args.property.is_none() {
+                return Err(CliError(
+                    "--replay needs --property to name the case's property".into(),
+                ));
+            }
+            if args.cases == 0 {
+                return Err(CliError("--cases must be at least 1".into()));
+            }
+            Ok(Command::Check(args))
+        }
         "--help" | "-h" | "help" => Ok(Command::Help),
         other => Err(CliError(format!("unknown subcommand `{other}`"))),
     }
@@ -284,6 +353,15 @@ fn uint(it: &mut std::slice::Iter<'_, String>, flag: &str) -> Result<usize, CliE
         .next()
         .ok_or_else(|| CliError(format!("{flag} needs a value")))?;
     raw.parse::<usize>()
+        .map_err(|_| CliError(format!("{flag} needs a non-negative integer, got `{raw}`")))
+}
+
+/// Parses a `u64` flag value (seeds exceed `usize` on 32-bit targets).
+fn seed_u64(it: &mut std::slice::Iter<'_, String>, flag: &str) -> Result<u64, CliError> {
+    let raw = it
+        .next()
+        .ok_or_else(|| CliError(format!("{flag} needs a value")))?;
+    raw.parse::<u64>()
         .map_err(|_| CliError(format!("{flag} needs a non-negative integer, got `{raw}`")))
 }
 
@@ -352,6 +430,34 @@ pub fn run(command: Command) -> Result<String, Box<dyn Error>> {
                     realization_note(p.name)
                 )?;
             }
+        }
+        Command::Check(args) => {
+            let mut config =
+                svtox_check::CheckConfig::new(args.cases, args.seed).with_threads(args.threads);
+            config.shrink_limit = args.shrink_limit;
+            config.replay = args.replay;
+            if let Some(dir) = &args.corpus {
+                config = config.with_corpus(dir);
+            }
+            let reports = svtox_check::run_builtin_suite(&config, args.property.as_deref());
+            if reports.is_empty() {
+                return Err(Box::new(CliError(format!(
+                    "no property matches `{}`",
+                    args.property.unwrap_or_default()
+                ))));
+            }
+            let rendered = if args.json {
+                svtox_check::render_json(args.seed, &reports).to_string()
+            } else {
+                svtox_check::render_text(&reports)
+            };
+            let failures = reports.iter().filter(|r| !r.passed()).count();
+            if failures > 0 {
+                // The report goes through the error path so the binary
+                // exits non-zero and CI fails on unshrunk violations.
+                return Err(Box::new(CliError(rendered)));
+            }
+            out.push_str(&rendered);
         }
         Command::Library(args) => {
             let lib = Library::new(Technology::predictive_65nm(), args.options)
@@ -621,6 +727,70 @@ mod tests {
         // Negative and non-finite budgets are rejected, not panicked on.
         assert!(parse_args(&argv("optimize c432 --time-budget -1")).is_err());
         assert!(parse_args(&argv("optimize c432 --heuristic2 NaN")).is_err());
+    }
+
+    #[test]
+    fn parses_check() {
+        let cmd = parse_args(&argv(
+            "check --cases 64 --seed 4 --shrink-limit 200 --threads 4 --json \
+             --corpus tests/corpus --property rng.",
+        ))
+        .unwrap();
+        let Command::Check(args) = cmd else {
+            panic!("wrong command")
+        };
+        assert_eq!(args.cases, 64);
+        assert_eq!(args.seed, 4);
+        assert_eq!(args.shrink_limit, 200);
+        assert_eq!(args.threads, 4);
+        assert!(args.json);
+        assert_eq!(args.corpus.as_deref(), Some("tests/corpus"));
+        assert_eq!(args.property.as_deref(), Some("rng."));
+        // Defaults.
+        let Command::Check(defaults) = parse_args(&argv("check")).unwrap() else {
+            panic!("wrong command")
+        };
+        assert_eq!(defaults.cases, 256);
+        assert_eq!(defaults.seed, 4);
+        assert_eq!(defaults.threads, 1);
+        assert!(!defaults.json);
+        // --replay requires --property; zero cases are rejected.
+        assert!(parse_args(&argv("check --replay 7")).is_err());
+        assert!(parse_args(&argv("check --cases 0")).is_err());
+        assert!(parse_args(&argv("check --seed -3")).is_err());
+        // Seeds beyond usize::MAX on 32-bit targets still parse.
+        let big = u64::MAX.to_string();
+        let Command::Check(args) = parse_args(&argv(&format!("check --seed {big}"))).unwrap()
+        else {
+            panic!("wrong command")
+        };
+        assert_eq!(args.seed, u64::MAX);
+    }
+
+    #[test]
+    fn check_report_is_identical_for_any_worker_count() {
+        // The CLI-level determinism contract: same seed → byte-identical
+        // JSON report for 1, 2 and 4 workers. Filtered to the cheapest
+        // property so the triple run stays fast.
+        let render = |threads: usize| {
+            run(parse_args(&argv(&format!(
+                "check --cases 32 --seed 4 --threads {threads} --json --property tech."
+            )))
+            .unwrap())
+            .expect("calibration properties pass")
+        };
+        let one = render(1);
+        assert_eq!(render(2), one);
+        assert_eq!(render(4), one);
+        assert!(one.contains("tech.calibration_pinned"));
+    }
+
+    #[test]
+    fn check_failure_surfaces_the_report_as_an_error() {
+        // An unknown property filter is an error, not an empty green run.
+        let err = run(parse_args(&argv("check --property no.such.oracle")).unwrap())
+            .expect_err("must fail");
+        assert!(err.to_string().contains("no.such.oracle"));
     }
 
     #[test]

@@ -100,15 +100,44 @@ impl Xoshiro256pp {
         self.gen_f64() < p
     }
 
-    /// A uniform index in `0..n` (Lemire's multiply-shift; `n > 0`).
+    /// A uniform index in `0..n` (Lemire's multiply-shift with rejection;
+    /// `n > 0`).
     ///
     /// # Panics
     ///
     /// Panics if `n == 0`.
     pub fn gen_index(&mut self, n: usize) -> usize {
         assert!(n > 0, "empty range");
-        ((u128::from(self.next_u64()) * n as u128) >> 64) as usize
+        let n = u64::try_from(n).expect("index range fits in u64");
+        usize::try_from(bounded_index(n, || self.next_u64())).expect("index fits in usize")
     }
+}
+
+/// Lemire's multiply-shift mapped onto `0..n`, with rejection of the draws
+/// that land in the final partial block so every index is exactly equally
+/// likely.
+///
+/// The raw multiply-shift `(x * n) >> 64` over-represents the first
+/// `2^64 mod n` indices by one part in `⌊2^64 / n⌋` — negligible for tiny
+/// `n` but a real bias, and a property-testing engine that feeds every
+/// seeded draw in the workspace should not ship one. A draw is biased
+/// exactly when the low 64 bits of `x * n` fall below
+/// `2^64 mod n` (`n.wrapping_neg() % n`); those draws are retried. The
+/// rejection probability is `n / 2^64`, so in practice the output stream is
+/// unchanged for small `n` and the loop terminates after one extra draw
+/// with overwhelming probability.
+fn bounded_index(n: u64, mut draw: impl FnMut() -> u64) -> u64 {
+    debug_assert!(n > 0);
+    let mut product = u128::from(draw()) * u128::from(n);
+    let mut low = product as u64;
+    if low < n {
+        let threshold = n.wrapping_neg() % n;
+        while low < threshold {
+            product = u128::from(draw()) * u128::from(n);
+            low = product as u64;
+        }
+    }
+    (product >> 64) as u64
 }
 
 #[cfg(test)]
@@ -154,6 +183,47 @@ mod tests {
         }
         for &c in &counts {
             assert!((1600..2400).contains(&c), "skewed bucket: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn gen_index_rejects_the_biased_partial_block() {
+        // For n = 6 the final partial block is the first `2^64 mod 6 = 4`
+        // low-bit values: a draw whose `low64(x * 6)` lands below 4 must be
+        // retried. `x = 2^63` gives `low64 = 0` (rejected; the old unbiased
+        // multiply-shift would have returned index 3 here), and the retry
+        // `x = 5` maps to index 0.
+        let mut draws = [1u64 << 63, 5].into_iter();
+        assert_eq!(bounded_index(6, || draws.next().unwrap()), 0);
+        assert!(draws.next().is_none(), "both draws must be consumed");
+        // An in-range draw is accepted directly.
+        let mut once = [u64::MAX].into_iter();
+        assert_eq!(bounded_index(6, || once.next().unwrap()), 5);
+    }
+
+    #[test]
+    fn gen_index_distribution_is_uniform_for_awkward_ranges() {
+        // Non-power-of-two ranges are where modulo/multiply bias shows up.
+        // 5σ bands around the binomial expectation: a biased implementation
+        // fails these with overwhelming probability; an unbiased one passes
+        // them with overwhelming probability.
+        const DRAWS: usize = 30_000;
+        for (seed, n) in [(11u64, 3usize), (12, 5), (13, 7), (14, 10), (15, 17)] {
+            let mut rng = Xoshiro256pp::seed_from_u64(seed);
+            let mut counts = vec![0usize; n];
+            for _ in 0..DRAWS {
+                counts[rng.gen_index(n)] += 1;
+            }
+            let p = 1.0 / n as f64;
+            let expected = DRAWS as f64 * p;
+            let sigma = (DRAWS as f64 * p * (1.0 - p)).sqrt();
+            for (i, &c) in counts.iter().enumerate() {
+                assert!(
+                    (c as f64 - expected).abs() < 5.0 * sigma,
+                    "n={n}: bucket {i} has {c}, expected {expected:.0}±{:.0}",
+                    5.0 * sigma
+                );
+            }
         }
     }
 

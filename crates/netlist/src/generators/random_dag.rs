@@ -113,6 +113,50 @@ impl RandomDagSpec {
             mix: KindMix::default(),
         }
     }
+
+    /// Structurally smaller variants of this spec for property-test
+    /// shrinking: fewer gates (binary-search toward one), fewer primary
+    /// inputs, and a shallower target depth, in that priority order.
+    ///
+    /// Every candidate satisfies [`random_dag`]'s preconditions (non-empty,
+    /// enough gate pins to consume all inputs), so a shrinker can feed them
+    /// straight back to the generator without re-validating. The seed and
+    /// gate mix are preserved: a shrunk spec stays in the same random
+    /// family as the failing one, which keeps counterexamples reproducible
+    /// from the spec alone.
+    #[must_use]
+    pub fn shrink_candidates(&self) -> Vec<RandomDagSpec> {
+        let mut out: Vec<RandomDagSpec> = Vec::new();
+        let mut push = |num_inputs: usize, num_gates: usize, depth: usize| {
+            let well_formed =
+                num_inputs >= 1 && num_gates >= 1 && depth >= 1 && num_gates * 3 >= num_inputs;
+            let candidate = RandomDagSpec {
+                num_inputs,
+                num_gates,
+                depth: depth.min(num_gates),
+                ..self.clone()
+            };
+            if well_formed && candidate != *self && !out.contains(&candidate) {
+                out.push(candidate);
+            }
+        };
+        // Gate removal first: the biggest structural simplification.
+        for gates in [1, self.num_gates / 2, self.num_gates.saturating_sub(1)] {
+            push(self.num_inputs, gates, self.depth);
+        }
+        // Then input removal (a one-input circuit still optimizes).
+        for inputs in [1, self.num_inputs / 2, self.num_inputs.saturating_sub(1)] {
+            push(inputs, self.num_gates, self.depth);
+        }
+        // Finally flatten the layering.
+        push(self.num_inputs, self.num_gates, 1);
+        push(
+            self.num_inputs,
+            self.num_gates,
+            self.depth.saturating_sub(1),
+        );
+        out
+    }
 }
 
 /// Generates a random layered DAG of primitive gates matching the spec.
@@ -353,6 +397,29 @@ mod tests {
         assert!(random_dag(&RandomDagSpec::new("x", 5, 1, 0, 3)).is_err());
         assert!(random_dag(&RandomDagSpec::new("x", 5, 1, 10, 0)).is_err());
         assert!(random_dag(&RandomDagSpec::new("x", 100, 1, 10, 3)).is_err());
+    }
+
+    #[test]
+    fn shrink_candidates_are_well_formed_and_strictly_smaller_or_flatter() {
+        let s = spec();
+        let candidates = s.shrink_candidates();
+        assert!(!candidates.is_empty());
+        for c in &candidates {
+            assert_ne!(*c, s);
+            assert_eq!(c.seed, s.seed, "shrinking must stay in the seed family");
+            assert!(
+                c.num_gates < s.num_gates || c.num_inputs < s.num_inputs || c.depth < s.depth,
+                "candidate {c:?} is not smaller than {s:?}"
+            );
+            // The well-formedness contract: every candidate generates.
+            random_dag(c).unwrap();
+        }
+        // Fixpoint: the minimal spec has nothing left to shrink to except
+        // its own single-gate family members, and all of those generate.
+        let tiny = RandomDagSpec::new("tiny", 1, 1, 1, 1);
+        for c in tiny.shrink_candidates() {
+            random_dag(&c).unwrap();
+        }
     }
 
     #[test]

@@ -86,6 +86,12 @@ pub fn parse_bench(text: &str) -> Result<Netlist, NetlistError> {
             let target = line[..eq].trim();
             let rhs = line[eq + 1..].trim();
             if let Some(dff_arg) = parse_dff(rhs) {
+                if dff_arg.is_empty() || dff_arg.contains(',') {
+                    return Err(NetlistError::Parse {
+                        line: lineno,
+                        message: format!("DFF takes exactly one input, got `{rhs}`"),
+                    });
+                }
                 // Combinational extraction: Q becomes a pseudo-PI, D a
                 // pseudo-PO.
                 let q = lookup(&mut builder, target);
@@ -341,6 +347,83 @@ OUTPUT(23)
             parse_bench("INPUT(a)\ny = NOT(a, a)\n"),
             Err(NetlistError::Parse { .. })
         ));
+    }
+
+    #[test]
+    fn error_on_arity_overflow() {
+        // `fit()` caps fan-in at MAX_ARITY; one operand past the cap must
+        // be a typed parse error naming the offending arity, not a panic
+        // or a silent truncation.
+        let wide = (0..=GateKind::MAX_ARITY)
+            .map(|i| format!("a{i}"))
+            .collect::<Vec<_>>();
+        let mut text = String::new();
+        for name in &wide {
+            text.push_str(&format!("INPUT({name})\n"));
+        }
+        text.push_str(&format!("OUTPUT(y)\ny = NAND({})\n", wide.join(", ")));
+        match parse_bench(&text) {
+            Err(NetlistError::Parse { message, .. }) => {
+                assert!(
+                    message.contains(&format!("cannot take {} inputs", wide.len())),
+                    "unexpected message: {message}"
+                );
+            }
+            other => panic!("expected arity parse error, got {other:?}"),
+        }
+        // The cap itself is fine.
+        let at_cap = &wide[..GateKind::MAX_ARITY];
+        let mut text = String::new();
+        for name in at_cap {
+            text.push_str(&format!("INPUT({name})\n"));
+        }
+        text.push_str(&format!("OUTPUT(y)\ny = NAND({})\n", at_cap.join(", ")));
+        assert!(parse_bench(&text).is_ok());
+        // And a one-operand NAND is below the floor.
+        assert!(matches!(
+            parse_bench("INPUT(a)\nOUTPUT(y)\ny = NAND(a)\n"),
+            Err(NetlistError::Parse { .. })
+        ));
+    }
+
+    #[test]
+    fn error_on_duplicate_net_definition() {
+        // Two gates driving the same net is a structural MultipleDrivers
+        // error from the builder, surfaced through the parser.
+        assert!(matches!(
+            parse_bench("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\ny = BUFF(a)\n"),
+            Err(NetlistError::MultipleDrivers(name)) if name == "y"
+        ));
+    }
+
+    #[test]
+    fn dff_edge_cases_are_typed_errors() {
+        // Multi-bit and empty DFF operand lists are malformed, not
+        // silently treated as a net named "a, b" (or "").
+        assert!(matches!(
+            parse_bench("INPUT(x)\nOUTPUT(y)\nq = DFF(a, b)\ny = NAND(x, q)\n"),
+            Err(NetlistError::Parse { line: 3, .. })
+        ));
+        assert!(matches!(
+            parse_bench("INPUT(x)\nOUTPUT(y)\nq = DFF()\ny = NAND(x, q)\n"),
+            Err(NetlistError::Parse { line: 3, .. })
+        ));
+        // A flip-flop output that is already driven by a gate.
+        assert!(matches!(
+            parse_bench("INPUT(a)\nOUTPUT(q)\nq = NOT(a)\nq = DFF(a)\n"),
+            Err(NetlistError::Parse { line: 4, .. })
+        ));
+        // And the converse: a gate redriving a flip-flop's pseudo-input.
+        assert!(matches!(
+            parse_bench("INPUT(a)\nOUTPUT(q)\nq = DFF(a)\nq = NOT(a)\n"),
+            Err(NetlistError::MultipleDrivers(name)) if name == "q"
+        ));
+        // Degenerate self-loop `q = DFF(q)`: the extraction cuts it at the
+        // register boundary, so it is legal (q is both pseudo-PI and
+        // pseudo-PO) — pin that it stays that way.
+        let n = parse_bench("INPUT(a)\nOUTPUT(y)\nq = DFF(q)\ny = NAND(a, q)\n").unwrap();
+        assert_eq!(n.num_inputs(), 2);
+        assert_eq!(n.num_gates(), 1);
     }
 
     #[test]

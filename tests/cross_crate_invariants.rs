@@ -4,35 +4,15 @@
 //! Deterministic replacement for the proptest properties this file used to
 //! hold: each test draws its cases from a fixed-seed in-tree generator.
 
-use svtox_cells::{InputState, Library, LibraryOptions};
+use svtox_cells::InputState;
+use svtox_check::domain::{random_circuit, random_circuit_params, test_library as library};
 use svtox_core::{DelayPenalty, Mode, Problem};
 use svtox_exec::rng::Xoshiro256pp;
-use svtox_netlist::generators::{random_dag, RandomDagSpec};
-use svtox_netlist::Netlist;
 use svtox_sim::{vector_leakage, Simulator, TriSimulator};
 use svtox_sta::{Sta, TimingConfig};
-use svtox_tech::{Technology, Time};
+use svtox_tech::Time;
 
 const CASES: usize = 12;
-
-fn library() -> Library {
-    Library::new(Technology::predictive_65nm(), LibraryOptions::default()).expect("library builds")
-}
-
-/// Draws (seed, inputs, gates) in the old strategy's ranges.
-fn random_circuit_params(rng: &mut Xoshiro256pp) -> (u64, usize, usize) {
-    (
-        rng.next_u64() % 1000,
-        6 + rng.gen_index(8),
-        20 + rng.gen_index(70),
-    )
-}
-
-fn random_circuit(name: &str, seed: u64, inputs: usize, gates: usize) -> Netlist {
-    let mut spec = RandomDagSpec::new(name, inputs, 4, gates, 6);
-    spec.seed = seed;
-    random_dag(&spec).unwrap()
-}
 
 /// Any solution the optimizer returns must (a) meet its budget and (b)
 /// survive a cold re-evaluation.

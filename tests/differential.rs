@@ -1,0 +1,89 @@
+//! The cross-crate differential oracle suite, run under `cargo test`.
+//!
+//! The same oracles back `svtox check` on the command line; here they run
+//! with a modest case count so the tier-1 gate stays fast. Failures are
+//! persisted to `tests/corpus/` and replayed first on the next run — see
+//! DESIGN.md's testing section for the workflow of reproducing a shrunk
+//! counterexample from its printed stream seed.
+
+use std::path::PathBuf;
+
+use svtox_check::{render_json, render_text, run_builtin_suite, CheckConfig};
+
+/// The in-repository corpus directory, resolved relative to this crate.
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/corpus")
+}
+
+#[test]
+fn differential_suite_is_green() {
+    let config = CheckConfig::new(10, 0xD1FF)
+        .with_threads(2)
+        .with_corpus(corpus_dir());
+    let reports = run_builtin_suite(&config, None);
+    assert_eq!(reports.len(), 8, "every built-in oracle must run");
+    for r in &reports {
+        assert!(r.cases > 0 || r.replayed > 0, "{} ran no cases", r.name);
+        assert_eq!(r.skipped, 0, "{} skipped cases without a budget", r.name);
+    }
+    let failures = reports.iter().filter(|r| !r.passed()).count();
+    assert_eq!(failures, 0, "\n{}", render_text(&reports));
+}
+
+#[test]
+fn suite_json_report_is_thread_count_invariant() {
+    // The acceptance contract of `svtox check`: same seed, same report,
+    // for any worker count. Exercised here on the two cheapest oracles so
+    // the triple run stays fast; the full suite goes through the same
+    // runner path.
+    let render = |threads: usize| {
+        let config = CheckConfig::new(16, 4).with_threads(threads);
+        let mut reports = run_builtin_suite(&config, Some("rng."));
+        reports.extend(run_builtin_suite(&config, Some("parse.")));
+        render_json(4, &reports).to_string()
+    };
+    let one = render(1);
+    assert_eq!(render(2), one, "2 workers diverged from serial");
+    assert_eq!(render(4), one, "4 workers diverged from serial");
+    assert!(one.contains("\"status\":\"pass\""));
+}
+
+#[test]
+fn injected_disagreement_shrinks_to_a_small_witness() {
+    // End-to-end shrinking demonstration on a real circuit oracle: a
+    // property that (falsely) claims every three-gate-or-larger circuit
+    // has zero leakage fails immediately, and the DAG-aware shrinker must
+    // walk it down to the minimal failing spec instead of leaving a
+    // many-gate counterexample.
+    use svtox_check::check_property;
+    use svtox_check::domain::{test_library, DagStrategy};
+    use svtox_netlist::generators::random_dag;
+    use svtox_sim::vector_leakage;
+
+    let lib = test_library();
+    let report = check_property(
+        "demo.injected",
+        &DagStrategy::medium(),
+        |spec| {
+            let n = random_dag(spec).map_err(|e| e.to_string())?;
+            let vector = vec![false; n.num_inputs()];
+            let total = vector_leakage(&n, &lib, &vector)
+                .map_err(|e| e.to_string())?
+                .total;
+            if n.num_gates() >= 3 && total.value() > 0.0 {
+                return Err(format!("{} gates leak {total}", n.num_gates()));
+            }
+            Ok(())
+        },
+        &CheckConfig::new(8, 0xBAD),
+    );
+    let cx = report.failure.expect("the planted property must fail");
+    assert!(cx.shrink_steps > 0, "shrinking must make progress");
+    // The witness must mention a small gate count; the minimal failing
+    // spec under this property has exactly 3 gates.
+    assert!(
+        cx.value.contains("num_gates: 3"),
+        "expected a 3-gate witness, got {}",
+        cx.value
+    );
+}

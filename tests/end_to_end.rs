@@ -4,16 +4,13 @@
 use std::time::Duration;
 
 use svtox_cells::{Library, LibraryOptions, TradeoffPoints};
+use svtox_check::domain::test_library as library;
 use svtox_core::{DelayPenalty, Mode, Problem};
 use svtox_netlist::generators::benchmark;
 use svtox_netlist::{insert_sleep_vector, map_to_primitives, MappingOptions};
 use svtox_sim::{random_average_leakage, vector_leakage};
 use svtox_sta::TimingConfig;
 use svtox_tech::{Technology, Time};
-
-fn library() -> Library {
-    Library::new(Technology::predictive_65nm(), LibraryOptions::default()).expect("library builds")
-}
 
 #[test]
 fn c432_heuristic1_five_percent_matches_paper_shape() {

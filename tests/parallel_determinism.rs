@@ -8,22 +8,11 @@
 
 use std::time::Duration;
 
-use svtox_cells::{Library, LibraryOptions};
+use svtox_check::domain::circuit;
 use svtox_core::{DelayPenalty, ExecConfig, Mode, Problem};
-use svtox_netlist::generators::{random_dag, RandomDagSpec};
-use svtox_netlist::Netlist;
 use svtox_sta::TimingConfig;
-use svtox_tech::Technology;
 
 const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
-
-fn circuit(name: &str, inputs: usize, gates: usize, depth: usize) -> (Netlist, Library) {
-    let spec = RandomDagSpec::new(name, inputs, 4, gates, depth);
-    (
-        random_dag(&spec).unwrap(),
-        Library::new(Technology::predictive_65nm(), LibraryOptions::default()).unwrap(),
-    )
-}
 
 #[test]
 fn exact_parallel_matches_serial_for_all_thread_counts() {
