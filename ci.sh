@@ -23,6 +23,19 @@ echo "==> property check (svtox-check differential oracles)"
 cargo run --release -p svtox-cli --bin svtox -- \
   check --cases 64 --seed 4 --threads 4 --corpus tests/corpus
 
+echo "==> chaos scenarios (fault injection, asserted degradation invariants)"
+# Any violated invariant makes the subcommand exit non-zero.
+cargo run --release -p svtox-cli --bin svtox -- \
+  chaos --all --seed 7 --threads 4
+
+echo "==> kill/resume smoke (checkpointed optimize, then resume)"
+CKPT="$(mktemp -t svtox-ci-ckpt.XXXXXX)"
+cargo run --release -p svtox-cli --bin svtox -- \
+  optimize c432 --threads 4 --time-budget 0.2 --checkpoint "$CKPT" > /dev/null
+cargo run --release -p svtox-cli --bin svtox -- \
+  optimize c432 --threads 4 --time-budget 0.2 --checkpoint "$CKPT" --resume > /dev/null
+rm -f "$CKPT"
+
 echo "==> suite smoke run (--quick, machine-readable)"
 cargo run --release -p svtox-bench --bin suite -- --quick --threads 0 --json > /dev/null
 

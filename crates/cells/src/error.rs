@@ -27,6 +27,13 @@ pub enum LibraryError {
         /// Description of the problem.
         message: String,
     },
+    /// A Liberty file could not be read from disk.
+    Io {
+        /// The path being read.
+        path: String,
+        /// The operating-system error.
+        message: String,
+    },
 }
 
 impl fmt::Display for LibraryError {
@@ -40,6 +47,7 @@ impl fmt::Display for LibraryError {
             Self::ParseLiberty { line, message } => {
                 write!(f, "liberty parse error on line {line}: {message}")
             }
+            Self::Io { path, message } => write!(f, "cannot read {path}: {message}"),
         }
     }
 }

@@ -53,7 +53,7 @@ mod topology;
 mod version;
 
 pub use error::LibraryError;
-pub use liberty::{liberty_cell_name, parse_liberty_leakage, to_liberty};
+pub use liberty::{liberty_cell_name, parse_liberty_leakage, read_liberty_leakage, to_liberty};
 pub use library::{
     ArcTables, CellData, Library, LibraryOptions, StateOption, TradeoffPoints, VersionId,
 };

@@ -66,6 +66,70 @@ pub fn store(dir: &Path, property: &str, cx: &Counterexample) -> std::io::Result
     fs::write(path, text)
 }
 
+/// Caps corpus growth. Removes `.case` files that are unreadable, name a
+/// property outside `live_properties` (the property was renamed or
+/// deleted), or duplicate an already-kept `(property, seed)` pair; then
+/// keeps at most `max_per_property` cases per property, preferring the
+/// lowest stream seeds (the most-shrunk end of the spectrum). Returns the
+/// number of files removed. Non-`.case` files (e.g. `README.md`) are
+/// never touched; filesystem errors skip the file rather than fail.
+pub fn prune(dir: &Path, live_properties: &[&str], max_per_property: usize) -> usize {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return 0;
+    };
+    // Deterministic order so duplicate resolution is stable.
+    let mut cases: Vec<(std::path::PathBuf, Option<(String, u64)>)> = entries
+        .filter_map(Result::ok)
+        .filter(|e| e.file_name().to_string_lossy().ends_with(".case"))
+        .map(|e| {
+            let path = e.path();
+            let parsed = fs::read_to_string(&path).ok().and_then(|text| {
+                let mut property = None;
+                let mut seed = None;
+                for line in text.lines() {
+                    if let Some((key, value)) = line.split_once('=') {
+                        match key.trim() {
+                            "property" => property = Some(value.trim().to_string()),
+                            "stream-seed" => seed = value.trim().parse::<u64>().ok(),
+                            _ => {}
+                        }
+                    }
+                }
+                Some((property?, seed?))
+            });
+            (path, parsed)
+        })
+        .collect();
+    cases.sort_by(|a, b| a.0.cmp(&b.0));
+
+    let mut removed = 0;
+    let mut keep: std::collections::HashMap<String, Vec<(u64, std::path::PathBuf)>> =
+        std::collections::HashMap::new();
+    for (path, parsed) in cases {
+        match parsed {
+            Some((property, seed)) if live_properties.contains(&property.as_str()) => {
+                let entry = keep.entry(property).or_default();
+                if entry.iter().any(|(s, _)| *s == seed) {
+                    // Same counterexample stored twice under different
+                    // file names.
+                    removed += usize::from(fs::remove_file(&path).is_ok());
+                } else {
+                    entry.push((seed, path));
+                }
+            }
+            // Unreadable, or the property no longer exists.
+            _ => removed += usize::from(fs::remove_file(&path).is_ok()),
+        }
+    }
+    for (_, mut entries) in keep {
+        entries.sort_by_key(|(seed, _)| *seed);
+        for (_, path) in entries.drain(..).skip(max_per_property) {
+            removed += usize::from(fs::remove_file(&path).is_ok());
+        }
+    }
+    removed
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -100,5 +164,33 @@ mod tests {
     fn missing_directory_is_an_empty_corpus() {
         let dir = std::env::temp_dir().join("svtox_check_no_such_corpus");
         assert!(stored_seeds(&dir, "p").is_empty());
+    }
+
+    #[test]
+    fn prune_drops_dead_broken_and_excess_cases_but_keeps_the_rest() {
+        let dir = std::env::temp_dir().join("svtox_check_prune_test");
+        let _ = fs::remove_dir_all(&dir);
+        for seed in [9, 3, 5, 7] {
+            store(&dir, "p.live", &cx(seed)).unwrap();
+        }
+        store(&dir, "p.renamed_away", &cx(1)).unwrap();
+        // A duplicate of a kept seed under a foreign file name.
+        fs::write(
+            dir.join("zz-dup.case"),
+            "property = p.live\nstream-seed = 3\n",
+        )
+        .unwrap();
+        fs::write(dir.join("broken.case"), "no keys here").unwrap();
+        fs::write(dir.join("README.md"), "docs stay").unwrap();
+
+        // Dead property + duplicate + broken + one over the cap of 3.
+        let removed = prune(&dir, &["p.live"], 3);
+        assert_eq!(removed, 4);
+        assert_eq!(stored_seeds(&dir, "p.live"), vec![3, 5, 7]);
+        assert!(stored_seeds(&dir, "p.renamed_away").is_empty());
+        assert!(dir.join("README.md").exists());
+        // Idempotent.
+        assert_eq!(prune(&dir, &["p.live"], 3), 0);
+        let _ = fs::remove_dir_all(&dir);
     }
 }

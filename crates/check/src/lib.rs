@@ -42,4 +42,4 @@ pub mod suite;
 pub use report::{render_json, render_text, Counterexample, PropertyReport};
 pub use runner::{check_property, CheckConfig};
 pub use strategy::{choice, int_range, vec_of, weighted, Strategy};
-pub use suite::run_builtin_suite;
+pub use suite::{builtin_property_names, run_builtin_suite};

@@ -15,12 +15,15 @@
 //! | `parse.bench_never_panics` | mutated `.bench` text: typed errors only; `Ok` implies re-emittable |
 //! | `rng.gen_index_unbiased` | empirical uniformity of the workspace's index generator |
 //! | `tech.calibration_pinned` | the DESIGN.md device ratios, width-invariant |
+//! | `fault.degradation_invariants` | random fault plan × random DAG: never a hang or `Failed`, incumbent verifies and stays ≤ the H1 seed |
+//! | `fault.resume_bit_identical` | mid-search kill with a checkpoint, then resume: bit-identical to the uninterrupted run at 1/2/4 workers |
 
 use std::time::Duration;
 
 use svtox_cells::InputState;
-use svtox_core::Problem;
+use svtox_core::{CheckpointSpec, Problem, RunOutcome};
 use svtox_exec::rng::Xoshiro256pp;
+use svtox_fault::{Fault, FaultPlan, Site, Trigger};
 use svtox_netlist::generators::random_dag;
 use svtox_netlist::parse_bench;
 use svtox_sim::{vector_leakage, Logic, Simulator, TriSimulator};
@@ -355,7 +358,172 @@ pub fn run_builtin_suite(config: &CheckConfig, filter: Option<&str>) -> Vec<Prop
         ));
     }
 
+    // --- Fault injection: degradation, not disaster. -------------------
+    if wanted("fault.degradation_invariants") {
+        let strategy = (
+            (DagStrategy::small(), AnyU64),
+            (choice(&[0usize, 1, 2, 3]), choice(&[1usize, 2])),
+        );
+        reports.push(check_property(
+            "fault.degradation_invariants",
+            &strategy,
+            |((spec, fault_seed), (combo, threads))| {
+                let n = random_dag(spec).map_err(|e| format!("generator: {e}"))?;
+                let problem =
+                    Problem::new(&n, &lib, TimingConfig::default()).map_err(|e| e.to_string())?;
+                let opt = problem.optimizer(
+                    svtox_core::DelayPenalty::five_percent(),
+                    svtox_core::Mode::Proposed,
+                );
+                let h1 = opt.heuristic1().map_err(|e| format!("heuristic1: {e}"))?;
+                let (site, trigger) = match combo {
+                    0 => (Site::ExecDispatch, Trigger::Probability(0.3)),
+                    1 => (Site::ExecPop, Trigger::Nth(2)),
+                    2 => (Site::CoreLeaf, Trigger::Nth(5)),
+                    _ => (Site::BudgetClock, Trigger::Nth(1)),
+                };
+                let plan = FaultPlan::new(*fault_seed).with_rule(site, trigger);
+                let fault = Fault::new(&plan);
+                let exec = svtox_core::ExecConfig::with_threads(*threads)
+                    .with_time_budget(Duration::from_secs(60))
+                    .with_retries(svtox_core::RetryPolicy::resilient());
+                let outcome = opt.with_fault(&fault).run(&exec, None);
+                let best = match &outcome {
+                    RunOutcome::Failed { error } => {
+                        return Err(format!("site {site} failed outright: {error}"));
+                    }
+                    _ => outcome
+                        .best()
+                        .expect("non-failed outcome carries a solution"),
+                };
+                best.verify(&problem)
+                    .map_err(|e| format!("degraded incumbent does not verify: {e}"))?;
+                if best.leakage.value() > h1.leakage.value() * (1.0 + 1e-12) {
+                    return Err(format!(
+                        "site {site}: incumbent {} worse than the H1 seed {}",
+                        best.leakage, h1.leakage
+                    ));
+                }
+                // Control: the same run with faults disabled completes and
+                // can only match or beat the degraded incumbent.
+                let control = opt.run(&exec, None);
+                let RunOutcome::Complete { solution, .. } = control else {
+                    return Err(format!(
+                        "fault-free control did not complete: {}",
+                        control.status()
+                    ));
+                };
+                if solution.leakage.value() > best.leakage.value() * (1.0 + 1e-12) {
+                    return Err(format!(
+                        "fault-free optimum {} worse than the degraded incumbent {}",
+                        solution.leakage, best.leakage
+                    ));
+                }
+                Ok(())
+            },
+            &scaled(0.25),
+        ));
+    }
+
+    // --- Kill / checkpoint / resume bit-identity. ----------------------
+    if wanted("fault.resume_bit_identical") {
+        let strategy = (
+            (DagStrategy::small(), AnyU64),
+            (choice(&[1usize, 2, 4]), int_range(1, 12)),
+        );
+        reports.push(check_property(
+            "fault.resume_bit_identical",
+            &strategy,
+            |((spec, nonce), (threads, kill_n))| {
+                let n = random_dag(spec).map_err(|e| format!("generator: {e}"))?;
+                let problem =
+                    Problem::new(&n, &lib, TimingConfig::default()).map_err(|e| e.to_string())?;
+                let opt = problem.optimizer(
+                    svtox_core::DelayPenalty::five_percent(),
+                    svtox_core::Mode::Proposed,
+                );
+                let exec = svtox_core::ExecConfig::with_threads(*threads);
+                let RunOutcome::Complete {
+                    solution: reference,
+                    ..
+                } = opt.run(&exec, None)
+                else {
+                    return Err("uninterrupted reference run did not complete".to_string());
+                };
+                let path = std::env::temp_dir().join(format!(
+                    "svtox-check-resume-{nonce:016x}-{}.jsonl",
+                    std::process::id()
+                ));
+                let _ = std::fs::remove_file(&path);
+                let plan =
+                    FaultPlan::new(*nonce).with_rule(Site::CoreLeaf, Trigger::Nth(*kill_n as u64));
+                let fault = Fault::new(&plan);
+                let killed = opt
+                    .with_fault(&fault)
+                    .run(&exec, Some(&CheckpointSpec::fresh(&path)));
+                let done = |r: Result<(), String>| {
+                    std::fs::remove_file(&path).ok();
+                    r
+                };
+                let final_solution = match killed {
+                    // A tree with fewer leaves than the kill point simply
+                    // finishes; the checkpoint then replays in full.
+                    RunOutcome::Complete { solution, .. } => solution,
+                    RunOutcome::Degraded { .. } => {
+                        let resumed = opt.run(&exec, Some(&CheckpointSpec::resume(&path)));
+                        let RunOutcome::Complete { solution, .. } = resumed else {
+                            return done(Err(format!(
+                                "resume did not complete: {}",
+                                resumed.status()
+                            )));
+                        };
+                        solution
+                    }
+                    RunOutcome::Failed { error } => {
+                        return done(Err(format!("killed run failed outright: {error}")));
+                    }
+                };
+                if !final_solution.same_assignment(&reference) {
+                    return done(Err(format!(
+                        "resume after a kill at leaf {kill_n} with {threads} worker(s) \
+                         diverged: {} vs {}",
+                        final_solution.leakage, reference.leakage
+                    )));
+                }
+                done(Ok(()))
+            },
+            &scaled(0.25),
+        ));
+    }
+
+    // Cap corpus growth once per full (unfiltered) run: stale cases whose
+    // property no longer exists are dropped, and each property keeps at
+    // most a handful of distinct seeds.
+    if filter.is_none() {
+        if let Some(dir) = &config.corpus_dir {
+            crate::corpus::prune(dir, &builtin_property_names(), 8);
+        }
+    }
+
     reports
+}
+
+/// Names of every built-in property, in suite order. This is the live-set
+/// the corpus pruner keeps; anything else under `tests/corpus/` is stale.
+#[must_use]
+pub fn builtin_property_names() -> Vec<&'static str> {
+    vec![
+        "opt.heuristic_not_below_exact",
+        "opt.parallel_bit_identity",
+        "sim.tri_covers_two",
+        "sta.incremental_equals_cold",
+        "sim.vector_leakage_consistent",
+        "parse.bench_never_panics",
+        "rng.gen_index_unbiased",
+        "tech.calibration_pinned",
+        "fault.degradation_invariants",
+        "fault.resume_bit_identical",
+    ]
 }
 
 #[cfg(test)]
@@ -370,6 +538,16 @@ mod tests {
         assert_eq!(reports.len(), 1);
         assert_eq!(reports[0].name, "rng.gen_index_unbiased");
         assert!(reports[0].passed(), "{:?}", reports[0].failure);
+    }
+
+    #[test]
+    fn property_name_list_matches_the_suite() {
+        // The pruner's live-set must track the suite exactly, or freshly
+        // stored cases get deleted on the next run.
+        let config = CheckConfig::new(1, 1);
+        let reports = run_builtin_suite(&config, None);
+        let ran: Vec<&str> = reports.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(ran, builtin_property_names());
     }
 
     #[test]

@@ -1,0 +1,377 @@
+//! `svtox chaos` — named fault-injection scenarios with asserted
+//! degradation invariants.
+//!
+//! Each scenario drives the real optimizer stack (engine, search, file
+//! readers) under a deterministic, seeded fault plan and checks the
+//! robustness contract the workspace promises:
+//!
+//! * a fault never panics the process — it surfaces as a typed error or
+//!   a [`RunOutcome::Degraded`];
+//! * a degraded run's incumbent verifies and is never worse than the
+//!   Heuristic 1 seed (the anytime guarantee);
+//! * a killed, checkpointed run resumes to the bit-identical solution of
+//!   an uninterrupted run.
+//!
+//! Any violated invariant makes the subcommand exit non-zero, so CI can
+//! run `svtox chaos --all --seed 7 --threads 4` as a gate.
+
+use std::fmt::Write as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Duration;
+
+use svtox_cells::{Library, LibraryOptions};
+use svtox_core::{
+    CheckpointSpec, DegradeReason, DelayPenalty, ExecConfig, Mode, Problem, RetryPolicy, RunOutcome,
+};
+use svtox_fault::{Fault, FaultPlan, Site, Trigger};
+use svtox_sta::TimingConfig;
+use svtox_tech::Technology;
+
+use crate::{load_circuit_faulted, CliError};
+
+/// Arguments of `svtox chaos`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosArgs {
+    /// A single scenario name, or `None` with `all`.
+    pub scenario: Option<String>,
+    /// Run every scenario.
+    pub all: bool,
+    /// Base seed for the fault plans.
+    pub seed: u64,
+    /// Worker threads for the scenarios that search.
+    pub threads: usize,
+    /// Benchmark or file for the circuit-level scenarios.
+    pub target: String,
+}
+
+/// The available scenario names, in execution order.
+pub const SCENARIOS: &[&str] = &[
+    "panic-storm",
+    "worker-loss",
+    "truncated-file",
+    "clock-skew",
+    "kill-resume",
+];
+
+/// Runs the selected chaos scenarios.
+///
+/// # Errors
+///
+/// Returns [`CliError`] carrying the full report when any scenario's
+/// invariant is violated (so the binary exits non-zero), or for an
+/// unknown scenario name.
+pub fn run_chaos(args: &ChaosArgs) -> Result<String, CliError> {
+    silence_injected_panics();
+    let selected: Vec<&str> = if args.all {
+        SCENARIOS.to_vec()
+    } else {
+        let name = args.scenario.as_deref().unwrap_or_default();
+        if !SCENARIOS.contains(&name) {
+            return Err(CliError(format!(
+                "unknown scenario `{name}`; available: {}",
+                SCENARIOS.join(", ")
+            )));
+        }
+        vec![
+            SCENARIOS[SCENARIOS
+                .iter()
+                .position(|s| *s == name)
+                .expect("checked above")],
+        ]
+    };
+
+    let mut out = String::new();
+    let mut failures = 0usize;
+    for name in &selected {
+        let result = run_scenario(name, args);
+        match result {
+            Ok(detail) => {
+                let _ = writeln!(out, "PASS {name}: {detail}");
+            }
+            Err(detail) => {
+                failures += 1;
+                let _ = writeln!(out, "FAIL {name}: {detail}");
+            }
+        }
+    }
+    let _ = writeln!(
+        out,
+        "chaos: {}/{} scenarios passed (seed {}, {} threads)",
+        selected.len() - failures,
+        selected.len(),
+        args.seed,
+        args.threads.max(1)
+    );
+    if failures > 0 {
+        Err(CliError(out))
+    } else {
+        Ok(out)
+    }
+}
+
+static QUIET_HOOK: std::sync::Once = std::sync::Once::new();
+
+/// Installs (once, process-wide) a panic hook that swallows injected-fault
+/// panics — they are the scenarios' working fluid, not noise worth a
+/// backtrace on stderr — and delegates every other panic to the previous
+/// hook unchanged.
+fn silence_injected_panics() {
+    QUIET_HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| info.payload().downcast_ref::<&str>().copied())
+                .is_some_and(Fault::is_injected_panic);
+            if !injected {
+                prev(info);
+            }
+        }));
+    });
+}
+
+fn run_scenario(name: &str, args: &ChaosArgs) -> Result<String, String> {
+    // A scenario panicking is itself an invariant violation — the whole
+    // point is that faults degrade, never crash.
+    let outcome = catch_unwind(AssertUnwindSafe(|| match name {
+        "panic-storm" => panic_storm(args),
+        "worker-loss" => worker_loss(args),
+        "truncated-file" => truncated_file(args),
+        "clock-skew" => clock_skew(args),
+        "kill-resume" => kill_resume(args),
+        other => Err(format!("unimplemented scenario `{other}`")),
+    }));
+    outcome.unwrap_or_else(|payload| {
+        let message = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+            .unwrap_or_else(|| "non-string panic payload".to_string());
+        Err(format!("scenario panicked: {message}"))
+    })
+}
+
+/// Loads the target circuit and builds the default problem around it.
+fn target_problem(target: &str) -> Result<(svtox_netlist::Netlist, Library), String> {
+    let netlist = load_circuit_faulted(target, Fault::disabled_ref()).map_err(|e| e.to_string())?;
+    let lib = Library::new(Technology::predictive_65nm(), LibraryOptions::default())
+        .map_err(|e| e.to_string())?;
+    Ok((netlist, lib))
+}
+
+/// Dispatch panics rain on every third task start; retries must absorb
+/// or degrade, never fail outright, and the incumbent must stay valid.
+/// (A count trigger, not a probability: under a short wall-clock budget
+/// only a few dispatches happen, and the storm must be guaranteed to
+/// land on some of them for any seed.)
+fn panic_storm(args: &ChaosArgs) -> Result<String, String> {
+    let (netlist, lib) = target_problem(&args.target)?;
+    let problem =
+        Problem::new(&netlist, &lib, TimingConfig::default()).map_err(|e| e.to_string())?;
+    let plan = FaultPlan::new(args.seed).with_rule(Site::ExecDispatch, Trigger::EveryNth(3));
+    let fault = Fault::new(&plan);
+    let opt = problem
+        .optimizer(DelayPenalty::five_percent(), Mode::Proposed)
+        .with_fault(&fault);
+    let h1 = opt.heuristic1().map_err(|e| e.to_string())?;
+    let exec = ExecConfig::with_threads(args.threads.max(2))
+        .with_time_budget(Duration::from_secs(1))
+        .with_retries(RetryPolicy::resilient());
+    let outcome = opt.run(&exec, None);
+    let best = match &outcome {
+        RunOutcome::Failed { error } => return Err(format!("run failed outright: {error}")),
+        _ => outcome
+            .best()
+            .expect("non-failed outcome carries a solution"),
+    };
+    best.verify(&problem)
+        .map_err(|e| format!("incumbent does not verify: {e}"))?;
+    if best.leakage.value() > h1.leakage.value() * (1.0 + 1e-12) {
+        return Err(format!(
+            "incumbent {} worse than the pre-fault H1 seed {}",
+            best.leakage, h1.leakage
+        ));
+    }
+    if fault.fired(Site::ExecDispatch) == 0 {
+        return Err("storm never fired — the scenario tested nothing".to_string());
+    }
+    Ok(format!(
+        "{} after {} dispatch panics; incumbent {} ≤ seed {}",
+        outcome.status(),
+        fault.fired(Site::ExecDispatch),
+        best.leakage,
+        h1.leakage
+    ))
+}
+
+/// A worker dies mid-queue; the supervisor must respawn it and keep every
+/// finished result.
+fn worker_loss(args: &ChaosArgs) -> Result<String, String> {
+    let (netlist, lib) = target_problem(&args.target)?;
+    let problem =
+        Problem::new(&netlist, &lib, TimingConfig::default()).map_err(|e| e.to_string())?;
+    let plan = FaultPlan::new(args.seed).with_rule(Site::ExecPop, Trigger::Nth(2));
+    let fault = Fault::new(&plan);
+    let opt = problem
+        .optimizer(DelayPenalty::five_percent(), Mode::Proposed)
+        .with_fault(&fault);
+    let exec = ExecConfig::with_threads(args.threads.max(2))
+        .with_time_budget(Duration::from_secs(1))
+        .with_retries(RetryPolicy::resilient());
+    let outcome = opt.run(&exec, None);
+    let best = match &outcome {
+        RunOutcome::Failed { error } => return Err(format!("run failed outright: {error}")),
+        _ => outcome
+            .best()
+            .expect("non-failed outcome carries a solution"),
+    };
+    best.verify(&problem)
+        .map_err(|e| format!("incumbent does not verify: {e}"))?;
+    if fault.fired(Site::ExecPop) == 0 {
+        return Err("the pop fault never fired".to_string());
+    }
+    let respawns = outcome.stats().map_or(0, |s| s.respawns);
+    if respawns == 0 {
+        return Err("the dead worker was never respawned".to_string());
+    }
+    Ok(format!(
+        "{} with {respawns} respawn(s) after a worker death; incumbent {}",
+        outcome.status(),
+        best.leakage
+    ))
+}
+
+/// A netlist file read fails, then gets torn in half: both must surface
+/// as typed errors, never a panic or a silently half-loaded circuit.
+fn truncated_file(args: &ChaosArgs) -> Result<String, String> {
+    let (netlist, _) = target_problem(&args.target)?;
+    let path = std::env::temp_dir().join(format!(
+        "svtox-chaos-trunc-{}-{}.bench",
+        args.seed,
+        std::process::id()
+    ));
+    std::fs::write(&path, netlist.to_bench()).map_err(|e| e.to_string())?;
+    let target = path.display().to_string();
+
+    let read_plan = FaultPlan::new(args.seed).with_rule(Site::FileRead, Trigger::Nth(1));
+    let io_err = match load_circuit_faulted(&target, &Fault::new(&read_plan)) {
+        Ok(_) => {
+            std::fs::remove_file(&path).ok();
+            return Err("injected read fault produced a circuit".to_string());
+        }
+        Err(e) => e.to_string(),
+    };
+    if !io_err.contains("injected fault") {
+        std::fs::remove_file(&path).ok();
+        return Err(format!("read error does not name the fault: {io_err}"));
+    }
+
+    let tear_plan = FaultPlan::new(args.seed).with_rule(Site::FileTruncate, Trigger::Nth(1));
+    let tear_err = match load_circuit_faulted(&target, &Fault::new(&tear_plan)) {
+        Ok(_) => {
+            std::fs::remove_file(&path).ok();
+            return Err("a torn netlist file parsed and validated".to_string());
+        }
+        Err(e) => e.to_string(),
+    };
+    std::fs::remove_file(&path).ok();
+    Ok(format!("read fault → `{io_err}`; torn file → `{tear_err}`"))
+}
+
+/// The budget clock skews to zero: the run must degrade to the Heuristic
+/// 1 seed with the deadline as the stated reason.
+fn clock_skew(args: &ChaosArgs) -> Result<String, String> {
+    let (netlist, lib) = target_problem(&args.target)?;
+    let problem =
+        Problem::new(&netlist, &lib, TimingConfig::default()).map_err(|e| e.to_string())?;
+    let plan = FaultPlan::new(args.seed).with_rule(Site::BudgetClock, Trigger::Nth(1));
+    let fault = Fault::new(&plan);
+    let opt = problem
+        .optimizer(DelayPenalty::five_percent(), Mode::Proposed)
+        .with_fault(&fault);
+    let h1 = opt.heuristic1().map_err(|e| e.to_string())?;
+    let exec =
+        ExecConfig::with_threads(args.threads.max(1)).with_time_budget(Duration::from_secs(3600));
+    let outcome = opt.run(&exec, None);
+    let RunOutcome::Degraded { reason, best, .. } = outcome else {
+        return Err(format!("expected a degraded run, got {}", outcome.status()));
+    };
+    if reason != DegradeReason::DeadlineExpired {
+        return Err(format!("expected the deadline as reason, got `{reason}`"));
+    }
+    if !best.same_assignment(&h1) {
+        return Err("a zero-budget run moved off the H1 seed".to_string());
+    }
+    Ok(format!(
+        "degraded ({reason}); incumbent pinned to the H1 seed at {}",
+        best.leakage
+    ))
+}
+
+/// A mid-search kill with a checkpoint, then a resume: the final solution
+/// must be bit-identical to a never-interrupted run.
+fn kill_resume(args: &ChaosArgs) -> Result<String, String> {
+    // A small generated DAG whose tree exhausts in well under a second —
+    // kill/resume bit-identity needs runs that actually finish.
+    let (netlist, lib) = svtox_check::domain::circuit("chaos-kill-resume", 7, 32, 5);
+    let problem =
+        Problem::new(&netlist, &lib, TimingConfig::default()).map_err(|e| e.to_string())?;
+    let opt = problem.optimizer(DelayPenalty::five_percent(), Mode::Proposed);
+    let h1 = opt.heuristic1().map_err(|e| e.to_string())?;
+    let exec = ExecConfig::with_threads(args.threads.max(1));
+    let RunOutcome::Complete {
+        solution: reference,
+        ..
+    } = opt.run(&exec, None)
+    else {
+        return Err("the uninterrupted reference run did not complete".to_string());
+    };
+
+    let path = std::env::temp_dir().join(format!(
+        "svtox-chaos-kr-{}-{}-{}.jsonl",
+        args.seed,
+        args.threads.max(1),
+        std::process::id()
+    ));
+    let plan = FaultPlan::new(args.seed).with_rule(Site::CoreLeaf, Trigger::Nth(7));
+    let fault = Fault::new(&plan);
+    let killed = opt
+        .with_fault(&fault)
+        .run(&exec, Some(&CheckpointSpec::fresh(&path)));
+    let RunOutcome::Degraded { best, .. } = killed else {
+        std::fs::remove_file(&path).ok();
+        return Err(format!(
+            "the kill fault did not degrade the run (got {})",
+            killed.status()
+        ));
+    };
+    if best.leakage.value() > h1.leakage.value() * (1.0 + 1e-12) {
+        std::fs::remove_file(&path).ok();
+        return Err("the killed run's incumbent is worse than the H1 seed".to_string());
+    }
+    if best.leakage.value() < reference.leakage.value() * (1.0 - 1e-12) {
+        std::fs::remove_file(&path).ok();
+        return Err("the killed run's incumbent beats the exhaustive optimum".to_string());
+    }
+
+    let resumed = opt.run(&exec, Some(&CheckpointSpec::resume(&path)));
+    std::fs::remove_file(&path).ok();
+    let RunOutcome::Complete { solution, .. } = resumed else {
+        return Err(format!(
+            "resume did not complete (got {})",
+            resumed.status()
+        ));
+    };
+    if !solution.same_assignment(&reference) {
+        return Err(format!(
+            "resumed solution {} differs from the uninterrupted run {}",
+            solution.leakage, reference.leakage
+        ));
+    }
+    Ok(format!(
+        "killed at leaf 7, resumed to the bit-identical optimum {}",
+        solution.leakage
+    ))
+}

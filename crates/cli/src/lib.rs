@@ -9,13 +9,17 @@
 //! * `report` — per-gate trade-off-point histogram + critical path;
 //! * `suite` — list the built-in benchmark reconstructions;
 //! * `check` — run the property-based differential oracle suite
-//!   (`svtox-check`) with per-property pass/fail/counterexample reporting.
+//!   (`svtox-check`) with per-property pass/fail/counterexample reporting;
+//! * `chaos` — run named fault-injection scenarios and assert the
+//!   degradation invariants (see [`chaos`]).
 //!
 //! The binary (`src/main.rs`) is a thin shell over [`run`]; everything here
 //! is unit-testable.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod chaos;
 
 use std::error::Error;
 use std::fmt::Write as _;
@@ -24,15 +28,20 @@ use std::time::Duration;
 use std::collections::BTreeMap;
 
 use svtox_cells::{to_liberty, Library, LibraryOptions, TradeoffPoints};
-use svtox_core::{DelayPenalty, ExecConfig, Mode, Problem, Solution};
+use svtox_core::{
+    CheckpointSpec, DelayPenalty, ExecConfig, Mode, Problem, RetryPolicy, RunOutcome, Solution,
+};
+use svtox_fault::{Fault, FaultPlan};
 use svtox_netlist::generators::{benchmark, BenchmarkProfile};
 use svtox_netlist::{
-    insert_sleep_vector, map_to_primitives, parse_bench, parse_verilog, MappingOptions, Netlist,
+    insert_sleep_vector, map_to_primitives, read_bench, read_verilog, MappingOptions, Netlist,
 };
 use svtox_obs::{JsonlSink, Obs};
 use svtox_sim::{random_average_leakage, random_average_leakage_parallel, Simulator};
 use svtox_sta::{GateConfig, Sta, TimingConfig};
 use svtox_tech::Technology;
+
+pub use chaos::{run_chaos, ChaosArgs};
 
 /// Parsed command line.
 #[derive(Debug, Clone, PartialEq)]
@@ -49,6 +58,8 @@ pub enum Command {
     Suite,
     /// `check` subcommand.
     Check(CheckArgs),
+    /// `chaos` subcommand.
+    Chaos(ChaosArgs),
     /// `--help` or no arguments.
     Help,
 }
@@ -103,6 +114,15 @@ pub struct OptimizeArgs {
     pub trace: Option<String>,
     /// Print the final counter/gauge table after the run.
     pub metrics: bool,
+    /// Record the explored-prefix frontier to this JSONL file.
+    pub checkpoint: Option<String>,
+    /// Replay an existing checkpoint before searching (needs
+    /// `checkpoint`).
+    pub resume: bool,
+    /// Fault plan specification (`site:trigger` clauses; chaos testing).
+    pub fault_plan: Option<String>,
+    /// Seed for probabilistic fault triggers.
+    pub fault_seed: u64,
 }
 
 /// Arguments of `svtox sweep`.
@@ -144,13 +164,15 @@ USAGE:
                  [--heuristic2 SECONDS] [--refine PASSES] [--two-option]
                  [--uniform-stack] [--no-reorder] [--vectors N]
                  [--threads N] [--time-budget SECONDS] [--emit-sleep FILE]
-                 [--trace FILE] [--metrics]
+                 [--trace FILE] [--metrics] [--checkpoint FILE] [--resume]
+                 [--fault-plan SPEC] [--fault-seed S]
   svtox sweep <circuit|file.bench> [--penalties 0,5,10,25,100]
   svtox library [--two-option] [--uniform-stack] [--liberty FILE]
   svtox report <circuit|file.bench> [--penalties 5]
   svtox suite
   svtox check [--cases N] [--seed S] [--shrink-limit K] [--threads N]
               [--json] [--corpus DIR] [--property NAME] [--replay STREAMSEED]
+  svtox chaos <scenario>|--all [--seed S] [--threads N] [--target CIRCUIT]
 
 Circuits: built-in reconstructions (c432 … c7552, alu64), ISCAS-85/89
 `.bench` files, or flat structural Verilog `.v` files (composite gates are
@@ -172,6 +194,16 @@ with `--corpus DIR`, persisted as `.case` files that replay before fresh
 generation on the next run. `--property NAME` filters by substring;
 `--replay STREAMSEED` re-runs one stored case (see tests/corpus/README.md).
 The report is deterministic for a given seed, independent of `--threads`.
+
+Robustness: `optimize --checkpoint FILE` appends every fully-explored
+prefix subtree to a JSONL file; `--resume` replays it so a killed run
+finishes bit-identically to an uninterrupted one (same circuit, penalty,
+mode and split depth required). `--fault-plan SPEC` injects deterministic
+faults, e.g. `exec.dispatch:p=0.1,clock.skew:nth=1` (sites: exec.dispatch,
+exec.pop, io.read, io.truncate, clock.skew, core.leaf; triggers: nth=N,
+every=N, p=F under `--fault-seed`). `chaos` runs named scenarios
+(panic-storm, worker-loss, truncated-file, clock-skew, kill-resume)
+asserting the degradation invariants; any violation exits non-zero.
 ";
 
 /// Parses raw arguments (excluding the program name).
@@ -200,6 +232,10 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 vectors: 2000,
                 trace: None,
                 metrics: false,
+                checkpoint: None,
+                resume: false,
+                fault_plan: None,
+                fault_seed: 0,
             };
             while let Some(a) = it.next() {
                 match a.as_str() {
@@ -227,6 +263,10 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     "--emit-sleep" => out.emit_sleep = Some(next(&mut it, "--emit-sleep")?),
                     "--trace" => out.trace = Some(next(&mut it, "--trace")?),
                     "--metrics" => out.metrics = true,
+                    "--checkpoint" => out.checkpoint = Some(next(&mut it, "--checkpoint")?),
+                    "--resume" => out.resume = true,
+                    "--fault-plan" => out.fault_plan = Some(next(&mut it, "--fault-plan")?),
+                    "--fault-seed" => out.fault_seed = seed_u64(&mut it, "--fault-seed")?,
                     flag if flag.starts_with("--") => {
                         return Err(CliError(format!("unknown flag `{flag}`")))
                     }
@@ -239,6 +279,11 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                         target = Some(positional.to_string());
                     }
                 }
+            }
+            if out.resume && out.checkpoint.is_none() {
+                return Err(CliError(
+                    "--resume needs --checkpoint to name the file to replay".into(),
+                ));
             }
             out.target = target.ok_or_else(|| CliError("optimize needs a circuit".into()))?;
             Ok(Command::Optimize(out))
@@ -323,6 +368,41 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             }
             Ok(Command::Check(args))
         }
+        "chaos" => {
+            let mut args = ChaosArgs {
+                scenario: None,
+                all: false,
+                seed: 7,
+                threads: 2,
+                target: "c432".to_string(),
+            };
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--all" => args.all = true,
+                    "--seed" => args.seed = seed_u64(&mut it, "--seed")?,
+                    "--threads" => args.threads = uint(&mut it, "--threads")?,
+                    "--target" => args.target = next(&mut it, "--target")?,
+                    flag if flag.starts_with("--") => {
+                        return Err(CliError(format!("unknown flag `{flag}`")))
+                    }
+                    positional => {
+                        if args.scenario.is_some() {
+                            return Err(CliError(format!(
+                                "unexpected extra argument `{positional}`"
+                            )));
+                        }
+                        args.scenario = Some(positional.to_string());
+                    }
+                }
+            }
+            if args.all == args.scenario.is_some() {
+                return Err(CliError(format!(
+                    "chaos needs exactly one of --all or a scenario name ({})",
+                    chaos::SCENARIOS.join(", ")
+                )));
+            }
+            Ok(Command::Chaos(args))
+        }
         "--help" | "-h" | "help" => Ok(Command::Help),
         other => Err(CliError(format!("unknown subcommand `{other}`"))),
     }
@@ -374,8 +454,9 @@ fn seconds(it: &mut std::slice::Iter<'_, String>, flag: &str) -> Result<Duration
     })
 }
 
-/// Netlist-file parser signature shared by the supported formats.
-type NetlistParser = fn(&str) -> Result<Netlist, svtox_netlist::NetlistError>;
+/// Fault-aware netlist-file reader signature shared by the supported
+/// formats.
+type NetlistReader = fn(&std::path::Path, &Fault) -> Result<Netlist, svtox_netlist::NetlistError>;
 
 /// Loads a circuit: a built-in benchmark name, a `.bench` file, or a flat
 /// structural Verilog `.v` file (files are mapped to primitives).
@@ -384,17 +465,27 @@ type NetlistParser = fn(&str) -> Result<Netlist, svtox_netlist::NetlistError>;
 ///
 /// Returns [`CliError`] if no interpretation works.
 pub fn load_circuit(target: &str) -> Result<Netlist, CliError> {
-    let parse: Option<NetlistParser> = if target.ends_with(".bench") {
-        Some(parse_bench)
+    load_circuit_faulted(target, Fault::disabled_ref())
+}
+
+/// [`load_circuit`] with file reads routed through a fault-injection
+/// handle, so chaos runs can exercise the `io.read`/`io.truncate` sites.
+///
+/// # Errors
+///
+/// Returns [`CliError`] if no interpretation works — including injected
+/// I/O failures, which surface here as typed errors, never panics.
+pub fn load_circuit_faulted(target: &str, fault: &Fault) -> Result<Netlist, CliError> {
+    let read: Option<NetlistReader> = if target.ends_with(".bench") {
+        Some(read_bench)
     } else if target.ends_with(".v") {
-        Some(parse_verilog)
+        Some(read_verilog)
     } else {
         None
     };
-    if let Some(parse) = parse {
-        let text = std::fs::read_to_string(target)
-            .map_err(|e| CliError(format!("cannot read {target}: {e}")))?;
-        let raw = parse(&text).map_err(|e| CliError(format!("{target}: {e}")))?;
+    if let Some(read) = read {
+        let raw = read(std::path::Path::new(target), fault)
+            .map_err(|e| CliError(format!("{target}: {e}")))?;
         map_to_primitives(&raw, MappingOptions::default())
             .map_err(|e| CliError(format!("{target}: mapping failed: {e}")))
     } else {
@@ -568,8 +659,21 @@ pub fn run(command: Command) -> Result<String, Box<dyn Error>> {
                 )?;
             }
         }
+        Command::Chaos(args) => {
+            out.push_str(&run_chaos(&args)?);
+        }
         Command::Optimize(args) => {
-            let netlist = load_circuit(&args.target)?;
+            // Fault injection is opt-in; the disabled handle costs one
+            // branch per site query.
+            let fault = match &args.fault_plan {
+                Some(spec) => {
+                    let plan = FaultPlan::parse(spec, args.fault_seed)
+                        .map_err(|e| CliError(format!("--fault-plan: {e}")))?;
+                    Fault::new(&plan)
+                }
+                None => Fault::disabled(),
+            };
+            let netlist = load_circuit_faulted(&args.target, &fault)?;
             let lib = Library::new(Technology::predictive_65nm(), args.library)?;
             let problem = Problem::new(&netlist, &lib, TimingConfig::default())?;
             // Observability is opt-in: a disabled handle keeps every probe
@@ -590,19 +694,40 @@ pub fn run(command: Command) -> Result<String, Box<dyn Error>> {
                 .time_budget
                 .or(args.heuristic2)
                 .unwrap_or(Duration::from_secs(1));
-            let exec = ExecConfig::with_threads(args.threads).with_time_budget(budget);
-            let (sol, stats, avg) = {
+            let exec = ExecConfig::with_threads(args.threads)
+                .with_time_budget(budget)
+                .with_retries(RetryPolicy::resilient());
+            let ckpt = args.checkpoint.as_ref().map(|path| {
+                if args.resume {
+                    CheckpointSpec::resume(path)
+                } else {
+                    CheckpointSpec::fresh(path)
+                }
+            });
+            let (sol, stats, status, avg) = {
                 let _span = obs.span("cli.optimize");
                 let avg =
                     random_average_leakage_parallel(&netlist, &lib, args.vectors, 42, &exec, &obs)?;
                 let optimizer = problem
                     .optimizer(DelayPenalty::new(args.penalty)?, args.mode)
-                    .with_obs(&obs);
-                let (mut sol, stats): (Solution, _) = optimizer.heuristic2_parallel(&exec)?;
+                    .with_obs(&obs)
+                    .with_fault(&fault);
+                let outcome = optimizer.run(&exec, ckpt.as_ref());
+                let (mut sol, stats, status): (Solution, _, String) = match outcome {
+                    RunOutcome::Failed { error } => return Err(Box::new(error)),
+                    RunOutcome::Complete { solution, stats } => {
+                        (solution, stats, "complete".to_string())
+                    }
+                    RunOutcome::Degraded {
+                        reason,
+                        best,
+                        stats,
+                    } => (best, stats, format!("degraded ({reason})")),
+                };
                 if args.refine_passes > 0 {
                     sol = optimizer.refine(sol, args.refine_passes)?;
                 }
-                (sol, stats, avg)
+                (sol, stats, status, avg)
             };
             sol.verify(&problem)?;
             let (isub, igate) = sol.leakage_breakdown(&problem)?;
@@ -636,6 +761,10 @@ pub fn run(command: Command) -> Result<String, Box<dyn Error>> {
                 sol.runtime, sol.leaves_explored
             )?;
             writeln!(out, "engine   : {stats}")?;
+            writeln!(out, "status   : {status}")?;
+            if let Some(path) = &args.checkpoint {
+                writeln!(out, "checkpoint: {path}")?;
+            }
             let vector: String = sol
                 .vector
                 .iter()
@@ -852,6 +981,70 @@ mod tests {
     }
 
     #[test]
+    fn parses_robustness_flags() {
+        let cmd = parse_args(&argv(
+            "optimize c432 --checkpoint /tmp/c.jsonl --resume \
+             --fault-plan exec.dispatch:p=0.5 --fault-seed 9",
+        ))
+        .unwrap();
+        let Command::Optimize(args) = cmd else {
+            panic!("wrong command")
+        };
+        assert_eq!(args.checkpoint.as_deref(), Some("/tmp/c.jsonl"));
+        assert!(args.resume);
+        assert_eq!(args.fault_plan.as_deref(), Some("exec.dispatch:p=0.5"));
+        assert_eq!(args.fault_seed, 9);
+        // Defaults: no checkpoint, faults disabled.
+        let Command::Optimize(defaults) = parse_args(&argv("optimize c432")).unwrap() else {
+            panic!("wrong command")
+        };
+        assert_eq!(defaults.checkpoint, None);
+        assert!(!defaults.resume);
+        assert_eq!(defaults.fault_plan, None);
+        // --resume without --checkpoint has no file to read from.
+        let err = parse_args(&argv("optimize c432 --resume")).expect_err("must be rejected");
+        assert!(err.0.contains("--checkpoint"));
+        // A malformed plan fails at run time with the parser's message.
+        let cmd = parse_args(&argv("optimize c432 --fault-plan bogus.site:p=0.5")).unwrap();
+        let err = run(cmd).expect_err("unknown site must fail");
+        assert!(err.to_string().contains("bogus.site"));
+    }
+
+    #[test]
+    fn parses_chaos() {
+        let cmd = parse_args(&argv(
+            "chaos kill-resume --seed 11 --threads 4 --target c17",
+        ))
+        .unwrap();
+        let Command::Chaos(args) = cmd else {
+            panic!("wrong command")
+        };
+        assert_eq!(args.scenario.as_deref(), Some("kill-resume"));
+        assert!(!args.all);
+        assert_eq!(args.seed, 11);
+        assert_eq!(args.threads, 4);
+        assert_eq!(args.target, "c17");
+        let Command::Chaos(defaults) = parse_args(&argv("chaos --all")).unwrap() else {
+            panic!("wrong command")
+        };
+        assert!(defaults.all);
+        assert_eq!(defaults.seed, 7);
+        assert_eq!(defaults.threads, 2);
+        assert_eq!(defaults.target, "c432");
+        // Exactly one of --all or a named scenario.
+        assert!(parse_args(&argv("chaos")).is_err());
+        assert!(parse_args(&argv("chaos --all kill-resume")).is_err());
+    }
+
+    #[test]
+    fn chaos_kill_resume_scenario_passes() {
+        let out = run(parse_args(&argv("chaos kill-resume --seed 7 --threads 2")).unwrap())
+            .expect("scenario holds");
+        assert!(out.contains("PASS kill-resume"), "unexpected output: {out}");
+        assert!(out.contains("1/1 scenarios passed"));
+    }
+
+    #[test]
     fn trace_produces_valid_jsonl_and_metrics_table() {
         let trace = std::env::temp_dir().join("svtox_cli_trace.jsonl");
         let cmd = parse_args(&argv(&format!(
@@ -884,7 +1077,7 @@ mod tests {
         assert!(kinds.contains("meta") && kinds.contains("span") && kinds.contains("counter"));
         for expected in [
             "cli.optimize",
-            "core.heuristic2_parallel",
+            "core.run",
             "core.h1.decisions",
             "sta.full_analyzes",
             "exec.map_tasks",
@@ -935,7 +1128,7 @@ mod tests {
         assert!(out.contains("vector"));
         // The emitted sleep netlist parses and has the documented overhead.
         let text = std::fs::read_to_string(&tmp).unwrap();
-        let gated = parse_bench(&text).unwrap();
+        let gated = svtox_netlist::parse_bench(&text).unwrap();
         assert_eq!(gated.num_inputs(), 37);
         std::fs::remove_file(&tmp).ok();
     }

@@ -25,6 +25,10 @@ pub enum OptError {
     },
     /// The delay-penalty fraction was outside `0.0..=1.0`.
     InvalidPenalty(u64),
+    /// A checkpoint file could not be used: unreadable meta line, or its
+    /// recorded problem identity (circuit, penalty, mode, split depth)
+    /// does not match the run being resumed.
+    Checkpoint(String),
 }
 
 impl fmt::Display for OptError {
@@ -45,6 +49,7 @@ impl fmt::Display for OptError {
                     f64::from_bits(*bits)
                 )
             }
+            Self::Checkpoint(message) => write!(f, "checkpoint error: {message}"),
         }
     }
 }

@@ -48,19 +48,24 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod checkpoint;
 mod error;
 mod gate_assign;
+mod outcome;
 mod problem;
 mod solution;
 mod state_search;
 
+pub use checkpoint::CheckpointSpec;
 pub use error::OptError;
+pub use outcome::{DegradeReason, RunOutcome};
 pub use problem::{DelayPenalty, GateOrder, InputOrder, Mode, Problem};
 pub use solution::Solution;
 pub use state_search::Optimizer;
 
-// Re-exported so optimizer callers can configure the parallel searches
-// and attach observability without depending on the engine crates
-// directly.
-pub use svtox_exec::{ExecConfig, ExecError, SearchStats};
+// Re-exported so optimizer callers can configure the parallel searches,
+// attach observability, and inject faults without depending on the
+// engine crates directly.
+pub use svtox_exec::{ExecConfig, ExecError, RetryPolicy, SearchStats};
+pub use svtox_fault::Fault;
 pub use svtox_obs::Obs;

@@ -1,0 +1,185 @@
+//! Typed run outcomes: the graceful-degradation contract.
+//!
+//! The paper's Heuristic 2 is naturally *anytime* — it holds a
+//! monotonically improving incumbent from the moment Heuristic 1 seeds
+//! it. [`RunOutcome`] turns that property into an API: a deadline, a
+//! cancellation, or an exhausted fault-tolerance budget produces
+//! [`RunOutcome::Degraded`] carrying the best solution found so far (and
+//! *why* the run fell short), instead of discarding the incumbent behind
+//! an error. Only conditions that prevent having any solution at all —
+//! a library lookup failure, an unreadable checkpoint — are
+//! [`RunOutcome::Failed`].
+
+use std::fmt;
+
+use svtox_exec::SearchStats;
+
+use crate::error::OptError;
+use crate::solution::Solution;
+
+/// Why a run degraded instead of completing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DegradeReason {
+    /// The wall-clock budget expired before the tree was exhausted.
+    DeadlineExpired,
+    /// The run's cancellation token was flipped (externally, or by a
+    /// mid-search kill fault).
+    Cancelled,
+    /// A worker died and the respawn budget could not recover it; the
+    /// results of every task that finished earlier were kept.
+    WorkerLoss {
+        /// Index of the lost worker.
+        worker: usize,
+        /// Its panic payload.
+        message: String,
+    },
+    /// Some tasks panicked through their retry budget; their subtrees
+    /// went unexplored but every other task's result was kept.
+    TasksFailed {
+        /// Number of tasks that failed.
+        failed: usize,
+        /// The first failing task's panic payload.
+        first: String,
+    },
+}
+
+impl fmt::Display for DegradeReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::DeadlineExpired => f.write_str("time budget expired"),
+            Self::Cancelled => f.write_str("cancelled"),
+            Self::WorkerLoss { worker, message } => {
+                write!(f, "worker {worker} lost: {message}")
+            }
+            Self::TasksFailed { failed, first } => {
+                write!(f, "{failed} task(s) failed, first: {first}")
+            }
+        }
+    }
+}
+
+/// The outcome of a production optimizer run ([`super::Optimizer::run`]).
+#[derive(Debug, Clone)]
+pub enum RunOutcome {
+    /// The search exhausted its tree: the solution is the engine's
+    /// optimum for the configured mode.
+    Complete {
+        /// The final solution.
+        solution: Solution,
+        /// Aggregated engine counters.
+        stats: SearchStats,
+    },
+    /// The search fell short of exhaustion but holds a valid incumbent:
+    /// `best` meets the delay budget and its leakage is at or below the
+    /// Heuristic 1 seed (the anytime guarantee).
+    Degraded {
+        /// Why the run fell short.
+        reason: DegradeReason,
+        /// The best solution found before degradation.
+        best: Solution,
+        /// Aggregated engine counters.
+        stats: SearchStats,
+    },
+    /// No solution exists: problem construction or checkpoint validation
+    /// failed before the seed was produced.
+    Failed {
+        /// The underlying error.
+        error: OptError,
+    },
+}
+
+impl RunOutcome {
+    /// The solution carried by a non-failed outcome.
+    #[must_use]
+    pub fn best(&self) -> Option<&Solution> {
+        match self {
+            Self::Complete { solution, .. } => Some(solution),
+            Self::Degraded { best, .. } => Some(best),
+            Self::Failed { .. } => None,
+        }
+    }
+
+    /// The engine counters of a non-failed outcome.
+    #[must_use]
+    pub fn stats(&self) -> Option<&SearchStats> {
+        match self {
+            Self::Complete { stats, .. } | Self::Degraded { stats, .. } => Some(stats),
+            Self::Failed { .. } => None,
+        }
+    }
+
+    /// Whether the search exhausted its tree.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        matches!(self, Self::Complete { .. })
+    }
+
+    /// A one-word status for reports: `complete`, `degraded`, `failed`.
+    #[must_use]
+    pub fn status(&self) -> &'static str {
+        match self {
+            Self::Complete { .. } => "complete",
+            Self::Degraded { .. } => "degraded",
+            Self::Failed { .. } => "failed",
+        }
+    }
+
+    /// Collapses into a `Result`, treating a degraded incumbent as
+    /// success (the anytime view).
+    ///
+    /// # Errors
+    ///
+    /// Returns the error of a [`RunOutcome::Failed`].
+    pub fn into_result(self) -> Result<(Solution, SearchStats), OptError> {
+        match self {
+            Self::Complete { solution, stats } => Ok((solution, stats)),
+            Self::Degraded { best, stats, .. } => Ok((best, stats)),
+            Self::Failed { error } => Err(error),
+        }
+    }
+}
+
+impl fmt::Display for RunOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Complete { solution, .. } => write!(f, "complete: {solution}"),
+            Self::Degraded { reason, best, .. } => write!(f, "degraded ({reason}): {best}"),
+            Self::Failed { error } => write!(f, "failed: {error}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degrade_reasons_render_their_cause() {
+        assert_eq!(
+            DegradeReason::DeadlineExpired.to_string(),
+            "time budget expired"
+        );
+        let loss = DegradeReason::WorkerLoss {
+            worker: 2,
+            message: "boom".into(),
+        };
+        assert!(loss.to_string().contains("worker 2"));
+        let failed = DegradeReason::TasksFailed {
+            failed: 3,
+            first: "bang".into(),
+        };
+        assert!(failed.to_string().contains("3 task(s)"));
+    }
+
+    #[test]
+    fn failed_outcome_has_no_best_and_errors_out() {
+        let outcome = RunOutcome::Failed {
+            error: OptError::InvalidPenalty(2.0f64.to_bits()),
+        };
+        assert!(outcome.best().is_none());
+        assert!(outcome.stats().is_none());
+        assert_eq!(outcome.status(), "failed");
+        assert!(outcome.into_result().is_err());
+    }
+}

@@ -79,6 +79,20 @@ impl Solution {
         Ok((leakage, sta.max_delay()))
     }
 
+    /// Whether two solutions carry the same assignment: vector, per-gate
+    /// choices, and bit-identical leakage/delay.
+    ///
+    /// This is the determinism/resume contract (runtime and the
+    /// leaf-exploration count are observational, and the latter varies
+    /// with cross-worker prune timing at `threads > 1`).
+    #[must_use]
+    pub fn same_assignment(&self, other: &Solution) -> bool {
+        self.vector == other.vector
+            && self.choices == other.choices
+            && self.leakage.value().to_bits() == other.leakage.value().to_bits()
+            && self.delay.value().to_bits() == other.delay.value().to_bits()
+    }
+
     /// The reduction factor relative to a reference leakage (the `X`
     /// columns of the paper's tables).
     #[must_use]

@@ -9,6 +9,7 @@
 
 use std::time::{Duration, Instant};
 
+use svtox_fault::Fault;
 use svtox_netlist::GateId;
 use svtox_obs::Obs;
 use svtox_sim::{Logic, TriSimulator};
@@ -16,6 +17,7 @@ use svtox_sta::{Sta, StaCounters};
 use svtox_tech::{Current, Time};
 
 mod parallel;
+mod resilient;
 
 use crate::error::OptError;
 use crate::gate_assign::{exact_assign, gate_states, greedy_assign};
@@ -90,6 +92,7 @@ pub struct Optimizer<'a> {
     gate_order: GateOrder,
     input_order: InputOrder,
     obs: &'a Obs,
+    fault: &'a Fault,
 }
 
 impl<'a> Optimizer<'a> {
@@ -101,6 +104,7 @@ impl<'a> Optimizer<'a> {
             gate_order: GateOrder::default(),
             input_order: InputOrder::default(),
             obs: Obs::disabled_ref(),
+            fault: Fault::disabled_ref(),
         }
     }
 
@@ -127,6 +131,18 @@ impl<'a> Optimizer<'a> {
     #[must_use]
     pub fn with_obs(mut self, obs: &'a Obs) -> Self {
         self.obs = obs;
+        self
+    }
+
+    /// Attaches a fault-injection handle (chaos testing). The search
+    /// loop consults it after every leaf evaluation
+    /// (`core.leaf` site: a fire cancels the run's budget — a
+    /// deterministic mid-search kill), and [`Optimizer::run`] threads it
+    /// through the execution engine's dispatch/pop/clock sites. The
+    /// default is the disabled handle: one branch per leaf.
+    #[must_use]
+    pub fn with_fault(mut self, fault: &'a Fault) -> Self {
+        self.fault = fault;
         self
     }
 

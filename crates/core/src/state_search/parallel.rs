@@ -27,6 +27,7 @@ use std::time::Instant;
 use svtox_exec::{
     map_tasks, min_by_stable, Budget, ExecConfig, SearchStats, SharedMinF64, WorkerStats,
 };
+use svtox_fault::Site as FaultSite;
 use svtox_sim::Logic;
 use svtox_sta::Sta;
 use svtox_tech::Time;
@@ -39,7 +40,7 @@ use super::{BoundTracker, Optimizer};
 
 /// How a surviving leaf of the state tree is evaluated.
 #[derive(Clone, Copy)]
-enum LeafKind {
+pub(super) enum LeafKind {
     /// Greedy gate tree (Heuristics 1/2).
     Greedy,
     /// Exact gate-tree branch and bound.
@@ -47,16 +48,16 @@ enum LeafKind {
 }
 
 /// Everything one worker reuses across its tasks.
-struct WorkerCtx<'p, 'n> {
-    sta: Sta<'n>,
-    tracker: BoundTracker<'p, 'n>,
-    vector: Vec<bool>,
+pub(super) struct WorkerCtx<'p, 'n> {
+    pub(super) sta: Sta<'n>,
+    pub(super) tracker: BoundTracker<'p, 'n>,
+    pub(super) vector: Vec<bool>,
 }
 
 /// Number of prefix inputs to split on: enough tasks to keep every worker
 /// busy through imbalance (~8 tasks per worker), capped so task setup
 /// stays negligible and floored so stealing has room even single-threaded.
-fn prefix_depth(threads: usize, num_inputs: usize) -> usize {
+pub(super) fn prefix_depth(threads: usize, num_inputs: usize) -> usize {
     let want = (threads * 8).next_power_of_two().trailing_zeros() as usize;
     want.clamp(3, 10).min(num_inputs)
 }
@@ -191,7 +192,7 @@ impl<'a> Optimizer<'a> {
     /// `None` if the whole subtree pruned away or yielded nothing better
     /// than the task-local seed).
     #[allow(clippy::too_many_arguments)]
-    fn search_subtree(
+    pub(super) fn search_subtree(
         &self,
         ctx: &mut WorkerCtx<'a, 'a>,
         p: usize,
@@ -239,6 +240,9 @@ impl<'a> Optimizer<'a> {
                 }
                 local = Some(candidate);
             }
+            if self.fault.fires(FaultSite::CoreLeaf) {
+                budget.cancel();
+            }
         } else if !prefix_pruned {
             // Same iterative DFS as the serial searches, over depths k..n.
             struct Frame {
@@ -263,6 +267,10 @@ impl<'a> Optimizer<'a> {
                             ws.incumbent_updates += 1;
                         }
                         local = Some(candidate);
+                    }
+                    // Chaos hook: a mid-search kill, at leaf granularity.
+                    if self.fault.fires(FaultSite::CoreLeaf) {
+                        budget.cancel();
                     }
                     stack.pop();
                     if let Some(parent) = stack.last() {

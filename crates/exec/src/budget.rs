@@ -85,6 +85,16 @@ impl Budget {
         self.token.cancel();
     }
 
+    /// Whether the configured deadline itself has passed.
+    ///
+    /// Distinguishes "ran out of time" from "was cancelled": the two
+    /// degrade a run for different reasons. Unlike [`Budget::expired`],
+    /// this ignores the cancellation token.
+    #[must_use]
+    pub fn deadline_passed(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
     /// Whether the budget is spent (deadline passed or cancelled).
     ///
     /// On deadline expiry the token is cancelled as a side effect, so

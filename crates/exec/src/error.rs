@@ -23,6 +23,19 @@ pub enum ExecError {
         /// The panic payload when it was a string, or a placeholder.
         message: String,
     },
+    /// A task panicked through its whole retry budget.
+    ///
+    /// Only reachable with a nonzero `RetryPolicy::max_task_retries`:
+    /// the task was caught and retried on rebuilt worker state, and
+    /// failed every attempt.
+    TaskFailed {
+        /// The task index.
+        task: usize,
+        /// Attempts consumed (1 initial + retries).
+        attempts: u32,
+        /// The last panic payload, rendered as a string.
+        message: String,
+    },
 }
 
 impl fmt::Display for ExecError {
@@ -30,6 +43,13 @@ impl fmt::Display for ExecError {
         match self {
             Self::WorkerPanic { worker, message } => {
                 write!(f, "worker {worker} panicked: {message}")
+            }
+            Self::TaskFailed {
+                task,
+                attempts,
+                message,
+            } => {
+                write!(f, "task {task} failed after {attempts} attempts: {message}")
             }
         }
     }

@@ -25,9 +25,15 @@
 //! Failures are typed: a panicking task surfaces as
 //! [`ExecError::WorkerPanic`] after the pool cancels the shared budget and
 //! drains the surviving workers, instead of aborting the process from the
-//! coordinator. Observability rides along through an [`svtox_obs::Obs`]
-//! handle — spans, pool counters, and per-worker events when enabled,
-//! a single branch per call when not.
+//! coordinator. Under a [`RetryPolicy`], [`run_pool`] instead *recovers*:
+//! panicking tasks are retried on rebuilt worker state, dead workers are
+//! respawned in supervisor rounds, and the [`PoolRun`] outcome keeps every
+//! finished result alongside the typed failures. The pool consults an
+//! [`svtox_fault::Fault`] registry at its dispatch/pop injection points,
+//! so chaos harnesses can provoke those paths deterministically.
+//! Observability rides along through an [`svtox_obs::Obs`] handle — spans,
+//! pool counters, and per-worker events when enabled, a single branch per
+//! call when not.
 //!
 //! # Example
 //!
@@ -64,7 +70,7 @@ mod stats;
 
 pub use budget::{Budget, CancelToken};
 pub use error::ExecError;
-pub use pool::{map_tasks, ExecConfig};
+pub use pool::{map_tasks, run_pool, ExecConfig, PoolRun, RetryPolicy, TaskFailure};
 pub use queue::{Chunk, TaskQueue};
 pub use reduce::min_by_stable;
 pub use shared::SharedMinF64;

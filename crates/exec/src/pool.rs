@@ -1,13 +1,26 @@
 //! The scoped worker pool.
 //!
-//! [`map_tasks`] executes `num_tasks` independent tasks over a fixed set of
+//! [`run_pool`] executes `num_tasks` independent tasks over a fixed set of
 //! workers and returns the results *in task order*, which is what makes a
 //! deterministic reduction possible afterwards: however the chunks were
 //! scheduled or stolen, task `i`'s result always lands in slot `i`.
+//!
+//! The pool degrades gracefully under a [`RetryPolicy`]: a panicking task
+//! is caught, its worker state rebuilt, and the task retried up to a
+//! bound; a dead worker (a panic that escapes the task guard) is
+//! replaced by a supervisor respawn round that re-offers only the tasks
+//! not yet marked done. Completed results live in shared slots, so a
+//! worker death loses at most the in-flight task — never the work that
+//! already finished. [`map_tasks`] is the strict wrapper that turns any
+//! residual failure into an error.
 
 use std::any::Any;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
+use svtox_fault::{Fault, Site};
 use svtox_obs::{FieldValue, Obs};
 
 use crate::budget::Budget;
@@ -15,11 +28,45 @@ use crate::error::ExecError;
 use crate::queue::TaskQueue;
 use crate::stats::{SearchStats, WorkerStats};
 
-/// Execution configuration: worker count and an optional wall-clock budget.
+/// Bounded fault tolerance for one pool run.
+///
+/// The default policy is strict (no retries, no respawns): panics escape
+/// exactly as they did before the policy existed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RetryPolicy {
+    /// Retries granted to each task after a caught panic. `0` leaves
+    /// task panics unguarded, so they kill their worker.
+    pub max_task_retries: u32,
+    /// Total worker respawns granted to the run. `0` makes any worker
+    /// death fatal to the map (the pre-policy behaviour).
+    pub max_respawns: u32,
+}
+
+impl RetryPolicy {
+    /// The strict policy: no retries, no respawns.
+    #[must_use]
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// A forgiving default for long-running service use: a couple of
+    /// retries per task and a handful of worker respawns.
+    #[must_use]
+    pub fn resilient() -> Self {
+        Self {
+            max_task_retries: 2,
+            max_respawns: 4,
+        }
+    }
+}
+
+/// Execution configuration: worker count, an optional wall-clock budget,
+/// and the fault-tolerance policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ExecConfig {
     threads: usize,
     time_budget: Option<Duration>,
+    retry: RetryPolicy,
 }
 
 impl ExecConfig {
@@ -28,7 +75,7 @@ impl ExecConfig {
     pub fn serial() -> Self {
         Self {
             threads: 1,
-            time_budget: None,
+            ..Self::default()
         }
     }
 
@@ -38,7 +85,7 @@ impl ExecConfig {
     pub fn with_threads(threads: usize) -> Self {
         Self {
             threads,
-            time_budget: None,
+            ..Self::default()
         }
     }
 
@@ -46,6 +93,13 @@ impl ExecConfig {
     #[must_use]
     pub fn with_time_budget(mut self, budget: Duration) -> Self {
         self.time_budget = Some(budget);
+        self
+    }
+
+    /// Sets the fault-tolerance policy.
+    #[must_use]
+    pub fn with_retries(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
         self
     }
 
@@ -67,10 +121,84 @@ impl ExecConfig {
         self.time_budget
     }
 
+    /// The fault-tolerance policy.
+    #[must_use]
+    pub fn retry(&self) -> RetryPolicy {
+        self.retry
+    }
+
     /// A fresh [`Budget`] honouring the configured time budget.
     #[must_use]
     pub fn budget(&self) -> Budget {
         Budget::from_option(self.time_budget)
+    }
+
+    /// A fresh [`Budget`] whose clock reads through the fault registry: a
+    /// [`Site::BudgetClock`] fire at construction collapses the budget to
+    /// zero (the "clock skew" failure mode — the deadline is already in
+    /// the past when the run starts).
+    #[must_use]
+    pub fn budget_faulted(&self, fault: &Fault) -> Budget {
+        if fault.fires(Site::BudgetClock) {
+            Budget::with_duration(Duration::ZERO)
+        } else {
+            self.budget()
+        }
+    }
+}
+
+/// One task that exhausted its retry budget.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskFailure {
+    /// The task index.
+    pub task: usize,
+    /// Attempts consumed (1 initial + retries).
+    pub attempts: u32,
+    /// The last panic payload, rendered as a string.
+    pub message: String,
+}
+
+/// The full outcome of one [`run_pool`] invocation.
+///
+/// Unlike a `Result`, a `PoolRun` keeps everything that *did* finish:
+/// `results` holds every completed task slot even when later workers
+/// died, `failures` lists the tasks that exhausted their retries, and
+/// `error` reports an unrecovered worker loss. `error.is_none() &&
+/// failures.is_empty() && stats.completed` is a fully clean run.
+#[derive(Debug)]
+pub struct PoolRun<T> {
+    /// Per-task results in task order (`None` = pruned, skipped, failed,
+    /// or lost with its worker).
+    pub results: Vec<Option<T>>,
+    /// Aggregated execution counters (present even on error).
+    pub stats: SearchStats,
+    /// Tasks that panicked through their whole retry budget, by index.
+    pub failures: Vec<TaskFailure>,
+    /// An unrecovered worker loss, if the respawn budget ran out.
+    pub error: Option<ExecError>,
+}
+
+impl<T> PoolRun<T> {
+    /// Collapses the run into the strict `Result` shape of
+    /// [`map_tasks`]: any worker loss or task failure becomes an error
+    /// and the partial results are dropped.
+    ///
+    /// # Errors
+    ///
+    /// Returns the worker-loss error, or [`ExecError::TaskFailed`] for
+    /// the lowest-indexed exhausted task.
+    pub fn into_result(self) -> Result<(Vec<Option<T>>, SearchStats), ExecError> {
+        if let Some(error) = self.error {
+            return Err(error);
+        }
+        if let Some(f) = self.failures.into_iter().next() {
+            return Err(ExecError::TaskFailed {
+                task: f.task,
+                attempts: f.attempts,
+                message: f.message,
+            });
+        }
+        Ok((self.results, self.stats))
     }
 }
 
@@ -86,13 +214,22 @@ fn panic_message(payload: &(dyn Any + Send)) -> String {
 }
 
 /// Publishes one finished run into the observability registry.
-fn record_run(obs: &Obs, stats: &SearchStats) {
+fn record_run(obs: &Obs, stats: &SearchStats, failed: u64) {
     if !obs.is_enabled() {
         return;
     }
     obs.add("exec.tasks_executed", stats.tasks_executed());
     obs.add("exec.tasks_skipped", stats.tasks_skipped());
     obs.add("exec.steals", stats.steals());
+    if stats.retries() > 0 {
+        obs.add("exec.task_retries", stats.retries());
+    }
+    if stats.respawns > 0 {
+        obs.add("exec.respawns", u64::from(stats.respawns));
+    }
+    if failed > 0 {
+        obs.add("exec.tasks_failed", failed);
+    }
     obs.set_gauge("exec.workers", stats.num_workers() as u64);
     for (w, ws) in stats.workers.iter().enumerate() {
         obs.add("exec.idle_us", ws.idle.as_micros() as u64);
@@ -111,31 +248,320 @@ fn record_run(obs: &Obs, stats: &SearchStats) {
     }
 }
 
-/// Runs tasks `0..num_tasks` across the configured workers.
+/// Executes one task under the retry guard.
+///
+/// With a zero retry budget the task runs unguarded — a panic unwinds
+/// through the caller (killing the worker on the pool path, propagating
+/// to the user on the inline path), exactly the strict behaviour. With
+/// retries, a caught panic rebuilds the worker state through `init` (the
+/// panic may have left it mid-mutation) and re-runs the task.
+#[allow(clippy::too_many_arguments)] // private hot-path helper; a struct would outlive its one call site
+fn run_guarded<T, S>(
+    retries: u32,
+    worker: usize,
+    index: usize,
+    fault: &Fault,
+    state: &mut S,
+    ws: &mut WorkerStats,
+    init: &(impl Fn(usize) -> S + Sync),
+    task: &(impl Fn(&mut S, usize, &mut WorkerStats) -> Option<T> + Sync),
+) -> Result<Option<T>, TaskFailure> {
+    if retries == 0 {
+        fault.inject_panic(Site::ExecDispatch);
+        return Ok(task(state, index, ws));
+    }
+    let mut attempts = 0u32;
+    loop {
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            fault.inject_panic(Site::ExecDispatch);
+            task(state, index, ws)
+        }));
+        attempts += 1;
+        match outcome {
+            Ok(value) => return Ok(value),
+            Err(payload) => {
+                ws.retries += 1;
+                *state = init(worker);
+                if attempts > retries {
+                    return Err(TaskFailure {
+                        task: index,
+                        attempts,
+                        message: panic_message(payload.as_ref()),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Runs tasks `0..num_tasks` across the configured workers, keeping
+/// every result the run produced.
 ///
 /// * `init` builds one per-worker state (simulators, trackers, scratch
-///   buffers) so tasks can reuse expensive structures;
+///   buffers) so tasks can reuse expensive structures; it is also how a
+///   retried task gets a clean state after a caught panic;
 /// * `task` executes one task; returning `None` records "no result" (the
 ///   task pruned itself away);
 /// * tasks that have not started when `budget` expires are skipped and
 ///   counted in [`SearchStats::tasks_skipped`];
-/// * `obs` receives an `exec.map_tasks` span, pool counters
-///   (`exec.tasks_executed`, `exec.steals`, `exec.idle_us`, …), the
-///   initial queue depth as the `exec.queue_chunks` gauge, and one
-///   `exec.worker` event per worker. Pass [`Obs::disabled_ref`] for none
-///   of that — the disabled handle costs one branch per call.
+/// * `fault` is consulted at the dispatch and queue-pop injection points;
+///   pass [`Fault::disabled_ref`] (one branch per query) outside chaos
+///   runs;
+/// * under `config.retry()`, panicking tasks are retried with rebuilt
+///   state and dead workers are respawned in supervisor rounds that
+///   re-offer only the unfinished tasks. Completed results are published
+///   to shared slots as each task finishes, so worker loss never discards
+///   finished work.
 ///
-/// Results are returned in task order, untouched by scheduling. With one
-/// worker the tasks run inline on the caller's thread.
+/// Results come back in task order, untouched by scheduling. With one
+/// worker the tasks run inline on the caller's thread (no respawn there:
+/// with a zero retry budget a panicking task propagates to the caller, as
+/// any serial call would).
+pub fn run_pool<T, S, I, F>(
+    config: &ExecConfig,
+    num_tasks: usize,
+    budget: &Budget,
+    obs: &Obs,
+    fault: &Fault,
+    init: I,
+    task: F,
+) -> PoolRun<T>
+where
+    T: Send,
+    I: Fn(usize) -> S + Sync,
+    F: Fn(&mut S, usize, &mut WorkerStats) -> Option<T> + Sync,
+{
+    let _span = obs.span("exec.map_tasks");
+    let start = Instant::now();
+    let threads = config.threads().max(1).min(num_tasks.max(1));
+    let policy = config.retry();
+
+    let done: Vec<AtomicBool> = std::iter::repeat_with(|| AtomicBool::new(false))
+        .take(num_tasks)
+        .collect();
+    let slots: Mutex<Vec<Option<T>>> =
+        Mutex::new(std::iter::repeat_with(|| None).take(num_tasks).collect());
+    let failures: Mutex<Vec<TaskFailure>> = Mutex::new(Vec::new());
+
+    let mut per_worker = vec![WorkerStats::default(); threads];
+    let mut respawns = 0u32;
+    let mut error = None;
+
+    if threads == 1 {
+        let mut ws = WorkerStats::default();
+        let mut state = init(0);
+        for (i, done_flag) in done.iter().enumerate() {
+            if budget.expired() {
+                ws.tasks_skipped += 1;
+                continue;
+            }
+            let busy = Instant::now();
+            let outcome = run_guarded(
+                policy.max_task_retries,
+                0,
+                i,
+                fault,
+                &mut state,
+                &mut ws,
+                &init,
+                &task,
+            );
+            match outcome {
+                Ok(value) => {
+                    if let Some(value) = value {
+                        slots.lock().expect("slot lock is never poisoned")[i] = Some(value);
+                    }
+                    done_flag.store(true, Ordering::Release);
+                    ws.tasks_executed += 1;
+                }
+                Err(failure) => {
+                    failures
+                        .lock()
+                        .expect("failure lock is never poisoned")
+                        .push(failure);
+                    done_flag.store(true, Ordering::Release);
+                    ws.tasks_failed += 1;
+                }
+            }
+            ws.busy += busy.elapsed();
+        }
+        per_worker[0] = ws;
+    } else {
+        // Four chunks per worker gives stealing room without lock churn.
+        let chunk_size = num_tasks.div_ceil(threads * 4).max(1);
+        obs.set_gauge("exec.queue_chunks", num_tasks.div_ceil(chunk_size) as u64);
+        let mut first_panic: Option<(usize, String)> = None;
+        loop {
+            // A fresh closed queue per round: pops never block, so every
+            // join terminates even when siblings die. Workers skip tasks
+            // the previous rounds already finished.
+            let queue = TaskQueue::new(threads);
+            queue.distribute(num_tasks, chunk_size);
+            queue.close();
+            let joined: Vec<std::thread::Result<WorkerStats>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|w| {
+                        let queue = &queue;
+                        let init = &init;
+                        let task = &task;
+                        let done = &done;
+                        let slots = &slots;
+                        let failures = &failures;
+                        scope.spawn(move || {
+                            let mut ws = WorkerStats::default();
+                            let mut state = init(w);
+                            loop {
+                                let wait = Instant::now();
+                                let Some((chunk, stolen)) = queue.pop(w) else {
+                                    break;
+                                };
+                                fault.inject_panic(Site::ExecPop);
+                                ws.idle += wait.elapsed();
+                                if stolen {
+                                    ws.steals += 1;
+                                }
+                                for (i, done_flag) in
+                                    done.iter().enumerate().take(chunk.end).skip(chunk.start)
+                                {
+                                    if done_flag.load(Ordering::Acquire) {
+                                        continue;
+                                    }
+                                    if budget.expired() {
+                                        ws.tasks_skipped += 1;
+                                        continue;
+                                    }
+                                    let busy = Instant::now();
+                                    let outcome = run_guarded(
+                                        policy.max_task_retries,
+                                        w,
+                                        i,
+                                        fault,
+                                        &mut state,
+                                        &mut ws,
+                                        init,
+                                        task,
+                                    );
+                                    match outcome {
+                                        Ok(value) => {
+                                            if let Some(value) = value {
+                                                slots
+                                                    .lock()
+                                                    .expect("slot lock is never poisoned")[i] =
+                                                    Some(value);
+                                            }
+                                            done_flag.store(true, Ordering::Release);
+                                            ws.tasks_executed += 1;
+                                        }
+                                        Err(failure) => {
+                                            failures
+                                                .lock()
+                                                .expect("failure lock is never poisoned")
+                                                .push(failure);
+                                            done_flag.store(true, Ordering::Release);
+                                            ws.tasks_failed += 1;
+                                        }
+                                    }
+                                    ws.busy += busy.elapsed();
+                                }
+                            }
+                            ws
+                        })
+                    })
+                    .collect();
+                // Join everything even after a panic. In strict mode
+                // (no respawn budget) cancel the budget at the first
+                // failed join so survivors stop at the next flag test —
+                // there is nothing useful left for them to do.
+                let mut joined = Vec::with_capacity(handles.len());
+                for h in handles {
+                    let r = h.join();
+                    if r.is_err() && policy.max_respawns == 0 {
+                        budget.cancel();
+                    }
+                    joined.push(r);
+                }
+                joined
+            });
+            let mut deaths: Vec<(usize, String)> = Vec::new();
+            for (w, r) in joined.into_iter().enumerate() {
+                match r {
+                    Ok(ws) => per_worker[w].merge(&ws),
+                    Err(payload) => deaths.push((w, panic_message(payload.as_ref()))),
+                }
+            }
+            if deaths.is_empty() {
+                break;
+            }
+            if first_panic.is_none() {
+                first_panic = Some(deaths[0].clone());
+            }
+            for (worker, message) in &deaths {
+                obs.event(
+                    "exec.worker_panic",
+                    &[
+                        ("worker", FieldValue::from(*worker)),
+                        ("message", FieldValue::from(message.as_str())),
+                    ],
+                );
+            }
+            let lost = deaths.len() as u32;
+            if respawns + lost > policy.max_respawns {
+                // Respawn budget exhausted. Cancel the budget (strict
+                // callers expect survivors of a panicked map to have been
+                // stopped) and surface the first death.
+                budget.cancel();
+                let (worker, message) = first_panic.take().expect("a death was recorded");
+                error = Some(ExecError::WorkerPanic { worker, message });
+                break;
+            }
+            respawns += lost;
+            obs.add("exec.respawns", u64::from(lost));
+            if done.iter().all(|d| d.load(Ordering::Acquire)) || budget.expired() {
+                // Nothing left to recover (or no time left to recover it).
+                break;
+            }
+        }
+    }
+
+    let mut failures = failures
+        .into_inner()
+        .expect("failure lock is never poisoned");
+    failures.sort_by_key(|f| f.task);
+    let all_done = done.iter().all(|d| d.load(Ordering::Acquire));
+    let stats = SearchStats {
+        completed: all_done && failures.is_empty() && error.is_none(),
+        workers: per_worker,
+        wall: start.elapsed(),
+        tasks_total: num_tasks,
+        respawns,
+    };
+    let failed = stats.tasks_failed();
+    record_run(obs, &stats, failed);
+    PoolRun {
+        results: slots.into_inner().expect("slot lock is never poisoned"),
+        stats,
+        failures,
+        error,
+    }
+}
+
+/// Runs tasks `0..num_tasks` across the configured workers, strictly.
+///
+/// The historical entry point: a thin wrapper over [`run_pool`] with
+/// fault injection disabled that collapses any residual failure into an
+/// error. See [`run_pool`] for the execution model and [`PoolRun`] for
+/// the lossless variant.
 ///
 /// # Errors
 ///
-/// Returns [`ExecError::WorkerPanic`] when a task panics on a pool
-/// worker: the coordinator cancels `budget` (so surviving workers stop at
-/// the next flag test), joins every remaining worker, and reports the
-/// first panic by worker index. On the inline single-worker path there is
-/// no pool to drain, so a panicking task propagates to the caller
-/// directly, as any serial call would.
+/// Returns [`ExecError::WorkerPanic`] when a worker died and the retry
+/// policy could not recover it (with the default strict policy: any task
+/// panic on a pool worker; the coordinator cancels `budget` so surviving
+/// workers stop at the next flag test, joins them, and reports the first
+/// panic). Returns [`ExecError::TaskFailed`] when a task exhausted a
+/// nonzero retry budget. On the inline single-worker path with no
+/// retries a panicking task propagates to the caller directly, as any
+/// serial call would.
 pub fn map_tasks<T, S, I, F>(
     config: &ExecConfig,
     num_tasks: usize,
@@ -149,129 +575,23 @@ where
     I: Fn(usize) -> S + Sync,
     F: Fn(&mut S, usize, &mut WorkerStats) -> Option<T> + Sync,
 {
-    let _span = obs.span("exec.map_tasks");
-    let start = Instant::now();
-    let threads = config.threads().max(1).min(num_tasks.max(1));
-    let mut results: Vec<Option<T>> = std::iter::repeat_with(|| None).take(num_tasks).collect();
-
-    let workers: Vec<WorkerStats> = if threads == 1 {
-        let mut ws = WorkerStats::default();
-        let mut state = init(0);
-        for (i, slot) in results.iter_mut().enumerate() {
-            if budget.expired() {
-                ws.tasks_skipped += 1;
-                continue;
-            }
-            let busy = Instant::now();
-            *slot = task(&mut state, i, &mut ws);
-            ws.tasks_executed += 1;
-            ws.busy += busy.elapsed();
-        }
-        vec![ws]
-    } else {
-        let queue = TaskQueue::new(threads);
-        // Four chunks per worker gives stealing room without lock churn.
-        let chunk_size = num_tasks.div_ceil(threads * 4).max(1);
-        queue.distribute(num_tasks, chunk_size);
-        queue.close();
-        obs.set_gauge("exec.queue_chunks", num_tasks.div_ceil(chunk_size) as u64);
-        // One worker's outcome: its stats plus (task index, value) pairs,
-        // or the panic payload from `join`.
-        type WorkerOutcome<T> = std::thread::Result<(WorkerStats, Vec<(usize, T)>)>;
-        let joined: Vec<WorkerOutcome<T>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..threads)
-                .map(|w| {
-                    let queue = &queue;
-                    let init = &init;
-                    let task = &task;
-                    scope.spawn(move || {
-                        let mut ws = WorkerStats::default();
-                        let mut state = init(w);
-                        let mut produced: Vec<(usize, T)> = Vec::new();
-                        loop {
-                            let wait = Instant::now();
-                            let Some((chunk, stolen)) = queue.pop(w) else {
-                                break;
-                            };
-                            ws.idle += wait.elapsed();
-                            if stolen {
-                                ws.steals += 1;
-                            }
-                            for i in chunk.start..chunk.end {
-                                if budget.expired() {
-                                    ws.tasks_skipped += 1;
-                                    continue;
-                                }
-                                let busy = Instant::now();
-                                if let Some(value) = task(&mut state, i, &mut ws) {
-                                    produced.push((i, value));
-                                }
-                                ws.tasks_executed += 1;
-                                ws.busy += busy.elapsed();
-                            }
-                        }
-                        (ws, produced)
-                    })
-                })
-                .collect();
-            // Join everything even after a panic: cancel the budget so
-            // survivors stop at the next flag test, then keep draining.
-            // The queue was closed before any worker spawned, so pops
-            // cannot block forever and every join terminates.
-            let mut joined = Vec::with_capacity(handles.len());
-            for h in handles {
-                let r = h.join();
-                if r.is_err() {
-                    budget.cancel();
-                }
-                joined.push(r);
-            }
-            joined
-        });
-        let mut workers = Vec::with_capacity(threads);
-        let mut first_panic: Option<(usize, String)> = None;
-        for (w, r) in joined.into_iter().enumerate() {
-            match r {
-                Ok((ws, produced)) => {
-                    for (i, value) in produced {
-                        results[i] = Some(value);
-                    }
-                    workers.push(ws);
-                }
-                Err(payload) => {
-                    if first_panic.is_none() {
-                        first_panic = Some((w, panic_message(payload.as_ref())));
-                    }
-                }
-            }
-        }
-        if let Some((worker, message)) = first_panic {
-            obs.event(
-                "exec.worker_panic",
-                &[
-                    ("worker", FieldValue::from(worker)),
-                    ("message", FieldValue::from(message.as_str())),
-                ],
-            );
-            return Err(ExecError::WorkerPanic { worker, message });
-        }
-        workers
-    };
-
-    let stats = SearchStats {
-        completed: workers.iter().map(|w| w.tasks_skipped).sum::<u64>() == 0,
-        workers,
-        wall: start.elapsed(),
-        tasks_total: num_tasks,
-    };
-    record_run(obs, &stats);
-    Ok((results, stats))
+    run_pool(
+        config,
+        num_tasks,
+        budget,
+        obs,
+        Fault::disabled_ref(),
+        init,
+        task,
+    )
+    .into_result()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::sync::atomic::{AtomicU64, Ordering};
+    use svtox_fault::{FaultPlan, Trigger};
     use svtox_obs::{json, MemorySink};
 
     #[test]
@@ -396,7 +716,9 @@ mod tests {
             },
         )
         .unwrap_err();
-        let ExecError::WorkerPanic { worker, message } = err;
+        let ExecError::WorkerPanic { worker, message } = err else {
+            panic!("expected a worker panic, got {err:?}");
+        };
         assert!(worker < 4);
         assert_eq!(message, "task 10 exploded");
         // The shared budget was cancelled so survivors stopped early.
@@ -419,6 +741,157 @@ mod tests {
             err,
             ExecError::WorkerPanic { ref message, .. } if message == "boom"
         ));
+    }
+
+    #[test]
+    fn task_retry_recovers_a_panicking_task_with_fresh_state() {
+        let policy = RetryPolicy {
+            max_task_retries: 2,
+            max_respawns: 0,
+        };
+        for threads in [1, 4] {
+            let config = ExecConfig::with_threads(threads).with_retries(policy);
+            let attempts = AtomicU64::new(0);
+            let run = run_pool(
+                &config,
+                8,
+                &Budget::unlimited(),
+                Obs::disabled_ref(),
+                Fault::disabled_ref(),
+                |_| 0u64,
+                |poisoned, i, _| {
+                    if i == 5 && attempts.fetch_add(1, Ordering::Relaxed) == 0 {
+                        *poisoned = 99;
+                        panic!("flaky task");
+                    }
+                    // A retried task must never see the poisoned state.
+                    assert_eq!(*poisoned, 0, "threads={threads}: state not rebuilt");
+                    Some(i)
+                },
+            );
+            assert!(run.error.is_none(), "threads={threads}");
+            assert!(run.failures.is_empty(), "threads={threads}");
+            assert_eq!(run.results, (0..8).map(Some).collect::<Vec<_>>());
+            assert!(run.stats.completed);
+            assert_eq!(run.stats.retries(), 1, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn exhausted_retries_record_a_task_failure_and_keep_the_rest() {
+        let policy = RetryPolicy {
+            max_task_retries: 1,
+            max_respawns: 0,
+        };
+        for threads in [1, 4] {
+            let config = ExecConfig::with_threads(threads).with_retries(policy);
+            let run = run_pool(
+                &config,
+                8,
+                &Budget::unlimited(),
+                Obs::disabled_ref(),
+                Fault::disabled_ref(),
+                |_| (),
+                |(), i, _| {
+                    if i == 3 {
+                        panic!("always fails");
+                    }
+                    Some(i)
+                },
+            );
+            assert!(run.error.is_none(), "threads={threads}");
+            assert_eq!(run.failures.len(), 1);
+            assert_eq!(run.failures[0].task, 3);
+            assert_eq!(run.failures[0].attempts, 2);
+            assert_eq!(run.failures[0].message, "always fails");
+            assert_eq!(run.results[3], None);
+            assert_eq!(run.results[4], Some(4), "other tasks kept");
+            assert!(!run.stats.completed);
+            assert_eq!(run.stats.tasks_failed(), 1);
+            // The strict wrapper view turns the failure into an error.
+            let err = run.into_result().unwrap_err();
+            assert!(matches!(err, ExecError::TaskFailed { task: 3, .. }));
+        }
+    }
+
+    #[test]
+    fn respawn_recovers_worker_deaths_and_keeps_finished_results() {
+        // exec.pop faults escape the task guard, killing whole workers.
+        let plan = FaultPlan::new(3).with_rule(Site::ExecPop, Trigger::Nth(2));
+        let fault = Fault::new(&plan);
+        let config = ExecConfig::with_threads(4).with_retries(RetryPolicy {
+            max_task_retries: 0,
+            max_respawns: 4,
+        });
+        let run = run_pool(
+            &config,
+            64,
+            &Budget::unlimited(),
+            Obs::disabled_ref(),
+            &fault,
+            |_| (),
+            |(), i, _| Some(i),
+        );
+        assert_eq!(fault.fired(Site::ExecPop), 1, "the pop fault fired");
+        assert!(run.error.is_none(), "the respawn recovered the death");
+        assert!(run.failures.is_empty());
+        assert_eq!(run.results, (0..64).map(Some).collect::<Vec<_>>());
+        assert!(run.stats.completed);
+        assert_eq!(run.stats.respawns, 1);
+    }
+
+    #[test]
+    fn exhausted_respawns_surface_the_first_death_with_partial_results() {
+        // Every pop dies: the respawn budget cannot win.
+        let plan = FaultPlan::new(3).with_rule(Site::ExecPop, Trigger::EveryNth(1));
+        let fault = Fault::new(&plan);
+        let budget = Budget::unlimited();
+        let config = ExecConfig::with_threads(4).with_retries(RetryPolicy {
+            max_task_retries: 0,
+            max_respawns: 2,
+        });
+        let run = run_pool(
+            &config,
+            64,
+            &budget,
+            Obs::disabled_ref(),
+            &fault,
+            |_| (),
+            |(), i, _| Some(i),
+        );
+        let Some(ExecError::WorkerPanic { ref message, .. }) = run.error else {
+            panic!("expected worker loss, got {:?}", run.error);
+        };
+        assert!(Fault::is_injected_panic(message), "payload: {message}");
+        assert!(!run.stats.completed);
+        assert!(budget.token().is_cancelled(), "strict-style cancellation");
+    }
+
+    #[test]
+    fn dispatch_fault_storm_is_absorbed_by_task_retries() {
+        let plan = FaultPlan::new(11).with_rule(Site::ExecDispatch, Trigger::Probability(0.3));
+        let fault = Fault::new(&plan);
+        let config = ExecConfig::with_threads(4).with_retries(RetryPolicy {
+            max_task_retries: 8,
+            max_respawns: 0,
+        });
+        let run = run_pool(
+            &config,
+            100,
+            &Budget::unlimited(),
+            Obs::disabled_ref(),
+            &fault,
+            |_| (),
+            |(), i, _| Some(i * 2),
+        );
+        assert!(fault.fired(Site::ExecDispatch) > 5, "the storm was real");
+        assert!(run.error.is_none());
+        assert!(run.failures.is_empty(), "p=0.3^9 per task is negligible");
+        assert_eq!(
+            run.results,
+            (0..100).map(|i| Some(i * 2)).collect::<Vec<_>>()
+        );
+        assert!(run.stats.retries() > 0);
     }
 
     #[test]
@@ -459,5 +932,17 @@ mod tests {
         let c = ExecConfig::with_threads(2).with_time_budget(Duration::from_secs(1));
         assert_eq!(c.time_budget(), Some(Duration::from_secs(1)));
         assert!(!c.budget().expired());
+        assert_eq!(c.retry(), RetryPolicy::none());
+        let r = c.with_retries(RetryPolicy::resilient());
+        assert_eq!(r.retry().max_task_retries, 2);
+    }
+
+    #[test]
+    fn skewed_clock_fault_collapses_the_budget() {
+        let fault = Fault::new(&FaultPlan::new(1).with_rule(Site::BudgetClock, Trigger::Nth(1)));
+        let config = ExecConfig::with_threads(2).with_time_budget(Duration::from_secs(60));
+        assert!(config.budget_faulted(&fault).expired());
+        assert!(!config.budget_faulted(&fault).expired(), "nth=1 fires once");
+        assert!(!config.budget_faulted(Fault::disabled_ref()).expired());
     }
 }

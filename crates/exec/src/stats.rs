@@ -25,12 +25,35 @@ pub struct WorkerStats {
     pub tasks_executed: u64,
     /// Tasks skipped because the budget expired before they started.
     pub tasks_skipped: u64,
+    /// Tasks that panicked through their whole retry budget.
+    pub tasks_failed: u64,
+    /// Retry attempts consumed by caught task panics.
+    pub retries: u64,
     /// Chunks stolen from another worker's deque.
     pub steals: u64,
     /// Time spent waiting for work.
     pub idle: Duration,
     /// Time spent executing tasks.
     pub busy: Duration,
+}
+
+impl WorkerStats {
+    /// Adds another stats block into this one (the supervisor merges the
+    /// rounds of a respawned worker slot into one figure).
+    pub fn merge(&mut self, other: &WorkerStats) {
+        self.nodes_expanded += other.nodes_expanded;
+        self.leaves_evaluated += other.leaves_evaluated;
+        self.prunes_local += other.prunes_local;
+        self.prunes_shared += other.prunes_shared;
+        self.incumbent_updates += other.incumbent_updates;
+        self.tasks_executed += other.tasks_executed;
+        self.tasks_skipped += other.tasks_skipped;
+        self.tasks_failed += other.tasks_failed;
+        self.retries += other.retries;
+        self.steals += other.steals;
+        self.idle += other.idle;
+        self.busy += other.busy;
+    }
 }
 
 /// The aggregated execution report of one parallel run.
@@ -42,8 +65,11 @@ pub struct SearchStats {
     pub wall: Duration,
     /// Total tasks submitted.
     pub tasks_total: usize,
-    /// Whether every task ran to completion (no budget expiry).
+    /// Whether every task ran to completion (no budget expiry, no task
+    /// failure, no unrecovered worker loss).
     pub completed: bool,
+    /// Worker respawns the supervisor performed.
+    pub respawns: u32,
 }
 
 impl SearchStats {
@@ -101,6 +127,18 @@ impl SearchStats {
         self.workers.iter().map(|w| w.tasks_skipped).sum()
     }
 
+    /// Total tasks that exhausted their retry budget.
+    #[must_use]
+    pub fn tasks_failed(&self) -> u64 {
+        self.workers.iter().map(|w| w.tasks_failed).sum()
+    }
+
+    /// Total retry attempts consumed by caught task panics.
+    #[must_use]
+    pub fn retries(&self) -> u64 {
+        self.workers.iter().map(|w| w.retries).sum()
+    }
+
     /// Fraction of total worker time spent idle (0 when nothing ran).
     #[must_use]
     pub fn idle_fraction(&self) -> f64 {
@@ -122,20 +160,12 @@ impl SearchStats {
                 .resize(other.workers.len(), WorkerStats::default());
         }
         for (mine, theirs) in self.workers.iter_mut().zip(&other.workers) {
-            mine.nodes_expanded += theirs.nodes_expanded;
-            mine.leaves_evaluated += theirs.leaves_evaluated;
-            mine.prunes_local += theirs.prunes_local;
-            mine.prunes_shared += theirs.prunes_shared;
-            mine.incumbent_updates += theirs.incumbent_updates;
-            mine.tasks_executed += theirs.tasks_executed;
-            mine.tasks_skipped += theirs.tasks_skipped;
-            mine.steals += theirs.steals;
-            mine.idle += theirs.idle;
-            mine.busy += theirs.busy;
+            mine.merge(theirs);
         }
         self.wall += other.wall;
         self.tasks_total += other.tasks_total;
         self.completed &= other.completed;
+        self.respawns += other.respawns;
     }
 }
 
@@ -159,7 +189,17 @@ impl fmt::Display for SearchStats {
             self.prunes_shared(),
             self.steals(),
             self.idle_fraction() * 100.0,
-        )
+        )?;
+        if self.retries() > 0 {
+            write!(f, ", {} retries", self.retries())?;
+        }
+        if self.tasks_failed() > 0 {
+            write!(f, ", {} failed", self.tasks_failed())?;
+        }
+        if self.respawns > 0 {
+            write!(f, ", {} respawns", self.respawns)?;
+        }
+        Ok(())
     }
 }
 
@@ -189,6 +229,7 @@ mod tests {
             wall: Duration::from_millis(10),
             tasks_total: 3,
             completed: true,
+            respawns: 0,
         };
         assert_eq!(stats.nodes_expanded(), 7);
         assert_eq!(stats.leaves_evaluated(), 1);

@@ -1,0 +1,90 @@
+//! Minimal seeded RNG for probability triggers.
+//!
+//! `svtox-fault` sits below `svtox-exec` in the dependency graph, so it
+//! cannot borrow the workspace generators — this is a private copy of
+//! the same reference SplitMix64 / xoshiro256++ pair, kept
+//! stream-compatible with `svtox_exec::rng` (the fault crate's unit
+//! tests pin the shared reference vector).
+
+pub(crate) struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    pub(crate) fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    pub(crate) fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Derives an independent stream seed; same scheme as `svtox-exec`.
+pub(crate) fn derive_seed(base: u64, stream: u64) -> u64 {
+    let mut sm = SplitMix64::new(base ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    sm.next_u64();
+    sm.next_u64()
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct Xoshiro256pp {
+    s: [u64; 4],
+}
+
+impl Xoshiro256pp {
+    pub(crate) fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        Self {
+            s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()],
+        }
+    }
+
+    pub(crate) fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    pub(crate) fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_matches_the_published_reference_vector() {
+        let mut sm = SplitMix64::new(0);
+        assert_eq!(sm.next_u64(), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(sm.next_u64(), 0x6E78_9E6A_A1B9_65F4);
+    }
+
+    #[test]
+    fn xoshiro_stream_is_seed_deterministic() {
+        let mut a = Xoshiro256pp::seed_from_u64(42);
+        let mut b = Xoshiro256pp::seed_from_u64(42);
+        for _ in 0..8 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

@@ -35,6 +35,13 @@ pub enum NetlistError {
     },
     /// A gate kind is not supported by the requested operation.
     UnsupportedKind(String),
+    /// A netlist file could not be read from disk.
+    Io {
+        /// The path being read.
+        path: String,
+        /// The operating-system error.
+        message: String,
+    },
 }
 
 impl fmt::Display for NetlistError {
@@ -56,6 +63,7 @@ impl fmt::Display for NetlistError {
             Self::Empty => write!(f, "netlist has no inputs or no gates"),
             Self::Parse { line, message } => write!(f, "parse error on line {line}: {message}"),
             Self::UnsupportedKind(kind) => write!(f, "unsupported gate kind `{kind}`"),
+            Self::Io { path, message } => write!(f, "cannot read {path}: {message}"),
         }
     }
 }

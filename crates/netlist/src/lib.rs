@@ -49,6 +49,7 @@ pub mod generators;
 mod mapping;
 mod netlist;
 mod parser;
+mod reader;
 mod sleep;
 mod verilog;
 
@@ -58,5 +59,6 @@ pub use gate::GateKind;
 pub use mapping::{map_to_primitives, MappingOptions};
 pub use netlist::{Gate, GateId, Net, NetId, Netlist, NetlistStats};
 pub use parser::parse_bench;
+pub use reader::{read_bench, read_verilog};
 pub use sleep::insert_sleep_vector;
 pub use verilog::parse_verilog;

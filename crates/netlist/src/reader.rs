@@ -1,0 +1,98 @@
+//! Fault-aware file loading for the textual netlist formats.
+//!
+//! These are the on-disk entry points corresponding to [`parse_bench`]
+//! and [`parse_verilog`]: the read goes through
+//! [`svtox_fault::Fault::read_to_string`], so a chaos run can inject I/O
+//! failures (`io.read`) or mid-file truncation (`io.truncate`) and the
+//! caller observes them as ordinary typed errors — an I/O fault as
+//! [`NetlistError::Io`], a truncation as whatever parse or validation
+//! error the torn text produces. Outside chaos runs pass
+//! [`Fault::disabled_ref`], which costs one branch.
+
+use std::path::Path;
+
+use svtox_fault::Fault;
+
+use crate::error::NetlistError;
+use crate::netlist::Netlist;
+use crate::parser::parse_bench;
+use crate::verilog::parse_verilog;
+
+fn read(path: &Path, fault: &Fault) -> Result<String, NetlistError> {
+    fault.read_to_string(path).map_err(|e| NetlistError::Io {
+        path: path.display().to_string(),
+        message: e.to_string(),
+    })
+}
+
+/// Reads and parses an ISCAS-85 `.bench` file.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Io`] when the file cannot be read, or any
+/// [`parse_bench`] error for its content.
+pub fn read_bench(path: &Path, fault: &Fault) -> Result<Netlist, NetlistError> {
+    parse_bench(&read(path, fault)?)
+}
+
+/// Reads and parses a flat structural Verilog `.v` file.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Io`] when the file cannot be read, or any
+/// [`parse_verilog`] error for its content.
+pub fn read_verilog(path: &Path, fault: &Fault) -> Result<Netlist, NetlistError> {
+    parse_verilog(&read(path, fault)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+    use svtox_fault::{FaultPlan, Site, Trigger};
+
+    fn temp_bench(tag: &str) -> PathBuf {
+        let path =
+            std::env::temp_dir().join(format!("svtox-reader-{tag}-{}.bench", std::process::id()));
+        std::fs::write(&path, "INPUT(a)\nINPUT(b)\nOUTPUT(y)\ny = NAND(a, b)\n")
+            .expect("write temp bench");
+        path
+    }
+
+    #[test]
+    fn clean_read_parses_normally() {
+        let path = temp_bench("clean");
+        let n = read_bench(&path, Fault::disabled_ref()).expect("valid bench");
+        assert_eq!(n.num_gates(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn injected_read_fault_is_a_typed_io_error() {
+        let path = temp_bench("iofault");
+        let plan = FaultPlan::new(1).with_rule(Site::FileRead, Trigger::Nth(1));
+        let fault = Fault::new(&plan);
+        let err = read_bench(&path, &fault).expect_err("read fault must surface");
+        assert!(matches!(err, NetlistError::Io { .. }), "got {err:?}");
+        assert!(err.to_string().contains("injected fault"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn injected_truncation_surfaces_as_a_parse_error_not_a_panic() {
+        let path = temp_bench("truncate");
+        let plan = FaultPlan::new(1).with_rule(Site::FileTruncate, Trigger::Nth(1));
+        let fault = Fault::new(&plan);
+        // The torn file loses its gate line, so validation rejects it.
+        let err = read_bench(&path, &fault).expect_err("torn file must not validate");
+        assert!(!matches!(err, NetlistError::Io { .. }), "got {err:?}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_reports_io_without_fault_involvement() {
+        let err = read_bench(Path::new("/nonexistent/x.bench"), Fault::disabled_ref())
+            .expect_err("missing file");
+        assert!(matches!(err, NetlistError::Io { .. }), "got {err:?}");
+    }
+}

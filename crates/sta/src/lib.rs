@@ -93,7 +93,7 @@ impl GateConfig {
         self.perm
             .iter()
             .position(|&p| p as usize == logical)
-            .expect("logical pin within arity")
+            .expect("GateConfig invariant: perm is a permutation covering every logical pin")
     }
 }
 
@@ -378,8 +378,8 @@ impl<'a> Sta<'a> {
         let Some(&worst_po) = self.netlist.outputs().iter().max_by(|&&a, &&b| {
             self.timing[a.index()]
                 .worst()
-                .partial_cmp(&self.timing[b.index()].worst())
-                .expect("finite arrivals")
+                .value()
+                .total_cmp(&self.timing[b.index()].worst().value())
         }) else {
             return path;
         };
@@ -394,11 +394,11 @@ impl<'a> Sta<'a> {
                 .max_by(|&&a, &&b| {
                     self.timing[a.index()]
                         .worst()
-                        .partial_cmp(&self.timing[b.index()].worst())
-                        .expect("finite arrivals")
+                        .value()
+                        .total_cmp(&self.timing[b.index()].worst().value())
                 })
                 .copied()
-                .expect("gates have inputs");
+                .expect("netlist invariant: every gate drives at least one input pin");
             net = next;
         }
         path.reverse();

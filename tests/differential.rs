@@ -8,7 +8,9 @@
 
 use std::path::PathBuf;
 
-use svtox_check::{render_json, render_text, run_builtin_suite, CheckConfig};
+use svtox_check::{
+    builtin_property_names, render_json, render_text, run_builtin_suite, CheckConfig,
+};
 
 /// The in-repository corpus directory, resolved relative to this crate.
 fn corpus_dir() -> PathBuf {
@@ -21,7 +23,11 @@ fn differential_suite_is_green() {
         .with_threads(2)
         .with_corpus(corpus_dir());
     let reports = run_builtin_suite(&config, None);
-    assert_eq!(reports.len(), 8, "every built-in oracle must run");
+    assert_eq!(
+        reports.len(),
+        builtin_property_names().len(),
+        "every built-in oracle must run"
+    );
     for r in &reports {
         assert!(r.cases > 0 || r.replayed > 0, "{} ran no cases", r.name);
         assert_eq!(r.skipped, 0, "{} skipped cases without a budget", r.name);
