@@ -36,6 +36,15 @@ cargo run --release -p svtox-cli --bin svtox -- \
   optimize c432 --threads 4 --time-budget 0.2 --checkpoint "$CKPT" --resume > /dev/null
 rm -f "$CKPT"
 
+echo "==> serve smoke (in-process server, 50-job load, metrics + clean shutdown)"
+# loadgen spawns the server in-process (no port to coordinate), replays the
+# jobs, scrapes /metrics, and shuts down; it exits non-zero on any hang,
+# metrics failure, or unclean shutdown. The JSON report is the recorded
+# service baseline (throughput, latency percentiles, cache hit rates).
+mkdir -p results
+cargo run --release -p svtox-cli --bin svtox -- \
+  loadgen --jobs 50 --concurrency 8 --runners 4 --json > results/BENCH_serve.json
+
 echo "==> suite smoke run (--quick, machine-readable)"
 cargo run --release -p svtox-bench --bin suite -- --quick --threads 0 --json > /dev/null
 

@@ -2,14 +2,17 @@
 //!
 //! ```text
 //! cargo run --release -p svtox-bench --bin suite -- \
-//!     [--quick] [--threads N] [--json] [--trace FILE]
+//!     [--quick] [--threads N] [--json] [--trace FILE] [--budget SECONDS]
 //! ```
 //!
 //! `--threads 0` uses one worker per available CPU. Results are identical
 //! for any thread count: tasks reduce in a fixed order and Heuristic 1 is
 //! deterministic. `--json` prints one machine-readable JSON document
 //! (entries plus counters) instead of the table; `--trace FILE` writes the
-//! JSONL event trace.
+//! JSONL event trace. `--budget SECONDS` routes every (circuit, penalty)
+//! through the full engine under that wall-clock budget, so each entry
+//! carries a genuine typed outcome (`complete`, or `degraded` with its
+//! reason) instead of the always-complete Heuristic-1 path.
 
 use svtox_bench::{run_suite, ua, x_factor, BenchArgs};
 use svtox_exec::ExecConfig;
@@ -83,6 +86,17 @@ fn main() {
                     "leaves".to_string(),
                     json::Value::Num(e.solution.leaves_explored as f64),
                 );
+                obj.insert(
+                    "outcome".to_string(),
+                    json::Value::Str(e.outcome.to_string()),
+                );
+                obj.insert(
+                    "reason".to_string(),
+                    match &e.reason {
+                        Some(reason) => json::Value::Str(reason.clone()),
+                        None => json::Value::Null,
+                    },
+                );
                 json::Value::Obj(obj)
             })
             .collect();
@@ -106,8 +120,12 @@ fn main() {
         "circuit", "penalty", "avg (µA)", "opt (µA)", "X"
     );
     for e in &entries {
+        let status = match &e.reason {
+            Some(reason) => format!("  {} ({reason})", e.outcome),
+            None => String::new(),
+        };
         println!(
-            "{:<8} {:>7}% {:>12} {:>12} {:>6}",
+            "{:<8} {:>7}% {:>12} {:>12} {:>6}{status}",
             e.circuit,
             (e.penalty * 100.0).round(),
             ua(e.average),

@@ -22,8 +22,8 @@
 use std::time::Duration;
 
 use svtox_cells::{Library, LibraryOptions};
-use svtox_core::{DelayPenalty, Mode, Problem, Solution};
-use svtox_exec::{map_tasks, Budget, ExecConfig, SearchStats};
+use svtox_core::{DelayPenalty, Mode, Problem, RunOutcome, Solution};
+use svtox_exec::{map_tasks, Budget, ExecConfig, RetryPolicy, SearchStats};
 use svtox_netlist::generators::{benchmark, benchmark_names};
 use svtox_netlist::Netlist;
 use svtox_obs::Obs;
@@ -42,16 +42,35 @@ pub struct BenchArgs {
     pub vectors: usize,
     /// Heuristic-2 improvement budget per (circuit, penalty).
     pub h2_budget: Duration,
+    /// Run each (circuit, penalty) through the full engine under this
+    /// wall-clock budget instead of plain Heuristic 1, so entries carry
+    /// genuine `RunOutcome` kinds (a tight budget degrades, typed).
+    pub budget: Option<Duration>,
     /// Circuits to run (paper order).
     pub circuits: Vec<&'static str>,
 }
 
 impl BenchArgs {
-    /// Parses process arguments (`--quick` is the only flag).
+    /// Parses process arguments (`--quick`, `--budget SECONDS`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `--budget` is missing its value or it is not a
+    /// non-negative number of seconds.
     #[must_use]
     pub fn from_env() -> Self {
         let quick = std::env::args().any(|a| a == "--quick");
-        Self::new(quick)
+        let mut out = Self::new(quick);
+        let mut args = std::env::args();
+        while let Some(a) = args.next() {
+            if a == "--budget" {
+                let value = args.next().expect("--budget needs a value in seconds");
+                let secs: f64 = value.parse().expect("--budget needs a number of seconds");
+                out.budget =
+                    Some(Duration::try_from_secs_f64(secs).expect("--budget must be >= 0"));
+            }
+        }
+        out
     }
 
     /// Builds a configuration.
@@ -62,6 +81,7 @@ impl BenchArgs {
                 quick,
                 vectors: 500,
                 h2_budget: Duration::from_millis(500),
+                budget: None,
                 circuits: vec!["c432", "c499", "c880"],
             }
         } else {
@@ -69,6 +89,7 @@ impl BenchArgs {
                 quick,
                 vectors: 10_000,
                 h2_budget: Duration::from_secs(8),
+                budget: None,
                 circuits: benchmark_names(),
             }
         }
@@ -186,8 +207,14 @@ pub struct SuiteEntry {
     pub penalty: f64,
     /// Random-vector baseline of the all-fast circuit.
     pub average: Current,
-    /// The Heuristic-1 solution.
+    /// The solution (Heuristic 1, or the engine incumbent under
+    /// [`BenchArgs::budget`]).
     pub solution: Solution,
+    /// The `RunOutcome` kind: `complete` or `degraded` (a `failed`
+    /// engine run is a bug and panics the harness).
+    pub outcome: &'static str,
+    /// The degradation reason, when degraded.
+    pub reason: Option<String>,
 }
 
 /// Runs the whole suite — one (circuit, penalty) Heuristic-1 optimization
@@ -242,19 +269,44 @@ pub fn run_suite(
             let inst = &instances[t / penalties.len()];
             let penalty = penalties[t % penalties.len()];
             let problem = inst.problem();
-            let solution = problem
+            let optimizer = problem
                 .optimizer(
                     DelayPenalty::new(penalty).expect("penalty in range"),
                     Mode::Proposed,
                 )
-                .with_obs(obs)
-                .heuristic1()
-                .expect("heuristic1 succeeds");
+                .with_obs(obs);
+            let (solution, outcome, reason) = match args.budget {
+                // The classic suite path: Heuristic 1, always complete.
+                None => (
+                    optimizer.heuristic1().expect("heuristic1 succeeds"),
+                    "complete",
+                    None,
+                ),
+                // The engine path: a genuine typed outcome per entry. The
+                // run is serial inside this task — the outer map_tasks
+                // already owns the workers.
+                Some(budget) => {
+                    let run_exec = ExecConfig::serial()
+                        .with_time_budget(budget)
+                        .with_retries(RetryPolicy::resilient());
+                    match optimizer.run(&run_exec, None) {
+                        RunOutcome::Complete { solution, .. } => (solution, "complete", None),
+                        RunOutcome::Degraded { reason, best, .. } => {
+                            (best, "degraded", Some(reason.to_string()))
+                        }
+                        RunOutcome::Failed { error } => {
+                            panic!("suite engine run failed: {error}")
+                        }
+                    }
+                }
+            };
             Some(SuiteEntry {
                 circuit: inst.name,
                 penalty,
                 average: inst.average,
                 solution,
+                outcome,
+                reason,
             })
         },
     )
@@ -295,6 +347,7 @@ mod tests {
             quick: true,
             vectors: 50,
             h2_budget: Duration::from_millis(10),
+            budget: None,
             circuits: vec!["c432"],
         };
         let penalties = [0.05, 0.25];
@@ -329,6 +382,7 @@ mod tests {
             quick: true,
             vectors: 50,
             h2_budget: Duration::from_millis(10),
+            budget: None,
             circuits: vec!["c432"],
         };
         let penalties = [0.05, 0.25];
@@ -361,6 +415,44 @@ mod tests {
                 None => reference = Some(snap),
                 Some(expect) => assert_eq!(expect, &snap, "threads={threads}"),
             }
+        }
+    }
+
+    #[test]
+    fn zero_budget_entries_degrade_typed_and_deterministically() {
+        let mut args = BenchArgs {
+            quick: true,
+            vectors: 50,
+            h2_budget: Duration::from_millis(10),
+            budget: Some(Duration::ZERO),
+            circuits: vec!["c432"],
+        };
+        let penalties = [0.05, 0.25];
+        let (degraded, _) = run_suite(
+            &args,
+            &penalties,
+            &ExecConfig::serial(),
+            Obs::disabled_ref(),
+        );
+        // A zero budget expires before the improvement pass moves: every
+        // entry must report the typed degradation and sit exactly on the
+        // Heuristic-1 seed the classic path produces.
+        args.budget = None;
+        let (h1, _) = run_suite(
+            &args,
+            &penalties,
+            &ExecConfig::with_threads(4),
+            Obs::disabled_ref(),
+        );
+        assert_eq!(degraded.len(), 2);
+        for (d, h) in degraded.iter().zip(&h1) {
+            assert_eq!(d.outcome, "degraded");
+            assert_eq!(d.reason.as_deref(), Some("time budget expired"));
+            assert_eq!(h.outcome, "complete");
+            assert_eq!(h.reason, None);
+            assert_eq!(d.solution.vector, h.solution.vector);
+            assert_eq!(d.solution.choices, h.solution.choices);
+            assert_eq!(d.solution.leakage, h.solution.leakage);
         }
     }
 

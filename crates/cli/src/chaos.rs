@@ -51,6 +51,8 @@ pub const SCENARIOS: &[&str] = &[
     "truncated-file",
     "clock-skew",
     "kill-resume",
+    "serve-kill-job",
+    "client-disconnect",
 ];
 
 /// Runs the selected chaos scenarios.
@@ -141,6 +143,8 @@ fn run_scenario(name: &str, args: &ChaosArgs) -> Result<String, String> {
         "truncated-file" => truncated_file(args),
         "clock-skew" => clock_skew(args),
         "kill-resume" => kill_resume(args),
+        "serve-kill-job" => serve_kill_job(args),
+        "client-disconnect" => client_disconnect(args),
         other => Err(format!("unimplemented scenario `{other}`")),
     }));
     outcome.unwrap_or_else(|payload| {
@@ -374,4 +378,188 @@ fn kill_resume(args: &ChaosArgs) -> Result<String, String> {
         "killed at leaf 7, resumed to the bit-identical optimum {}",
         solution.leakage
     ))
+}
+
+/// Chaos-harness HTTP client: every call carries a hard timeout, because
+/// "the server hung" is precisely the failure mode under test.
+fn serve_call(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> Result<svtox_serve::http::ClientResponse, String> {
+    svtox_serve::http::call(addr, method, path, body, Duration::from_secs(10))
+        .map_err(|e| format!("{method} {path}: {e}"))
+}
+
+/// Polls a job to its terminal state, with a hang bound.
+fn serve_wait_done(addr: &str, id: u64) -> Result<svtox_obs::json::Value, String> {
+    let give_up = std::time::Instant::now() + Duration::from_secs(60);
+    loop {
+        let response = serve_call(addr, "GET", &format!("/jobs/{id}"), "")?;
+        let doc = svtox_obs::json::parse(&response.body)
+            .map_err(|e| format!("job {id} status is not JSON: {e}"))?;
+        if doc.get("state").and_then(|v| v.as_str()) == Some("done") {
+            return Ok(doc);
+        }
+        if std::time::Instant::now() >= give_up {
+            return Err(format!("job {id} hung — no terminal state in 60 s"));
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+fn serve_submit(addr: &str, body: &str) -> Result<u64, String> {
+    let response = serve_call(addr, "POST", "/jobs", body)?;
+    if response.status != 202 {
+        return Err(format!(
+            "submit rejected: {} {}",
+            response.status, response.body
+        ));
+    }
+    svtox_obs::json::parse(&response.body)
+        .ok()
+        .and_then(|doc| doc.get("id").and_then(svtox_obs::json::Value::as_f64))
+        .map(|id| id as u64)
+        .ok_or_else(|| format!("submit response has no id: {}", response.body))
+}
+
+/// A fault kills a job mid-search inside the server: the job must land
+/// `degraded (cancelled)` with its incumbent intact, the next job must
+/// run clean, and the server must stay responsive throughout.
+fn serve_kill_job(args: &ChaosArgs) -> Result<String, String> {
+    let handle = svtox_serve::start(svtox_serve::ServerConfig {
+        fault_plan: Some("core.leaf:nth=5".to_string()),
+        fault_seed: args.seed,
+        ..svtox_serve::ServerConfig::default()
+    })
+    .map_err(|e| format!("server start: {e}"))?;
+    let addr = handle.addr().to_string();
+
+    // A deadline far beyond the scenario bound: only the injected kill
+    // can degrade this job.
+    let killed = serve_submit(
+        &addr,
+        &format!("{{\"circuit\":\"{}\",\"deadline_ms\":30000}}", args.target),
+    )?;
+    let doc = serve_wait_done(&addr, killed)?;
+    if doc.get("outcome").and_then(|v| v.as_str()) != Some("degraded") {
+        handle.shutdown();
+        return Err(format!("the killed job did not degrade: {doc}"));
+    }
+    if doc.get("reason").and_then(|v| v.as_str()) != Some("cancelled") {
+        handle.shutdown();
+        return Err(format!("wrong degradation reason: {doc}"));
+    }
+    if doc.get("vector").is_none() {
+        handle.shutdown();
+        return Err("the killed job lost its incumbent solution".to_string());
+    }
+
+    // The kill was one-shot; the server must serve the next job clean.
+    let (netlist, _) = svtox_check::domain::circuit("chaos-serve-kill", 7, 32, 5);
+    let bench = netlist.to_bench();
+    let body = svtox_obs::json::Value::Obj(
+        [
+            (
+                "bench".to_string(),
+                svtox_obs::json::Value::Str(bench.clone()),
+            ),
+            (
+                "deadline_ms".to_string(),
+                svtox_obs::json::Value::Num(10000.0),
+            ),
+        ]
+        .into_iter()
+        .collect(),
+    )
+    .to_string();
+    let clean = serve_submit(&addr, &body)?;
+    let doc = serve_wait_done(&addr, clean)?;
+    if doc.get("outcome").and_then(|v| v.as_str()) != Some("complete") {
+        handle.shutdown();
+        return Err(format!("the follow-up job did not complete: {doc}"));
+    }
+
+    let metrics = serve_call(&addr, "GET", "/metrics", "")?;
+    handle.shutdown();
+    if metrics.status != 200 || !metrics.body.contains("serve.jobs_degraded") {
+        return Err("metrics went dark after the kill".to_string());
+    }
+    Ok("mid-job kill degraded (cancelled) with incumbent intact; next job clean".to_string())
+}
+
+/// Clients vanish at the worst moments — half a request, mid-stream on
+/// the events tail — and the server must neither hang nor corrupt the
+/// jobs those clients abandoned.
+fn client_disconnect(args: &ChaosArgs) -> Result<String, String> {
+    use std::io::Write as _;
+    let _ = args;
+    let handle = svtox_serve::start(svtox_serve::ServerConfig::default())
+        .map_err(|e| format!("server start: {e}"))?;
+    let addr = handle.addr().to_string();
+
+    // Half a POST, then gone: the promised body never arrives.
+    {
+        let mut stream = std::net::TcpStream::connect(&addr).map_err(|e| e.to_string())?;
+        stream
+            .write_all(b"POST /jobs HTTP/1.1\r\ncontent-length: 4096\r\n\r\n{\"circ")
+            .map_err(|e| e.to_string())?;
+        drop(stream);
+    }
+
+    // A job whose events tail gets abandoned mid-stream.
+    let (netlist, _) = svtox_check::domain::circuit("chaos-disconnect", 7, 32, 5);
+    let body = svtox_obs::json::Value::Obj(
+        [
+            (
+                "bench".to_string(),
+                svtox_obs::json::Value::Str(netlist.to_bench()),
+            ),
+            (
+                "deadline_ms".to_string(),
+                svtox_obs::json::Value::Num(10000.0),
+            ),
+        ]
+        .into_iter()
+        .collect(),
+    )
+    .to_string();
+    let abandoned = serve_submit(&addr, &body)?;
+    {
+        use std::io::Read as _;
+        let mut stream = std::net::TcpStream::connect(&addr).map_err(|e| e.to_string())?;
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .map_err(|e| e.to_string())?;
+        stream
+            .write_all(
+                format!("GET /jobs/{abandoned}/events HTTP/1.1\r\ncontent-length: 0\r\n\r\n")
+                    .as_bytes(),
+            )
+            .map_err(|e| e.to_string())?;
+        // Read just the response head, then vanish mid-stream.
+        let mut first = [0u8; 64];
+        let _ = stream.read(&mut first);
+        drop(stream);
+    }
+    let doc = serve_wait_done(&addr, abandoned)?;
+    if doc.get("outcome").and_then(|v| v.as_str()) != Some("complete") {
+        handle.shutdown();
+        return Err(format!("the abandoned client corrupted its job: {doc}"));
+    }
+
+    // The server must still serve fresh clients after both rude exits.
+    let follow_up = serve_submit(&addr, &body)?;
+    let doc = serve_wait_done(&addr, follow_up)?;
+    if doc.get("outcome").and_then(|v| v.as_str()) != Some("complete") {
+        handle.shutdown();
+        return Err(format!("the follow-up job did not complete: {doc}"));
+    }
+    let metrics = serve_call(&addr, "GET", "/metrics", "")?;
+    handle.shutdown();
+    if metrics.status != 200 {
+        return Err("metrics went dark after the disconnects".to_string());
+    }
+    Ok("half-request and mid-stream disconnects absorbed; jobs and metrics unaffected".to_string())
 }

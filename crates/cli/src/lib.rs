@@ -60,8 +60,52 @@ pub enum Command {
     Check(CheckArgs),
     /// `chaos` subcommand.
     Chaos(ChaosArgs),
+    /// `serve` subcommand.
+    Serve(ServeArgs),
+    /// `loadgen` subcommand.
+    Loadgen(LoadgenArgs),
     /// `--help` or no arguments.
     Help,
+}
+
+/// Arguments of `svtox serve`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeArgs {
+    /// Bind address (`host:port`; port `0` picks a free one).
+    pub addr: String,
+    /// Runner threads consuming the job queue.
+    pub runners: usize,
+    /// Bounded-queue depth; jobs beyond it are rejected with 503.
+    pub queue_depth: usize,
+    /// Deadline applied to jobs that do not bring their own.
+    pub default_deadline: Duration,
+    /// Fault plan injected into every job (chaos testing).
+    pub fault_plan: Option<String>,
+    /// Seed for probabilistic fault triggers.
+    pub fault_seed: u64,
+}
+
+/// Arguments of `svtox loadgen`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadgenArgs {
+    /// Target server address; `None` spawns an in-process server.
+    pub addr: Option<String>,
+    /// Total jobs to replay.
+    pub jobs: usize,
+    /// Concurrent client workers.
+    pub concurrency: usize,
+    /// Benchmark name or `.bench` file to submit with every job.
+    pub target: String,
+    /// Per-job deadline.
+    pub deadline: Duration,
+    /// Engine threads requested per job.
+    pub threads: usize,
+    /// Delay penalty in percent.
+    pub penalty: f64,
+    /// Emit the report as JSON instead of text.
+    pub json: bool,
+    /// Runner threads for the spawned server (ignored with `--addr`).
+    pub runners: usize,
 }
 
 /// Arguments of `svtox check`.
@@ -173,6 +217,11 @@ USAGE:
   svtox check [--cases N] [--seed S] [--shrink-limit K] [--threads N]
               [--json] [--corpus DIR] [--property NAME] [--replay STREAMSEED]
   svtox chaos <scenario>|--all [--seed S] [--threads N] [--target CIRCUIT]
+  svtox serve [--addr HOST:PORT] [--runners N] [--queue-depth N]
+              [--deadline SECONDS] [--fault-plan SPEC] [--fault-seed S]
+  svtox loadgen [circuit|file.bench] [--addr HOST:PORT] [--jobs N]
+                [--concurrency N] [--deadline SECONDS] [--threads N]
+                [--penalty PCT] [--runners N] [--json]
 
 Circuits: built-in reconstructions (c432 … c7552, alu64), ISCAS-85/89
 `.bench` files, or flat structural Verilog `.v` files (composite gates are
@@ -202,8 +251,23 @@ mode and split depth required). `--fault-plan SPEC` injects deterministic
 faults, e.g. `exec.dispatch:p=0.1,clock.skew:nth=1` (sites: exec.dispatch,
 exec.pop, io.read, io.truncate, clock.skew, core.leaf; triggers: nth=N,
 every=N, p=F under `--fault-seed`). `chaos` runs named scenarios
-(panic-storm, worker-loss, truncated-file, clock-skew, kill-resume)
-asserting the degradation invariants; any violation exits non-zero.
+(panic-storm, worker-loss, truncated-file, clock-skew, kill-resume,
+serve-kill-job, client-disconnect) asserting the degradation invariants;
+any violation exits non-zero.
+
+Service: `serve` runs the optimizer as a long-lived HTTP service —
+`POST /jobs` submits a spec (`{\"circuit\":\"c432\",\"deadline_ms\":500}` or
+inline `bench` text), `GET /jobs/ID` polls the typed outcome,
+`GET /jobs/ID/events` streams JSONL progress, `POST /jobs/ID/cancel`
+degrades a running job, and `GET /metrics` exposes the aggregated
+counters. Admission is bounded (`--queue-depth`; overload answers 503)
+and every job runs under a deadline (`--deadline` default when the spec
+has none). Parsed netlists and characterized libraries are cached across
+jobs by content hash. Ctrl-C degrades in-flight jobs and exits cleanly.
+`loadgen` replays `--jobs N` concurrent jobs (against `--addr`, or an
+in-process server by default) and reports throughput, latency
+percentiles, cache hit rates, and — the hard invariants — zero hangs and
+a typed outcome for every job; violations exit non-zero.
 ";
 
 /// Parses raw arguments (excluding the program name).
@@ -402,6 +466,64 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 )));
             }
             Ok(Command::Chaos(args))
+        }
+        "serve" => {
+            let mut args = ServeArgs {
+                addr: "127.0.0.1:7433".to_string(),
+                runners: 2,
+                queue_depth: 64,
+                default_deadline: Duration::from_secs(2),
+                fault_plan: None,
+                fault_seed: 0,
+            };
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--addr" => args.addr = next(&mut it, "--addr")?,
+                    "--runners" => args.runners = uint(&mut it, "--runners")?,
+                    "--queue-depth" => args.queue_depth = uint(&mut it, "--queue-depth")?,
+                    "--deadline" => args.default_deadline = seconds(&mut it, "--deadline")?,
+                    "--fault-plan" => args.fault_plan = Some(next(&mut it, "--fault-plan")?),
+                    "--fault-seed" => args.fault_seed = seed_u64(&mut it, "--fault-seed")?,
+                    other => return Err(CliError(format!("unknown flag `{other}`"))),
+                }
+            }
+            if args.queue_depth == 0 {
+                return Err(CliError("--queue-depth must be at least 1".into()));
+            }
+            Ok(Command::Serve(args))
+        }
+        "loadgen" => {
+            let mut args = LoadgenArgs {
+                addr: None,
+                jobs: 50,
+                concurrency: 8,
+                target: "c432".to_string(),
+                deadline: Duration::from_millis(200),
+                threads: 1,
+                penalty: 5.0,
+                json: false,
+                runners: 4,
+            };
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--addr" => args.addr = Some(next(&mut it, "--addr")?),
+                    "--jobs" => args.jobs = uint(&mut it, "--jobs")?,
+                    "--concurrency" => args.concurrency = uint(&mut it, "--concurrency")?,
+                    "--deadline" => args.deadline = seconds(&mut it, "--deadline")?,
+                    "--threads" => args.threads = uint(&mut it, "--threads")?,
+                    "--penalty" => args.penalty = pct(&mut it)?,
+                    "--json" => args.json = true,
+                    "--runners" => args.runners = uint(&mut it, "--runners")?,
+                    flag if flag.starts_with("--") => {
+                        return Err(CliError(format!("unknown flag `{flag}`")))
+                    }
+                    positional => args.target = positional.to_string(),
+                }
+            }
+            if args.jobs == 0 {
+                return Err(CliError("--jobs must be at least 1".into()));
+            }
+            Ok(Command::Loadgen(args))
         }
         "--help" | "-h" | "help" => Ok(Command::Help),
         other => Err(CliError(format!("unknown subcommand `{other}`"))),
@@ -662,6 +784,80 @@ pub fn run(command: Command) -> Result<String, Box<dyn Error>> {
         Command::Chaos(args) => {
             out.push_str(&run_chaos(&args)?);
         }
+        Command::Serve(args) => {
+            let config = svtox_serve::ServerConfig {
+                addr: args.addr.clone(),
+                runners: args.runners.max(1),
+                queue_depth: args.queue_depth,
+                default_deadline: args.default_deadline,
+                fault_plan: args.fault_plan.clone(),
+                fault_seed: args.fault_seed,
+                ..svtox_serve::ServerConfig::default()
+            };
+            let handle = svtox_serve::start(config).map_err(|e| CliError(format!("serve: {e}")))?;
+            // Printed immediately (not buffered into `out`) so scripts can
+            // read the resolved port while the server runs.
+            println!("svtox-serve listening on http://{}", handle.addr());
+            println!(
+                "POST /jobs · GET /jobs/ID · GET /jobs/ID/events · GET /metrics; \
+                 Ctrl-C or POST /shutdown stops"
+            );
+            let sigint = svtox_serve::sigint_token();
+            let shutdown = handle.shutdown_token();
+            while !sigint.is_cancelled() && !shutdown.is_cancelled() {
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            handle.shutdown();
+            writeln!(out, "svtox-serve: shut down cleanly")?;
+        }
+        Command::Loadgen(args) => {
+            if args.target.ends_with(".v") {
+                return Err(Box::new(CliError(
+                    "loadgen submits `.bench` text over the wire; \
+                     convert the Verilog first (svtox optimize --emit-sleep)"
+                        .into(),
+                )));
+            }
+            let (circuit, bench) = if args.target.ends_with(".bench") {
+                let text = std::fs::read_to_string(&args.target)
+                    .map_err(|e| CliError(format!("{}: {e}", args.target)))?;
+                (None, Some(text))
+            } else {
+                (Some(args.target.clone()), None)
+            };
+            let config = svtox_serve::LoadgenConfig {
+                addr: args.addr.clone(),
+                jobs: args.jobs,
+                concurrency: args.concurrency.max(1),
+                circuit,
+                bench,
+                deadline: args.deadline,
+                threads: args.threads,
+                penalty_pct: args.penalty,
+                server: svtox_serve::ServerConfig {
+                    runners: args.runners.max(1),
+                    ..svtox_serve::ServerConfig::default()
+                },
+                ..svtox_serve::LoadgenConfig::default()
+            };
+            let report = svtox_serve::loadgen::run(&config)
+                .map_err(|e| CliError(format!("loadgen: {e}")))?;
+            let rendered = if args.json {
+                let mut json = report.render_json();
+                json.push('\n');
+                json
+            } else {
+                report.render_text()
+            };
+            // The acceptance invariants are load-bearing: a hang, a dead
+            // metrics endpoint, or an unclean shutdown fails the command.
+            if report.hangs > 0 || !report.metrics_ok || !report.clean_shutdown {
+                return Err(Box::new(CliError(format!(
+                    "loadgen invariants violated:\n{rendered}"
+                ))));
+            }
+            out.push_str(&rendered);
+        }
         Command::Optimize(args) => {
             // Fault injection is opt-in; the disabled handle costs one
             // branch per site query.
@@ -712,7 +908,12 @@ pub fn run(command: Command) -> Result<String, Box<dyn Error>> {
                     .optimizer(DelayPenalty::new(args.penalty)?, args.mode)
                     .with_obs(&obs)
                     .with_fault(&fault);
-                let outcome = optimizer.run(&exec, ckpt.as_ref());
+                // Ctrl-C rides the same machinery as the wall-clock
+                // deadline: the first SIGINT cancels the linked token, the
+                // run flushes its checkpoint and returns
+                // `Degraded { Cancelled }`; a second SIGINT force-exits.
+                let budget = exec.budget_linked(&fault, svtox_serve::sigint_token());
+                let outcome = optimizer.run_with_budget(&exec, &budget, ckpt.as_ref());
                 let (mut sol, stats, status): (Solution, _, String) = match outcome {
                     RunOutcome::Failed { error } => return Err(Box::new(error)),
                     RunOutcome::Complete { solution, stats } => {
@@ -894,6 +1095,65 @@ mod tests {
             panic!("wrong command")
         };
         assert_eq!(args.seed, u64::MAX);
+    }
+
+    #[test]
+    fn parses_serve() {
+        let cmd = parse_args(&argv(
+            "serve --addr 127.0.0.1:0 --runners 4 --queue-depth 8 --deadline 1.5 \
+             --fault-plan core.leaf:nth=5 --fault-seed 7",
+        ))
+        .unwrap();
+        let Command::Serve(args) = cmd else {
+            panic!("wrong command")
+        };
+        assert_eq!(args.addr, "127.0.0.1:0");
+        assert_eq!(args.runners, 4);
+        assert_eq!(args.queue_depth, 8);
+        assert_eq!(args.default_deadline, Duration::from_secs_f64(1.5));
+        assert_eq!(args.fault_plan.as_deref(), Some("core.leaf:nth=5"));
+        assert_eq!(args.fault_seed, 7);
+        // Defaults.
+        let Command::Serve(defaults) = parse_args(&argv("serve")).unwrap() else {
+            panic!("wrong command")
+        };
+        assert_eq!(defaults.addr, "127.0.0.1:7433");
+        assert_eq!(defaults.runners, 2);
+        assert_eq!(defaults.queue_depth, 64);
+        assert_eq!(defaults.default_deadline, Duration::from_secs(2));
+        // A zero-depth queue could admit nothing; reject it typed.
+        assert!(parse_args(&argv("serve --queue-depth 0")).is_err());
+    }
+
+    #[test]
+    fn parses_loadgen() {
+        let cmd = parse_args(&argv(
+            "loadgen c880 --addr 127.0.0.1:7433 --jobs 200 --concurrency 16 \
+             --deadline 0.5 --threads 2 --penalty 10 --json --runners 8",
+        ))
+        .unwrap();
+        let Command::Loadgen(args) = cmd else {
+            panic!("wrong command")
+        };
+        assert_eq!(args.addr.as_deref(), Some("127.0.0.1:7433"));
+        assert_eq!(args.jobs, 200);
+        assert_eq!(args.concurrency, 16);
+        assert_eq!(args.target, "c880");
+        assert_eq!(args.deadline, Duration::from_secs_f64(0.5));
+        assert_eq!(args.threads, 2);
+        assert!((args.penalty - 10.0).abs() < 1e-12);
+        assert!(args.json);
+        assert_eq!(args.runners, 8);
+        // Defaults: in-process server, the CI smoke shape.
+        let Command::Loadgen(defaults) = parse_args(&argv("loadgen")).unwrap() else {
+            panic!("wrong command")
+        };
+        assert_eq!(defaults.addr, None);
+        assert_eq!(defaults.jobs, 50);
+        assert_eq!(defaults.concurrency, 8);
+        assert_eq!(defaults.target, "c432");
+        assert!(!defaults.json);
+        assert!(parse_args(&argv("loadgen --jobs 0")).is_err());
     }
 
     #[test]

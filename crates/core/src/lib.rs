@@ -66,6 +66,6 @@ pub use state_search::Optimizer;
 // Re-exported so optimizer callers can configure the parallel searches,
 // attach observability, and inject faults without depending on the
 // engine crates directly.
-pub use svtox_exec::{ExecConfig, ExecError, RetryPolicy, SearchStats};
+pub use svtox_exec::{Budget, CancelToken, ExecConfig, ExecError, RetryPolicy, SearchStats};
 pub use svtox_fault::Fault;
 pub use svtox_obs::Obs;

@@ -19,7 +19,7 @@
 use std::collections::BTreeMap;
 use std::time::Instant;
 
-use svtox_exec::{min_by_stable, run_pool, ExecConfig, ExecError, SharedMinF64};
+use svtox_exec::{min_by_stable, run_pool, Budget, ExecConfig, ExecError, SharedMinF64};
 use svtox_sta::Sta;
 
 use crate::checkpoint::{self, CheckpointMeta, CheckpointSpec, CheckpointWriter};
@@ -41,7 +41,26 @@ impl<'a> Optimizer<'a> {
     /// nothing goes wrong: same seed, same bounds, same bit-identical
     /// result for any thread count.
     pub fn run(&self, exec: &ExecConfig, checkpoint: Option<&CheckpointSpec>) -> RunOutcome {
-        match self.run_inner(exec, checkpoint) {
+        self.run_with_budget(exec, &exec.budget_faulted(self.fault), checkpoint)
+    }
+
+    /// [`Optimizer::run`] under a caller-supplied [`Budget`].
+    ///
+    /// The caller owns the budget's deadline and cancellation token, so
+    /// an external actor — a Ctrl-C handler, a job-cancel endpoint, a
+    /// server shutdown — can stop the run cooperatively; the outcome is
+    /// then [`RunOutcome::Degraded`] with
+    /// [`crate::outcome::DegradeReason::Cancelled`] (or `DeadlineExpired`
+    /// when the budget's own deadline fired first). Note the budget
+    /// bypasses the `clock.skew` fault site, which only
+    /// [`Optimizer::run`] routes through.
+    pub fn run_with_budget(
+        &self,
+        exec: &ExecConfig,
+        budget: &Budget,
+        checkpoint: Option<&CheckpointSpec>,
+    ) -> RunOutcome {
+        match self.run_inner(exec, budget, checkpoint) {
             Ok(outcome) => outcome,
             Err(error) => RunOutcome::Failed { error },
         }
@@ -50,10 +69,10 @@ impl<'a> Optimizer<'a> {
     fn run_inner(
         &self,
         exec: &ExecConfig,
+        budget: &Budget,
         spec: Option<&CheckpointSpec>,
     ) -> Result<RunOutcome, OptError> {
         let start = Instant::now();
-        let budget = exec.budget_faulted(self.fault);
         let netlist = self.problem.netlist();
         let order = self.input_order();
         let k = prefix_depth(exec.threads(), order.len());
@@ -102,7 +121,7 @@ impl<'a> Optimizer<'a> {
         let run = run_pool(
             exec,
             num_tasks,
-            &budget,
+            budget,
             self.obs,
             self.fault,
             |_worker| WorkerCtx {
@@ -124,7 +143,7 @@ impl<'a> Optimizer<'a> {
                     p,
                     k,
                     &order,
-                    &budget,
+                    budget,
                     &shared,
                     seed_leak,
                     delay_budget,
@@ -339,6 +358,37 @@ mod tests {
         assert!(solution.same_assignment(&reference));
         // Serially the replay is exact to the leaf count as well.
         assert_eq!(solution.leaves_explored, reference.leaves_explored);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn external_cancel_degrades_with_a_flushed_checkpoint() {
+        use svtox_exec::{Budget, CancelToken};
+        let (n, lib) = small();
+        let problem = Problem::new(&n, &lib, TimingConfig::default()).unwrap();
+        let opt = problem.optimizer(DelayPenalty::five_percent(), Mode::Proposed);
+        let exec = ExecConfig::with_threads(1);
+        let (reference, _) = opt.heuristic2_parallel(&exec).unwrap();
+
+        // A pre-cancelled external token: the run must degrade with
+        // `Cancelled` (not the deadline) and still write a checkpoint a
+        // later uncancelled run can resume bit-identically.
+        let token = CancelToken::new();
+        token.cancel();
+        let budget = Budget::linked(None, token);
+        let path = temp_path("external-cancel");
+        let cancelled = opt.run_with_budget(&exec, &budget, Some(&CheckpointSpec::fresh(&path)));
+        let RunOutcome::Degraded { reason, best, .. } = cancelled else {
+            panic!("a cancelled run must degrade, got {cancelled}");
+        };
+        assert_eq!(reason, DegradeReason::Cancelled);
+        assert!(best.same_assignment(&opt.heuristic1().unwrap()));
+
+        let resumed = opt.run(&exec, Some(&CheckpointSpec::resume(&path)));
+        let RunOutcome::Complete { solution, .. } = resumed else {
+            panic!("resume must complete, got {resumed}");
+        };
+        assert!(solution.same_assignment(&reference));
         std::fs::remove_file(&path).ok();
     }
 

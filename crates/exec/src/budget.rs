@@ -68,9 +68,20 @@ impl Budget {
     /// A budget from an optional duration (`None` = unlimited).
     #[must_use]
     pub fn from_option(duration: Option<Duration>) -> Self {
-        match duration {
-            Some(d) => Self::with_duration(d),
-            None => Self::unlimited(),
+        Self::linked(duration, CancelToken::new())
+    }
+
+    /// A budget sharing an externally owned cancellation token.
+    ///
+    /// The token outlives the budget, so a signal handler, a server
+    /// shutdown sequence, or a job-cancel endpoint can flip it without
+    /// holding the budget itself. Overlong durations saturate to
+    /// unlimited exactly like [`Budget::with_duration`].
+    #[must_use]
+    pub fn linked(duration: Option<Duration>, token: CancelToken) -> Self {
+        Self {
+            deadline: duration.and_then(|d| Instant::now().checked_add(d)),
+            token,
         }
     }
 
@@ -154,5 +165,19 @@ mod tests {
     fn from_option_maps_none_to_unlimited() {
         assert!(!Budget::from_option(None).expired());
         assert!(Budget::from_option(Some(Duration::ZERO)).expired());
+    }
+
+    #[test]
+    fn linked_budget_observes_the_external_token() {
+        let token = CancelToken::new();
+        let b = Budget::linked(None, token.clone());
+        assert!(!b.expired());
+        token.cancel();
+        assert!(b.expired(), "external cancel reaches the budget");
+        // And the deadline path still works alongside an external token.
+        let t2 = CancelToken::new();
+        assert!(Budget::linked(Some(Duration::ZERO), t2.clone()).expired());
+        assert!(t2.is_cancelled(), "expiry cancels the shared token");
+        assert!(!Budget::linked(Some(Duration::MAX), CancelToken::new()).expired());
     }
 }

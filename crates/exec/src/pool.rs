@@ -23,7 +23,7 @@ use std::time::{Duration, Instant};
 use svtox_fault::{Fault, Site};
 use svtox_obs::{FieldValue, Obs};
 
-use crate::budget::Budget;
+use crate::budget::{Budget, CancelToken};
 use crate::error::ExecError;
 use crate::queue::TaskQueue;
 use crate::stats::{SearchStats, WorkerStats};
@@ -139,10 +139,19 @@ impl ExecConfig {
     /// the past when the run starts).
     #[must_use]
     pub fn budget_faulted(&self, fault: &Fault) -> Budget {
+        self.budget_linked(fault, CancelToken::new())
+    }
+
+    /// [`ExecConfig::budget_faulted`] sharing an externally owned
+    /// cancellation token, so a Ctrl-C handler or a job-cancel endpoint
+    /// can stop the run while the fault-injected clock-skew semantics
+    /// stay intact.
+    #[must_use]
+    pub fn budget_linked(&self, fault: &Fault, token: CancelToken) -> Budget {
         if fault.fires(Site::BudgetClock) {
-            Budget::with_duration(Duration::ZERO)
+            Budget::linked(Some(Duration::ZERO), token)
         } else {
-            self.budget()
+            Budget::linked(self.time_budget, token)
         }
     }
 }

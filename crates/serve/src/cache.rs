@@ -1,0 +1,316 @@
+//! Cross-job caches keyed by content hash.
+//!
+//! Repeat traffic in a standby-power service hits the same cell
+//! libraries and, often, the same netlists: a sweep over clustering or
+//! penalty configurations re-submits near-identical jobs. The expensive
+//! artifacts — the precharacterized cell tables of
+//! [`svtox_cells::Library::new`], a parsed-and-mapped netlist, a parsed
+//! Liberty leakage table — are therefore cached across jobs, keyed by an
+//! FNV-1a hash of the exact content that determines them:
+//!
+//! * **libraries** — the canonical encoding of [`LibraryOptions`] (every
+//!   field, floats by bit pattern), since characterization is a pure
+//!   function of the options and the technology;
+//! * **netlists** — the submitted `.bench` text, or the `name:` form of
+//!   a built-in benchmark;
+//! * **Liberty tables** — the submitted Liberty text.
+//!
+//! Each entry is built exactly once per key (single-flight): concurrent
+//! cold requests for the same key block on the builder instead of
+//! characterizing in parallel, which is what makes warm jobs measurably
+//! faster than cold ones under load.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use svtox_cells::liberty::LeakageRows;
+use svtox_cells::{parse_liberty_leakage, Library, LibraryOptions};
+use svtox_netlist::generators::benchmark;
+use svtox_netlist::{map_to_primitives, parse_bench, MappingOptions, Netlist};
+use svtox_obs::Obs;
+use svtox_tech::Technology;
+
+/// FNV-1a 64-bit content hash (the workspace is dependency-free, and the
+/// keys are trusted content, not adversarial input).
+#[must_use]
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// The canonical cache key of a library configuration.
+#[must_use]
+pub fn library_key(options: &LibraryOptions) -> u64 {
+    let canonical = format!(
+        "tech=predictive_65nm;points={:?};uniform={};reorder={};vt={:?};arity={};igate={:016x}",
+        options.tradeoff_points,
+        options.uniform_stack,
+        options.pin_reordering,
+        options.vt_site,
+        options.max_arity,
+        options.igate_significance.to_bits(),
+    );
+    fnv1a64(canonical.as_bytes())
+}
+
+/// A single-flight cache slot: the first thread to lock it builds, the
+/// rest block and then read the finished value.
+type Slot<T> = Arc<Mutex<Option<Arc<T>>>>;
+
+struct SlotMap<T> {
+    slots: Mutex<HashMap<u64, Slot<T>>>,
+}
+
+impl<T> SlotMap<T> {
+    fn new() -> Self {
+        Self {
+            slots: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Returns `(value, hit)`; `build` runs at most once per key across
+    /// all threads unless it errors (a failed build leaves the slot
+    /// empty so a later request can retry).
+    fn get_or_build<E>(
+        &self,
+        key: u64,
+        build: impl FnOnce() -> Result<T, E>,
+    ) -> Result<(Arc<T>, bool), E> {
+        let slot = {
+            let mut slots = self.slots.lock().expect("cache slot map lock");
+            Arc::clone(
+                slots
+                    .entry(key)
+                    .or_insert_with(|| Arc::new(Mutex::new(None))),
+            )
+        };
+        let mut guard = slot.lock().expect("cache slot lock");
+        if let Some(value) = guard.as_ref() {
+            return Ok((Arc::clone(value), true));
+        }
+        let value = Arc::new(build()?);
+        *guard = Some(Arc::clone(&value));
+        Ok((value, false))
+    }
+
+    fn len(&self) -> usize {
+        self.slots.lock().expect("cache slot map lock").len()
+    }
+}
+
+/// The cross-job caches of one server instance.
+pub struct SharedCaches {
+    libraries: SlotMap<Library>,
+    netlists: SlotMap<Netlist>,
+    liberty: SlotMap<HashMap<String, LeakageRows>>,
+}
+
+impl Default for SharedCaches {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SharedCaches {
+    /// Fresh, empty caches.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            libraries: SlotMap::new(),
+            netlists: SlotMap::new(),
+            liberty: SlotMap::new(),
+        }
+    }
+
+    /// The characterized library for `options`, building it on miss.
+    ///
+    /// # Errors
+    ///
+    /// Returns the characterization error on a cold miss that fails.
+    pub fn library(
+        &self,
+        options: LibraryOptions,
+        obs: &Obs,
+    ) -> Result<Arc<Library>, svtox_cells::LibraryError> {
+        let (lib, hit) = self.libraries.get_or_build(library_key(&options), || {
+            Library::new(Technology::predictive_65nm(), options)
+        })?;
+        obs.add(
+            if hit {
+                "serve.cache.library_hits"
+            } else {
+                "serve.cache.library_misses"
+            },
+            1,
+        );
+        Ok(lib)
+    }
+
+    /// The parsed-and-mapped netlist for a submitted `.bench` text.
+    ///
+    /// # Errors
+    ///
+    /// Returns the parse or mapping error on a cold miss that fails.
+    pub fn netlist_from_bench(
+        &self,
+        bench_text: &str,
+        obs: &Obs,
+    ) -> Result<Arc<Netlist>, svtox_netlist::NetlistError> {
+        let key = fnv1a64(bench_text.as_bytes());
+        let (netlist, hit) = self.netlists.get_or_build(key, || {
+            let raw = parse_bench(bench_text)?;
+            map_to_primitives(&raw, MappingOptions::default())
+        })?;
+        self.count_netlist(hit, obs);
+        Ok(netlist)
+    }
+
+    /// A built-in benchmark reconstruction by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns the generator error for an unknown name.
+    pub fn netlist_named(
+        &self,
+        name: &str,
+        obs: &Obs,
+    ) -> Result<Arc<Netlist>, svtox_netlist::NetlistError> {
+        let key = fnv1a64(format!("name:{name}").as_bytes());
+        let (netlist, hit) = self.netlists.get_or_build(key, || benchmark(name))?;
+        self.count_netlist(hit, obs);
+        Ok(netlist)
+    }
+
+    fn count_netlist(&self, hit: bool, obs: &Obs) {
+        obs.add(
+            if hit {
+                "serve.cache.netlist_hits"
+            } else {
+                "serve.cache.netlist_misses"
+            },
+            1,
+        );
+    }
+
+    /// The parsed leakage table of a Liberty text.
+    ///
+    /// # Errors
+    ///
+    /// Returns the Liberty parse error on a cold miss that fails.
+    pub fn liberty(
+        &self,
+        text: &str,
+        obs: &Obs,
+    ) -> Result<Arc<HashMap<String, LeakageRows>>, svtox_cells::LibraryError> {
+        let key = fnv1a64(text.as_bytes());
+        let (rows, hit) = self
+            .liberty
+            .get_or_build(key, || parse_liberty_leakage(text))?;
+        obs.add(
+            if hit {
+                "serve.cache.liberty_hits"
+            } else {
+                "serve.cache.liberty_misses"
+            },
+            1,
+        );
+        Ok(rows)
+    }
+
+    /// Distinct library configurations seen so far.
+    #[must_use]
+    pub fn libraries_cached(&self) -> usize {
+        self.libraries.len()
+    }
+
+    /// Distinct netlists seen so far.
+    #[must_use]
+    pub fn netlists_cached(&self) -> usize {
+        self.netlists.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn library_key_separates_configurations() {
+        let base = LibraryOptions::default();
+        let mut two = base;
+        two.tradeoff_points = svtox_cells::TradeoffPoints::Two;
+        let mut uniform = base;
+        uniform.uniform_stack = true;
+        assert_eq!(library_key(&base), library_key(&LibraryOptions::default()));
+        assert_ne!(library_key(&base), library_key(&two));
+        assert_ne!(library_key(&base), library_key(&uniform));
+        assert_ne!(library_key(&two), library_key(&uniform));
+    }
+
+    #[test]
+    fn second_library_request_is_a_hit_on_the_same_table() {
+        let caches = SharedCaches::new();
+        let obs = Obs::enabled();
+        let cold = caches.library(LibraryOptions::default(), &obs).unwrap();
+        let warm = caches.library(LibraryOptions::default(), &obs).unwrap();
+        assert!(Arc::ptr_eq(&cold, &warm), "one characterization, shared");
+        let counters = obs.counter_snapshot();
+        assert_eq!(counters.get("serve.cache.library_misses"), Some(&1));
+        assert_eq!(counters.get("serve.cache.library_hits"), Some(&1));
+        assert_eq!(caches.libraries_cached(), 1);
+    }
+
+    #[test]
+    fn bench_text_and_names_cache_by_content() {
+        let caches = SharedCaches::new();
+        let obs = Obs::enabled();
+        let named = caches.netlist_named("c432", &obs).unwrap();
+        let named_again = caches.netlist_named("c432", &obs).unwrap();
+        assert!(Arc::ptr_eq(&named, &named_again));
+        let text = named.to_bench();
+        let parsed = caches.netlist_from_bench(&text, &obs).unwrap();
+        let parsed_again = caches.netlist_from_bench(&text, &obs).unwrap();
+        assert!(Arc::ptr_eq(&parsed, &parsed_again));
+        assert_eq!(parsed.num_gates(), named.num_gates());
+        let counters = obs.counter_snapshot();
+        assert_eq!(counters.get("serve.cache.netlist_hits"), Some(&2));
+        assert_eq!(counters.get("serve.cache.netlist_misses"), Some(&2));
+        assert!(caches.netlist_named("no_such_circuit", &obs).is_err());
+    }
+
+    #[test]
+    fn failed_builds_do_not_poison_the_slot() {
+        let caches = SharedCaches::new();
+        let obs = Obs::enabled();
+        assert!(caches.netlist_from_bench("not a bench file", &obs).is_err());
+        // Same key, still an error — but not a cached panic or stale Ok.
+        assert!(caches.netlist_from_bench("not a bench file", &obs).is_err());
+    }
+
+    #[test]
+    fn liberty_tables_cache_by_text_hash() {
+        let caches = SharedCaches::new();
+        let obs = Obs::enabled();
+        let lib = caches.library(LibraryOptions::default(), &obs).unwrap();
+        let text = svtox_cells::to_liberty(&lib);
+        let cold = caches.liberty(&text, &obs).unwrap();
+        let warm = caches.liberty(&text, &obs).unwrap();
+        assert!(Arc::ptr_eq(&cold, &warm));
+        assert!(!cold.is_empty(), "the exported library has cells");
+        let counters = obs.counter_snapshot();
+        assert_eq!(counters.get("serve.cache.liberty_hits"), Some(&1));
+        assert_eq!(counters.get("serve.cache.liberty_misses"), Some(&1));
+    }
+}

@@ -1,0 +1,484 @@
+//! A minimal, dependency-free HTTP/1.1 layer.
+//!
+//! Only what the job service needs: request-line + header parsing with a
+//! bounded `Content-Length` body on the server side, fixed-length and
+//! chunked (`Transfer-Encoding: chunked`) responses, and a small blocking
+//! client for the load generator and the chaos scenarios. Every
+//! connection is `Connection: close` — the service optimizes circuits,
+//! not socket reuse, and one-shot connections keep the failure domain of
+//! a dropped client to a single request.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Hard cap on the header block (request or response) in bytes.
+const MAX_HEAD: usize = 16 * 1024;
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// The method verb, uppercase (`GET`, `POST`, …).
+    pub method: String,
+    /// The request path, query string included.
+    pub path: String,
+    /// The body, empty when no `Content-Length` was sent.
+    pub body: String,
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum RequestError {
+    /// The socket failed or timed out mid-request (a dropped or stalled
+    /// client); there is nobody left to answer.
+    Io(io::Error),
+    /// The bytes were not a well-formed request; answer 400.
+    Malformed(String),
+    /// The declared body exceeds the configured bound; answer 413.
+    TooLarge(usize),
+}
+
+impl std::fmt::Display for RequestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "socket error: {e}"),
+            Self::Malformed(why) => write!(f, "malformed request: {why}"),
+            Self::TooLarge(n) => write!(f, "body of {n} bytes exceeds the limit"),
+        }
+    }
+}
+
+impl From<io::Error> for RequestError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// Reads one request from the stream, honouring its read timeout.
+///
+/// # Errors
+///
+/// See [`RequestError`] — I/O errors mean the client is gone, the other
+/// two variants deserve an error response.
+pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, RequestError> {
+    let (head, mut leftover) = read_head(stream)?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines
+        .next()
+        .ok_or_else(|| RequestError::Malformed("empty request".into()))?;
+    let mut parts = request_line.split(' ');
+    let method = parts
+        .next()
+        .filter(|m| !m.is_empty())
+        .ok_or_else(|| RequestError::Malformed("missing method".into()))?
+        .to_uppercase();
+    let path = parts
+        .next()
+        .ok_or_else(|| RequestError::Malformed("missing path".into()))?
+        .to_string();
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| RequestError::Malformed("bad content-length".into()))?;
+            }
+        }
+    }
+    if content_length > max_body {
+        return Err(RequestError::TooLarge(content_length));
+    }
+    while leftover.len() < content_length {
+        let mut buf = [0u8; 4096];
+        let n = stream.read(&mut buf)?;
+        if n == 0 {
+            return Err(RequestError::Malformed("body shorter than declared".into()));
+        }
+        leftover.extend_from_slice(&buf[..n]);
+    }
+    leftover.truncate(content_length);
+    let body = String::from_utf8(leftover)
+        .map_err(|_| RequestError::Malformed("body is not UTF-8".into()))?;
+    Ok(Request { method, path, body })
+}
+
+/// Reads up to and including the blank line; returns (head, body bytes
+/// already pulled off the socket).
+fn read_head(stream: &mut TcpStream) -> Result<(String, Vec<u8>), RequestError> {
+    let mut buf: Vec<u8> = Vec::with_capacity(512);
+    loop {
+        if let Some(pos) = find_blank_line(&buf) {
+            let head = String::from_utf8(buf[..pos].to_vec())
+                .map_err(|_| RequestError::Malformed("header block is not UTF-8".into()))?;
+            return Ok((head, buf[pos + 4..].to_vec()));
+        }
+        if buf.len() > MAX_HEAD {
+            return Err(RequestError::Malformed("header block too large".into()));
+        }
+        let mut chunk = [0u8; 1024];
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(RequestError::Malformed(
+                "connection closed mid-request".into(),
+            ));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    }
+}
+
+fn find_blank_line(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Writes a complete fixed-length response and flushes it.
+///
+/// # Errors
+///
+/// Returns the socket error if the client disappeared mid-write.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        reason(status),
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// A chunked-transfer response writer for streaming endpoints.
+///
+/// Every [`ChunkedWriter::write_chunk`] is flushed immediately so a
+/// tailing client sees progress as it happens; a write error means the
+/// client disconnected, which the caller treats as "stop streaming",
+/// never as a job failure.
+pub struct ChunkedWriter<'a> {
+    stream: &'a mut TcpStream,
+}
+
+impl<'a> ChunkedWriter<'a> {
+    /// Writes the response head and returns the chunk writer.
+    ///
+    /// # Errors
+    ///
+    /// Returns the socket error if the head cannot be written.
+    pub fn begin(stream: &'a mut TcpStream, status: u16, content_type: &str) -> io::Result<Self> {
+        let head = format!(
+            "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n\r\n",
+            reason(status),
+        );
+        stream.write_all(head.as_bytes())?;
+        stream.flush()?;
+        Ok(Self { stream })
+    }
+
+    /// Sends one chunk (skipped when empty: an empty chunk ends the
+    /// stream in the chunked encoding).
+    ///
+    /// # Errors
+    ///
+    /// Returns the socket error if the client is gone.
+    pub fn write_chunk(&mut self, data: &str) -> io::Result<()> {
+        if data.is_empty() {
+            return Ok(());
+        }
+        write!(self.stream, "{:x}\r\n", data.len())?;
+        self.stream.write_all(data.as_bytes())?;
+        self.stream.write_all(b"\r\n")?;
+        self.stream.flush()
+    }
+
+    /// Sends the terminating zero-length chunk.
+    ///
+    /// # Errors
+    ///
+    /// Returns the socket error if the client is gone.
+    pub fn finish(self) -> io::Result<()> {
+        self.stream.write_all(b"0\r\n\r\n")?;
+        self.stream.flush()
+    }
+}
+
+/// A parsed client-side response.
+#[derive(Debug, Clone)]
+pub struct ClientResponse {
+    /// The numeric status code.
+    pub status: u16,
+    /// The decoded body (chunked transfers are reassembled).
+    pub body: String,
+}
+
+/// One blocking HTTP call: connect, send, read the full response.
+///
+/// # Errors
+///
+/// Returns an `io::Error` for connection failures, timeouts, or a
+/// response that does not parse.
+pub fn call(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: &str,
+    timeout: Duration,
+) -> io::Result<ClientResponse> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()?;
+    read_response(&mut stream)
+}
+
+fn bad(why: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, why.to_string())
+}
+
+/// Reads and decodes a full response from the stream.
+///
+/// # Errors
+///
+/// Returns an `io::Error` when the response is truncated or malformed.
+pub fn read_response(stream: &mut TcpStream) -> io::Result<ClientResponse> {
+    let (head, leftover) = read_head(stream).map_err(|e| match e {
+        RequestError::Io(io) => io,
+        other => bad(&other.to_string()),
+    })?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().unwrap_or_default();
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad("bad status line"))?;
+    let mut content_length: Option<usize> = None;
+    let mut chunked = false;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            let name = name.trim().to_ascii_lowercase();
+            let value = value.trim();
+            if name == "content-length" {
+                content_length = value.parse().ok();
+            } else if name == "transfer-encoding" && value.eq_ignore_ascii_case("chunked") {
+                chunked = true;
+            }
+        }
+    }
+    let mut raw = leftover;
+    if chunked {
+        // Chunked streams end with the zero chunk; read until it (or EOF,
+        // which the Connection: close contract also permits).
+        loop {
+            if let Some(decoded) = decode_chunked(&raw) {
+                return Ok(ClientResponse {
+                    status,
+                    body: String::from_utf8(decoded).map_err(|_| bad("body is not UTF-8"))?,
+                });
+            }
+            let mut buf = [0u8; 4096];
+            let n = stream.read(&mut buf)?;
+            if n == 0 {
+                return Err(bad("chunked response truncated"));
+            }
+            raw.extend_from_slice(&buf[..n]);
+        }
+    }
+    match content_length {
+        Some(len) => {
+            while raw.len() < len {
+                let mut buf = [0u8; 4096];
+                let n = stream.read(&mut buf)?;
+                if n == 0 {
+                    return Err(bad("body shorter than declared"));
+                }
+                raw.extend_from_slice(&buf[..n]);
+            }
+            raw.truncate(len);
+        }
+        None => {
+            // No length and not chunked: read to EOF (close-delimited).
+            let mut rest = Vec::new();
+            stream.read_to_end(&mut rest)?;
+            raw.extend_from_slice(&rest);
+        }
+    }
+    Ok(ClientResponse {
+        status,
+        body: String::from_utf8(raw).map_err(|_| bad("body is not UTF-8"))?,
+    })
+}
+
+/// Decodes a complete chunked body; `None` while the zero chunk has not
+/// arrived yet.
+fn decode_chunked(raw: &[u8]) -> Option<Vec<u8>> {
+    let mut out = Vec::new();
+    let mut pos = 0usize;
+    loop {
+        let line_end = raw[pos..]
+            .windows(2)
+            .position(|w| w == b"\r\n")
+            .map(|p| pos + p)?;
+        let size_text = std::str::from_utf8(&raw[pos..line_end]).ok()?;
+        let size = usize::from_str_radix(size_text.trim(), 16).ok()?;
+        let data_start = line_end + 2;
+        if size == 0 {
+            return Some(out);
+        }
+        if raw.len() < data_start + size + 2 {
+            return None;
+        }
+        out.extend_from_slice(&raw[data_start..data_start + size]);
+        pos = data_start + size + 2;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    /// Round-trips one request/response pair over a real socket.
+    fn exchange(
+        server: impl FnOnce(TcpStream) + Send + 'static,
+        client: impl FnOnce(&str) -> ClientResponse,
+    ) -> ClientResponse {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let handle = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            server(stream);
+        });
+        let response = client(&addr);
+        handle.join().unwrap();
+        response
+    }
+
+    #[test]
+    fn fixed_length_round_trip() {
+        let response = exchange(
+            |mut stream| {
+                let req = read_request(&mut stream, 1024).unwrap();
+                assert_eq!(req.method, "POST");
+                assert_eq!(req.path, "/jobs");
+                assert_eq!(req.body, "{\"circuit\":\"c432\"}");
+                write_response(&mut stream, 202, "application/json", "{\"id\":1}").unwrap();
+            },
+            |addr| {
+                call(
+                    addr,
+                    "POST",
+                    "/jobs",
+                    "{\"circuit\":\"c432\"}",
+                    Duration::from_secs(5),
+                )
+                .unwrap()
+            },
+        );
+        assert_eq!(response.status, 202);
+        assert_eq!(response.body, "{\"id\":1}");
+    }
+
+    #[test]
+    fn chunked_round_trip_reassembles() {
+        let response = exchange(
+            |mut stream| {
+                let _ = read_request(&mut stream, 1024).unwrap();
+                let mut w = ChunkedWriter::begin(&mut stream, 200, "application/jsonl").unwrap();
+                w.write_chunk("{\"a\":1}\n").unwrap();
+                w.write_chunk("{\"b\":2}\n").unwrap();
+                w.finish().unwrap();
+            },
+            |addr| call(addr, "GET", "/events", "", Duration::from_secs(5)).unwrap(),
+        );
+        assert_eq!(response.status, 200);
+        assert_eq!(response.body, "{\"a\":1}\n{\"b\":2}\n");
+    }
+
+    #[test]
+    fn oversized_body_is_a_typed_rejection() {
+        exchange(
+            |mut stream| {
+                let err = read_request(&mut stream, 8).unwrap_err();
+                assert!(matches!(err, RequestError::TooLarge(_)), "{err}");
+                write_response(&mut stream, 413, "application/json", "{}").unwrap();
+            },
+            |addr| {
+                let r = call(
+                    addr,
+                    "POST",
+                    "/jobs",
+                    "{\"bench\":\"far too large\"}",
+                    Duration::from_secs(5),
+                )
+                .unwrap();
+                assert_eq!(r.status, 413);
+                r
+            },
+        );
+    }
+
+    #[test]
+    fn half_request_then_disconnect_is_an_error_not_a_hang() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = std::thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            stream
+                .write_all(b"POST /jobs HTTP/1.1\r\nContent-Le")
+                .unwrap();
+            // Dropping the stream closes it mid-header.
+        });
+        let (mut stream, _) = listener.accept().unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(2)))
+            .unwrap();
+        let err = read_request(&mut stream, 1024).unwrap_err();
+        assert!(
+            matches!(err, RequestError::Malformed(_) | RequestError::Io(_)),
+            "{err}"
+        );
+        client.join().unwrap();
+    }
+
+    #[test]
+    fn malformed_request_line_is_rejected() {
+        let response = exchange(
+            |mut stream| {
+                let err = read_request(&mut stream, 1024).unwrap_err();
+                assert!(matches!(err, RequestError::Malformed(_)));
+                write_response(&mut stream, 400, "text/plain", "bad").unwrap();
+            },
+            |addr| {
+                let mut stream = TcpStream::connect(addr).unwrap();
+                stream.write_all(b"\r\n\r\n").unwrap();
+                read_response(&mut stream).unwrap()
+            },
+        );
+        assert_eq!(response.status, 400);
+    }
+}

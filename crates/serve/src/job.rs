@@ -1,0 +1,469 @@
+//! The job model: specs, lifecycle state, results, and event streams.
+//!
+//! A job is one optimization run. Its spec arrives as the JSON body of
+//! `POST /jobs`, its lifecycle is `queued → running → done`, and its
+//! terminal state always carries a typed outcome string mirroring
+//! [`svtox_core::RunOutcome`] — `complete`, `degraded` (with the reason),
+//! or `failed` (with the error). Progress events (the job's own
+//! `svtox-obs` trace) accumulate in an in-memory buffer that
+//! `GET /jobs/:id/events` tails as chunked JSONL.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use svtox_cells::{LibraryOptions, TradeoffPoints};
+use svtox_core::{CancelToken, Mode, Solution};
+use svtox_obs::json;
+use svtox_obs::EventSink;
+
+/// What a client asked the server to optimize.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// Built-in benchmark name (exactly one of `circuit`/`bench`).
+    pub circuit: Option<String>,
+    /// Inline `.bench` netlist text (exactly one of `circuit`/`bench`).
+    pub bench: Option<String>,
+    /// Delay penalty fraction (the JSON field is in percent, like the
+    /// CLI's `--penalty`).
+    pub penalty: f64,
+    /// Optimization mode.
+    pub mode: Mode,
+    /// Engine worker threads for this job.
+    pub threads: usize,
+    /// Per-job deadline; `None` defers to the server default.
+    pub deadline: Option<Duration>,
+    /// Library options (`two_option`, `uniform_stack` JSON fields).
+    pub library: LibraryOptions,
+    /// Optional Liberty text to parse and cross-check (cached by hash).
+    pub liberty: Option<String>,
+}
+
+impl Default for JobSpec {
+    fn default() -> Self {
+        Self {
+            circuit: None,
+            bench: None,
+            penalty: 0.05,
+            mode: Mode::Proposed,
+            threads: 1,
+            deadline: None,
+            library: LibraryOptions::default(),
+            liberty: None,
+        }
+    }
+}
+
+impl JobSpec {
+    /// Parses a `POST /jobs` body.
+    ///
+    /// # Errors
+    ///
+    /// Returns a user-facing message for unknown fields, bad types, or a
+    /// spec that names neither (or both of) `circuit` and `bench`.
+    pub fn from_json(body: &str) -> Result<Self, String> {
+        let value = json::parse(body).map_err(|e| format!("body is not JSON: {e}"))?;
+        let json::Value::Obj(fields) = &value else {
+            return Err("body must be a JSON object".to_string());
+        };
+        let mut spec = Self::default();
+        for (name, field) in fields {
+            match name.as_str() {
+                "circuit" => spec.circuit = Some(str_field(field, "circuit")?),
+                "bench" => spec.bench = Some(str_field(field, "bench")?),
+                "liberty" => spec.liberty = Some(str_field(field, "liberty")?),
+                "penalty" => spec.penalty = num_field(field, "penalty")? / 100.0,
+                "threads" => spec.threads = uint_field(field, "threads")?,
+                "deadline_ms" => {
+                    spec.deadline = Some(Duration::from_millis(
+                        uint_field(field, "deadline_ms")? as u64
+                    ));
+                }
+                "mode" => {
+                    spec.mode = match str_field(field, "mode")?.as_str() {
+                        "proposed" => Mode::Proposed,
+                        "vt" => Mode::StateAndVt,
+                        "state" => Mode::StateOnly,
+                        other => return Err(format!("unknown mode `{other}`")),
+                    };
+                }
+                "two_option" => {
+                    if bool_field(field, "two_option")? {
+                        spec.library.tradeoff_points = TradeoffPoints::Two;
+                    }
+                }
+                "uniform_stack" => {
+                    spec.library.uniform_stack = bool_field(field, "uniform_stack")?;
+                }
+                other => return Err(format!("unknown field `{other}`")),
+            }
+        }
+        match (&spec.circuit, &spec.bench) {
+            (Some(_), Some(_)) => Err("give either `circuit` or `bench`, not both".to_string()),
+            (None, None) => Err("a job needs a `circuit` name or `bench` text".to_string()),
+            _ => Ok(spec),
+        }
+    }
+}
+
+fn str_field(v: &json::Value, name: &str) -> Result<String, String> {
+    v.as_str()
+        .map(str::to_string)
+        .ok_or_else(|| format!("`{name}` must be a string"))
+}
+
+fn num_field(v: &json::Value, name: &str) -> Result<f64, String> {
+    v.as_f64()
+        .ok_or_else(|| format!("`{name}` must be a number"))
+}
+
+fn uint_field(v: &json::Value, name: &str) -> Result<usize, String> {
+    let n = num_field(v, name)?;
+    if n < 0.0 || n.fract() != 0.0 || n > 1e15 {
+        return Err(format!("`{name}` must be a non-negative integer"));
+    }
+    Ok(n as usize)
+}
+
+fn bool_field(v: &json::Value, name: &str) -> Result<bool, String> {
+    match v {
+        json::Value::Bool(b) => Ok(*b),
+        _ => Err(format!("`{name}` must be a boolean")),
+    }
+}
+
+/// The bit-exact essentials of a solution, as reported over HTTP.
+///
+/// `leakage_bits`/`delay_bits` are the `f64` bit patterns in hex, so a
+/// client can assert byte-identity with a local run without any float
+/// formatting ambiguity.
+#[derive(Debug, Clone)]
+pub struct SolutionSummary {
+    /// Standby vector as a `0`/`1` string, input order.
+    pub vector: String,
+    /// Per-gate option choices as decimal digits, gate order.
+    pub choices: String,
+    /// Total leakage in µA.
+    pub leakage_ua: f64,
+    /// Bit pattern of the leakage value.
+    pub leakage_bits: u64,
+    /// Bit pattern of the critical-path delay.
+    pub delay_bits: u64,
+    /// Leaves the search explored.
+    pub leaves: u64,
+    /// Engine wall-clock in milliseconds.
+    pub runtime_ms: f64,
+}
+
+impl SolutionSummary {
+    /// Extracts the summary of a solution.
+    #[must_use]
+    pub fn of(solution: &Solution) -> Self {
+        Self {
+            vector: solution
+                .vector
+                .iter()
+                .map(|&b| if b { '1' } else { '0' })
+                .collect(),
+            choices: solution
+                .choices
+                .iter()
+                .map(|c| char::from_digit(u32::from(*c), 10).unwrap_or('?'))
+                .collect(),
+            leakage_ua: solution.leakage.as_micro_amps(),
+            leakage_bits: solution.leakage.value().to_bits(),
+            delay_bits: solution.delay.value().to_bits(),
+            leaves: solution.leaves_explored as u64,
+            runtime_ms: solution.runtime.as_secs_f64() * 1e3,
+        }
+    }
+}
+
+/// The terminal state of a job.
+#[derive(Debug, Clone)]
+pub struct JobResult {
+    /// `complete`, `degraded`, or `failed`.
+    pub outcome: &'static str,
+    /// The degradation reason, when degraded.
+    pub reason: Option<String>,
+    /// The error message, when failed.
+    pub error: Option<String>,
+    /// Resolved circuit name.
+    pub circuit: String,
+    /// The solution, for non-failed outcomes.
+    pub solution: Option<SolutionSummary>,
+    /// Cells found in the submitted Liberty text, when one was sent.
+    pub liberty_cells: Option<usize>,
+}
+
+/// Job lifecycle phase.
+#[derive(Debug, Clone)]
+pub enum JobPhase {
+    /// Admitted, waiting for a runner.
+    Queued,
+    /// A runner is executing it.
+    Running,
+    /// Finished with a typed outcome.
+    Done(JobResult),
+}
+
+impl JobPhase {
+    /// The state name reported over HTTP.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Queued => "queued",
+            Self::Running => "running",
+            Self::Done(_) => "done",
+        }
+    }
+}
+
+struct EventsBuf {
+    lines: Vec<String>,
+    closed: bool,
+}
+
+/// The shared, append-only event buffer of one job.
+///
+/// Producers push JSONL lines (the job's obs trace plus lifecycle
+/// markers); any number of consumers tail it concurrently, blocking on a
+/// condvar for new lines until the buffer closes.
+#[derive(Clone)]
+pub struct JobEvents {
+    inner: Arc<(Mutex<EventsBuf>, Condvar)>,
+}
+
+impl Default for JobEvents {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl JobEvents {
+    /// A fresh, open buffer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            inner: Arc::new((
+                Mutex::new(EventsBuf {
+                    lines: Vec::new(),
+                    closed: false,
+                }),
+                Condvar::new(),
+            )),
+        }
+    }
+
+    /// Appends one line and wakes all tailing readers.
+    pub fn push(&self, line: &str) {
+        let (buf, signal) = &*self.inner;
+        buf.lock()
+            .expect("events lock")
+            .lines
+            .push(line.to_string());
+        signal.notify_all();
+    }
+
+    /// Marks the stream finished; tailing readers drain and stop.
+    pub fn close(&self) {
+        let (buf, signal) = &*self.inner;
+        buf.lock().expect("events lock").closed = true;
+        signal.notify_all();
+    }
+
+    /// Returns the lines at index `from..` plus whether the buffer is
+    /// closed, blocking up to `timeout` when nothing new is available.
+    #[must_use]
+    pub fn wait_from(&self, from: usize, timeout: Duration) -> (Vec<String>, bool) {
+        let (lock, signal) = &*self.inner;
+        let mut buf = lock.lock().expect("events lock");
+        if buf.lines.len() <= from && !buf.closed {
+            let (guard, _) = signal
+                .wait_timeout(buf, timeout)
+                .expect("events lock poisoned");
+            buf = guard;
+        }
+        (buf.lines.get(from..).unwrap_or(&[]).to_vec(), buf.closed)
+    }
+
+    /// A snapshot of everything pushed so far.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<String> {
+        self.inner.0.lock().expect("events lock").lines.clone()
+    }
+}
+
+/// An [`EventSink`] adapter routing a job's obs trace into its buffer.
+pub struct JobSink(pub JobEvents);
+
+impl EventSink for JobSink {
+    fn write_line(&mut self, line: &str) {
+        self.0.push(line);
+    }
+}
+
+/// One job in the server's registry.
+pub struct JobRecord {
+    /// Monotonically assigned id.
+    pub id: u64,
+    /// What to run.
+    pub spec: JobSpec,
+    /// Lifecycle state.
+    pub phase: Mutex<JobPhase>,
+    /// Progress stream.
+    pub events: JobEvents,
+    /// Cancellation token linked into the job's budget.
+    pub cancel: CancelToken,
+}
+
+impl JobRecord {
+    /// A freshly admitted job.
+    #[must_use]
+    pub fn new(id: u64, spec: JobSpec) -> Self {
+        Self {
+            id,
+            spec,
+            phase: Mutex::new(JobPhase::Queued),
+            events: JobEvents::new(),
+            cancel: CancelToken::new(),
+        }
+    }
+
+    /// The current phase (cloned; the lock is not held).
+    #[must_use]
+    pub fn phase(&self) -> JobPhase {
+        self.phase.lock().expect("phase lock").clone()
+    }
+
+    /// Transitions the phase.
+    pub fn set_phase(&self, phase: JobPhase) {
+        *self.phase.lock().expect("phase lock") = phase;
+    }
+
+    /// Renders the `GET /jobs/:id` status document.
+    #[must_use]
+    pub fn status_json(&self) -> json::Value {
+        let phase = self.phase();
+        let mut obj = BTreeMap::new();
+        obj.insert("id".to_string(), json::Value::Num(self.id as f64));
+        obj.insert(
+            "state".to_string(),
+            json::Value::Str(phase.name().to_string()),
+        );
+        if let JobPhase::Done(result) = &phase {
+            obj.insert(
+                "outcome".to_string(),
+                json::Value::Str(result.outcome.to_string()),
+            );
+            obj.insert(
+                "circuit".to_string(),
+                json::Value::Str(result.circuit.clone()),
+            );
+            if let Some(reason) = &result.reason {
+                obj.insert("reason".to_string(), json::Value::Str(reason.clone()));
+            }
+            if let Some(error) = &result.error {
+                obj.insert("error".to_string(), json::Value::Str(error.clone()));
+            }
+            if let Some(cells) = result.liberty_cells {
+                obj.insert("liberty_cells".to_string(), json::Value::Num(cells as f64));
+            }
+            if let Some(s) = &result.solution {
+                obj.insert("vector".to_string(), json::Value::Str(s.vector.clone()));
+                obj.insert("choices".to_string(), json::Value::Str(s.choices.clone()));
+                obj.insert("leakage_ua".to_string(), json::Value::Num(s.leakage_ua));
+                obj.insert(
+                    "leakage_bits".to_string(),
+                    json::Value::Str(format!("{:016x}", s.leakage_bits)),
+                );
+                obj.insert(
+                    "delay_bits".to_string(),
+                    json::Value::Str(format!("{:016x}", s.delay_bits)),
+                );
+                obj.insert("leaves".to_string(), json::Value::Num(s.leaves as f64));
+                obj.insert("runtime_ms".to_string(), json::Value::Num(s.runtime_ms));
+            }
+        }
+        json::Value::Obj(obj)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_parses_the_full_field_set() {
+        let spec = JobSpec::from_json(
+            r#"{"circuit":"c432","penalty":10,"mode":"vt","threads":4,
+                "deadline_ms":250,"two_option":true,"uniform_stack":true}"#,
+        )
+        .unwrap();
+        assert_eq!(spec.circuit.as_deref(), Some("c432"));
+        assert!((spec.penalty - 0.10).abs() < 1e-12);
+        assert_eq!(spec.mode, Mode::StateAndVt);
+        assert_eq!(spec.threads, 4);
+        assert_eq!(spec.deadline, Some(Duration::from_millis(250)));
+        assert_eq!(spec.library.tradeoff_points, TradeoffPoints::Two);
+        assert!(spec.library.uniform_stack);
+    }
+
+    #[test]
+    fn spec_rejects_bad_bodies() {
+        assert!(JobSpec::from_json("not json").is_err());
+        assert!(JobSpec::from_json("[]").is_err());
+        assert!(
+            JobSpec::from_json("{}").is_err(),
+            "neither circuit nor bench"
+        );
+        assert!(JobSpec::from_json(r#"{"circuit":"a","bench":"b"}"#).is_err());
+        assert!(JobSpec::from_json(r#"{"circuit":"c432","mode":"banana"}"#).is_err());
+        assert!(JobSpec::from_json(r#"{"circuit":"c432","threads":-1}"#).is_err());
+        assert!(JobSpec::from_json(r#"{"circuit":"c432","threads":1.5}"#).is_err());
+        assert!(JobSpec::from_json(r#"{"circuit":"c432","bogus":1}"#).is_err());
+        assert!(JobSpec::from_json(r#"{"circuit":7}"#).is_err());
+    }
+
+    #[test]
+    fn events_buffer_tails_and_closes() {
+        let events = JobEvents::new();
+        events.push("{\"a\":1}");
+        let (lines, closed) = events.wait_from(0, Duration::from_millis(1));
+        assert_eq!(lines, vec!["{\"a\":1}".to_string()]);
+        assert!(!closed);
+        // A reader past the end blocks until the close arrives.
+        let tail = events.clone();
+        let reader = std::thread::spawn(move || tail.wait_from(1, Duration::from_secs(5)));
+        events.push("{\"b\":2}");
+        events.close();
+        let (lines, closed) = reader.join().unwrap();
+        assert_eq!(lines, vec!["{\"b\":2}".to_string()]);
+        assert!(closed || !lines.is_empty());
+    }
+
+    #[test]
+    fn status_json_carries_the_typed_outcome() {
+        let record = JobRecord::new(7, JobSpec::from_json(r#"{"circuit":"c432"}"#).unwrap());
+        assert_eq!(record.phase().name(), "queued");
+        record.set_phase(JobPhase::Done(JobResult {
+            outcome: "degraded",
+            reason: Some("time budget expired".to_string()),
+            error: None,
+            circuit: "c432".to_string(),
+            solution: None,
+            liberty_cells: None,
+        }));
+        let doc = record.status_json().to_string();
+        let parsed = json::parse(&doc).unwrap();
+        assert_eq!(parsed.get("state").and_then(|v| v.as_str()), Some("done"));
+        assert_eq!(
+            parsed.get("outcome").and_then(|v| v.as_str()),
+            Some("degraded")
+        );
+        assert_eq!(
+            parsed.get("reason").and_then(|v| v.as_str()),
+            Some("time budget expired")
+        );
+    }
+}

@@ -1,0 +1,48 @@
+//! svtox-serve: the long-running optimization service.
+//!
+//! A standby-power flow is rarely one invocation: a sweep over penalty
+//! fractions, library configurations, and circuits re-runs the same
+//! expensive setup (library characterization, netlist parsing) dozens of
+//! times. This crate turns the engine into a service so that setup is
+//! paid once and shared:
+//!
+//! * [`server`] — a dependency-free HTTP/1.1 server: `POST /jobs`
+//!   (netlist + constraints + budget), `GET /jobs/:id` (status + bit-exact
+//!   result), `GET /jobs/:id/events` (chunked JSONL progress, straight
+//!   from the job's `svtox-obs` trace), `POST /jobs/:id/cancel`, and
+//!   `GET /metrics` (the aggregated counter/gauge registry);
+//! * [`cache`] — cross-job single-flight caches keyed by content hash:
+//!   characterized libraries, parsed netlists, Liberty tables;
+//! * [`job`] — the job model: spec parsing, lifecycle, typed terminal
+//!   outcomes mirroring `svtox_core::RunOutcome`;
+//! * [`loadgen`] — a client-side load generator replaying N concurrent
+//!   jobs and reporting throughput, latency percentiles, and cache wins;
+//! * [`http`] — the minimal HTTP/1.1 reader/writer both sides share;
+//! * [`signal`] — the SIGINT-to-`CancelToken` bridge that makes Ctrl-C a
+//!   typed `Degraded { Cancelled }` instead of a mid-write death.
+//!
+//! The service contract is the engine's degradation contract, extended
+//! over the wire: every admitted job terminates in a typed outcome —
+//! under overload the bounded queue sheds load with 503s, a deadline or a
+//! cancel degrades the job to its best-so-far solution, and an engine
+//! failure is reported, never swallowed. The chaos scenarios in the CLI
+//! assert exactly this under injected faults and vanishing clients.
+
+// `deny`, not the workspace-usual `forbid`: the signal module carries the
+// workspace's only `unsafe` (installing a C signal handler) under a
+// module-level allow, which `forbid` would make unoverridable.
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod http;
+pub mod job;
+pub mod loadgen;
+pub mod server;
+pub mod signal;
+
+pub use cache::SharedCaches;
+pub use job::{JobPhase, JobRecord, JobResult, JobSpec, SolutionSummary};
+pub use loadgen::{LoadReport, LoadgenConfig};
+pub use server::{start, ServerConfig, ServerHandle};
+pub use signal::sigint_token;

@@ -1,0 +1,840 @@
+//! The job server: accept loop, admission control, runner pool, router.
+//!
+//! Architecture (one [`ServerHandle`] owns all of it):
+//!
+//! * an **accept loop** on a non-blocking listener, polling a shutdown
+//!   token between accepts; each connection gets a short-lived handler
+//!   thread with read/write timeouts, so a stalled or vanished client
+//!   can never wedge the server;
+//! * a **bounded job queue** (admission control): `POST /jobs` beyond
+//!   the configured depth is rejected with `503 queue full` instead of
+//!   being buffered without bound — under overload the server sheds
+//!   load, it does not grow latency forever;
+//! * a fixed pool of **runner threads** consuming the queue; every job
+//!   runs under a per-job [`svtox_exec::Budget`] whose deadline maps
+//!   straight onto the optimizer's `Degraded{DeadlineExpired}` contract
+//!   and whose token serves `POST /jobs/:id/cancel` and shutdown;
+//! * the **shared caches** of [`crate::cache::SharedCaches`], so repeat
+//!   traffic skips parsing and characterization.
+//!
+//! Every job terminates in a typed outcome — the accept loop and the
+//! runners never panic on a bad request, a dead client, or an injected
+//! fault; chaos scenarios assert exactly that.
+
+use std::collections::{HashMap, VecDeque};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use svtox_core::{Budget, CancelToken, DelayPenalty, ExecConfig, Problem, RetryPolicy, RunOutcome};
+use svtox_fault::{Fault, FaultPlan};
+use svtox_obs::{json, FieldValue, Obs};
+use svtox_sta::TimingConfig;
+
+use crate::cache::SharedCaches;
+use crate::http::{self, ChunkedWriter, Request, RequestError};
+use crate::job::{JobPhase, JobRecord, JobResult, JobSink, JobSpec, SolutionSummary};
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address (`127.0.0.1:0` picks a free port).
+    pub addr: String,
+    /// Runner threads consuming the job queue.
+    pub runners: usize,
+    /// Admission bound: queued (not yet running) jobs beyond this are
+    /// rejected with 503.
+    pub queue_depth: usize,
+    /// Deadline applied to jobs that do not bring their own.
+    pub default_deadline: Duration,
+    /// Largest accepted request body in bytes.
+    pub max_body: usize,
+    /// Socket read/write timeout for request handling.
+    pub io_timeout: Duration,
+    /// Optional fault plan injected into every job run (chaos testing).
+    pub fault_plan: Option<String>,
+    /// Seed for probabilistic fault triggers.
+    pub fault_seed: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            runners: 2,
+            queue_depth: 64,
+            default_deadline: Duration::from_secs(2),
+            max_body: 4 * 1024 * 1024,
+            io_timeout: Duration::from_secs(10),
+            fault_plan: None,
+            fault_seed: 0,
+        }
+    }
+}
+
+struct JobQueue {
+    queue: Mutex<VecDeque<Arc<JobRecord>>>,
+    ready: Condvar,
+}
+
+struct ServerState {
+    config: ServerConfig,
+    obs: Obs,
+    caches: SharedCaches,
+    jobs: Mutex<HashMap<u64, Arc<JobRecord>>>,
+    next_id: AtomicU64,
+    queue: JobQueue,
+    shutdown: CancelToken,
+    fault: Fault,
+}
+
+impl ServerState {
+    /// Admits a job or rejects it at the queue-depth bound.
+    fn admit(&self, spec: JobSpec) -> Result<(u64, usize), usize> {
+        let mut queue = self.queue.queue.lock().expect("job queue lock");
+        let depth = queue.len();
+        if depth >= self.config.queue_depth {
+            self.obs.add("serve.jobs_rejected", 1);
+            return Err(depth);
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let record = Arc::new(JobRecord::new(id, spec));
+        record.events.push(&event_line(
+            "job.queued",
+            id,
+            &[("depth", FieldValue::U64(depth as u64))],
+        ));
+        self.jobs
+            .lock()
+            .expect("job registry lock")
+            .insert(id, Arc::clone(&record));
+        queue.push_back(record);
+        self.obs.add("serve.jobs_admitted", 1);
+        self.obs.set_gauge("serve.queue_depth", queue.len() as u64);
+        self.queue.ready.notify_one();
+        Ok((id, depth + 1))
+    }
+
+    fn job(&self, id: u64) -> Option<Arc<JobRecord>> {
+        self.jobs
+            .lock()
+            .expect("job registry lock")
+            .get(&id)
+            .cloned()
+    }
+
+    /// Blocks for the next job; `None` means shutdown.
+    fn next_job(&self) -> Option<Arc<JobRecord>> {
+        let mut queue = self.queue.queue.lock().expect("job queue lock");
+        loop {
+            if let Some(job) = queue.pop_front() {
+                self.obs.set_gauge("serve.queue_depth", queue.len() as u64);
+                return Some(job);
+            }
+            if self.shutdown.is_cancelled() {
+                return None;
+            }
+            let (guard, _) = self
+                .queue
+                .ready
+                .wait_timeout(queue, Duration::from_millis(50))
+                .expect("job queue lock poisoned");
+            queue = guard;
+        }
+    }
+}
+
+/// A JSONL lifecycle event line (same shape as obs `event` records).
+fn event_line(name: &str, job: u64, fields: &[(&str, FieldValue<'_>)]) -> String {
+    // Reuse the obs event serializer by emitting through a scratch handle
+    // would drag a sink along; the format is small enough to write here.
+    let mut obj = std::collections::BTreeMap::new();
+    obj.insert("type".to_string(), json::Value::Str("event".to_string()));
+    obj.insert("name".to_string(), json::Value::Str(name.to_string()));
+    obj.insert("job".to_string(), json::Value::Num(job as f64));
+    for (key, value) in fields {
+        let v = match value {
+            FieldValue::U64(n) => json::Value::Num(*n as f64),
+            FieldValue::I64(n) => json::Value::Num(*n as f64),
+            FieldValue::F64(n) => json::Value::Num(*n),
+            FieldValue::Bool(b) => json::Value::Bool(*b),
+            FieldValue::Str(s) => json::Value::Str((*s).to_string()),
+        };
+        obj.insert((*key).to_string(), v);
+    }
+    json::Value::Obj(obj).to_string()
+}
+
+/// A running server: address, control, and join handles.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    state: Arc<ServerState>,
+    accept: Option<JoinHandle<()>>,
+    runners: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (with the resolved port).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The server's observability handle (`/metrics` source).
+    #[must_use]
+    pub fn obs(&self) -> &Obs {
+        &self.state.obs
+    }
+
+    /// The shared caches (for tests and reports).
+    #[must_use]
+    pub fn caches(&self) -> &SharedCaches {
+        &self.state.caches
+    }
+
+    /// The shutdown token; cancelling it stops the server.
+    #[must_use]
+    pub fn shutdown_token(&self) -> CancelToken {
+        self.state.shutdown.clone()
+    }
+
+    /// Stops accepting, cancels every queued and running job, and joins
+    /// all server threads. Running jobs degrade (`Cancelled`); queued
+    /// jobs fail typed (`server shutdown`); nothing is left dangling.
+    pub fn shutdown(mut self) {
+        self.state.shutdown.cancel();
+        // Cancel running jobs so their budgets expire promptly.
+        for job in self.state.jobs.lock().expect("job registry lock").values() {
+            job.cancel.cancel();
+        }
+        self.state.queue.ready.notify_all();
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        for runner in self.runners.drain(..) {
+            let _ = runner.join();
+        }
+        // Anything still queued never ran: give it a terminal outcome so
+        // every admitted job ends typed.
+        let drained: Vec<Arc<JobRecord>> = self
+            .state
+            .queue
+            .queue
+            .lock()
+            .expect("job queue lock")
+            .drain(..)
+            .collect();
+        for job in drained {
+            job.set_phase(JobPhase::Done(JobResult {
+                outcome: "failed",
+                reason: None,
+                error: Some("server shutdown before the job started".to_string()),
+                circuit: job.spec.circuit.clone().unwrap_or_default(),
+                solution: None,
+                liberty_cells: None,
+            }));
+            job.events.push(&event_line("job.dropped", job.id, &[]));
+            job.events.close();
+        }
+    }
+}
+
+/// Starts a server and returns its handle.
+///
+/// # Errors
+///
+/// Returns the bind error, or a fault-plan parse error as `InvalidInput`.
+pub fn start(config: ServerConfig) -> io::Result<ServerHandle> {
+    let fault = match &config.fault_plan {
+        Some(spec) => {
+            let plan = FaultPlan::parse(spec, config.fault_seed)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+            Fault::new(&plan)
+        }
+        None => Fault::disabled(),
+    };
+    let listener = TcpListener::bind(&config.addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let runner_count = config.runners.max(1);
+    let state = Arc::new(ServerState {
+        config,
+        obs: Obs::enabled(),
+        caches: SharedCaches::new(),
+        jobs: Mutex::new(HashMap::new()),
+        next_id: AtomicU64::new(1),
+        queue: JobQueue {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+        },
+        shutdown: CancelToken::new(),
+        fault,
+    });
+
+    let accept_state = Arc::clone(&state);
+    let accept = std::thread::Builder::new()
+        .name("svtox-serve-accept".to_string())
+        .spawn(move || accept_loop(&listener, &accept_state))?;
+
+    let mut runners = Vec::with_capacity(runner_count);
+    for i in 0..runner_count {
+        let runner_state = Arc::clone(&state);
+        runners.push(
+            std::thread::Builder::new()
+                .name(format!("svtox-serve-runner-{i}"))
+                .spawn(move || runner_loop(&runner_state))?,
+        );
+    }
+    Ok(ServerHandle {
+        addr,
+        state,
+        accept: Some(accept),
+        runners,
+    })
+}
+
+fn accept_loop(listener: &TcpListener, state: &Arc<ServerState>) {
+    while !state.shutdown.is_cancelled() {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                state.obs.add("serve.connections", 1);
+                let conn_state = Arc::clone(state);
+                // Handler threads are short-lived (Connection: close) and
+                // bounded by socket timeouts; they detach.
+                let spawned = std::thread::Builder::new()
+                    .name("svtox-serve-conn".to_string())
+                    .spawn(move || handle_connection(stream, &conn_state));
+                if spawned.is_err() {
+                    state.obs.add("serve.spawn_failures", 1);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => {
+                state.obs.add("serve.accept_errors", 1);
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, state: &Arc<ServerState>) {
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_read_timeout(Some(state.config.io_timeout));
+    let _ = stream.set_write_timeout(Some(state.config.io_timeout));
+    let request = match http::read_request(&mut stream, state.config.max_body) {
+        Ok(request) => request,
+        Err(RequestError::Io(_)) => {
+            // The client is gone (disconnect or stall): nothing to answer,
+            // and — the chaos invariant — nothing shared to corrupt.
+            state.obs.add("serve.client_disconnects", 1);
+            return;
+        }
+        Err(RequestError::TooLarge(_)) => {
+            let _ = respond_error(&mut stream, 413, "body too large");
+            return;
+        }
+        Err(RequestError::Malformed(why)) => {
+            state.obs.add("serve.bad_requests", 1);
+            let _ = respond_error(&mut stream, 400, &why);
+            return;
+        }
+    };
+    route(&mut stream, &request, state);
+}
+
+fn respond_error(stream: &mut TcpStream, status: u16, message: &str) -> io::Result<()> {
+    let mut obj = std::collections::BTreeMap::new();
+    obj.insert("error".to_string(), json::Value::Str(message.to_string()));
+    http::write_response(
+        stream,
+        status,
+        "application/json",
+        &json::Value::Obj(obj).to_string(),
+    )
+}
+
+fn respond_json(stream: &mut TcpStream, status: u16, doc: &json::Value) -> io::Result<()> {
+    http::write_response(stream, status, "application/json", &doc.to_string())
+}
+
+fn route(stream: &mut TcpStream, request: &Request, state: &Arc<ServerState>) {
+    let path = request.path.as_str();
+    let method = request.method.as_str();
+    let _ = match (method, path) {
+        ("POST", "/jobs") => post_job(stream, &request.body, state),
+        ("GET", "/metrics") => {
+            http::write_response(stream, 200, "text/plain", &state.obs.render_metrics())
+        }
+        ("POST", "/shutdown") => {
+            let mut obj = std::collections::BTreeMap::new();
+            obj.insert("stopping".to_string(), json::Value::Bool(true));
+            let result = respond_json(stream, 200, &json::Value::Obj(obj));
+            state.shutdown.cancel();
+            for job in state.jobs.lock().expect("job registry lock").values() {
+                job.cancel.cancel();
+            }
+            result
+        }
+        ("GET", _) if path.starts_with("/jobs/") => get_job(stream, path, state),
+        ("POST", _) if path.starts_with("/jobs/") && path.ends_with("/cancel") => {
+            cancel_job(stream, path, state)
+        }
+        _ => respond_error(stream, 404, &format!("no route for {method} {path}")),
+    };
+}
+
+fn job_id_from(path: &str) -> Option<u64> {
+    path.strip_prefix("/jobs/")?.split('/').next()?.parse().ok()
+}
+
+fn post_job(stream: &mut TcpStream, body: &str, state: &Arc<ServerState>) -> io::Result<()> {
+    let spec = match JobSpec::from_json(body) {
+        Ok(spec) => spec,
+        Err(why) => {
+            state.obs.add("serve.bad_requests", 1);
+            return respond_error(stream, 400, &why);
+        }
+    };
+    match state.admit(spec) {
+        Ok((id, depth)) => {
+            let mut obj = std::collections::BTreeMap::new();
+            obj.insert("id".to_string(), json::Value::Num(id as f64));
+            obj.insert("state".to_string(), json::Value::Str("queued".to_string()));
+            obj.insert("queue_depth".to_string(), json::Value::Num(depth as f64));
+            respond_json(stream, 202, &json::Value::Obj(obj))
+        }
+        Err(depth) => {
+            let mut obj = std::collections::BTreeMap::new();
+            obj.insert(
+                "error".to_string(),
+                json::Value::Str("queue full".to_string()),
+            );
+            obj.insert("queue_depth".to_string(), json::Value::Num(depth as f64));
+            respond_json(stream, 503, &json::Value::Obj(obj))
+        }
+    }
+}
+
+fn get_job(stream: &mut TcpStream, path: &str, state: &Arc<ServerState>) -> io::Result<()> {
+    let Some(id) = job_id_from(path) else {
+        return respond_error(stream, 400, "bad job id");
+    };
+    let Some(job) = state.job(id) else {
+        return respond_error(stream, 404, &format!("no job {id}"));
+    };
+    if path.ends_with("/events") {
+        return stream_events(stream, &job, state);
+    }
+    respond_json(stream, 200, &job.status_json())
+}
+
+fn cancel_job(stream: &mut TcpStream, path: &str, state: &Arc<ServerState>) -> io::Result<()> {
+    let Some(id) = job_id_from(path) else {
+        return respond_error(stream, 400, "bad job id");
+    };
+    let Some(job) = state.job(id) else {
+        return respond_error(stream, 404, &format!("no job {id}"));
+    };
+    job.cancel.cancel();
+    state.obs.add("serve.jobs_cancel_requests", 1);
+    let mut obj = std::collections::BTreeMap::new();
+    obj.insert("id".to_string(), json::Value::Num(id as f64));
+    obj.insert("cancel".to_string(), json::Value::Bool(true));
+    respond_json(stream, 200, &json::Value::Obj(obj))
+}
+
+/// Streams the job's event buffer as chunked JSONL until the job (or the
+/// server) finishes. A client that disconnects mid-stream just ends the
+/// handler thread; the job itself is unaffected.
+fn stream_events(
+    stream: &mut TcpStream,
+    job: &Arc<JobRecord>,
+    state: &Arc<ServerState>,
+) -> io::Result<()> {
+    let mut writer = ChunkedWriter::begin(stream, 200, "application/jsonl")?;
+    let mut cursor = 0usize;
+    loop {
+        let (lines, closed) = job.events.wait_from(cursor, Duration::from_millis(100));
+        for line in &lines {
+            writer.write_chunk(&format!("{line}\n"))?;
+        }
+        cursor += lines.len();
+        if closed && lines.is_empty() {
+            return writer.finish();
+        }
+        if state.shutdown.is_cancelled() && lines.is_empty() && !closed {
+            // Server going down with the job unfinished: terminate the
+            // stream cleanly rather than holding the client.
+            return writer.finish();
+        }
+    }
+}
+
+fn runner_loop(state: &Arc<ServerState>) {
+    while let Some(job) = state.next_job() {
+        run_job(state, &job);
+    }
+}
+
+/// Executes one job to its typed terminal state. Never panics: every
+/// failure path lands in `JobResult { outcome: "failed", .. }`.
+fn run_job(state: &Arc<ServerState>, job: &Arc<JobRecord>) {
+    job.set_phase(JobPhase::Running);
+    job.events.push(&event_line("job.started", job.id, &[]));
+    let result = execute(state, job);
+    match result.outcome {
+        "complete" => state.obs.add("serve.jobs_completed", 1),
+        "degraded" => state.obs.add("serve.jobs_degraded", 1),
+        _ => state.obs.add("serve.jobs_failed", 1),
+    }
+    job.events.push(&event_line(
+        "job.finished",
+        job.id,
+        &[("outcome", FieldValue::Str(result.outcome))],
+    ));
+    job.set_phase(JobPhase::Done(result));
+    job.events.close();
+}
+
+fn failed(circuit: &str, error: String) -> JobResult {
+    JobResult {
+        outcome: "failed",
+        reason: None,
+        error: Some(error),
+        circuit: circuit.to_string(),
+        solution: None,
+        liberty_cells: None,
+    }
+}
+
+fn execute(state: &Arc<ServerState>, job: &Arc<JobRecord>) -> JobResult {
+    let spec = &job.spec;
+    let obs = &state.obs;
+
+    // Resolve the netlist through the content cache.
+    let netlist = match (&spec.circuit, &spec.bench) {
+        (Some(name), _) => state.caches.netlist_named(name, obs),
+        (None, Some(text)) => state.caches.netlist_from_bench(text, obs),
+        (None, None) => {
+            return failed("", "spec has neither circuit nor bench".to_string());
+        }
+    };
+    let netlist = match netlist {
+        Ok(n) => n,
+        Err(e) => return failed(spec.circuit.as_deref().unwrap_or(""), e.to_string()),
+    };
+    let circuit = netlist.name().to_string();
+
+    // Characterized cell tables, shared across jobs.
+    let library = match state.caches.library(spec.library, obs) {
+        Ok(lib) => lib,
+        Err(e) => return failed(&circuit, e.to_string()),
+    };
+
+    // Optional Liberty cross-check: the submitted text must parse and
+    // cover at least one cell (cached by content hash).
+    let liberty_cells = match &spec.liberty {
+        Some(text) => match state.caches.liberty(text, obs) {
+            Ok(rows) if rows.is_empty() => {
+                return failed(&circuit, "liberty text has no leakage rows".to_string());
+            }
+            Ok(rows) => Some(rows.len()),
+            Err(e) => return failed(&circuit, format!("liberty: {e}")),
+        },
+        None => None,
+    };
+
+    let penalty = match DelayPenalty::new(spec.penalty) {
+        Ok(p) => p,
+        Err(e) => return failed(&circuit, e.to_string()),
+    };
+    let problem = match Problem::new(&netlist, &library, TimingConfig::default()) {
+        Ok(p) => p,
+        Err(e) => return failed(&circuit, e.to_string()),
+    };
+
+    // Per-job observability: the trace streams to the job's event buffer.
+    let job_obs = Obs::enabled();
+    job_obs.set_sink(Box::new(JobSink(job.events.clone())));
+
+    let deadline = spec.deadline.unwrap_or(state.config.default_deadline);
+    let budget = Budget::linked(Some(deadline), job.cancel.clone());
+    let exec = ExecConfig::with_threads(spec.threads.max(1))
+        .with_time_budget(deadline)
+        .with_retries(RetryPolicy::resilient());
+    let optimizer = problem
+        .optimizer(penalty, spec.mode)
+        .with_obs(&job_obs)
+        .with_fault(&state.fault);
+    let outcome = optimizer.run_with_budget(&exec, &budget, None);
+    job_obs.emit_counters();
+    job_obs.flush();
+    // Fold the job's engine counters into the server registry so
+    // `/metrics` aggregates across jobs.
+    for (name, value) in job_obs.counter_snapshot() {
+        obs.add(&name, value);
+    }
+
+    match outcome {
+        RunOutcome::Complete { solution, .. } => JobResult {
+            outcome: "complete",
+            reason: None,
+            error: None,
+            circuit,
+            solution: Some(SolutionSummary::of(&solution)),
+            liberty_cells,
+        },
+        RunOutcome::Degraded { reason, best, .. } => JobResult {
+            outcome: "degraded",
+            reason: Some(reason.to_string()),
+            error: None,
+            circuit,
+            solution: Some(SolutionSummary::of(&best)),
+            liberty_cells,
+        },
+        RunOutcome::Failed { error } => failed(&circuit, error.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::call;
+
+    fn test_config() -> ServerConfig {
+        ServerConfig {
+            default_deadline: Duration::from_millis(400),
+            ..ServerConfig::default()
+        }
+    }
+
+    fn post_json(addr: &str, path: &str, body: &str) -> http::ClientResponse {
+        call(addr, "POST", path, body, Duration::from_secs(10)).expect("call succeeds")
+    }
+
+    fn get(addr: &str, path: &str) -> http::ClientResponse {
+        call(addr, "GET", path, "", Duration::from_secs(10)).expect("call succeeds")
+    }
+
+    fn wait_done(addr: &str, id: u64) -> json::Value {
+        let deadline = std::time::Instant::now() + Duration::from_secs(30);
+        loop {
+            let response = get(addr, &format!("/jobs/{id}"));
+            let doc = json::parse(&response.body).expect("status parses");
+            if doc.get("state").and_then(|v| v.as_str()) == Some("done") {
+                return doc;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "job {id} did not finish in time"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    #[test]
+    fn submit_poll_and_metrics_round_trip() {
+        let handle = start(test_config()).unwrap();
+        let addr = handle.addr().to_string();
+        let response = post_json(&addr, "/jobs", r#"{"circuit":"c432","deadline_ms":200}"#);
+        assert_eq!(response.status, 202, "{}", response.body);
+        let id = json::parse(&response.body)
+            .unwrap()
+            .get("id")
+            .and_then(json::Value::as_f64)
+            .unwrap() as u64;
+        let doc = wait_done(&addr, id);
+        // c432's tree cannot exhaust in 200 ms: the deadline must map to
+        // the typed degradation contract, still carrying a solution.
+        assert_eq!(
+            doc.get("outcome").and_then(|v| v.as_str()),
+            Some("degraded"),
+            "{doc}"
+        );
+        assert_eq!(
+            doc.get("reason").and_then(|v| v.as_str()),
+            Some("time budget expired")
+        );
+        assert!(doc.get("vector").is_some(), "degraded still has a solution");
+        let metrics = get(&addr, "/metrics");
+        assert_eq!(metrics.status, 200);
+        assert!(
+            metrics.body.contains("serve.jobs_admitted"),
+            "{}",
+            metrics.body
+        );
+        assert!(metrics.body.contains("serve.jobs_degraded"));
+        handle.shutdown();
+    }
+
+    #[test]
+    fn bad_requests_get_typed_errors_not_crashes() {
+        let handle = start(test_config()).unwrap();
+        let addr = handle.addr().to_string();
+        assert_eq!(post_json(&addr, "/jobs", "not json").status, 400);
+        assert_eq!(post_json(&addr, "/jobs", "{}").status, 400);
+        assert_eq!(
+            post_json(&addr, "/jobs", r#"{"circuit":"no_such_circuit"}"#).status,
+            202,
+            "unknown circuits fail at run time, typed"
+        );
+        assert_eq!(get(&addr, "/jobs/999").status, 404);
+        assert_eq!(get(&addr, "/nope").status, 404);
+        let id = json::parse(&post_json(&addr, "/jobs", r#"{"circuit":"no_such_circuit"}"#).body)
+            .unwrap()
+            .get("id")
+            .and_then(json::Value::as_f64)
+            .unwrap() as u64;
+        let doc = wait_done(&addr, id);
+        assert_eq!(doc.get("outcome").and_then(|v| v.as_str()), Some("failed"));
+        assert!(doc
+            .get("error")
+            .and_then(|v| v.as_str())
+            .unwrap_or_default()
+            .contains("no_such_circuit"));
+        handle.shutdown();
+    }
+
+    #[test]
+    fn admission_control_rejects_beyond_queue_depth() {
+        let config = ServerConfig {
+            runners: 1,
+            queue_depth: 2,
+            default_deadline: Duration::from_millis(300),
+            ..ServerConfig::default()
+        };
+        let handle = start(config).unwrap();
+        let addr = handle.addr().to_string();
+        // Flood with more jobs than the queue admits; at least one 503
+        // must come back, and every 202 job must still terminate typed.
+        let mut ids = Vec::new();
+        let mut rejected = 0usize;
+        for _ in 0..12 {
+            let r = post_json(&addr, "/jobs", r#"{"circuit":"c432","deadline_ms":100}"#);
+            match r.status {
+                202 => ids.push(
+                    json::parse(&r.body)
+                        .unwrap()
+                        .get("id")
+                        .and_then(json::Value::as_f64)
+                        .unwrap() as u64,
+                ),
+                503 => {
+                    rejected += 1;
+                    assert!(r.body.contains("queue full"), "{}", r.body);
+                }
+                other => panic!("unexpected status {other}"),
+            }
+        }
+        assert!(rejected > 0, "the flood must trip admission control");
+        for id in ids {
+            let doc = wait_done(&addr, id);
+            let outcome = doc.get("outcome").and_then(|v| v.as_str()).unwrap();
+            assert!(outcome == "complete" || outcome == "degraded", "{doc}");
+        }
+        handle.shutdown();
+    }
+
+    #[test]
+    fn cancel_endpoint_degrades_a_running_job() {
+        let config = ServerConfig {
+            default_deadline: Duration::from_secs(600),
+            ..test_config()
+        };
+        let handle = start(config).unwrap();
+        let addr = handle.addr().to_string();
+        // An effectively unbounded deadline: only the cancel can end it.
+        let id = json::parse(&post_json(&addr, "/jobs", r#"{"circuit":"c432"}"#).body)
+            .unwrap()
+            .get("id")
+            .and_then(json::Value::as_f64)
+            .unwrap() as u64;
+        // Give it a moment to start, then cancel.
+        std::thread::sleep(Duration::from_millis(50));
+        let response = post_json(&addr, &format!("/jobs/{id}/cancel"), "");
+        assert_eq!(response.status, 200);
+        let doc = wait_done(&addr, id);
+        assert_eq!(
+            doc.get("outcome").and_then(|v| v.as_str()),
+            Some("degraded"),
+            "{doc}"
+        );
+        assert_eq!(
+            doc.get("reason").and_then(|v| v.as_str()),
+            Some("cancelled")
+        );
+        handle.shutdown();
+    }
+
+    #[test]
+    fn events_stream_is_jsonl_with_lifecycle_markers() {
+        let handle = start(test_config()).unwrap();
+        let addr = handle.addr().to_string();
+        let id =
+            json::parse(&post_json(&addr, "/jobs", r#"{"circuit":"c432","deadline_ms":150}"#).body)
+                .unwrap()
+                .get("id")
+                .and_then(json::Value::as_f64)
+                .unwrap() as u64;
+        // The events call blocks until the job closes its buffer.
+        let events = get(&addr, &format!("/jobs/{id}/events"));
+        assert_eq!(events.status, 200);
+        let mut names = Vec::new();
+        for line in events.body.lines() {
+            let doc = json::parse(line).expect("every event line parses");
+            if let Some(name) = doc.get("name").and_then(|v| v.as_str()) {
+                names.push(name.to_string());
+            }
+        }
+        assert!(names.iter().any(|n| n == "job.queued"), "{names:?}");
+        assert!(names.iter().any(|n| n == "job.started"), "{names:?}");
+        assert!(names.iter().any(|n| n == "job.finished"), "{names:?}");
+        assert!(
+            names.iter().any(|n| n == "core.run"),
+            "the optimizer trace streams through: {names:?}"
+        );
+        handle.shutdown();
+    }
+
+    #[test]
+    fn shutdown_fails_queued_jobs_typed_and_joins_cleanly() {
+        let config = ServerConfig {
+            runners: 1,
+            queue_depth: 8,
+            default_deadline: Duration::from_secs(600),
+            ..ServerConfig::default()
+        };
+        let handle = start(config).unwrap();
+        let addr = handle.addr().to_string();
+        // One long-running job plus several queued behind the single runner.
+        let mut jobs = Vec::new();
+        for _ in 0..4 {
+            let r = post_json(&addr, "/jobs", r#"{"circuit":"c432"}"#);
+            assert_eq!(r.status, 202);
+            let id = json::parse(&r.body)
+                .unwrap()
+                .get("id")
+                .and_then(json::Value::as_f64)
+                .unwrap() as u64;
+            jobs.push(handle.state.job(id).expect("registered"));
+        }
+        std::thread::sleep(Duration::from_millis(50));
+        handle.shutdown();
+        for job in jobs {
+            let JobPhase::Done(result) = job.phase() else {
+                panic!("job {} left untyped after shutdown", job.id);
+            };
+            assert!(
+                result.outcome == "degraded" || result.outcome == "failed",
+                "job {}: {}",
+                job.id,
+                result.outcome
+            );
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! SIGINT → [`CancelToken`] bridge for graceful interruption.
+//!
+//! A long `svtox optimize` or a foreground `svtox serve` should treat
+//! Ctrl-C the way it treats an expired deadline: stop cleanly with a
+//! typed `Degraded { Cancelled }` (flushing the checkpoint on the way
+//! out) instead of dying mid-write. The first SIGINT therefore only
+//! cancels the process-wide token returned by [`sigint_token`]; a second
+//! SIGINT means the user insists, and the process exits immediately with
+//! the conventional status 130.
+//!
+//! This is the one place in the workspace that needs `unsafe`: installing
+//! a C signal handler. The handler body is async-signal-safe — it touches
+//! a single atomic and, on the second signal, calls `_exit`. A watcher
+//! thread (not the handler) performs the actual token cancellation.
+
+#![allow(unsafe_code)]
+
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::OnceLock;
+use std::time::Duration;
+
+use svtox_exec::CancelToken;
+
+static SIGINT_COUNT: AtomicU32 = AtomicU32::new(0);
+static TOKEN: OnceLock<CancelToken> = OnceLock::new();
+
+#[cfg(unix)]
+mod sys {
+    extern "C" {
+        pub fn signal(signum: i32, handler: usize) -> usize;
+        pub fn _exit(code: i32) -> !;
+    }
+    pub const SIGINT: i32 = 2;
+}
+
+#[cfg(unix)]
+extern "C" fn on_sigint(_signum: i32) {
+    // Async-signal-safe: one atomic op, and _exit on the second signal.
+    if SIGINT_COUNT.fetch_add(1, Ordering::SeqCst) >= 1 {
+        unsafe { sys::_exit(130) }
+    }
+}
+
+/// Returns the process-wide SIGINT cancellation token, installing the
+/// handler and its watcher thread on first use.
+///
+/// Link the token into a run with [`svtox_exec::Budget::linked`] (or
+/// `ExecConfig::budget_linked`): the first Ctrl-C then surfaces as the
+/// optimizer's ordinary `Degraded { Cancelled }` outcome. On platforms
+/// without POSIX signals the token simply never fires.
+pub fn sigint_token() -> CancelToken {
+    TOKEN
+        .get_or_init(|| {
+            let token = CancelToken::new();
+            #[cfg(unix)]
+            install(token.clone());
+            token
+        })
+        .clone()
+}
+
+/// How many SIGINTs have arrived so far (the second one exits).
+#[must_use]
+pub fn sigint_count() -> u32 {
+    SIGINT_COUNT.load(Ordering::SeqCst)
+}
+
+#[cfg(unix)]
+fn install(token: CancelToken) {
+    let handler: extern "C" fn(i32) = on_sigint;
+    unsafe {
+        sys::signal(sys::SIGINT, handler as usize);
+    }
+    // The handler only bumps the counter; this thread turns the bump into
+    // a token cancellation outside async-signal context.
+    let spawned = std::thread::Builder::new()
+        .name("svtox-sigint-watch".to_string())
+        .spawn(move || loop {
+            if SIGINT_COUNT.load(Ordering::SeqCst) > 0 {
+                token.cancel();
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(25));
+        });
+    // A failed spawn leaves Ctrl-C at its second-signal behaviour only;
+    // nothing else to do without a watcher.
+    drop(spawned);
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_sigint_cancels_the_token() {
+        let token = sigint_token();
+        assert!(!token.is_cancelled());
+        assert_eq!(sigint_count(), 0);
+        // Deliver a real SIGINT to ourselves; the installed handler must
+        // swallow it and the watcher must cancel the token.
+        let status = std::process::Command::new("kill")
+            .args(["-INT", &std::process::id().to_string()])
+            .status()
+            .expect("kill runs");
+        assert!(status.success());
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while !token.is_cancelled() {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "SIGINT never reached the token"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(sigint_count(), 1);
+    }
+}

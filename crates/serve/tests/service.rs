@@ -1,0 +1,172 @@
+//! Service-level acceptance tests.
+//!
+//! Two contracts from the issue that motivated the serve crate:
+//!
+//! * **identity** — a job submitted over HTTP returns the byte-identical
+//!   solution of a single-shot local run, at any engine thread count;
+//! * **scale** — 100 concurrent jobs all terminate in typed outcomes
+//!   with zero hangs, and repeat-library jobs ride the cross-job caches.
+
+use std::time::{Duration, Instant};
+
+use svtox_cells::{Library, LibraryOptions};
+use svtox_core::{DelayPenalty, ExecConfig, Mode, Problem, RunOutcome};
+use svtox_netlist::generators::{random_dag, RandomDagSpec};
+use svtox_netlist::{map_to_primitives, parse_bench, MappingOptions};
+use svtox_obs::json;
+use svtox_serve::http::call;
+use svtox_serve::loadgen::{self, LoadgenConfig};
+use svtox_serve::{start, ServerConfig};
+use svtox_sta::TimingConfig;
+use svtox_tech::Technology;
+
+/// A generated circuit small enough that the exact search exhausts in
+/// well under a second — identity needs runs that truly complete.
+fn identity_bench_text() -> String {
+    let netlist =
+        random_dag(&RandomDagSpec::new("serve-identity", 7, 4, 32, 5)).expect("spec is valid");
+    netlist.to_bench()
+}
+
+fn post(addr: &str, path: &str, body: &str) -> (u16, String) {
+    let response = call(addr, "POST", path, body, Duration::from_secs(30)).expect("POST succeeds");
+    (response.status, response.body)
+}
+
+fn get_json(addr: &str, path: &str) -> json::Value {
+    let response = call(addr, "GET", path, "", Duration::from_secs(30)).expect("GET succeeds");
+    json::parse(&response.body).expect("response is JSON")
+}
+
+fn wait_done(addr: &str, id: u64) -> json::Value {
+    let give_up = Instant::now() + Duration::from_secs(120);
+    loop {
+        let doc = get_json(addr, &format!("/jobs/{id}"));
+        if doc.get("state").and_then(|v| v.as_str()) == Some("done") {
+            return doc;
+        }
+        assert!(Instant::now() < give_up, "job {id} hung");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+fn field<'a>(doc: &'a json::Value, name: &str) -> &'a str {
+    doc.get(name)
+        .and_then(|v| v.as_str())
+        .unwrap_or_else(|| panic!("missing `{name}` in {doc}"))
+}
+
+/// An HTTP-submitted job must reproduce a local single-shot run bit for
+/// bit — same standby vector, same per-gate choices, same leakage and
+/// delay down to the f64 bit patterns — swept across pool thread counts.
+#[test]
+fn http_job_is_byte_identical_to_a_local_run_across_thread_counts() {
+    let bench = identity_bench_text();
+
+    // The local reference: the same text through the same pipeline.
+    let raw = parse_bench(&bench).expect("bench text parses");
+    let netlist = map_to_primitives(&raw, MappingOptions::default()).expect("maps");
+    let library = Library::new(Technology::predictive_65nm(), LibraryOptions::default())
+        .expect("library characterizes");
+    let problem = Problem::new(&netlist, &library, TimingConfig::default()).expect("problem");
+    let RunOutcome::Complete {
+        solution: reference,
+        ..
+    } = problem
+        .optimizer(DelayPenalty::five_percent(), Mode::Proposed)
+        .run(&ExecConfig::serial(), None)
+    else {
+        panic!("the local reference run did not complete");
+    };
+    let reference_vector: String = reference
+        .vector
+        .iter()
+        .map(|&b| if b { '1' } else { '0' })
+        .collect();
+    let reference_choices: String = reference
+        .choices
+        .iter()
+        .map(|c| char::from_digit(u32::from(*c), 10).unwrap())
+        .collect();
+    let reference_leakage = format!("{:016x}", reference.leakage.value().to_bits());
+    let reference_delay = format!("{:016x}", reference.delay.value().to_bits());
+
+    let handle = start(ServerConfig::default()).expect("server starts");
+    let addr = handle.addr().to_string();
+    for threads in [1usize, 2, 4] {
+        let body = json::Value::Obj(
+            [
+                ("bench".to_string(), json::Value::Str(bench.clone())),
+                ("threads".to_string(), json::Value::Num(threads as f64)),
+                ("deadline_ms".to_string(), json::Value::Num(60_000.0)),
+            ]
+            .into_iter()
+            .collect(),
+        )
+        .to_string();
+        let (status, response) = post(&addr, "/jobs", &body);
+        assert_eq!(status, 202, "{response}");
+        let id = json::parse(&response)
+            .unwrap()
+            .get("id")
+            .and_then(json::Value::as_f64)
+            .unwrap() as u64;
+        let doc = wait_done(&addr, id);
+        assert_eq!(field(&doc, "outcome"), "complete", "threads={threads}");
+        assert_eq!(field(&doc, "vector"), reference_vector, "threads={threads}");
+        assert_eq!(
+            field(&doc, "choices"),
+            reference_choices,
+            "threads={threads}"
+        );
+        assert_eq!(
+            field(&doc, "leakage_bits"),
+            reference_leakage,
+            "threads={threads}"
+        );
+        assert_eq!(
+            field(&doc, "delay_bits"),
+            reference_delay,
+            "threads={threads}"
+        );
+    }
+    handle.shutdown();
+}
+
+/// The acceptance bar from the issue: 100 concurrent jobs, zero hangs,
+/// every job in a typed outcome, and the shared caches carrying all the
+/// repeat traffic (one characterization, 99 hits).
+#[test]
+fn one_hundred_concurrent_jobs_terminate_typed_with_zero_hangs() {
+    let config = LoadgenConfig {
+        jobs: 100,
+        concurrency: 16,
+        circuit: None,
+        bench: Some(identity_bench_text()),
+        deadline: Duration::from_secs(30),
+        hang_timeout: Duration::from_secs(120),
+        server: ServerConfig {
+            runners: 4,
+            queue_depth: 32,
+            ..ServerConfig::default()
+        },
+        ..LoadgenConfig::default()
+    };
+    let report = loadgen::run(&config).expect("loadgen runs");
+    assert_eq!(report.jobs, 100, "{}", report.render_text());
+    assert_eq!(report.hangs, 0, "{}", report.render_text());
+    assert_eq!(
+        report.completed + report.degraded + report.failed,
+        100,
+        "every job typed: {}",
+        report.render_text()
+    );
+    assert_eq!(report.failed, 0, "{}", report.render_text());
+    assert!(report.metrics_ok);
+    assert!(report.clean_shutdown);
+    // Cross-job caches: one cold build each, everything else hits.
+    assert_eq!(report.library_misses, 1, "{}", report.render_text());
+    assert_eq!(report.library_hits, 99, "{}", report.render_text());
+    assert_eq!(report.netlist_misses, 1, "{}", report.render_text());
+    assert_eq!(report.netlist_hits, 99, "{}", report.render_text());
+}
