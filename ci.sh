@@ -36,6 +36,13 @@ cargo run --release -p svtox-cli --bin svtox -- \
   optimize c432 --threads 4 --time-budget 0.2 --checkpoint "$CKPT" --resume > /dev/null
 rm -f "$CKPT"
 
+echo "==> sim bench (packed vs scalar Monte-Carlo, gated at 10x)"
+# The word-level simulator must beat the scalar reference by at least 10x
+# (the measured margin is far larger; the gate only catches regressions).
+mkdir -p results
+cargo run --release -p svtox-cli --bin svtox -- \
+  suite --sim-bench --json --min-speedup 10 --out results/BENCH_sim.json > /dev/null
+
 echo "==> serve smoke (in-process server, 50-job load, metrics + clean shutdown)"
 # loadgen spawns the server in-process (no port to coordinate), replays the
 # jobs, scrapes /metrics, and shuts down; it exits non-zero on any hang,

@@ -10,6 +10,8 @@
 //! | `opt.heuristic_not_below_exact` | heuristic cost ≥ exact B&B cost; exact ≤ exhaustive all-fast enumeration; budgets met |
 //! | `opt.parallel_bit_identity` | serial `exact`/`heuristic2` vs `*_parallel` at 2–4 workers |
 //! | `sim.tri_covers_two` | `TriSimulator` possible-state sets vs two-valued `Simulator` |
+//! | `sim.packed_eq_scalar_two` | word-level `PackedSimulator` vs scalar `Simulator`, lane-for-lane on random vector batches (ragged tails included) |
+//! | `sim.packed_eq_scalar_tri` | dual-plane `PackedTriSimulator` vs scalar `TriSimulator` on random three-valued batches |
 //! | `sta.incremental_equals_cold` | incremental arrival updates vs full recompute under random dirty-sets |
 //! | `sim.vector_leakage_consistent` | repeated evaluation, component sums, and `.bench` round-trip |
 //! | `parse.bench_never_panics` | mutated `.bench` text: typed errors only; `Ok` implies re-emittable |
@@ -26,7 +28,10 @@ use svtox_exec::rng::Xoshiro256pp;
 use svtox_fault::{Fault, FaultPlan, Site, Trigger};
 use svtox_netlist::generators::random_dag;
 use svtox_netlist::parse_bench;
-use svtox_sim::{vector_leakage, Logic, Simulator, TriSimulator};
+use svtox_sim::{
+    vector_leakage, vector_leakage_batch, Logic, PackedSimulator, PackedTriSimulator, PackedTriVec,
+    PackedVec, Simulator, TriSimulator, LANES,
+};
 use svtox_sta::{GateConfig, Sta, TimingConfig};
 use svtox_tech::{Current, Device, MosType, OxideClass, Technology, Time, Voltage, VtClass};
 
@@ -88,14 +93,12 @@ pub fn run_builtin_suite(config: &CheckConfig, filter: Option<&str>) -> Vec<Prop
                 // input state and take the best all-fast leakage through
                 // the simulator path. The exact search also optimizes the
                 // gate assignment, so it can never do worse.
+                let vectors: Vec<Vec<bool>> = (0u64..(1 << n.num_inputs()))
+                    .map(|bits| (0..n.num_inputs()).map(|i| bits >> i & 1 == 1).collect())
+                    .collect();
                 let mut brute = Current::new(f64::INFINITY);
-                for bits in 0u64..(1 << n.num_inputs()) {
-                    let vector: Vec<bool> =
-                        (0..n.num_inputs()).map(|i| bits >> i & 1 == 1).collect();
-                    let total = vector_leakage(&n, &lib, &vector)
-                        .map_err(|e| e.to_string())?
-                        .total;
-                    brute = brute.min(total);
+                for totals in vector_leakage_batch(&n, &lib, &vectors).map_err(|e| e.to_string())? {
+                    brute = brute.min(totals.total);
                 }
                 if exact.leakage.value() > brute.value() + LEAK_EPS {
                     return Err(format!(
@@ -194,6 +197,100 @@ pub fn run_builtin_suite(config: &CheckConfig, filter: Option<&str>) -> Vec<Prop
                 Ok(())
             },
             &scaled(1.0),
+        ));
+    }
+
+    // --- Word-level vs scalar two-valued simulation. -------------------
+    // Random vector counts deliberately include fewer-than-64 and
+    // non-multiple-of-64 batches so the ragged tail path is exercised.
+    if wanted("sim.packed_eq_scalar_two") {
+        let strategy = (DagStrategy::medium(), AnyU64, int_range(1, 200));
+        reports.push(check_property(
+            "sim.packed_eq_scalar_two",
+            &strategy,
+            |(spec, seed, num_vectors)| {
+                let n = random_dag(spec).map_err(|e| format!("generator: {e}"))?;
+                let mut rng = Xoshiro256pp::seed_from_u64(*seed);
+                let mut scalar = Simulator::new(&n);
+                let mut packed = PackedSimulator::new(&n);
+                let mut remaining = *num_vectors;
+                while remaining > 0 {
+                    let lanes = remaining.min(LANES);
+                    let vectors: Vec<Vec<bool>> = (0..lanes)
+                        .map(|_| (0..n.num_inputs()).map(|_| rng.gen_bool(0.5)).collect())
+                        .collect();
+                    packed.set_inputs(&PackedVec::from_vectors(&vectors));
+                    for (lane, vector) in vectors.iter().enumerate() {
+                        scalar.set_inputs(vector);
+                        for (nid, _) in n.nets() {
+                            if packed.lane(nid, lane) != scalar.value(nid) {
+                                return Err(format!(
+                                    "net {nid:?} lane {lane}: packed {} vs scalar {}",
+                                    packed.lane(nid, lane),
+                                    scalar.value(nid)
+                                ));
+                            }
+                        }
+                        for (gid, _) in n.gates() {
+                            if packed.gate_state(gid, lane) != scalar.gate_state(gid) {
+                                return Err(format!(
+                                    "gate {gid:?} lane {lane}: packed state {} vs scalar {}",
+                                    packed.gate_state(gid, lane),
+                                    scalar.gate_state(gid)
+                                ));
+                            }
+                        }
+                    }
+                    remaining -= lanes;
+                }
+                Ok(())
+            },
+            &scaled(0.5),
+        ));
+    }
+
+    // --- Dual-plane vs scalar three-valued simulation. -----------------
+    if wanted("sim.packed_eq_scalar_tri") {
+        let strategy = (DagStrategy::medium(), AnyU64, int_range(1, 130));
+        reports.push(check_property(
+            "sim.packed_eq_scalar_tri",
+            &strategy,
+            |(spec, seed, num_vectors)| {
+                let n = random_dag(spec).map_err(|e| format!("generator: {e}"))?;
+                let mut rng = Xoshiro256pp::seed_from_u64(*seed);
+                let levels = [Logic::Zero, Logic::One, Logic::X];
+                let mut scalar = TriSimulator::new(&n);
+                let mut packed = PackedTriSimulator::new(&n);
+                let mut remaining = *num_vectors;
+                while remaining > 0 {
+                    let lanes = remaining.min(LANES);
+                    let vectors: Vec<Vec<Logic>> = (0..lanes)
+                        .map(|_| {
+                            (0..n.num_inputs())
+                                .map(|_| levels[rng.gen_index(3)])
+                                .collect()
+                        })
+                        .collect();
+                    packed.set_inputs(&PackedTriVec::from_logic_vectors(&vectors));
+                    for (lane, vector) in vectors.iter().enumerate() {
+                        for (i, &l) in vector.iter().enumerate() {
+                            scalar.set_input(i, l);
+                        }
+                        for (nid, _) in n.nets() {
+                            if packed.lane(nid, lane) != scalar.value(nid) {
+                                return Err(format!(
+                                    "net {nid:?} lane {lane}: packed {:?} vs scalar {:?}",
+                                    packed.lane(nid, lane),
+                                    scalar.value(nid)
+                                ));
+                            }
+                        }
+                    }
+                    remaining -= lanes;
+                }
+                Ok(())
+            },
+            &scaled(0.35),
         ));
     }
 
@@ -516,6 +613,8 @@ pub fn builtin_property_names() -> Vec<&'static str> {
         "opt.heuristic_not_below_exact",
         "opt.parallel_bit_identity",
         "sim.tri_covers_two",
+        "sim.packed_eq_scalar_two",
+        "sim.packed_eq_scalar_tri",
         "sta.incremental_equals_cold",
         "sim.vector_leakage_consistent",
         "parse.bench_never_panics",

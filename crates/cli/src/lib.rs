@@ -7,7 +7,8 @@
 //! * `sweep <circuit>` — leakage vs delay-penalty curve (Figure-5 style);
 //! * `library` — summarize or export the characterized library;
 //! * `report` — per-gate trade-off-point histogram + critical path;
-//! * `suite` — list the built-in benchmark reconstructions;
+//! * `suite` — list the built-in benchmark reconstructions, or run the
+//!   packed-vs-scalar simulation micro-benchmark (`--sim-bench`);
 //! * `check` — run the property-based differential oracle suite
 //!   (`svtox-check`) with per-property pass/fail/counterexample reporting;
 //! * `chaos` — run named fault-injection scenarios and assert the
@@ -20,6 +21,7 @@
 #![warn(missing_docs)]
 
 pub mod chaos;
+pub mod simbench;
 
 use std::error::Error;
 use std::fmt::Write as _;
@@ -55,7 +57,7 @@ pub enum Command {
     /// `report` subcommand.
     Report(SweepArgs),
     /// `suite` subcommand.
-    Suite,
+    Suite(SuiteArgs),
     /// `check` subcommand.
     Check(CheckArgs),
     /// `chaos` subcommand.
@@ -102,10 +104,42 @@ pub struct LoadgenArgs {
     pub threads: usize,
     /// Delay penalty in percent.
     pub penalty: f64,
+    /// Monte-Carlo baseline vectors evaluated per job (`0` skips the
+    /// baseline).
+    pub vectors: usize,
     /// Emit the report as JSON instead of text.
     pub json: bool,
     /// Runner threads for the spawned server (ignored with `--addr`).
     pub runners: usize,
+}
+
+/// Arguments of `svtox suite`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SuiteArgs {
+    /// Run the packed-vs-scalar simulation micro-benchmark instead of
+    /// listing the benchmark reconstructions.
+    pub sim_bench: bool,
+    /// Vectors per packed estimator call in the micro-benchmark.
+    pub vectors: usize,
+    /// Write the JSON report to this path (sim-bench only).
+    pub out: Option<String>,
+    /// Fail (non-zero exit) if the aggregate speedup falls below this
+    /// factor (sim-bench only; `0` disables the gate).
+    pub min_speedup: f64,
+    /// Emit the report as JSON instead of text.
+    pub json: bool,
+}
+
+impl Default for SuiteArgs {
+    fn default() -> Self {
+        Self {
+            sim_bench: false,
+            vectors: 4096,
+            out: None,
+            min_speedup: 0.0,
+            json: false,
+        }
+    }
 }
 
 /// Arguments of `svtox check`.
@@ -213,7 +247,8 @@ USAGE:
   svtox sweep <circuit|file.bench> [--penalties 0,5,10,25,100]
   svtox library [--two-option] [--uniform-stack] [--liberty FILE]
   svtox report <circuit|file.bench> [--penalties 5]
-  svtox suite
+  svtox suite [--sim-bench [--vectors N] [--out FILE] [--min-speedup X]
+              [--json]]
   svtox check [--cases N] [--seed S] [--shrink-limit K] [--threads N]
               [--json] [--corpus DIR] [--property NAME] [--replay STREAMSEED]
   svtox chaos <scenario>|--all [--seed S] [--threads N] [--target CIRCUIT]
@@ -221,7 +256,7 @@ USAGE:
               [--deadline SECONDS] [--fault-plan SPEC] [--fault-seed S]
   svtox loadgen [circuit|file.bench] [--addr HOST:PORT] [--jobs N]
                 [--concurrency N] [--deadline SECONDS] [--threads N]
-                [--penalty PCT] [--runners N] [--json]
+                [--penalty PCT] [--vectors N] [--runners N] [--json]
 
 Circuits: built-in reconstructions (c432 … c7552, alu64), ISCAS-85/89
 `.bench` files, or flat structural Verilog `.v` files (composite gates are
@@ -267,7 +302,13 @@ jobs by content hash. Ctrl-C degrades in-flight jobs and exits cleanly.
 `loadgen` replays `--jobs N` concurrent jobs (against `--addr`, or an
 in-process server by default) and reports throughput, latency
 percentiles, cache hit rates, and — the hard invariants — zero hangs and
-a typed outcome for every job; violations exit non-zero.
+a typed outcome for every job; violations exit non-zero. Each job also
+samples a `--vectors N` Monte-Carlo baseline (default 256; 0 disables).
+
+`suite --sim-bench` measures the packed word-level simulation core
+against the scalar reference estimator (vectors·gates per second) on a
+sim-heavy circuit set; `--out FILE` records the JSON report and
+`--min-speedup X` turns the aggregate speedup into a CI gate.
 ";
 
 /// Parses raw arguments (excluding the program name).
@@ -397,7 +438,28 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             }
             Ok(Command::Library(args))
         }
-        "suite" => Ok(Command::Suite),
+        "suite" => {
+            let mut args = SuiteArgs::default();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--sim-bench" => args.sim_bench = true,
+                    "--vectors" => args.vectors = uint(&mut it, "--vectors")?,
+                    "--out" => args.out = Some(next(&mut it, "--out")?),
+                    "--min-speedup" => args.min_speedup = pct(&mut it)?,
+                    "--json" => args.json = true,
+                    other => return Err(CliError(format!("unknown flag `{other}`"))),
+                }
+            }
+            if !args.sim_bench && (args.out.is_some() || args.min_speedup > 0.0) {
+                return Err(CliError(
+                    "--out/--min-speedup only apply with --sim-bench".into(),
+                ));
+            }
+            if args.min_speedup < 0.0 {
+                return Err(CliError("--min-speedup must be non-negative".into()));
+            }
+            Ok(Command::Suite(args))
+        }
         "check" => {
             let mut args = CheckArgs {
                 cases: 256,
@@ -501,6 +563,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 deadline: Duration::from_millis(200),
                 threads: 1,
                 penalty: 5.0,
+                // The packed evaluator made per-job baselines cheap; the
+                // default mix now samples 256 vectors in every job.
+                vectors: 256,
                 json: false,
                 runners: 4,
             };
@@ -512,6 +577,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     "--deadline" => args.deadline = seconds(&mut it, "--deadline")?,
                     "--threads" => args.threads = uint(&mut it, "--threads")?,
                     "--penalty" => args.penalty = pct(&mut it)?,
+                    "--vectors" => args.vectors = uint(&mut it, "--vectors")?,
                     "--json" => args.json = true,
                     "--runners" => args.runners = uint(&mut it, "--runners")?,
                     flag if flag.starts_with("--") => {
@@ -625,23 +691,51 @@ pub fn run(command: Command) -> Result<String, Box<dyn Error>> {
     let mut out = String::new();
     match command {
         Command::Help => out.push_str(USAGE),
-        Command::Suite => {
-            writeln!(
-                out,
-                "{:<8} {:>7} {:>8} {:>8}  realization",
-                "name", "inputs", "outputs", "gates"
-            )?;
-            for p in BenchmarkProfile::all() {
-                let n = p.build()?;
+        Command::Suite(args) => {
+            if args.sim_bench {
+                let report = simbench::run_sim_bench(args.vectors)?;
+                let rendered = if args.json {
+                    let mut json = report.render_json();
+                    json.push('\n');
+                    json
+                } else {
+                    report.render_text()
+                };
+                if let Some(path) = &args.out {
+                    if let Some(dir) = std::path::Path::new(path).parent() {
+                        if !dir.as_os_str().is_empty() {
+                            std::fs::create_dir_all(dir)?;
+                        }
+                    }
+                    let mut json = report.render_json();
+                    json.push('\n');
+                    std::fs::write(path, json)?;
+                }
+                if args.min_speedup > 0.0 && report.speedup < args.min_speedup {
+                    return Err(Box::new(CliError(format!(
+                        "sim-bench aggregate speedup {:.1}x is below the required {:.1}x\n{rendered}",
+                        report.speedup, args.min_speedup
+                    ))));
+                }
+                out.push_str(&rendered);
+            } else {
                 writeln!(
                     out,
-                    "{:<8} {:>7} {:>8} {:>8}  {}",
-                    p.name,
-                    n.num_inputs(),
-                    n.num_outputs(),
-                    n.num_gates(),
-                    realization_note(p.name)
+                    "{:<8} {:>7} {:>8} {:>8}  realization",
+                    "name", "inputs", "outputs", "gates"
                 )?;
+                for p in BenchmarkProfile::all() {
+                    let n = p.build()?;
+                    writeln!(
+                        out,
+                        "{:<8} {:>7} {:>8} {:>8}  {}",
+                        p.name,
+                        n.num_inputs(),
+                        n.num_outputs(),
+                        n.num_gates(),
+                        realization_note(p.name)
+                    )?;
+                }
             }
         }
         Command::Check(args) => {
@@ -834,6 +928,7 @@ pub fn run(command: Command) -> Result<String, Box<dyn Error>> {
                 deadline: args.deadline,
                 threads: args.threads,
                 penalty_pct: args.penalty,
+                vectors: args.vectors,
                 server: svtox_serve::ServerConfig {
                     runners: args.runners.max(1),
                     ..svtox_serve::ServerConfig::default()
@@ -1129,7 +1224,7 @@ mod tests {
     fn parses_loadgen() {
         let cmd = parse_args(&argv(
             "loadgen c880 --addr 127.0.0.1:7433 --jobs 200 --concurrency 16 \
-             --deadline 0.5 --threads 2 --penalty 10 --json --runners 8",
+             --deadline 0.5 --threads 2 --penalty 10 --vectors 1024 --json --runners 8",
         ))
         .unwrap();
         let Command::Loadgen(args) = cmd else {
@@ -1142,6 +1237,7 @@ mod tests {
         assert_eq!(args.deadline, Duration::from_secs_f64(0.5));
         assert_eq!(args.threads, 2);
         assert!((args.penalty - 10.0).abs() < 1e-12);
+        assert_eq!(args.vectors, 1024);
         assert!(args.json);
         assert_eq!(args.runners, 8);
         // Defaults: in-process server, the CI smoke shape.
@@ -1152,6 +1248,7 @@ mod tests {
         assert_eq!(defaults.jobs, 50);
         assert_eq!(defaults.concurrency, 8);
         assert_eq!(defaults.target, "c432");
+        assert_eq!(defaults.vectors, 256, "jobs carry a Monte-Carlo baseline");
         assert!(!defaults.json);
         assert!(parse_args(&argv("loadgen --jobs 0")).is_err());
     }
@@ -1368,11 +1465,36 @@ mod tests {
 
     #[test]
     fn suite_lists_all_rows() {
-        let out = run(Command::Suite).unwrap();
+        let out = run(Command::Suite(SuiteArgs::default())).unwrap();
         for name in ["c432", "c6288", "alu64"] {
             assert!(out.contains(name));
         }
         assert!(out.contains("array multiplier"));
+    }
+
+    #[test]
+    fn parses_suite_sim_bench() {
+        let Command::Suite(defaults) = parse_args(&argv("suite")).unwrap() else {
+            panic!("wrong command")
+        };
+        assert!(!defaults.sim_bench);
+        let cmd = parse_args(&argv(
+            "suite --sim-bench --vectors 8192 --out results/BENCH_sim.json \
+             --min-speedup 10 --json",
+        ))
+        .unwrap();
+        let Command::Suite(args) = cmd else {
+            panic!("wrong command")
+        };
+        assert!(args.sim_bench);
+        assert_eq!(args.vectors, 8192);
+        assert_eq!(args.out.as_deref(), Some("results/BENCH_sim.json"));
+        assert!((args.min_speedup - 10.0).abs() < 1e-12);
+        assert!(args.json);
+        // The bench-only flags require the bench.
+        assert!(parse_args(&argv("suite --out x.json")).is_err());
+        assert!(parse_args(&argv("suite --min-speedup 5")).is_err());
+        assert!(parse_args(&argv("suite --sim-bench --min-speedup -3")).is_err());
     }
 
     #[test]

@@ -11,7 +11,7 @@
 
 use svtox_cells::InputState;
 use svtox_netlist::GateId;
-use svtox_sim::Simulator;
+use svtox_sim::{PackedSimulator, PackedVec};
 use svtox_sta::{GateConfig, Sta};
 use svtox_tech::{Current, Time};
 
@@ -29,13 +29,16 @@ pub(crate) struct GateAssignment {
 }
 
 /// Per-gate states under a fixed vector.
+///
+/// Runs on the word-level simulator (vector broadcast into lane 0): a
+/// single branch-free sweep plus an allocation-free bitmask fold per gate,
+/// since the search calls this at every leaf it evaluates.
 pub(crate) fn gate_states(problem: &Problem<'_>, vector: &[bool]) -> Vec<InputState> {
     let netlist = problem.netlist();
-    let mut sim = Simulator::new(netlist);
-    sim.set_inputs(vector);
+    let sim = PackedSimulator::with_inputs(netlist, &PackedVec::broadcast(vector));
     netlist
         .gates()
-        .map(|(gid, _)| sim.gate_state(gid))
+        .map(|(gid, _)| sim.gate_state(gid, 0))
         .collect()
 }
 

@@ -37,6 +37,9 @@ pub struct JobSpec {
     pub library: LibraryOptions,
     /// Optional Liberty text to parse and cross-check (cached by hash).
     pub liberty: Option<String>,
+    /// Monte-Carlo baseline vectors evaluated before the optimization
+    /// (`0` skips the baseline).
+    pub vectors: usize,
 }
 
 impl Default for JobSpec {
@@ -50,6 +53,7 @@ impl Default for JobSpec {
             deadline: None,
             library: LibraryOptions::default(),
             liberty: None,
+            vectors: 0,
         }
     }
 }
@@ -74,6 +78,7 @@ impl JobSpec {
                 "liberty" => spec.liberty = Some(str_field(field, "liberty")?),
                 "penalty" => spec.penalty = num_field(field, "penalty")? / 100.0,
                 "threads" => spec.threads = uint_field(field, "threads")?,
+                "vectors" => spec.vectors = uint_field(field, "vectors")?,
                 "deadline_ms" => {
                     spec.deadline = Some(Duration::from_millis(
                         uint_field(field, "deadline_ms")? as u64
@@ -194,6 +199,9 @@ pub struct JobResult {
     pub solution: Option<SolutionSummary>,
     /// Cells found in the submitted Liberty text, when one was sent.
     pub liberty_cells: Option<usize>,
+    /// Random-vector average leakage in µA, when the spec asked for a
+    /// Monte-Carlo baseline (`vectors > 0`).
+    pub baseline_leakage_ua: Option<f64>,
 }
 
 /// Job lifecycle phase.
@@ -203,8 +211,9 @@ pub enum JobPhase {
     Queued,
     /// A runner is executing it.
     Running,
-    /// Finished with a typed outcome.
-    Done(JobResult),
+    /// Finished with a typed outcome (boxed: the result dwarfs the
+    /// other variants).
+    Done(Box<JobResult>),
 }
 
 impl JobPhase {
@@ -369,6 +378,12 @@ impl JobRecord {
             if let Some(cells) = result.liberty_cells {
                 obj.insert("liberty_cells".to_string(), json::Value::Num(cells as f64));
             }
+            if let Some(baseline) = result.baseline_leakage_ua {
+                obj.insert(
+                    "baseline_leakage_ua".to_string(),
+                    json::Value::Num(baseline),
+                );
+            }
             if let Some(s) = &result.solution {
                 obj.insert("vector".to_string(), json::Value::Str(s.vector.clone()));
                 obj.insert("choices".to_string(), json::Value::Str(s.choices.clone()));
@@ -396,7 +411,7 @@ mod tests {
     #[test]
     fn spec_parses_the_full_field_set() {
         let spec = JobSpec::from_json(
-            r#"{"circuit":"c432","penalty":10,"mode":"vt","threads":4,
+            r#"{"circuit":"c432","penalty":10,"mode":"vt","threads":4,"vectors":512,
                 "deadline_ms":250,"two_option":true,"uniform_stack":true}"#,
         )
         .unwrap();
@@ -404,6 +419,7 @@ mod tests {
         assert!((spec.penalty - 0.10).abs() < 1e-12);
         assert_eq!(spec.mode, Mode::StateAndVt);
         assert_eq!(spec.threads, 4);
+        assert_eq!(spec.vectors, 512);
         assert_eq!(spec.deadline, Some(Duration::from_millis(250)));
         assert_eq!(spec.library.tradeoff_points, TradeoffPoints::Two);
         assert!(spec.library.uniform_stack);
@@ -446,14 +462,15 @@ mod tests {
     fn status_json_carries_the_typed_outcome() {
         let record = JobRecord::new(7, JobSpec::from_json(r#"{"circuit":"c432"}"#).unwrap());
         assert_eq!(record.phase().name(), "queued");
-        record.set_phase(JobPhase::Done(JobResult {
+        record.set_phase(JobPhase::Done(Box::new(JobResult {
             outcome: "degraded",
             reason: Some("time budget expired".to_string()),
             error: None,
             circuit: "c432".to_string(),
             solution: None,
             liberty_cells: None,
-        }));
+            baseline_leakage_ua: None,
+        })));
         let doc = record.status_json().to_string();
         let parsed = json::parse(&doc).unwrap();
         assert_eq!(parsed.get("state").and_then(|v| v.as_str()), Some("done"));

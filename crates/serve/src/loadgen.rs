@@ -41,6 +41,10 @@ pub struct LoadgenConfig {
     pub threads: usize,
     /// Delay penalty in percent (the wire format of `penalty`).
     pub penalty_pct: f64,
+    /// Monte-Carlo baseline vectors requested per job (`0` skips the
+    /// baseline). The packed word-level estimator makes a few hundred
+    /// vectors per job cheap, so the default mix includes them.
+    pub vectors: usize,
     /// A job not terminating within this bound counts as a hang.
     pub hang_timeout: Duration,
     /// Configuration for the spawned server when `addr` is `None`.
@@ -58,6 +62,7 @@ impl Default for LoadgenConfig {
             deadline: Duration::from_millis(200),
             threads: 1,
             penalty_pct: 5.0,
+            vectors: 256,
             hang_timeout: Duration::from_secs(60),
             server: ServerConfig::default(),
         }
@@ -332,6 +337,12 @@ fn job_body(config: &LoadgenConfig) -> String {
         json::Value::Num(config.threads.max(1) as f64),
     );
     obj.insert("penalty".to_string(), json::Value::Num(config.penalty_pct));
+    if config.vectors > 0 {
+        obj.insert(
+            "vectors".to_string(),
+            json::Value::Num(config.vectors as f64),
+        );
+    }
     json::Value::Obj(obj).to_string()
 }
 

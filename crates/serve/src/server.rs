@@ -228,14 +228,15 @@ impl ServerHandle {
             .drain(..)
             .collect();
         for job in drained {
-            job.set_phase(JobPhase::Done(JobResult {
+            job.set_phase(JobPhase::Done(Box::new(JobResult {
                 outcome: "failed",
                 reason: None,
                 error: Some("server shutdown before the job started".to_string()),
                 circuit: job.spec.circuit.clone().unwrap_or_default(),
                 solution: None,
                 liberty_cells: None,
-            }));
+                baseline_leakage_ua: None,
+            })));
             job.events.push(&event_line("job.dropped", job.id, &[]));
             job.events.close();
         }
@@ -497,7 +498,7 @@ fn run_job(state: &Arc<ServerState>, job: &Arc<JobRecord>) {
         job.id,
         &[("outcome", FieldValue::Str(result.outcome))],
     ));
-    job.set_phase(JobPhase::Done(result));
+    job.set_phase(JobPhase::Done(Box::new(result)));
     job.events.close();
 }
 
@@ -509,6 +510,7 @@ fn failed(circuit: &str, error: String) -> JobResult {
         circuit: circuit.to_string(),
         solution: None,
         liberty_cells: None,
+        baseline_leakage_ua: None,
     }
 }
 
@@ -562,6 +564,24 @@ fn execute(state: &Arc<ServerState>, job: &Arc<JobRecord>) -> JobResult {
     let job_obs = Obs::enabled();
     job_obs.set_sink(Box::new(JobSink(job.events.clone())));
 
+    // Optional Monte-Carlo baseline: the packed word-level estimator makes
+    // this cheap enough to run inline before the search.
+    let baseline_leakage_ua = if spec.vectors > 0 {
+        match svtox_sim::random_average_leakage_parallel(
+            &netlist,
+            &library,
+            spec.vectors,
+            42,
+            &ExecConfig::serial(),
+            &job_obs,
+        ) {
+            Ok(totals) => Some(totals.as_micro_amps()),
+            Err(e) => return failed(&circuit, format!("baseline: {e}")),
+        }
+    } else {
+        None
+    };
+
     let deadline = spec.deadline.unwrap_or(state.config.default_deadline);
     let budget = Budget::linked(Some(deadline), job.cancel.clone());
     let exec = ExecConfig::with_threads(spec.threads.max(1))
@@ -588,6 +608,7 @@ fn execute(state: &Arc<ServerState>, job: &Arc<JobRecord>) -> JobResult {
             circuit,
             solution: Some(SolutionSummary::of(&solution)),
             liberty_cells,
+            baseline_leakage_ua,
         },
         RunOutcome::Degraded { reason, best, .. } => JobResult {
             outcome: "degraded",
@@ -596,6 +617,7 @@ fn execute(state: &Arc<ServerState>, job: &Arc<JobRecord>) -> JobResult {
             circuit,
             solution: Some(SolutionSummary::of(&best)),
             liberty_cells,
+            baseline_leakage_ua,
         },
         RunOutcome::Failed { error } => failed(&circuit, error.to_string()),
     }

@@ -11,9 +11,14 @@
 //!   states form a small set ([`TriSimulator::possible_states`]); the
 //!   optimizer turns those into leakage bounds for pruning and ordering the
 //!   state tree.
+//! * [`PackedSimulator`] / [`PackedTriSimulator`] — bit-parallel word-level
+//!   engines: one `u64` plane per net packs 64 vectors per lane
+//!   ([`packed`] module docs spell out the lane order, tail masking and
+//!   dual-plane X encoding). These drive the leakage hot paths.
 //! * [`random_average_leakage`] — the paper's baseline: average total
 //!   leakage of the all-fast netlist over N random vectors (Table 3/4's
-//!   "Average leakage by random (10K) vectors" column);
+//!   "Average leakage by random (10K) vectors" column), evaluated 64
+//!   vectors per DAG sweep;
 //! * [`expected_leakage`] — the analytic counterpart: signal-probability
 //!   propagation instead of Monte Carlo (exact on trees, within a few
 //!   percent on the suite, orders of magnitude faster).
@@ -38,16 +43,20 @@
 #![warn(missing_docs)]
 
 mod logic;
+pub mod packed;
 mod probability;
 mod random;
 mod tri;
 mod two;
 
 pub use logic::Logic;
+pub use packed::{PackedSimulator, PackedTriSimulator, PackedTriVec, PackedVec, LANES};
 pub use probability::{expected_leakage, signal_probabilities};
 pub use random::{
-    random_average_leakage, random_average_leakage_parallel, vector_leakage, LeakageTotals,
-    CHUNK_SIZE,
+    random_average_leakage, random_average_leakage_parallel, vector_leakage, vector_leakage_batch,
+    LeakageTotals, CHUNK_SIZE,
 };
+#[cfg(feature = "scalar-ref")]
+pub use random::{random_average_leakage_scalar, random_average_leakage_scalar_parallel};
 pub use tri::TriSimulator;
 pub use two::Simulator;

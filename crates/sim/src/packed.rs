@@ -1,0 +1,734 @@
+//! Bit-parallel word-level simulation: 64 input vectors per machine word.
+//!
+//! The scalar simulators in this crate evaluate one vector at a time; every
+//! Monte-Carlo baseline, state-search leaf, and differential oracle pays the
+//! full DAG sweep per vector. Here a net holds a *word plane* instead of a
+//! single value — bit `l` of the `u64` is the net's value under vector
+//! (lane) `l` — so one topological sweep with bitwise ops evaluates up to
+//! [`LANES`] vectors at once.
+//!
+//! Two engines share the plane layout:
+//!
+//! * [`PackedSimulator`] — two-valued. One `u64` per net; gate formulas are
+//!   the obvious AND/OR/XOR word ops.
+//! * [`PackedTriSimulator`] — three-valued, preserving [`TriSimulator`]
+//!   semantics exactly. Each net carries two planes, a *value* plane and an
+//!   *X-mask* plane, in canonical form: an `X` bit forces the value bit to
+//!   `0`. The per-gate formulas below are derived from (and tested
+//!   exhaustively against) [`Logic::eval_gate`]'s controlling-value
+//!   semantics.
+//!
+//! # Lane order and tail masking
+//!
+//! Bit `l` (LSB first) of every plane is lane `l`. A batch of `n < 64`
+//! vectors occupies lanes `0..n`; the remaining lanes simulate the all-zero
+//! vector and MUST be ignored by consumers — [`PackedVec::active_mask`]
+//! gives the valid-lane mask. Masking happens at *consumption* (leakage
+//! accumulation, lane extraction), never inside the sweep, so the sweep
+//! itself is branch-free.
+//!
+//! [`TriSimulator`]: crate::TriSimulator
+
+use svtox_cells::InputState;
+use svtox_exec::rng::Xoshiro256pp;
+use svtox_netlist::{GateId, GateKind, NetId, Netlist};
+
+use crate::logic::Logic;
+
+/// Vectors per word plane: one lane per bit of a `u64`.
+pub const LANES: usize = 64;
+
+/// A packed block of up to [`LANES`] input vectors in SoA layout: one `u64`
+/// per primary input, bit `l` = input value under lane `l`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackedVec {
+    words: Vec<u64>,
+    lanes: usize,
+}
+
+impl PackedVec {
+    /// Packs explicit vectors (at most [`LANES`]); vector `l` becomes
+    /// lane `l`. Inactive lanes are zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vectors` is empty, holds more than [`LANES`] entries, or
+    /// the vectors have differing lengths.
+    #[must_use]
+    pub fn from_vectors(vectors: &[Vec<bool>]) -> Self {
+        assert!(!vectors.is_empty(), "need at least one vector");
+        assert!(vectors.len() <= LANES, "at most {LANES} vectors per word");
+        let num_inputs = vectors[0].len();
+        let mut words = vec![0u64; num_inputs];
+        for (lane, vector) in vectors.iter().enumerate() {
+            assert_eq!(vector.len(), num_inputs, "ragged vector lengths");
+            for (word, &v) in words.iter_mut().zip(vector) {
+                *word |= u64::from(v) << lane;
+            }
+        }
+        Self {
+            words,
+            lanes: vectors.len(),
+        }
+    }
+
+    /// Packs a single vector into lane 0 (the broadcast form the state
+    /// search uses for its per-leaf gate-state extraction).
+    #[must_use]
+    pub fn broadcast(vector: &[bool]) -> Self {
+        let words = vector.iter().map(|&v| u64::from(v)).collect();
+        Self { words, lanes: 1 }
+    }
+
+    /// Fills a full word (all [`LANES`] lanes) from the PRNG stream: one
+    /// [`Xoshiro256pp::next_u64`] per input, in input order. Bit `l` of the
+    /// draw for input `i` is the value of input `i` under lane `l`.
+    ///
+    /// This is the packed sampling contract: a word block consumes exactly
+    /// `num_inputs` draws regardless of how many lanes the caller will
+    /// keep, so a ragged tail does not shift the stream.
+    #[must_use]
+    pub fn fill_from_rng(num_inputs: usize, rng: &mut Xoshiro256pp) -> Self {
+        let words = (0..num_inputs).map(|_| rng.next_u64()).collect();
+        Self {
+            words,
+            lanes: LANES,
+        }
+    }
+
+    /// Number of primary inputs.
+    #[must_use]
+    pub fn num_inputs(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Number of active lanes (1..=[`LANES`]).
+    #[must_use]
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Mask with a bit set for every active lane.
+    #[must_use]
+    pub fn active_mask(&self) -> u64 {
+        if self.lanes == LANES {
+            u64::MAX
+        } else {
+            (1u64 << self.lanes) - 1
+        }
+    }
+
+    /// The word plane of one input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` is out of range.
+    #[must_use]
+    pub fn word(&self, input: usize) -> u64 {
+        self.words[input]
+    }
+
+    /// The value of `input` under lane `lane`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input` is out of range.
+    #[must_use]
+    pub fn get(&self, input: usize, lane: usize) -> bool {
+        debug_assert!(lane < LANES);
+        self.words[input] >> lane & 1 == 1
+    }
+}
+
+/// A packed block of up to [`LANES`] three-valued vectors: a value plane
+/// and an X-mask plane per input, canonical (`x` bit set ⇒ value bit 0).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackedTriVec {
+    value: Vec<u64>,
+    xmask: Vec<u64>,
+    lanes: usize,
+}
+
+impl PackedTriVec {
+    /// Packs explicit three-valued vectors; vector `l` becomes lane `l`.
+    /// Inactive lanes are known-zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vectors` is empty, holds more than [`LANES`] entries, or
+    /// the vectors have differing lengths.
+    #[must_use]
+    pub fn from_logic_vectors(vectors: &[Vec<Logic>]) -> Self {
+        assert!(!vectors.is_empty(), "need at least one vector");
+        assert!(vectors.len() <= LANES, "at most {LANES} vectors per word");
+        let num_inputs = vectors[0].len();
+        let mut value = vec![0u64; num_inputs];
+        let mut xmask = vec![0u64; num_inputs];
+        for (lane, vector) in vectors.iter().enumerate() {
+            assert_eq!(vector.len(), num_inputs, "ragged vector lengths");
+            for (i, &l) in vector.iter().enumerate() {
+                match l {
+                    Logic::One => value[i] |= 1 << lane,
+                    Logic::X => xmask[i] |= 1 << lane,
+                    Logic::Zero => {}
+                }
+            }
+        }
+        Self {
+            value,
+            xmask,
+            lanes: vectors.len(),
+        }
+    }
+
+    /// Packs a single three-valued vector into lane 0.
+    #[must_use]
+    pub fn broadcast(vector: &[Logic]) -> Self {
+        let value = vector.iter().map(|&l| u64::from(l == Logic::One)).collect();
+        let xmask = vector.iter().map(|&l| u64::from(l == Logic::X)).collect();
+        Self {
+            value,
+            xmask,
+            lanes: 1,
+        }
+    }
+
+    /// Number of primary inputs.
+    #[must_use]
+    pub fn num_inputs(&self) -> usize {
+        self.value.len()
+    }
+
+    /// Number of active lanes (1..=[`LANES`]).
+    #[must_use]
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+}
+
+/// Evaluates one gate over two-valued word planes (bit `l` = lane `l`).
+///
+/// # Panics
+///
+/// Panics if `ins.len() != kind.arity()`.
+#[must_use]
+pub fn eval_word(kind: GateKind, ins: &[u64]) -> u64 {
+    assert_eq!(ins.len(), kind.arity(), "arity mismatch for {kind}");
+    match kind {
+        GateKind::Inv => !ins[0],
+        GateKind::Buf => ins[0],
+        GateKind::And(_) => ins.iter().fold(u64::MAX, |acc, &w| acc & w),
+        GateKind::Nand(_) => !ins.iter().fold(u64::MAX, |acc, &w| acc & w),
+        GateKind::Or(_) => ins.iter().fold(0, |acc, &w| acc | w),
+        GateKind::Nor(_) => !ins.iter().fold(0, |acc, &w| acc | w),
+        GateKind::Xor2 => ins[0] ^ ins[1],
+        GateKind::Xnor2 => !(ins[0] ^ ins[1]),
+    }
+}
+
+/// Evaluates one gate over three-valued dual planes, returning the
+/// `(value, xmask)` planes of the output in canonical form.
+///
+/// The formulas mirror [`Logic::eval_gate`]'s controlling-value semantics
+/// per lane: an AND-family output is known-0 when any input lane is
+/// known-0 (`!(v | x)`), known-1 when all lanes are known-1 (`v`, thanks
+/// to the canonical encoding), and X otherwise; the OR family is dual; XOR
+/// is X as soon as either input is.
+///
+/// # Panics
+///
+/// Panics if the input slices disagree with `kind.arity()`.
+#[must_use]
+pub fn eval_word_tri(kind: GateKind, ins_v: &[u64], ins_x: &[u64]) -> (u64, u64) {
+    assert_eq!(ins_v.len(), kind.arity(), "arity mismatch for {kind}");
+    assert_eq!(ins_x.len(), kind.arity(), "arity mismatch for {kind}");
+    let and_like = || {
+        // Lane is known-1 on a pin iff v; known-0 iff !(v|x).
+        let all_one = ins_v.iter().fold(u64::MAX, |acc, &v| acc & v);
+        let any_zero = !ins_v
+            .iter()
+            .zip(ins_x)
+            .fold(u64::MAX, |acc, (&v, &x)| acc & (v | x));
+        (all_one, any_zero)
+    };
+    let or_like = || {
+        let any_one = ins_v.iter().fold(0, |acc, &v| acc | v);
+        let all_zero = !ins_v.iter().zip(ins_x).fold(0, |acc, (&v, &x)| acc | v | x);
+        (any_one, all_zero)
+    };
+    match kind {
+        GateKind::Inv => {
+            let (v, x) = (ins_v[0], ins_x[0]);
+            (!(v | x), x)
+        }
+        GateKind::Buf => (ins_v[0], ins_x[0]),
+        GateKind::And(_) => {
+            let (all_one, any_zero) = and_like();
+            (all_one, !(all_one | any_zero))
+        }
+        GateKind::Nand(_) => {
+            let (all_one, any_zero) = and_like();
+            (any_zero, !(all_one | any_zero))
+        }
+        GateKind::Or(_) => {
+            let (any_one, all_zero) = or_like();
+            (any_one, !(any_one | all_zero))
+        }
+        GateKind::Nor(_) => {
+            let (any_one, all_zero) = or_like();
+            (all_zero, !(any_one | all_zero))
+        }
+        GateKind::Xor2 | GateKind::Xnor2 => {
+            let x = ins_x[0] | ins_x[1];
+            let v = ins_v[0] ^ ins_v[1];
+            let v = if kind == GateKind::Xnor2 { !v } else { v };
+            (v & !x, x)
+        }
+    }
+}
+
+/// Two-valued word-level simulator: one `u64` plane per net, full
+/// topological sweep per input block.
+///
+/// There is no event-driven path — with 64 lanes per sweep the full
+/// re-evaluation is already amortized, and a branch-free sweep vectorizes.
+#[derive(Debug, Clone)]
+pub struct PackedSimulator<'a> {
+    netlist: &'a Netlist,
+    words: Vec<u64>,
+}
+
+impl<'a> PackedSimulator<'a> {
+    /// Creates a simulator and evaluates the all-zero block.
+    #[must_use]
+    pub fn new(netlist: &'a Netlist) -> Self {
+        let mut sim = Self {
+            netlist,
+            words: vec![0; netlist.num_nets()],
+        };
+        sim.full_eval();
+        sim
+    }
+
+    /// Creates a simulator directly on an input block (one sweep, not the
+    /// two a `new` + `set_inputs` pair would do).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block's input count differs from the netlist's.
+    #[must_use]
+    pub fn with_inputs(netlist: &'a Netlist, inputs: &PackedVec) -> Self {
+        let mut sim = Self {
+            netlist,
+            words: vec![0; netlist.num_nets()],
+        };
+        sim.set_inputs(inputs);
+        sim
+    }
+
+    /// The netlist under simulation.
+    #[must_use]
+    pub fn netlist(&self) -> &'a Netlist {
+        self.netlist
+    }
+
+    /// Loads an input block and re-evaluates every gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block's input count differs from the netlist's.
+    pub fn set_inputs(&mut self, inputs: &PackedVec) {
+        assert_eq!(
+            inputs.num_inputs(),
+            self.netlist.num_inputs(),
+            "input block width"
+        );
+        for (i, &pi) in self.netlist.inputs().iter().enumerate() {
+            self.words[pi.index()] = inputs.word(i);
+        }
+        self.full_eval();
+    }
+
+    /// The word plane of a net.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the net id is out of range.
+    #[must_use]
+    pub fn word(&self, net: NetId) -> u64 {
+        self.words[net.index()]
+    }
+
+    /// The value of a net under one lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the net id is out of range.
+    #[must_use]
+    pub fn lane(&self, net: NetId, lane: usize) -> bool {
+        debug_assert!(lane < LANES);
+        self.words[net.index()] >> lane & 1 == 1
+    }
+
+    /// The input state of a gate under one lane (logical pin order).
+    ///
+    /// Allocation-free: the pins fold directly into the state bitmask.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gate id is out of range.
+    #[must_use]
+    pub fn gate_state(&self, gate: GateId, lane: usize) -> InputState {
+        let pins = self.netlist.gate(gate).inputs();
+        let bits = pins.iter().enumerate().fold(0u16, |acc, (i, &n)| {
+            acc | (u16::from(self.words[n.index()] >> lane & 1 == 1) << i)
+        });
+        InputState::from_bits(bits, pins.len())
+    }
+
+    fn full_eval(&mut self) {
+        let mut ins = [0u64; GateKind::MAX_ARITY];
+        for &gid in self.netlist.topo_order() {
+            let gate = self.netlist.gate(gid);
+            let pins = gate.inputs();
+            for (slot, &n) in ins.iter_mut().zip(pins) {
+                *slot = self.words[n.index()];
+            }
+            self.words[gate.output().index()] = eval_word(gate.kind(), &ins[..pins.len()]);
+        }
+    }
+}
+
+/// Three-valued word-level simulator: a value plane and an X-mask plane
+/// per net, canonical form throughout (an X bit forces the value bit 0).
+///
+/// Lane-for-lane equal to [`TriSimulator`](crate::TriSimulator) — the
+/// scalar engine is the ground truth the packed formulas are tested
+/// against.
+#[derive(Debug, Clone)]
+pub struct PackedTriSimulator<'a> {
+    netlist: &'a Netlist,
+    value: Vec<u64>,
+    xmask: Vec<u64>,
+}
+
+impl<'a> PackedTriSimulator<'a> {
+    /// Creates a simulator with every primary input undecided (all lanes
+    /// X), matching `TriSimulator::new`.
+    #[must_use]
+    pub fn new(netlist: &'a Netlist) -> Self {
+        let mut sim = Self {
+            netlist,
+            value: vec![0; netlist.num_nets()],
+            xmask: vec![0; netlist.num_nets()],
+        };
+        for &pi in netlist.inputs() {
+            sim.xmask[pi.index()] = u64::MAX;
+        }
+        sim.full_eval();
+        sim
+    }
+
+    /// The netlist under simulation.
+    #[must_use]
+    pub fn netlist(&self) -> &'a Netlist {
+        self.netlist
+    }
+
+    /// Loads a three-valued input block and re-evaluates every gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block's input count differs from the netlist's.
+    pub fn set_inputs(&mut self, inputs: &PackedTriVec) {
+        assert_eq!(
+            inputs.num_inputs(),
+            self.netlist.num_inputs(),
+            "input block width"
+        );
+        for (i, &pi) in self.netlist.inputs().iter().enumerate() {
+            self.value[pi.index()] = inputs.value[i];
+            self.xmask[pi.index()] = inputs.xmask[i];
+        }
+        self.full_eval();
+    }
+
+    /// The `(value, xmask)` planes of a net.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the net id is out of range.
+    #[must_use]
+    pub fn planes(&self, net: NetId) -> (u64, u64) {
+        (self.value[net.index()], self.xmask[net.index()])
+    }
+
+    /// The three-valued level of a net under one lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the net id is out of range.
+    #[must_use]
+    pub fn lane(&self, net: NetId, lane: usize) -> Logic {
+        debug_assert!(lane < LANES);
+        if self.xmask[net.index()] >> lane & 1 == 1 {
+            Logic::X
+        } else if self.value[net.index()] >> lane & 1 == 1 {
+            Logic::One
+        } else {
+            Logic::Zero
+        }
+    }
+
+    fn full_eval(&mut self) {
+        let mut ins_v = [0u64; GateKind::MAX_ARITY];
+        let mut ins_x = [0u64; GateKind::MAX_ARITY];
+        for &gid in self.netlist.topo_order() {
+            let gate = self.netlist.gate(gid);
+            let pins = gate.inputs();
+            for (i, &n) in pins.iter().enumerate() {
+                ins_v[i] = self.value[n.index()];
+                ins_x[i] = self.xmask[n.index()];
+            }
+            let (v, x) = eval_word_tri(gate.kind(), &ins_v[..pins.len()], &ins_x[..pins.len()]);
+            self.value[gate.output().index()] = v;
+            self.xmask[gate.output().index()] = x;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tri::TriSimulator;
+    use crate::two::Simulator;
+    use svtox_netlist::generators::{random_dag, RandomDagSpec};
+
+    /// Every gate kind at every supported arity.
+    fn all_kinds() -> Vec<GateKind> {
+        let mut kinds = vec![
+            GateKind::Inv,
+            GateKind::Buf,
+            GateKind::Xor2,
+            GateKind::Xnor2,
+        ];
+        for n in 2..=GateKind::MAX_ARITY as u8 {
+            kinds.extend([
+                GateKind::And(n),
+                GateKind::Nand(n),
+                GateKind::Or(n),
+                GateKind::Nor(n),
+            ]);
+        }
+        kinds
+    }
+
+    /// Exhaustive two-valued truth tables: every input combination of every
+    /// kind, packed 64 combinations per word, must match `GateKind::eval`.
+    #[test]
+    fn packed_two_valued_truth_tables_are_exhaustive() {
+        for kind in all_kinds() {
+            let arity = kind.arity();
+            let combos = 1usize << arity;
+            for base in (0..combos).step_by(LANES) {
+                let lanes = (combos - base).min(LANES);
+                // Word for pin i: bit l = bit i of combination (base + l).
+                let mut ins = vec![0u64; arity];
+                for lane in 0..lanes {
+                    let combo = base + lane;
+                    for (i, word) in ins.iter_mut().enumerate() {
+                        *word |= (((combo >> i) & 1) as u64) << lane;
+                    }
+                }
+                let out = eval_word(kind, &ins);
+                for lane in 0..lanes {
+                    let combo = base + lane;
+                    let bools: Vec<bool> = (0..arity).map(|i| combo >> i & 1 == 1).collect();
+                    assert_eq!(
+                        out >> lane & 1 == 1,
+                        kind.eval(&bools),
+                        "{kind} combo {combo:b}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Exhaustive three-valued truth tables: every {0,1,X}^arity input
+    /// combination, packed 64 per word, must match `Logic::eval_gate` —
+    /// and the output planes must stay canonical (x bit ⇒ v bit 0).
+    #[test]
+    fn packed_tri_valued_truth_tables_are_exhaustive() {
+        let levels = [Logic::Zero, Logic::One, Logic::X];
+        for kind in all_kinds() {
+            let arity = kind.arity();
+            let combos = 3usize.pow(arity as u32);
+            for base in (0..combos).step_by(LANES) {
+                let lanes = (combos - base).min(LANES);
+                let mut ins_v = vec![0u64; arity];
+                let mut ins_x = vec![0u64; arity];
+                for lane in 0..lanes {
+                    let mut combo = base + lane;
+                    for i in 0..arity {
+                        match levels[combo % 3] {
+                            Logic::One => ins_v[i] |= 1 << lane,
+                            Logic::X => ins_x[i] |= 1 << lane,
+                            Logic::Zero => {}
+                        }
+                        combo /= 3;
+                    }
+                }
+                let (out_v, out_x) = eval_word_tri(kind, &ins_v, &ins_x);
+                assert_eq!(out_v & out_x, 0, "{kind}: output planes not canonical");
+                for lane in 0..lanes {
+                    let mut combo = base + lane;
+                    let tri: Vec<Logic> = (0..arity)
+                        .map(|_| {
+                            let l = levels[combo % 3];
+                            combo /= 3;
+                            l
+                        })
+                        .collect();
+                    let expected = Logic::eval_gate(kind, &tri);
+                    let got = if out_x >> lane & 1 == 1 {
+                        Logic::X
+                    } else if out_v >> lane & 1 == 1 {
+                        Logic::One
+                    } else {
+                        Logic::Zero
+                    };
+                    assert_eq!(got, expected, "{kind} on {tri:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn packed_vec_round_trips_and_masks() {
+        let vectors: Vec<Vec<bool>> = (0..37)
+            .map(|l| (0..5).map(|i| (l * 7 + i) % 3 == 0).collect())
+            .collect();
+        let pv = PackedVec::from_vectors(&vectors);
+        assert_eq!(pv.lanes(), 37);
+        assert_eq!(pv.num_inputs(), 5);
+        assert_eq!(pv.active_mask(), (1u64 << 37) - 1);
+        for (lane, vector) in vectors.iter().enumerate() {
+            for (i, &v) in vector.iter().enumerate() {
+                assert_eq!(pv.get(i, lane), v);
+            }
+        }
+        let full = PackedVec::from_vectors(&vec![vec![true; 3]; LANES]);
+        assert_eq!(full.active_mask(), u64::MAX);
+        let one = PackedVec::broadcast(&[true, false, true]);
+        assert_eq!(one.lanes(), 1);
+        assert!(one.get(0, 0) && !one.get(1, 0) && one.get(2, 0));
+    }
+
+    #[test]
+    fn packed_matches_scalar_on_random_dags() {
+        for (seed, num_vectors) in [(3u64, 200usize), (11, 64), (17, 13)] {
+            let spec = RandomDagSpec::new(format!("packed-{seed}"), 20, 7, 250, 12);
+            let n = random_dag(&spec).unwrap();
+            let mut rng = Xoshiro256pp::seed_from_u64(seed);
+            let mut scalar = Simulator::new(&n);
+            let mut packed = PackedSimulator::new(&n);
+            let mut remaining = num_vectors;
+            while remaining > 0 {
+                let lanes = remaining.min(LANES);
+                let vectors: Vec<Vec<bool>> = (0..lanes)
+                    .map(|_| (0..n.num_inputs()).map(|_| rng.gen_bool(0.5)).collect())
+                    .collect();
+                packed.set_inputs(&PackedVec::from_vectors(&vectors));
+                for (lane, vector) in vectors.iter().enumerate() {
+                    scalar.set_inputs(vector);
+                    for (nid, _) in n.nets() {
+                        assert_eq!(packed.lane(nid, lane), scalar.value(nid));
+                    }
+                    for (gid, _) in n.gates() {
+                        assert_eq!(packed.gate_state(gid, lane), scalar.gate_state(gid));
+                    }
+                }
+                remaining -= lanes;
+            }
+        }
+    }
+
+    #[test]
+    fn packed_tri_matches_scalar_on_random_dags() {
+        let spec = RandomDagSpec::new("packed-tri", 16, 6, 180, 10);
+        let n = random_dag(&spec).unwrap();
+        let mut rng = Xoshiro256pp::seed_from_u64(5);
+        let levels = [Logic::Zero, Logic::One, Logic::X];
+        let mut packed = PackedTriSimulator::new(&n);
+        for lanes in [LANES, 9] {
+            let vectors: Vec<Vec<Logic>> = (0..lanes)
+                .map(|_| {
+                    (0..n.num_inputs())
+                        .map(|_| levels[rng.gen_index(3)])
+                        .collect()
+                })
+                .collect();
+            packed.set_inputs(&PackedTriVec::from_logic_vectors(&vectors));
+            let mut scalar = TriSimulator::new(&n);
+            for (lane, vector) in vectors.iter().enumerate() {
+                for (i, &l) in vector.iter().enumerate() {
+                    scalar.set_input(i, l);
+                }
+                for (nid, _) in n.nets() {
+                    assert_eq!(
+                        packed.lane(nid, lane),
+                        scalar.value(nid),
+                        "net {nid} lane {lane}"
+                    );
+                }
+                for (i, _) in vector.iter().enumerate() {
+                    scalar.set_input(i, Logic::X);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fresh_packed_tri_is_all_x_downstream_of_inputs() {
+        let spec = RandomDagSpec::new("packed-tri-fresh", 10, 4, 60, 6);
+        let n = random_dag(&spec).unwrap();
+        let packed = PackedTriSimulator::new(&n);
+        let scalar = TriSimulator::new(&n);
+        for (nid, _) in n.nets() {
+            for lane in [0, 31, 63] {
+                assert_eq!(packed.lane(nid, lane), scalar.value(nid));
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_matches_full_width_lane_zero() {
+        let spec = RandomDagSpec::new("packed-bcast", 12, 5, 90, 9);
+        let n = random_dag(&spec).unwrap();
+        let vector: Vec<bool> = (0..n.num_inputs()).map(|i| i % 3 != 1).collect();
+        let sim = PackedSimulator::with_inputs(&n, &PackedVec::broadcast(&vector));
+        let mut scalar = Simulator::new(&n);
+        scalar.set_inputs(&vector);
+        for (gid, _) in n.gates() {
+            assert_eq!(sim.gate_state(gid, 0), scalar.gate_state(gid));
+        }
+    }
+
+    #[test]
+    fn fill_from_rng_is_bit_order_lsb_first() {
+        // The documented contract: draw d for input i, bit l = lane l.
+        let mut rng = Xoshiro256pp::seed_from_u64(99);
+        let expected: Vec<u64> = {
+            let mut r = Xoshiro256pp::seed_from_u64(99);
+            (0..3).map(|_| r.next_u64()).collect()
+        };
+        let pv = PackedVec::fill_from_rng(3, &mut rng);
+        assert_eq!(pv.lanes(), LANES);
+        for (i, &word) in expected.iter().enumerate() {
+            assert_eq!(pv.word(i), word);
+            for lane in 0..LANES {
+                assert_eq!(pv.get(i, lane), word >> lane & 1 == 1);
+            }
+        }
+    }
+}

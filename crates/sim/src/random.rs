@@ -5,22 +5,58 @@
 //! per-chunk partial sums are reduced in chunk-index order. The estimate is
 //! therefore bit-identical for any worker count — the serial entry point
 //! [`random_average_leakage`] is just the parallel one run on one thread.
+//!
+//! # Packed sampling contract
+//!
+//! The hot path is word-level: each chunk is evaluated as
+//! `CHUNK_SIZE / 64` packed word blocks of [`LANES`] vectors. Within a
+//! chunk the stream draws **one `next_u64` per primary input per word
+//! block**, in input order; bit `l` (LSB first) of the draw for input `i`
+//! is the value of input `i` under vector `chunk · CHUNK_SIZE + 64·w + l`.
+//! A ragged tail (`num_vectors` not a multiple of 64) still consumes full
+//! words — the tail mask applies to leakage *accumulation*, never to the
+//! stream — so the vectors a seed denotes do not depend on the total count
+//! modulo 64. [`CHUNK_SIZE`] is statically a multiple of [`LANES`], so
+//! word blocks never straddle a chunk boundary and the estimate stays
+//! bit-identical at any thread count.
+//!
+//! This contract supersedes the original scalar one (one `gen_bool(0.5)`
+//! per input per vector). The scalar path survives verbatim behind the
+//! `scalar-ref` feature as [`random_average_leakage_scalar`] /
+//! [`random_average_leakage_scalar_parallel`]; its per-seed estimates are
+//! pinned by regression tests so the historical numbers stay reproducible.
+//!
+//! Per-gate leakage is accumulated per word with a state-mask sweep: for a
+//! gate of arity `a`, each input state `s ∈ 0..2^a` selects the lanes
+//! `m = tail ∧ ⋀_p (w_p if s_p else ¬w_p)` and contributes
+//! `popcount(m) · leak[s]` — `2^a` word ops instead of 64 scalar table
+//! walks.
 
 use svtox_cells::{Library, LibraryError};
 use svtox_exec::rng::{derive_seed, Xoshiro256pp};
 use svtox_exec::{map_tasks, Budget, ExecConfig};
-use svtox_netlist::Netlist;
+use svtox_netlist::{GateKind, Netlist};
 use svtox_obs::Obs;
 use svtox_tech::Current;
 
+use crate::packed::{PackedSimulator, PackedVec, LANES};
+#[cfg(feature = "scalar-ref")]
 use crate::two::Simulator;
 
 /// Number of vectors per independently-seeded sampling chunk.
 ///
 /// Fixed (not derived from the worker count) so the chunk boundaries — and
 /// with them every drawn vector — are the same no matter how the work is
-/// spread over threads.
+/// spread over threads. Statically a multiple of [`LANES`] so packed word
+/// blocks never straddle chunks.
 pub const CHUNK_SIZE: usize = 256;
+
+// Word alignment is load-bearing for thread-count invariance; break it and
+// the build breaks.
+const _: () = assert!(
+    CHUNK_SIZE.is_multiple_of(LANES),
+    "CHUNK_SIZE must be a multiple of the packed lane width"
+);
 
 /// Aggregated leakage of one vector or an average of many.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -48,6 +84,69 @@ impl LeakageTotals {
     }
 }
 
+/// Per-gate leakage lookup table: `isub[s]` / `igate[s]` for every input
+/// state `s` of the gate's fast version, resolved once per run so the
+/// sampling loop is pure word ops and table adds.
+struct LeakTable {
+    arity: usize,
+    isub: Vec<f64>,
+    igate: Vec<f64>,
+}
+
+fn leak_tables(netlist: &Netlist, library: &Library) -> Result<Vec<LeakTable>, LibraryError> {
+    netlist
+        .gates()
+        .map(|(_, gate)| {
+            let cell = library.cell(gate.kind())?;
+            let arity = gate.kind().arity();
+            let fast = cell.fast_version();
+            let mut isub = Vec::with_capacity(1 << arity);
+            let mut igate = Vec::with_capacity(1 << arity);
+            for bits in 0..(1u16 << arity) {
+                let split =
+                    cell.leakage_breakdown(fast, svtox_cells::InputState::from_bits(bits, arity));
+                isub.push(split.isub.value());
+                igate.push(split.igate.value());
+            }
+            Ok(LeakTable { arity, isub, igate })
+        })
+        .collect()
+}
+
+/// Adds every active lane's leakage of the currently-loaded word block into
+/// `(isub, igate)` sums via the per-state mask sweep.
+fn accumulate_word(
+    netlist: &Netlist,
+    sim: &PackedSimulator<'_>,
+    tables: &[LeakTable],
+    tail: u64,
+) -> (f64, f64) {
+    let mut sum_isub = 0.0;
+    let mut sum_igate = 0.0;
+    let mut pins = [0u64; GateKind::MAX_ARITY];
+    for ((_, gate), table) in netlist.gates().zip(tables) {
+        let ins = gate.inputs();
+        for (slot, &n) in pins.iter_mut().zip(ins) {
+            *slot = sim.word(n);
+        }
+        for (state, (isub, igate)) in table.isub.iter().zip(&table.igate).enumerate() {
+            let mut m = tail;
+            for (p, &w) in pins[..table.arity].iter().enumerate() {
+                m &= if state >> p & 1 == 1 { w } else { !w };
+                if m == 0 {
+                    break;
+                }
+            }
+            if m != 0 {
+                let lanes = f64::from(m.count_ones());
+                sum_isub += lanes * isub;
+                sum_igate += lanes * igate;
+            }
+        }
+    }
+    (sum_isub, sum_igate)
+}
+
 /// Leakage of the all-fast netlist under one specific input vector.
 ///
 /// # Errors
@@ -62,24 +161,62 @@ pub fn vector_leakage(
     library: &Library,
     vector: &[bool],
 ) -> Result<LeakageTotals, LibraryError> {
-    let mut sim = Simulator::new(netlist);
-    sim.set_inputs(vector);
-    let mut totals = LeakageTotals::default();
-    for (gid, gate) in netlist.gates() {
-        let cell = library.cell(gate.kind())?;
-        let split = cell.leakage_breakdown(cell.fast_version(), sim.gate_state(gid));
-        totals.isub += split.isub;
-        totals.igate += split.igate;
+    let totals = vector_leakage_batch(netlist, library, std::slice::from_ref(&vector.to_vec()))?;
+    Ok(totals[0])
+}
+
+/// Leakage of the all-fast netlist under each of `vectors`, evaluated in
+/// packed word blocks of up to [`LANES`] vectors per DAG sweep.
+///
+/// The per-vector totals are accumulated lane-wise in gate-id order with
+/// the same table values the scalar path used, so each entry is
+/// bit-identical to a standalone [`vector_leakage`] call on that vector.
+/// One simulator and one set of leakage tables serve the whole batch —
+/// nothing is reallocated per vector.
+///
+/// # Errors
+///
+/// Returns an error if the netlist uses a gate kind absent from the library.
+///
+/// # Panics
+///
+/// Panics if any vector's length differs from the input count.
+pub fn vector_leakage_batch(
+    netlist: &Netlist,
+    library: &Library,
+    vectors: &[Vec<bool>],
+) -> Result<Vec<LeakageTotals>, LibraryError> {
+    let tables = leak_tables(netlist, library)?;
+    let mut sim = PackedSimulator::new(netlist);
+    let mut out = Vec::with_capacity(vectors.len());
+    for block in vectors.chunks(LANES) {
+        sim.set_inputs(&PackedVec::from_vectors(block));
+        for lane in 0..block.len() {
+            let mut sum_isub = 0.0;
+            let mut sum_igate = 0.0;
+            for ((gid, _), table) in netlist.gates().zip(&tables) {
+                let state = sim.gate_state(gid, lane).bits() as usize;
+                sum_isub += table.isub[state];
+                sum_igate += table.igate[state];
+            }
+            let isub = Current::new(sum_isub);
+            let igate = Current::new(sum_igate);
+            out.push(LeakageTotals {
+                total: isub + igate,
+                isub,
+                igate,
+            });
+        }
     }
-    totals.total = totals.isub + totals.igate;
-    Ok(totals)
+    Ok(out)
 }
 
 /// Average total leakage of the all-fast netlist over `num_vectors` random
 /// input vectors (the "average leakage by random (10K) vectors" column of
-/// the paper's Tables 3–5).
+/// the paper's Tables 3–5), evaluated 64 vectors per DAG sweep.
 ///
-/// Deterministic for a given `seed`.
+/// Deterministic for a given `seed` under the packed sampling contract
+/// described in the [module docs](self).
 ///
 /// # Errors
 ///
@@ -120,10 +257,12 @@ pub fn random_average_leakage(
 /// [`random_average_leakage`] spread over the workers of `exec`.
 ///
 /// Bit-identical to the serial estimate for any thread count: chunk `i`
-/// draws its vectors from a stream derived as `derive_seed(seed, i)` and
-/// the per-chunk sums are folded in chunk-index order. With an enabled
-/// `obs` handle the run records a `sim.random_average` span and the
-/// `sim.vectors_sampled` counter (also thread-count invariant).
+/// draws its word blocks from a stream derived as `derive_seed(seed, i)`,
+/// chunks are word-aligned (`CHUNK_SIZE % 64 == 0`), and the per-chunk
+/// sums are folded in chunk-index order. With an enabled `obs` handle the
+/// run records a `sim.random_average` span plus the `sim.vectors_sampled`,
+/// `sim.packed.words`, `sim.packed.gate_evals` and `sim.packed.lanes_masked`
+/// counters (all thread-count invariant).
 ///
 /// # Errors
 ///
@@ -137,17 +276,126 @@ pub fn random_average_leakage_parallel(
     obs: &Obs,
 ) -> Result<LeakageTotals, LibraryError> {
     assert!(num_vectors > 0, "need at least one vector");
-    // Resolve each gate's cell once; per-vector work is pure table lookups.
+    // Resolve per-gate leakage tables once; per-word work is pure bit ops.
+    let tables = leak_tables(netlist, library)?;
+    let _span = obs.span("sim.random_average");
+    let num_chunks = num_vectors.div_ceil(CHUNK_SIZE);
+    let num_inputs = netlist.num_inputs();
+    // The baseline is part of the answer, not a search: ignore any time
+    // budget on `exec` and always sample every chunk. Sampling tasks are
+    // pure table lookups, so a worker panic here is a bug, not a
+    // recoverable condition.
+    let (partials, _stats) = map_tasks(
+        exec,
+        num_chunks,
+        &Budget::unlimited(),
+        obs,
+        |_worker| PackedSimulator::new(netlist),
+        |sim, chunk, _ws| {
+            let start = chunk * CHUNK_SIZE;
+            let end = (start + CHUNK_SIZE).min(num_vectors);
+            let mut rng = Xoshiro256pp::seed_from_u64(derive_seed(seed, chunk as u64));
+            let mut sum = (0.0, 0.0);
+            let mut covered = start;
+            while covered < end {
+                let lanes = (end - covered).min(LANES);
+                // Full word of draws even on a ragged tail: the mask gates
+                // accumulation, not the stream.
+                sim.set_inputs(&PackedVec::fill_from_rng(num_inputs, &mut rng));
+                let tail = if lanes == LANES {
+                    u64::MAX
+                } else {
+                    (1u64 << lanes) - 1
+                };
+                let (isub, igate) = accumulate_word(netlist, sim, &tables, tail);
+                sum.0 += isub;
+                sum.1 += igate;
+                covered += lanes;
+            }
+            Some(sum)
+        },
+    )
+    .expect("sampling tasks do not panic");
+    // CHUNK_SIZE % LANES == 0 ⇒ only the last chunk is ragged, so the
+    // total word count is exactly ceil(num_vectors / LANES).
+    let words = num_vectors.div_ceil(LANES);
+    obs.add("sim.vectors_sampled", num_vectors as u64);
+    obs.add("sim.packed.words", words as u64);
+    obs.add(
+        "sim.packed.gate_evals",
+        (words * netlist.num_gates()) as u64,
+    );
+    obs.add(
+        "sim.packed.lanes_masked",
+        (words * LANES - num_vectors) as u64,
+    );
+    let mut sum_isub = 0.0;
+    let mut sum_igate = 0.0;
+    for (isub, igate) in partials.into_iter().flatten() {
+        sum_isub += isub;
+        sum_igate += igate;
+    }
+    let isub = Current::new(sum_isub / num_vectors as f64);
+    let igate = Current::new(sum_igate / num_vectors as f64);
+    Ok(LeakageTotals {
+        total: isub + igate,
+        isub,
+        igate,
+    })
+}
+
+/// Scalar reference estimator: the pre-packed Monte-Carlo baseline,
+/// preserved verbatim (draw contract, evaluation order, float summation)
+/// behind the `scalar-ref` feature.
+///
+/// Per-seed estimates of this path are pinned by regression tests; the
+/// sim-bench and the differential oracles use it as the ground truth the
+/// packed path is measured and checked against.
+///
+/// # Errors
+///
+/// Returns an error if the netlist uses a gate kind absent from the library.
+#[cfg(feature = "scalar-ref")]
+pub fn random_average_leakage_scalar(
+    netlist: &Netlist,
+    library: &Library,
+    num_vectors: usize,
+    seed: u64,
+) -> Result<LeakageTotals, LibraryError> {
+    random_average_leakage_scalar_parallel(
+        netlist,
+        library,
+        num_vectors,
+        seed,
+        &ExecConfig::serial(),
+        Obs::disabled_ref(),
+    )
+}
+
+/// [`random_average_leakage_scalar`] spread over the workers of `exec` —
+/// the original one-vector-at-a-time chunk loop, bit-identical at any
+/// thread count under the *scalar* draw contract (one `gen_bool(0.5)` per
+/// input per vector).
+///
+/// # Errors
+///
+/// Returns an error if the netlist uses a gate kind absent from the library.
+#[cfg(feature = "scalar-ref")]
+pub fn random_average_leakage_scalar_parallel(
+    netlist: &Netlist,
+    library: &Library,
+    num_vectors: usize,
+    seed: u64,
+    exec: &ExecConfig,
+    obs: &Obs,
+) -> Result<LeakageTotals, LibraryError> {
+    assert!(num_vectors > 0, "need at least one vector");
     let cells: Vec<_> = netlist
         .gates()
         .map(|(_, g)| library.cell(g.kind()))
         .collect::<Result<Vec<_>, _>>()?;
     let _span = obs.span("sim.random_average");
     let num_chunks = num_vectors.div_ceil(CHUNK_SIZE);
-    // The baseline is part of the answer, not a search: ignore any time
-    // budget on `exec` and always sample every chunk. Sampling tasks are
-    // pure table lookups, so a worker panic here is a bug, not a
-    // recoverable condition.
     let (partials, _stats) = map_tasks(
         exec,
         num_chunks,
@@ -271,7 +519,8 @@ mod tests {
     fn parallel_estimate_is_thread_count_invariant() {
         let lib = library();
         let n = benchmark("c432").unwrap();
-        // 600 vectors → 3 chunks, so the work actually splits.
+        // 600 vectors → 3 chunks (one ragged), so the work actually splits
+        // and the tail mask is exercised under parallelism.
         let serial = random_average_leakage(&n, &lib, 600, 9).unwrap();
         for threads in [2, 4, 8] {
             let par = random_average_leakage_parallel(
@@ -288,6 +537,58 @@ mod tests {
     }
 
     #[test]
+    fn batch_entries_match_single_vector_calls_bit_identically() {
+        let lib = library();
+        let n = benchmark("c432").unwrap();
+        let mut rng = Xoshiro256pp::seed_from_u64(21);
+        // 100 vectors → one full word plus a 36-lane ragged tail.
+        let vectors: Vec<Vec<bool>> = (0..100)
+            .map(|_| (0..n.num_inputs()).map(|_| rng.gen_bool(0.5)).collect())
+            .collect();
+        let batch = vector_leakage_batch(&n, &lib, &vectors).unwrap();
+        assert_eq!(batch.len(), vectors.len());
+        for (vector, &totals) in vectors.iter().zip(&batch) {
+            assert_eq!(totals, vector_leakage(&n, &lib, vector).unwrap());
+        }
+    }
+
+    #[test]
+    fn packed_counters_are_exact_and_thread_count_invariant() {
+        let lib = library();
+        let n = benchmark("c432").unwrap();
+        let mut snapshots = Vec::new();
+        for threads in [1usize, 4] {
+            let obs = Obs::enabled();
+            random_average_leakage_parallel(
+                &n,
+                &lib,
+                300,
+                5,
+                &ExecConfig::with_threads(threads),
+                &obs,
+            )
+            .unwrap();
+            let counters = obs.counter_snapshot();
+            assert_eq!(counters.get("sim.vectors_sampled"), Some(&300));
+            // 300 vectors = 4 full words + one 44-lane tail word.
+            assert_eq!(counters.get("sim.packed.words"), Some(&5));
+            assert_eq!(
+                counters.get("sim.packed.gate_evals"),
+                Some(&(5 * n.num_gates() as u64))
+            );
+            assert_eq!(counters.get("sim.packed.lanes_masked"), Some(&20));
+            snapshots.push(counters);
+        }
+        let sim_only = |m: &std::collections::BTreeMap<String, u64>| {
+            m.iter()
+                .filter(|(k, _)| k.starts_with("sim."))
+                .map(|(k, v)| (k.clone(), *v))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(sim_only(&snapshots[0]), sim_only(&snapshots[1]));
+    }
+
+    #[test]
     fn more_vectors_converge() {
         let lib = library();
         let n = benchmark("c432").unwrap();
@@ -295,5 +596,74 @@ mod tests {
         let b = random_average_leakage(&n, &lib, 400, 13).unwrap().total;
         let rel = (a.value() - b.value()).abs() / a.value();
         assert!(rel < 0.05, "two 400-vector estimates differ by {rel}");
+    }
+
+    /// The scalar reference must keep producing the exact pre-packed
+    /// numbers: these f64 bit patterns were captured from the original
+    /// scalar implementation before the word-level path landed.
+    #[cfg(feature = "scalar-ref")]
+    #[test]
+    fn scalar_reference_estimates_are_pinned() {
+        let lib = library();
+        let cases: [(&str, usize, u64, u64, u64); 4] = [
+            (
+                "c432",
+                500,
+                42,
+                0x40df_5e9f_bdc7_083f,
+                0x40d0_e1cf_e148_b0d3,
+            ),
+            ("c432", 300, 5, 0x40df_691e_f412_474f, 0x40d0_ec3b_a213_7b83),
+            ("c880", 300, 5, 0x40f0_0885_b28e_8571, 0x40e0_abab_4d59_bc8d),
+            ("c432", 100, 7, 0x40df_415e_d669_f81c, 0x40d0_f6b1_09a0_d189),
+        ];
+        for (name, vectors, seed, isub_bits, igate_bits) in cases {
+            let n = benchmark(name).unwrap();
+            let avg = random_average_leakage_scalar(&n, &lib, vectors, seed).unwrap();
+            assert_eq!(
+                avg.isub.value().to_bits(),
+                isub_bits,
+                "{name}/{vectors}/{seed} isub"
+            );
+            assert_eq!(
+                avg.igate.value().to_bits(),
+                igate_bits,
+                "{name}/{vectors}/{seed} igate"
+            );
+        }
+    }
+
+    #[cfg(feature = "scalar-ref")]
+    #[test]
+    fn scalar_parallel_estimate_is_thread_count_invariant() {
+        let lib = library();
+        let n = benchmark("c432").unwrap();
+        let serial = random_average_leakage_scalar(&n, &lib, 600, 9).unwrap();
+        for threads in [2, 4, 8] {
+            let par = random_average_leakage_scalar_parallel(
+                &n,
+                &lib,
+                600,
+                9,
+                &ExecConfig::with_threads(threads),
+                Obs::disabled_ref(),
+            )
+            .unwrap();
+            assert_eq!(serial, par, "threads={threads}");
+        }
+    }
+
+    /// The packed path deliberately uses a different draw contract, so the
+    /// two estimators agree statistically but not bit-for-bit.
+    #[cfg(feature = "scalar-ref")]
+    #[test]
+    fn packed_and_scalar_estimates_agree_statistically() {
+        let lib = library();
+        let n = benchmark("c432").unwrap();
+        let packed = random_average_leakage(&n, &lib, 500, 42).unwrap();
+        let scalar = random_average_leakage_scalar(&n, &lib, 500, 42).unwrap();
+        assert_ne!(packed, scalar, "draw contracts are distinct by design");
+        let rel = (packed.total.value() - scalar.total.value()).abs() / scalar.total.value();
+        assert!(rel < 0.05, "packed vs scalar differ by {rel}");
     }
 }

@@ -4,7 +4,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use svtox_cells::InputState;
-use svtox_netlist::{GateId, NetId, Netlist};
+use svtox_netlist::{GateId, GateKind, NetId, Netlist};
 
 use crate::logic::Logic;
 
@@ -71,14 +71,18 @@ impl<'a> TriSimulator<'a> {
             }
         }
         let mut evaluated = 0;
-        let mut ins = Vec::new();
+        // Stack scratch (arity-bounded): deciding an input never allocates,
+        // which matters because the state search calls this at every node.
+        let mut ins = [Logic::X; GateKind::MAX_ARITY];
         while let Some(Reverse((_lvl, gate_id))) = heap.pop() {
             self.queued[gate_id.index()] = false;
             evaluated += 1;
             let gate = self.netlist.gate(gate_id);
-            ins.clear();
-            ins.extend(gate.inputs().iter().map(|&n| self.net_values[n.index()]));
-            let new = Logic::eval_gate(gate.kind(), &ins);
+            let pins = gate.inputs();
+            for (slot, &n) in ins.iter_mut().zip(pins) {
+                *slot = self.net_values[n.index()];
+            }
+            let new = Logic::eval_gate(gate.kind(), &ins[..pins.len()]);
             let out = gate.output();
             if self.net_values[out.index()] != new {
                 self.net_values[out.index()] = new;
@@ -161,12 +165,15 @@ impl<'a> TriSimulator<'a> {
     }
 
     fn full_eval(&mut self) {
-        let mut ins = Vec::new();
+        let mut ins = [Logic::X; GateKind::MAX_ARITY];
         for &gid in self.netlist.topo_order() {
             let gate = self.netlist.gate(gid);
-            ins.clear();
-            ins.extend(gate.inputs().iter().map(|&n| self.net_values[n.index()]));
-            self.net_values[gate.output().index()] = Logic::eval_gate(gate.kind(), &ins);
+            let pins = gate.inputs();
+            for (slot, &n) in ins.iter_mut().zip(pins) {
+                *slot = self.net_values[n.index()];
+            }
+            self.net_values[gate.output().index()] =
+                Logic::eval_gate(gate.kind(), &ins[..pins.len()]);
         }
     }
 }

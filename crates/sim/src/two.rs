@@ -4,7 +4,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use svtox_cells::InputState;
-use svtox_netlist::{GateId, NetId, Netlist};
+use svtox_netlist::{GateId, GateKind, NetId, Netlist};
 
 /// Two-valued, event-driven logic simulator.
 ///
@@ -79,14 +79,18 @@ impl<'a> Simulator<'a> {
             }
         }
         let mut evaluated = 0;
-        let mut ins = Vec::new();
+        // Scratch lives on the stack (arity is bounded), so a flip never
+        // touches the allocator no matter how big the fanout cone is.
+        let mut ins = [false; GateKind::MAX_ARITY];
         while let Some(Reverse((_lvl, gate_id))) = heap.pop() {
             self.queued[gate_id.index()] = false;
             evaluated += 1;
             let gate = self.netlist.gate(gate_id);
-            ins.clear();
-            ins.extend(gate.inputs().iter().map(|&n| self.net_values[n.index()]));
-            let new = gate.kind().eval(&ins);
+            let pins = gate.inputs();
+            for (slot, &n) in ins.iter_mut().zip(pins) {
+                *slot = self.net_values[n.index()];
+            }
+            let new = gate.kind().eval(&ins[..pins.len()]);
             let out = gate.output();
             if self.net_values[out.index()] != new {
                 self.net_values[out.index()] = new;
@@ -121,30 +125,30 @@ impl<'a> Simulator<'a> {
             .collect()
     }
 
-    /// The input state of a gate (logical pin order).
+    /// The input state of a gate (logical pin order). Allocation-free: the
+    /// pin values fold directly into the state bitmask.
     ///
     /// # Panics
     ///
     /// Panics if the gate id is out of range.
     #[must_use]
     pub fn gate_state(&self, gate: GateId) -> InputState {
-        let pins: Vec<bool> = self
-            .netlist
-            .gate(gate)
-            .inputs()
-            .iter()
-            .map(|&n| self.net_values[n.index()])
-            .collect();
-        InputState::from_pins(&pins)
+        let pins = self.netlist.gate(gate).inputs();
+        let bits = pins.iter().enumerate().fold(0u16, |acc, (i, &n)| {
+            acc | (u16::from(self.net_values[n.index()]) << i)
+        });
+        InputState::from_bits(bits, pins.len())
     }
 
     fn full_eval(&mut self) {
-        let mut ins = Vec::new();
+        let mut ins = [false; GateKind::MAX_ARITY];
         for &gid in self.netlist.topo_order() {
             let gate = self.netlist.gate(gid);
-            ins.clear();
-            ins.extend(gate.inputs().iter().map(|&n| self.net_values[n.index()]));
-            self.net_values[gate.output().index()] = gate.kind().eval(&ins);
+            let pins = gate.inputs();
+            for (slot, &n) in ins.iter_mut().zip(pins) {
+                *slot = self.net_values[n.index()];
+            }
+            self.net_values[gate.output().index()] = gate.kind().eval(&ins[..pins.len()]);
         }
     }
 }
