@@ -34,7 +34,9 @@ cargo run --release -p svtox-cli --bin svtox -- \
   optimize c432 --threads 4 --time-budget 0.2 --checkpoint "$CKPT" > /dev/null
 cargo run --release -p svtox-cli --bin svtox -- \
   optimize c432 --threads 4 --time-budget 0.2 --checkpoint "$CKPT" --resume > /dev/null
-rm -f "$CKPT"
+# The portfolio engine (the default) checkpoints member-by-member into
+# sibling files named "$CKPT.<member-slug>".
+rm -f "$CKPT" "$CKPT".*
 
 echo "==> sim bench (packed vs scalar Monte-Carlo, gated at 10x)"
 # The word-level simulator must beat the scalar reference by at least 10x
@@ -42,6 +44,19 @@ echo "==> sim bench (packed vs scalar Monte-Carlo, gated at 10x)"
 mkdir -p results
 cargo run --release -p svtox-cli --bin svtox -- \
   suite --sim-bench --json --min-speedup 10 --out results/BENCH_sim.json > /dev/null
+
+echo "==> portfolio bench (portfolio vs single engine at the same deadline)"
+# The strategy portfolio must match or beat the single engine on every
+# suite circuit at the same wall-clock deadline (0.1% noise band covers
+# scheduler jitter where the two searches converge); the subcommand
+# exits non-zero on any regression. The greps assert the recorded
+# artifact agrees and that a winning strategy is reported per circuit.
+mkdir -p results
+cargo run --release -p svtox-cli --bin svtox -- \
+  suite --portfolio-bench --deadline 1.5 --threads 4 --json \
+  --out results/BENCH_portfolio.json > /dev/null
+grep -q '"regressions":0' results/BENCH_portfolio.json
+grep -q '"winner":"' results/BENCH_portfolio.json
 
 echo "==> serve smoke (in-process server, 50-job load, metrics + clean shutdown)"
 # loadgen spawns the server in-process (no port to coordinate), replays the

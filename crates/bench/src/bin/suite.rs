@@ -97,6 +97,13 @@ fn main() {
                         None => json::Value::Null,
                     },
                 );
+                obj.insert(
+                    "winner".to_string(),
+                    match e.winner {
+                        Some(winner) => json::Value::Str(winner.to_string()),
+                        None => json::Value::Null,
+                    },
+                );
                 json::Value::Obj(obj)
             })
             .collect();
@@ -120,10 +127,13 @@ fn main() {
         "circuit", "penalty", "avg (µA)", "opt (µA)", "X"
     );
     for e in &entries {
-        let status = match &e.reason {
+        let mut status = match &e.reason {
             Some(reason) => format!("  {} ({reason})", e.outcome),
             None => String::new(),
         };
+        if let Some(winner) = e.winner {
+            status.push_str(&format!("  winner: {winner}"));
+        }
         println!(
             "{:<8} {:>7}% {:>12} {:>12} {:>6}{status}",
             e.circuit,

@@ -22,7 +22,7 @@
 use std::time::Duration;
 
 use svtox_cells::{Library, LibraryOptions};
-use svtox_core::{DelayPenalty, Mode, Problem, RunOutcome, Solution};
+use svtox_core::{DelayPenalty, Mode, PortfolioConfig, Problem, RunOutcome, Solution};
 use svtox_exec::{map_tasks, Budget, ExecConfig, RetryPolicy, SearchStats};
 use svtox_netlist::generators::{benchmark, benchmark_names};
 use svtox_netlist::Netlist;
@@ -215,6 +215,9 @@ pub struct SuiteEntry {
     pub outcome: &'static str,
     /// The degradation reason, when degraded.
     pub reason: Option<String>,
+    /// Winning portfolio strategy slug (engine path only; the classic
+    /// Heuristic-1 path races nothing).
+    pub winner: Option<&'static str>,
 }
 
 /// Runs the whole suite — one (circuit, penalty) Heuristic-1 optimization
@@ -275,24 +278,37 @@ pub fn run_suite(
                     Mode::Proposed,
                 )
                 .with_obs(obs);
-            let (solution, outcome, reason) = match args.budget {
+            let (solution, outcome, reason, winner) = match args.budget {
                 // The classic suite path: Heuristic 1, always complete.
                 None => (
                     optimizer.heuristic1().expect("heuristic1 succeeds"),
                     "complete",
                     None,
+                    None,
                 ),
-                // The engine path: a genuine typed outcome per entry. The
+                // The engine path: the strategy portfolio, with a genuine
+                // typed outcome and the winning strategy per entry. The
                 // run is serial inside this task — the outer map_tasks
                 // already owns the workers.
                 Some(budget) => {
                     let run_exec = ExecConfig::serial()
                         .with_time_budget(budget)
                         .with_retries(RetryPolicy::resilient());
-                    match optimizer.run(&run_exec, None) {
-                        RunOutcome::Complete { solution, .. } => (solution, "complete", None),
+                    let portfolio = optimizer
+                        .run_portfolio(
+                            &run_exec,
+                            &Budget::with_duration(budget),
+                            &PortfolioConfig::default(),
+                            None,
+                        )
+                        .unwrap_or_else(|error| panic!("suite engine run failed: {error}"));
+                    let winner = Some(portfolio.winner.slug());
+                    match portfolio.into_run_outcome() {
+                        RunOutcome::Complete { solution, .. } => {
+                            (solution, "complete", None, winner)
+                        }
                         RunOutcome::Degraded { reason, best, .. } => {
-                            (best, "degraded", Some(reason.to_string()))
+                            (best, "degraded", Some(reason.to_string()), winner)
                         }
                         RunOutcome::Failed { error } => {
                             panic!("suite engine run failed: {error}")
@@ -307,6 +323,7 @@ pub fn run_suite(
                 solution,
                 outcome,
                 reason,
+                winner,
             })
         },
     )
@@ -448,8 +465,12 @@ mod tests {
         for (d, h) in degraded.iter().zip(&h1) {
             assert_eq!(d.outcome, "degraded");
             assert_eq!(d.reason.as_deref(), Some("time budget expired"));
+            // Nothing beats the seed inside a zero budget, so Heuristic 1
+            // wins the portfolio; the classic path races nothing.
+            assert_eq!(d.winner, Some("h1"));
             assert_eq!(h.outcome, "complete");
             assert_eq!(h.reason, None);
+            assert_eq!(h.winner, None);
             assert_eq!(d.solution.vector, h.solution.vector);
             assert_eq!(d.solution.choices, h.solution.choices);
             assert_eq!(d.solution.leakage, h.solution.leakage);

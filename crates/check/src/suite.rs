@@ -19,11 +19,13 @@
 //! | `tech.calibration_pinned` | the DESIGN.md device ratios, width-invariant |
 //! | `fault.degradation_invariants` | random fault plan × random DAG: never a hang or `Failed`, incumbent verifies and stays ≤ the H1 seed |
 //! | `fault.resume_bit_identical` | mid-search kill with a checkpoint, then resume: bit-identical to the uninterrupted run at 1/2/4 workers |
+//! | `portfolio.thread_count_invariant` | the strategy portfolio at 2/4 workers vs serial: same winner, cost bits, rounds, and incumbent-update counts |
+//! | `portfolio.kill_resume_bit_identical` | mid-portfolio kill with member checkpoints, then resume: bit-identical to the uninterrupted portfolio |
 
 use std::time::Duration;
 
 use svtox_cells::InputState;
-use svtox_core::{CheckpointSpec, Problem, RunOutcome};
+use svtox_core::{Budget, CheckpointSpec, PortfolioConfig, PortfolioOutcome, Problem, RunOutcome};
 use svtox_exec::rng::Xoshiro256pp;
 use svtox_fault::{Fault, FaultPlan, Site, Trigger};
 use svtox_netlist::generators::random_dag;
@@ -593,6 +595,162 @@ pub fn run_builtin_suite(config: &CheckConfig, filter: Option<&str>) -> Vec<Prop
         ));
     }
 
+    // --- Portfolio: thread-count invariance. ---------------------------
+    if wanted("portfolio.thread_count_invariant") {
+        let strategy = (DagStrategy::small(), AnyU64);
+        reports.push(check_property(
+            "portfolio.thread_count_invariant",
+            &strategy,
+            |(spec, seed)| {
+                let n = random_dag(spec).map_err(|e| format!("generator: {e}"))?;
+                let problem =
+                    Problem::new(&n, &lib, TimingConfig::default()).map_err(|e| e.to_string())?;
+                let opt = problem.optimizer(
+                    svtox_core::DelayPenalty::five_percent(),
+                    svtox_core::Mode::Proposed,
+                );
+                // Exact members are priced out of the property budget; the
+                // greedy members exercise the same barrier machinery.
+                let config = PortfolioConfig {
+                    restarts: 8,
+                    exact_max_inputs: 0,
+                    seed: *seed,
+                    ..PortfolioConfig::default()
+                };
+                let run = |threads: usize| {
+                    let exec = svtox_core::ExecConfig::with_threads(threads);
+                    opt.run_portfolio(&exec, &Budget::unlimited(), &config, None)
+                        .map_err(|e| format!("portfolio({threads}): {e}"))
+                };
+                let updates = |o: &PortfolioOutcome| {
+                    o.members
+                        .iter()
+                        .map(|m| m.incumbent_updates)
+                        .collect::<Vec<_>>()
+                };
+                let reference = run(1)?;
+                for threads in [2usize, 4] {
+                    let other = run(threads)?;
+                    if other.winner != reference.winner
+                        || other.best.leakage != reference.best.leakage
+                        || !other.best.same_assignment(&reference.best)
+                        || other.rounds != reference.rounds
+                        || updates(&other) != updates(&reference)
+                    {
+                        return Err(format!(
+                            "portfolio({threads}) diverged: winner {} / {} at {} vs \
+                             serial winner {} / {} at {}",
+                            other.winner,
+                            other.rounds,
+                            other.best.leakage,
+                            reference.winner,
+                            reference.rounds,
+                            reference.best.leakage
+                        ));
+                    }
+                }
+                Ok(())
+            },
+            &scaled(0.1),
+        ));
+    }
+
+    // --- Portfolio: kill / member-checkpoint / resume bit-identity. ----
+    if wanted("portfolio.kill_resume_bit_identical") {
+        let strategy = (
+            (DagStrategy::small(), AnyU64),
+            (choice(&[1usize, 2, 4]), int_range(1, 12)),
+        );
+        reports.push(check_property(
+            "portfolio.kill_resume_bit_identical",
+            &strategy,
+            |((spec, nonce), (threads, kill_n))| {
+                let n = random_dag(spec).map_err(|e| format!("generator: {e}"))?;
+                let problem =
+                    Problem::new(&n, &lib, TimingConfig::default()).map_err(|e| e.to_string())?;
+                let opt = problem.optimizer(
+                    svtox_core::DelayPenalty::five_percent(),
+                    svtox_core::Mode::Proposed,
+                );
+                let config = PortfolioConfig {
+                    restarts: 8,
+                    exact_max_inputs: 0,
+                    seed: *nonce,
+                    ..PortfolioConfig::default()
+                };
+                let exec = svtox_core::ExecConfig::with_threads(*threads);
+                let reference = opt
+                    .run_portfolio(&exec, &Budget::unlimited(), &config, None)
+                    .map_err(|e| format!("reference: {e}"))?;
+                let base = std::env::temp_dir().join(format!(
+                    "svtox-check-portfolio-{nonce:016x}-{}.jsonl",
+                    std::process::id()
+                ));
+                // Member checkpoints live next to the base path with the
+                // strategy slug appended.
+                let cleanup = || {
+                    std::fs::remove_file(&base).ok();
+                    for slug in ["h1", "h2-influence", "h2-natural", "h2-reverse", "restarts"] {
+                        std::fs::remove_file(format!("{}.{slug}", base.display())).ok();
+                    }
+                };
+                cleanup();
+                let done = |r: Result<(), String>| {
+                    cleanup();
+                    r
+                };
+                let plan =
+                    FaultPlan::new(*nonce).with_rule(Site::CoreLeaf, Trigger::Nth(*kill_n as u64));
+                let fault = Fault::new(&plan);
+                let killed = match opt.with_fault(&fault).run_portfolio(
+                    &exec,
+                    &Budget::unlimited(),
+                    &config,
+                    Some(&CheckpointSpec::fresh(&base)),
+                ) {
+                    Ok(outcome) => outcome,
+                    Err(e) => return done(Err(format!("killed run failed outright: {e}"))),
+                };
+                let final_outcome = if killed.reason.is_none() {
+                    // The fault never fired (tree smaller than the kill
+                    // point): the run already completed.
+                    killed
+                } else {
+                    match opt.run_portfolio(
+                        &exec,
+                        &Budget::unlimited(),
+                        &config,
+                        Some(&CheckpointSpec::resume(&base)),
+                    ) {
+                        Ok(outcome) if outcome.reason.is_none() => outcome,
+                        Ok(outcome) => {
+                            return done(Err(format!(
+                                "resume did not complete: {}",
+                                outcome.status()
+                            )));
+                        }
+                        Err(e) => return done(Err(format!("resume failed: {e}"))),
+                    }
+                };
+                if final_outcome.winner != reference.winner
+                    || final_outcome.best.leakage != reference.best.leakage
+                    || !final_outcome.best.same_assignment(&reference.best)
+                {
+                    return done(Err(format!(
+                        "resume after a kill at leaf {kill_n} with {threads} worker(s) \
+                         diverged: winner {} at {} vs {} at {}",
+                        final_outcome.winner,
+                        final_outcome.best.leakage,
+                        reference.winner,
+                        reference.best.leakage
+                    )));
+                }
+                done(Ok(()))
+            },
+            &scaled(0.1),
+        ));
+    }
+
     // Cap corpus growth once per full (unfiltered) run: stale cases whose
     // property no longer exists are dropped, and each property keeps at
     // most a handful of distinct seeds.
@@ -622,6 +780,8 @@ pub fn builtin_property_names() -> Vec<&'static str> {
         "tech.calibration_pinned",
         "fault.degradation_invariants",
         "fault.resume_bit_identical",
+        "portfolio.thread_count_invariant",
+        "portfolio.kill_resume_bit_identical",
     ]
 }
 

@@ -21,6 +21,7 @@
 #![warn(missing_docs)]
 
 pub mod chaos;
+pub mod portbench;
 pub mod simbench;
 
 use std::error::Error;
@@ -31,7 +32,8 @@ use std::collections::BTreeMap;
 
 use svtox_cells::{to_liberty, Library, LibraryOptions, TradeoffPoints};
 use svtox_core::{
-    CheckpointSpec, DelayPenalty, ExecConfig, Mode, Problem, RetryPolicy, RunOutcome, Solution,
+    CheckpointSpec, DelayPenalty, ExecConfig, Mode, PortfolioConfig, PortfolioOutcome, Problem,
+    RetryPolicy, RunOutcome, Solution,
 };
 use svtox_fault::{Fault, FaultPlan};
 use svtox_netlist::generators::{benchmark, BenchmarkProfile};
@@ -41,7 +43,7 @@ use svtox_netlist::{
 use svtox_obs::{JsonlSink, Obs};
 use svtox_sim::{random_average_leakage, random_average_leakage_parallel, Simulator};
 use svtox_sta::{GateConfig, Sta, TimingConfig};
-use svtox_tech::Technology;
+use svtox_tech::{Current, Technology};
 
 pub use chaos::{run_chaos, ChaosArgs};
 
@@ -119,9 +121,17 @@ pub struct SuiteArgs {
     /// Run the packed-vs-scalar simulation micro-benchmark instead of
     /// listing the benchmark reconstructions.
     pub sim_bench: bool,
+    /// Run the portfolio-vs-single engine benchmark instead of listing
+    /// the benchmark reconstructions.
+    pub portfolio_bench: bool,
     /// Vectors per packed estimator call in the micro-benchmark.
     pub vectors: usize,
-    /// Write the JSON report to this path (sim-bench only).
+    /// Deadline both engines run under (portfolio-bench only).
+    pub deadline: Duration,
+    /// Worker threads for the engines (portfolio-bench only; `0` = one
+    /// per CPU).
+    pub threads: usize,
+    /// Write the JSON report to this path (bench modes only).
     pub out: Option<String>,
     /// Fail (non-zero exit) if the aggregate speedup falls below this
     /// factor (sim-bench only; `0` disables the gate).
@@ -134,7 +144,10 @@ impl Default for SuiteArgs {
     fn default() -> Self {
         Self {
             sim_bench: false,
+            portfolio_bench: false,
             vectors: 4096,
+            deadline: Duration::from_millis(1500),
+            threads: 0,
             out: None,
             min_speedup: 0.0,
             json: false,
@@ -173,6 +186,9 @@ pub struct OptimizeArgs {
     pub penalty: f64,
     /// Optimization mode.
     pub mode: Mode,
+    /// Which engine to run (`portfolio` is the default; `single` is the
+    /// pre-portfolio branch-and-bound path).
+    pub strategy: EngineStrategy,
     /// Run Heuristic 2 with this budget instead of Heuristic 1.
     pub heuristic2: Option<Duration>,
     /// Hill-climbing refinement passes after the heuristic.
@@ -201,6 +217,16 @@ pub struct OptimizeArgs {
     pub fault_plan: Option<String>,
     /// Seed for probabilistic fault triggers.
     pub fault_seed: u64,
+}
+
+/// The engine behind `svtox optimize`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineStrategy {
+    /// Race H1, H2 (three branch orders), exact B&B and randomized
+    /// restarts, sharing one incumbent (the default).
+    Portfolio,
+    /// The single-strategy parallel branch and bound only.
+    Single,
 }
 
 /// Arguments of `svtox sweep`.
@@ -239,7 +265,8 @@ svtox — simultaneous standby-state, Vt and Tox assignment (DATE 2004)
 
 USAGE:
   svtox optimize <circuit|file.bench> [--penalty PCT] [--mode proposed|vt|state]
-                 [--heuristic2 SECONDS] [--refine PASSES] [--two-option]
+                 [--strategy portfolio|single] [--heuristic2 SECONDS]
+                 [--refine PASSES] [--two-option]
                  [--uniform-stack] [--no-reorder] [--vectors N]
                  [--threads N] [--time-budget SECONDS] [--emit-sleep FILE]
                  [--trace FILE] [--metrics] [--checkpoint FILE] [--resume]
@@ -247,8 +274,9 @@ USAGE:
   svtox sweep <circuit|file.bench> [--penalties 0,5,10,25,100]
   svtox library [--two-option] [--uniform-stack] [--liberty FILE]
   svtox report <circuit|file.bench> [--penalties 5]
-  svtox suite [--sim-bench [--vectors N] [--out FILE] [--min-speedup X]
-              [--json]]
+  svtox suite [--sim-bench [--vectors N] [--min-speedup X]]
+              [--portfolio-bench [--deadline SECONDS] [--threads N]]
+              [--out FILE] [--json]
   svtox check [--cases N] [--seed S] [--shrink-limit K] [--threads N]
               [--json] [--corpus DIR] [--property NAME] [--replay STREAMSEED]
   svtox chaos <scenario>|--all [--seed S] [--threads N] [--target CIRCUIT]
@@ -265,7 +293,12 @@ mapped onto the primitive library; flip-flops are extracted).
 `optimize` runs the parallel search engine: `--threads N` sets the worker
 count (0 = one per CPU; results are identical for any count) and
 `--time-budget SECONDS` caps the branch-and-bound improvement pass (default
-1 s, or the `--heuristic2` budget when given).
+1 s, or the `--heuristic2` budget when given). By default a *portfolio* of
+strategies races over the worker pool — H1, H2 under three branch orders,
+exact branch-and-bound (small circuits) and seeded randomized restarts —
+sharing one incumbent so any improvement tightens everyone's pruning
+bound; the report names the winning strategy. `--strategy single` selects
+the pre-portfolio single-strategy engine.
 
 Observability: `--trace FILE` writes a JSONL event trace (spans, counters,
 events) covering the optimizer, the timing analyzer, and the worker pool;
@@ -309,6 +342,11 @@ samples a `--vectors N` Monte-Carlo baseline (default 256; 0 disables).
 against the scalar reference estimator (vectors·gates per second) on a
 sim-heavy circuit set; `--out FILE` records the JSON report and
 `--min-speedup X` turns the aggregate speedup into a CI gate.
+`suite --portfolio-bench` races the strategy portfolio against the
+single-strategy engine at the same `--deadline` on the suite circuits,
+reporting the winning strategy and final cost per circuit (`--json`, or
+`--out results/BENCH_portfolio.json`); any circuit where the portfolio
+ends above the single engine's cost fails the command.
 ";
 
 /// Parses raw arguments (excluding the program name).
@@ -328,6 +366,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 target: String::new(),
                 penalty: 0.05,
                 mode: Mode::Proposed,
+                strategy: EngineStrategy::Portfolio,
                 heuristic2: None,
                 refine_passes: 0,
                 threads: 1,
@@ -351,6 +390,17 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                             "vt" => Mode::StateAndVt,
                             "state" => Mode::StateOnly,
                             other => return Err(CliError(format!("unknown mode `{other}`"))),
+                        }
+                    }
+                    "--strategy" => {
+                        out.strategy = match next(&mut it, "--strategy")?.as_str() {
+                            "portfolio" => EngineStrategy::Portfolio,
+                            "single" => EngineStrategy::Single,
+                            other => {
+                                return Err(CliError(format!(
+                                    "unknown strategy `{other}` (portfolio|single)"
+                                )))
+                            }
                         }
                     }
                     "--heuristic2" => out.heuristic2 = Some(seconds(&mut it, "--heuristic2")?),
@@ -443,16 +493,32 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             while let Some(a) = it.next() {
                 match a.as_str() {
                     "--sim-bench" => args.sim_bench = true,
+                    "--portfolio-bench" => args.portfolio_bench = true,
                     "--vectors" => args.vectors = uint(&mut it, "--vectors")?,
+                    "--deadline" => args.deadline = seconds(&mut it, "--deadline")?,
+                    "--threads" => args.threads = uint(&mut it, "--threads")?,
                     "--out" => args.out = Some(next(&mut it, "--out")?),
                     "--min-speedup" => args.min_speedup = pct(&mut it)?,
                     "--json" => args.json = true,
                     other => return Err(CliError(format!("unknown flag `{other}`"))),
                 }
             }
-            if !args.sim_bench && (args.out.is_some() || args.min_speedup > 0.0) {
+            if args.sim_bench && args.portfolio_bench {
                 return Err(CliError(
-                    "--out/--min-speedup only apply with --sim-bench".into(),
+                    "--sim-bench and --portfolio-bench are mutually exclusive".into(),
+                ));
+            }
+            if !args.sim_bench
+                && !args.portfolio_bench
+                && (args.out.is_some() || args.min_speedup > 0.0)
+            {
+                return Err(CliError(
+                    "--out/--min-speedup only apply with a bench mode".into(),
+                ));
+            }
+            if args.min_speedup > 0.0 && !args.sim_bench {
+                return Err(CliError(
+                    "--min-speedup only applies with --sim-bench".into(),
                 ));
             }
             if args.min_speedup < 0.0 {
@@ -715,6 +781,35 @@ pub fn run(command: Command) -> Result<String, Box<dyn Error>> {
                     return Err(Box::new(CliError(format!(
                         "sim-bench aggregate speedup {:.1}x is below the required {:.1}x\n{rendered}",
                         report.speedup, args.min_speedup
+                    ))));
+                }
+                out.push_str(&rendered);
+            } else if args.portfolio_bench {
+                let report = portbench::run_portfolio_bench(args.deadline, args.threads)?;
+                let rendered = if args.json {
+                    let mut json = report.render_json();
+                    json.push('\n');
+                    json
+                } else {
+                    report.render_text()
+                };
+                if let Some(path) = &args.out {
+                    if let Some(dir) = std::path::Path::new(path).parent() {
+                        if !dir.as_os_str().is_empty() {
+                            std::fs::create_dir_all(dir)?;
+                        }
+                    }
+                    let mut json = report.render_json();
+                    json.push('\n');
+                    std::fs::write(path, json)?;
+                }
+                // The invariant the bench exists to watch: racing more
+                // strategies over a shared incumbent never loses to the
+                // single engine at the same deadline.
+                if report.regressions > 0 {
+                    return Err(Box::new(CliError(format!(
+                        "portfolio-bench: {} circuit(s) regressed vs the single engine\n{rendered}",
+                        report.regressions
                     ))));
                 }
                 out.push_str(&rendered);
@@ -995,7 +1090,7 @@ pub fn run(command: Command) -> Result<String, Box<dyn Error>> {
                     CheckpointSpec::fresh(path)
                 }
             });
-            let (sol, stats, status, avg) = {
+            let (sol, stats, status, avg, portfolio) = {
                 let _span = obs.span("cli.optimize");
                 let avg =
                     random_average_leakage_parallel(&netlist, &lib, args.vectors, 42, &exec, &obs)?;
@@ -1008,7 +1103,20 @@ pub fn run(command: Command) -> Result<String, Box<dyn Error>> {
                 // run flushes its checkpoint and returns
                 // `Degraded { Cancelled }`; a second SIGINT force-exits.
                 let budget = exec.budget_linked(&fault, svtox_serve::sigint_token());
-                let outcome = optimizer.run_with_budget(&exec, &budget, ckpt.as_ref());
+                let (outcome, portfolio): (RunOutcome, Option<PortfolioOutcome>) =
+                    match args.strategy {
+                        EngineStrategy::Portfolio => {
+                            let config = PortfolioConfig::default();
+                            match optimizer.run_portfolio(&exec, &budget, &config, ckpt.as_ref()) {
+                                Ok(p) => (p.clone().into_run_outcome(), Some(p)),
+                                Err(error) => (RunOutcome::Failed { error }, None),
+                            }
+                        }
+                        EngineStrategy::Single => (
+                            optimizer.run_with_budget(&exec, &budget, ckpt.as_ref()),
+                            None,
+                        ),
+                    };
                 let (mut sol, stats, status): (Solution, _, String) = match outcome {
                     RunOutcome::Failed { error } => return Err(Box::new(error)),
                     RunOutcome::Complete { solution, stats } => {
@@ -1023,7 +1131,7 @@ pub fn run(command: Command) -> Result<String, Box<dyn Error>> {
                 if args.refine_passes > 0 {
                     sol = optimizer.refine(sol, args.refine_passes)?;
                 }
-                (sol, stats, status, avg)
+                (sol, stats, status, avg, portfolio)
             };
             sol.verify(&problem)?;
             let (isub, igate) = sol.leakage_breakdown(&problem)?;
@@ -1058,6 +1166,34 @@ pub fn run(command: Command) -> Result<String, Box<dyn Error>> {
             )?;
             writeln!(out, "engine   : {stats}")?;
             writeln!(out, "status   : {status}")?;
+            if let Some(p) = &portfolio {
+                writeln!(
+                    out,
+                    "portfolio: winner {} after {} rounds{}",
+                    p.winner,
+                    p.rounds,
+                    if p.proven_optimal {
+                        " (proven optimal)"
+                    } else {
+                        ""
+                    }
+                )?;
+                for m in &p.members {
+                    writeln!(
+                        out,
+                        "  {:<15} {:<9} {:>3}/{:<3} units, best {}, {} incumbent updates",
+                        m.strategy.slug(),
+                        m.status.to_string(),
+                        m.units_done,
+                        m.units_total,
+                        m.best_cost.map_or_else(
+                            || "n/a".to_string(),
+                            |c| format!("{:.2} µA", Current::new(c).as_micro_amps())
+                        ),
+                        m.incumbent_updates
+                    )?;
+                }
+            }
             if let Some(path) = &args.checkpoint {
                 writeln!(out, "checkpoint: {path}")?;
             }
@@ -1338,6 +1474,29 @@ mod tests {
     }
 
     #[test]
+    fn parses_strategy_flag() {
+        let Command::Optimize(defaults) = parse_args(&argv("optimize c432")).unwrap() else {
+            panic!("wrong command")
+        };
+        assert_eq!(defaults.strategy, EngineStrategy::Portfolio);
+        let Command::Optimize(single) =
+            parse_args(&argv("optimize c432 --strategy single")).unwrap()
+        else {
+            panic!("wrong command")
+        };
+        assert_eq!(single.strategy, EngineStrategy::Single);
+        let Command::Optimize(explicit) =
+            parse_args(&argv("optimize c432 --strategy portfolio")).unwrap()
+        else {
+            panic!("wrong command")
+        };
+        assert_eq!(explicit.strategy, EngineStrategy::Portfolio);
+        let err = parse_args(&argv("optimize c432 --strategy banana"))
+            .expect_err("unknown strategy must be rejected");
+        assert!(err.0.contains("banana"));
+    }
+
+    #[test]
     fn parses_robustness_flags() {
         let cmd = parse_args(&argv(
             "optimize c432 --checkpoint /tmp/c.jsonl --resume \
@@ -1434,7 +1593,7 @@ mod tests {
         assert!(kinds.contains("meta") && kinds.contains("span") && kinds.contains("counter"));
         for expected in [
             "cli.optimize",
-            "core.run",
+            "core.portfolio.run",
             "core.h1.decisions",
             "sta.full_analyzes",
             "exec.map_tasks",
@@ -1495,6 +1654,27 @@ mod tests {
         assert!(parse_args(&argv("suite --out x.json")).is_err());
         assert!(parse_args(&argv("suite --min-speedup 5")).is_err());
         assert!(parse_args(&argv("suite --sim-bench --min-speedup -3")).is_err());
+    }
+
+    #[test]
+    fn parses_suite_portfolio_bench() {
+        let cmd = parse_args(&argv(
+            "suite --portfolio-bench --deadline 0.5 --threads 2 \
+             --out results/BENCH_portfolio.json --json",
+        ))
+        .unwrap();
+        let Command::Suite(args) = cmd else {
+            panic!("wrong command")
+        };
+        assert!(args.portfolio_bench);
+        assert_eq!(args.deadline, Duration::from_millis(500));
+        assert_eq!(args.threads, 2);
+        assert_eq!(args.out.as_deref(), Some("results/BENCH_portfolio.json"));
+        assert!(args.json);
+        // The two benches are mutually exclusive, and the sim gate does
+        // not apply to the portfolio bench.
+        assert!(parse_args(&argv("suite --sim-bench --portfolio-bench")).is_err());
+        assert!(parse_args(&argv("suite --portfolio-bench --min-speedup 5")).is_err());
     }
 
     #[test]

@@ -79,6 +79,11 @@ pub(crate) struct CheckpointMeta {
     pub mode: Mode,
     pub k: usize,
     pub seed: Solution,
+    /// Which engine/strategy wrote the file (`None` for the classic
+    /// single-strategy search). Portfolio members each own a checkpoint
+    /// file; the slug stops a resume from replaying another member's
+    /// frontier after a file swap.
+    pub engine: Option<String>,
 }
 
 /// One fully-explored prefix subtree.
@@ -183,6 +188,11 @@ fn meta_from_json(v: &Value) -> Option<CheckpointMeta> {
         mode,
         k: parse_usize(v.get("k"))?,
         seed: solution_from_json(v.get("seed")?)?,
+        // Absent in pre-portfolio files; lenient so old checkpoints load.
+        engine: v
+            .get("engine")
+            .and_then(Value::as_str)
+            .map(ToString::to_string),
     })
 }
 
@@ -263,8 +273,13 @@ impl CheckpointWriter {
             .map_err(|e| OptError::Checkpoint(format!("cannot create {}: {e}", path.display())))?;
         let mut escaped = String::new();
         json::escape_into(&mut escaped, &meta.circuit);
+        let engine = meta.engine.as_ref().map_or_else(String::new, |slug| {
+            let mut e = String::new();
+            json::escape_into(&mut e, slug);
+            format!(",\"engine\":{e}")
+        });
         let line = format!(
-            "{{\"type\":\"meta\",\"version\":1,\"circuit\":{escaped},\"inputs\":{},\"gates\":{},\"penalty\":\"{:016x}\",\"mode\":\"{}\",\"k\":{},\"seed\":{}}}\n",
+            "{{\"type\":\"meta\",\"version\":1,\"circuit\":{escaped},\"inputs\":{},\"gates\":{},\"penalty\":\"{:016x}\",\"mode\":\"{}\",\"k\":{}{engine},\"seed\":{}}}\n",
             meta.inputs,
             meta.gates,
             meta.penalty_bits,
@@ -334,6 +349,7 @@ mod tests {
             mode: Mode::Proposed,
             k: 2,
             seed: sample_solution(),
+            engine: None,
         }
     }
 
@@ -371,12 +387,27 @@ mod tests {
         assert_eq!(cp.meta.penalty_bits, meta.penalty_bits);
         assert_eq!(cp.meta.mode, Mode::Proposed);
         assert_eq!(cp.meta.k, 2);
+        assert_eq!(cp.meta.engine, None, "classic files have no engine tag");
         assert_eq!(cp.meta.seed.choices, meta.seed.choices);
         assert_eq!(cp.tasks.len(), 2);
         assert_eq!(cp.tasks[&0].leaves, 4);
         assert!(cp.tasks[&0].solution.is_some());
         assert_eq!(cp.tasks[&2].leaves, 7);
         assert!(cp.tasks[&2].solution.is_none());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn engine_tag_round_trips_and_old_files_stay_loadable() {
+        let path = temp_path("engine");
+        let mut meta = sample_meta();
+        meta.engine = Some("h2-natural".to_string());
+        let writer = CheckpointWriter::create(&path, &meta).expect("create");
+        writer.record_task(1, 3, None);
+        drop(writer);
+        let cp = load(&path).expect("load").expect("file exists");
+        assert_eq!(cp.meta.engine.as_deref(), Some("h2-natural"));
+        assert_eq!(cp.tasks.len(), 1);
         std::fs::remove_file(&path).ok();
     }
 

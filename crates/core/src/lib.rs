@@ -61,6 +61,10 @@ pub use error::OptError;
 pub use outcome::{DegradeReason, RunOutcome};
 pub use problem::{DelayPenalty, GateOrder, InputOrder, Mode, Problem};
 pub use solution::Solution;
+pub use state_search::portfolio::{
+    self, BranchOrder, MemberReport, MemberStatus, PortfolioConfig, PortfolioOutcome,
+    ProvenanceEntry, Strategy,
+};
 pub use state_search::Optimizer;
 
 // Re-exported so optimizer callers can configure the parallel searches,

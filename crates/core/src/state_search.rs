@@ -17,6 +17,7 @@ use svtox_sta::{Sta, StaCounters};
 use svtox_tech::{Current, Time};
 
 mod parallel;
+pub mod portfolio;
 mod resilient;
 
 use crate::error::OptError;
@@ -25,7 +26,7 @@ use crate::problem::{DelayPenalty, GateOrder, InputOrder, Mode, Problem};
 use crate::solution::Solution;
 
 /// Incremental leakage lower bound over a partially-decided input vector.
-struct BoundTracker<'p, 'n> {
+pub(crate) struct BoundTracker<'p, 'n> {
     problem: &'p Problem<'n>,
     tri: TriSimulator<'n>,
     mode: Mode,
@@ -36,7 +37,7 @@ struct BoundTracker<'p, 'n> {
 }
 
 impl<'p, 'n> BoundTracker<'p, 'n> {
-    fn new(problem: &'p Problem<'n>, mode: Mode) -> Self {
+    pub(crate) fn new(problem: &'p Problem<'n>, mode: Mode) -> Self {
         let netlist = problem.netlist();
         let tri = TriSimulator::new(netlist);
         let mut tracker = Self {
@@ -66,7 +67,7 @@ impl<'p, 'n> BoundTracker<'p, 'n> {
 
     /// Sets one input and updates the bound. Only gates in the input's
     /// static transitive fanout can change.
-    fn set_input(&mut self, index: usize, value: Logic) {
+    pub(crate) fn set_input(&mut self, index: usize, value: Logic) {
         self.tri.set_input(index, value);
         for &gid in self.problem.tfo(index) {
             let c = self.gate_bound(gid);
@@ -76,7 +77,7 @@ impl<'p, 'n> BoundTracker<'p, 'n> {
     }
 
     /// The current lower bound for any completion of the partial vector.
-    fn bound(&self) -> Current {
+    pub(crate) fn bound(&self) -> Current {
         Current::new(self.total)
     }
 }
@@ -433,7 +434,7 @@ impl<'a> Optimizer<'a> {
     }
 
     /// Evaluates one fully-decided vector with the greedy gate tree.
-    fn evaluate_leaf(
+    pub(crate) fn evaluate_leaf(
         &self,
         vector: &[bool],
         sta: &mut Sta<'_>,
@@ -460,7 +461,7 @@ impl<'a> Optimizer<'a> {
     }
 
     /// The input branching order (see [`InputOrder`]).
-    fn input_order(&self) -> Vec<usize> {
+    pub(crate) fn input_order(&self) -> Vec<usize> {
         let n = self.problem.netlist().num_inputs();
         let mut order: Vec<usize> = (0..n).collect();
         if self.input_order == InputOrder::InfluenceDescending {

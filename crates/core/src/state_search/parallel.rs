@@ -40,7 +40,7 @@ use super::{BoundTracker, Optimizer};
 
 /// How a surviving leaf of the state tree is evaluated.
 #[derive(Clone, Copy)]
-pub(super) enum LeafKind {
+pub(crate) enum LeafKind {
     /// Greedy gate tree (Heuristics 1/2).
     Greedy,
     /// Exact gate-tree branch and bound.
@@ -48,16 +48,16 @@ pub(super) enum LeafKind {
 }
 
 /// Everything one worker reuses across its tasks.
-pub(super) struct WorkerCtx<'p, 'n> {
-    pub(super) sta: Sta<'n>,
-    pub(super) tracker: BoundTracker<'p, 'n>,
-    pub(super) vector: Vec<bool>,
+pub(crate) struct WorkerCtx<'p, 'n> {
+    pub(crate) sta: Sta<'n>,
+    pub(crate) tracker: BoundTracker<'p, 'n>,
+    pub(crate) vector: Vec<bool>,
 }
 
 /// Number of prefix inputs to split on: enough tasks to keep every worker
 /// busy through imbalance (~8 tasks per worker), capped so task setup
 /// stays negligible and floored so stealing has room even single-threaded.
-pub(super) fn prefix_depth(threads: usize, num_inputs: usize) -> usize {
+pub(crate) fn prefix_depth(threads: usize, num_inputs: usize) -> usize {
     let want = (threads * 8).next_power_of_two().trailing_zeros() as usize;
     want.clamp(3, 10).min(num_inputs)
 }
@@ -192,7 +192,7 @@ impl<'a> Optimizer<'a> {
     /// `None` if the whole subtree pruned away or yielded nothing better
     /// than the task-local seed).
     #[allow(clippy::too_many_arguments)]
-    pub(super) fn search_subtree(
+    pub(crate) fn search_subtree(
         &self,
         ctx: &mut WorkerCtx<'a, 'a>,
         p: usize,

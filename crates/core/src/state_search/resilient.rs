@@ -221,7 +221,7 @@ impl<'a> Optimizer<'a> {
     }
 
     /// The identity this run stamps into (and demands from) a checkpoint.
-    fn meta(&self, k: usize, seed: &Solution) -> CheckpointMeta {
+    pub(crate) fn meta(&self, k: usize, seed: &Solution) -> CheckpointMeta {
         let netlist = self.problem.netlist();
         CheckpointMeta {
             circuit: netlist.name().to_string(),
@@ -231,11 +231,12 @@ impl<'a> Optimizer<'a> {
             mode: self.mode,
             k,
             seed: seed.clone(),
+            engine: None,
         }
     }
 
     /// Rejects a checkpoint recorded for a different problem or split.
-    fn validate_meta(
+    pub(crate) fn validate_meta(
         &self,
         meta: &CheckpointMeta,
         k: usize,

@@ -40,6 +40,10 @@ impl CancelToken {
 pub struct Budget {
     deadline: Option<Instant>,
     token: CancelToken,
+    /// An optional second token observed (but never cancelled) by this
+    /// budget, so a child can stop without stopping its siblings while a
+    /// parent-wide cancel still reaches every child. See [`Budget::child`].
+    parent: Option<CancelToken>,
 }
 
 impl Budget {
@@ -49,6 +53,7 @@ impl Budget {
         Self {
             deadline: None,
             token: CancelToken::new(),
+            parent: None,
         }
     }
 
@@ -62,6 +67,7 @@ impl Budget {
         Self {
             deadline: Instant::now().checked_add(duration),
             token: CancelToken::new(),
+            parent: None,
         }
     }
 
@@ -82,6 +88,24 @@ impl Budget {
         Self {
             deadline: duration.and_then(|d| Instant::now().checked_add(d)),
             token,
+            parent: None,
+        }
+    }
+
+    /// A child budget: the same deadline instant, `token` as its own
+    /// cancellation flag, and this budget's token linked in as a parent.
+    ///
+    /// Cancelling the parent (or letting its deadline pass) stops every
+    /// child; cancelling a child's token stops only that child. A
+    /// portfolio uses one child per member so losers can be cancelled
+    /// individually while Ctrl-C / the job deadline still reaches all of
+    /// them.
+    #[must_use]
+    pub fn child(&self, token: CancelToken) -> Self {
+        Self {
+            deadline: self.deadline,
+            token,
+            parent: Some(self.token.clone()),
         }
     }
 
@@ -94,6 +118,17 @@ impl Budget {
     /// Requests cancellation of everything sharing this budget.
     pub fn cancel(&self) {
         self.token.cancel();
+    }
+
+    /// Whether a wall-clock deadline is configured at all.
+    ///
+    /// A deadline marks a run as *anytime*: it can be stopped mid-search,
+    /// so its result already depends on timing and machine speed. Callers
+    /// use this to choose between bit-reproducible and
+    /// best-effort-quality execution modes.
+    #[must_use]
+    pub fn has_deadline(&self) -> bool {
+        self.deadline.is_some()
     }
 
     /// Whether the configured deadline itself has passed.
@@ -114,6 +149,14 @@ impl Budget {
     pub fn expired(&self) -> bool {
         if self.token.is_cancelled() {
             return true;
+        }
+        if let Some(parent) = &self.parent {
+            if parent.is_cancelled() {
+                // Latch the parent-wide stop into this budget's own token
+                // so anything polling only the token sees it too.
+                self.token.cancel();
+                return true;
+            }
         }
         if let Some(deadline) = self.deadline {
             if Instant::now() >= deadline {
@@ -179,5 +222,26 @@ mod tests {
         assert!(Budget::linked(Some(Duration::ZERO), t2.clone()).expired());
         assert!(t2.is_cancelled(), "expiry cancels the shared token");
         assert!(!Budget::linked(Some(Duration::MAX), CancelToken::new()).expired());
+    }
+
+    #[test]
+    fn child_budget_observes_parent_but_cancels_independently() {
+        let parent = Budget::unlimited();
+        let a = parent.child(CancelToken::new());
+        let b = parent.child(CancelToken::new());
+        assert!(!a.expired() && !b.expired());
+        // Cancelling one child leaves the sibling and the parent running.
+        a.cancel();
+        assert!(a.expired());
+        assert!(!b.expired(), "sibling unaffected");
+        assert!(!parent.expired(), "parent unaffected");
+        // A parent-wide cancel reaches the remaining child and latches
+        // into its own token.
+        parent.cancel();
+        assert!(b.expired());
+        assert!(b.token().is_cancelled(), "parent cancel latches into child");
+        // Children share the parent's deadline instant.
+        let timed = Budget::with_duration(Duration::ZERO);
+        assert!(timed.child(CancelToken::new()).expired());
     }
 }

@@ -6,9 +6,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// parallel branch and bound, stored as `f64` bits in an [`AtomicU64`].
 ///
 /// Workers publish every improvement and prune against the global minimum,
-/// so a bound found in one subtree cuts the others. Values must be
-/// non-negative and non-NaN (leakage currents are), which makes the CAS
-/// loop's float comparison total.
+/// so a bound found in one subtree cuts the others. NaN candidates are
+/// rejected outright: every NaN comparison is false, so without the guard
+/// a NaN would fall through the "no improvement" test and the bit-pattern
+/// CAS could still publish it, poisoning every subsequent bound check.
 #[derive(Debug)]
 pub struct SharedMinF64(AtomicU64);
 
@@ -26,8 +27,12 @@ impl SharedMinF64 {
     }
 
     /// Lowers the minimum to `value` if it improves it. Returns `true` if
-    /// this call changed the stored value.
+    /// this call changed the stored value. NaN never improves anything and
+    /// is rejected without touching the cell.
     pub fn update_min(&self, value: f64) -> bool {
+        if value.is_nan() {
+            return false;
+        }
         let mut current = self.0.load(Ordering::Relaxed);
         loop {
             if value >= f64::from_bits(current) {
@@ -58,6 +63,24 @@ mod tests {
         assert!(m.update_min(9.5));
         assert!((m.get() - 9.5).abs() < 1e-12);
         assert!(!m.update_min(9.5));
+    }
+
+    #[test]
+    fn nan_never_replaces_the_incumbent() {
+        // `NaN >= x` is false for every x, so without an explicit guard a
+        // NaN candidate would reach the CAS and publish its bit pattern.
+        let m = SharedMinF64::new(10.0);
+        assert!(!m.update_min(f64::NAN));
+        assert!((m.get() - 10.0).abs() < 1e-12, "incumbent survives NaN");
+        // Still accepts real improvements afterwards.
+        assert!(m.update_min(3.0));
+        assert!(!m.update_min(f64::NAN));
+        assert!((m.get() - 3.0).abs() < 1e-12);
+        // A cell seeded with NaN (caller bug) is recoverable: any finite
+        // candidate compares false against NaN and lands via the CAS.
+        let poisoned = SharedMinF64::new(f64::NAN);
+        assert!(poisoned.update_min(5.0));
+        assert!((poisoned.get() - 5.0).abs() < 1e-12);
     }
 
     #[test]

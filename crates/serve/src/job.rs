@@ -29,6 +29,9 @@ pub struct JobSpec {
     pub penalty: f64,
     /// Optimization mode.
     pub mode: Mode,
+    /// Run the strategy portfolio instead of the single-strategy engine
+    /// (requested as `"mode":"portfolio"`).
+    pub portfolio: bool,
     /// Engine worker threads for this job.
     pub threads: usize,
     /// Per-job deadline; `None` defers to the server default.
@@ -49,6 +52,7 @@ impl Default for JobSpec {
             bench: None,
             penalty: 0.05,
             mode: Mode::Proposed,
+            portfolio: false,
             threads: 1,
             deadline: None,
             library: LibraryOptions::default(),
@@ -80,15 +84,23 @@ impl JobSpec {
                 "threads" => spec.threads = uint_field(field, "threads")?,
                 "vectors" => spec.vectors = uint_field(field, "vectors")?,
                 "deadline_ms" => {
-                    spec.deadline = Some(Duration::from_millis(
-                        uint_field(field, "deadline_ms")? as u64
-                    ));
+                    // Checked end to end: `uint_field` already bounds the
+                    // magnitude, and the usize → u64 conversion stays
+                    // explicit so an absurd spec is a typed 400, never a
+                    // silently clamped deadline.
+                    let ms = u64::try_from(uint_field(field, "deadline_ms")?)
+                        .map_err(|_| "`deadline_ms` is too large".to_string())?;
+                    spec.deadline = Some(Duration::from_millis(ms));
                 }
                 "mode" => {
                     spec.mode = match str_field(field, "mode")?.as_str() {
                         "proposed" => Mode::Proposed,
                         "vt" => Mode::StateAndVt,
                         "state" => Mode::StateOnly,
+                        "portfolio" => {
+                            spec.portfolio = true;
+                            Mode::Proposed
+                        }
                         other => return Err(format!("unknown mode `{other}`")),
                     };
                 }
@@ -124,8 +136,15 @@ fn num_field(v: &json::Value, name: &str) -> Result<f64, String> {
 
 fn uint_field(v: &json::Value, name: &str) -> Result<usize, String> {
     let n = num_field(v, name)?;
-    if n < 0.0 || n.fract() != 0.0 || n > 1e15 {
+    if n < 0.0 || n.fract() != 0.0 {
         return Err(format!("`{name}` must be a non-negative integer"));
+    }
+    // Above 1e15 an f64 no longer represents every integer exactly, so a
+    // cast could silently land on a neighbouring value — and no real spec
+    // is anywhere near it. Name the actual failure instead of lumping it
+    // in with "not an integer".
+    if n > 1e15 {
+        return Err(format!("`{name}` is too large (max 1e15)"));
     }
     Ok(n as usize)
 }
@@ -197,6 +216,8 @@ pub struct JobResult {
     pub circuit: String,
     /// The solution, for non-failed outcomes.
     pub solution: Option<SolutionSummary>,
+    /// The winning strategy slug, for portfolio jobs.
+    pub winner: Option<String>,
     /// Cells found in the submitted Liberty text, when one was sent.
     pub liberty_cells: Option<usize>,
     /// Random-vector average leakage in µA, when the spec asked for a
@@ -375,6 +396,9 @@ impl JobRecord {
             if let Some(error) = &result.error {
                 obj.insert("error".to_string(), json::Value::Str(error.clone()));
             }
+            if let Some(winner) = &result.winner {
+                obj.insert("winner".to_string(), json::Value::Str(winner.clone()));
+            }
             if let Some(cells) = result.liberty_cells {
                 obj.insert("liberty_cells".to_string(), json::Value::Num(cells as f64));
             }
@@ -442,6 +466,35 @@ mod tests {
     }
 
     #[test]
+    fn oversized_integers_get_their_own_error() {
+        let err = JobSpec::from_json(r#"{"circuit":"c432","threads":1e16}"#).unwrap_err();
+        assert!(err.contains("too large"), "got {err}");
+        let err = JobSpec::from_json(r#"{"circuit":"c432","deadline_ms":2e18}"#).unwrap_err();
+        assert!(err.contains("too large"), "got {err}");
+        // The boundary itself still parses (and converts without clamping).
+        let spec = JobSpec::from_json(r#"{"circuit":"c432","deadline_ms":1e15}"#).unwrap();
+        assert_eq!(
+            spec.deadline,
+            Some(Duration::from_millis(1_000_000_000_000_000))
+        );
+        // Non-integers keep the original message.
+        let err = JobSpec::from_json(r#"{"circuit":"c432","threads":1.5}"#).unwrap_err();
+        assert!(err.contains("non-negative integer"), "got {err}");
+    }
+
+    #[test]
+    fn portfolio_mode_sets_the_engine_flag() {
+        let spec = JobSpec::from_json(r#"{"circuit":"c432","mode":"portfolio"}"#).unwrap();
+        assert!(spec.portfolio);
+        assert_eq!(spec.mode, Mode::Proposed);
+        assert!(
+            !JobSpec::from_json(r#"{"circuit":"c432"}"#)
+                .unwrap()
+                .portfolio
+        );
+    }
+
+    #[test]
     fn events_buffer_tails_and_closes() {
         let events = JobEvents::new();
         events.push("{\"a\":1}");
@@ -468,6 +521,7 @@ mod tests {
             error: None,
             circuit: "c432".to_string(),
             solution: None,
+            winner: None,
             liberty_cells: None,
             baseline_leakage_ua: None,
         })));

@@ -90,18 +90,20 @@ pub struct LoadReport {
     pub wall_ms: f64,
     /// Jobs per second over the wall clock.
     pub throughput_jobs_per_s: f64,
-    /// Median submit-to-done latency, milliseconds.
-    pub p50_ms: f64,
+    /// Median submit-to-done latency, milliseconds. `None` when no job
+    /// produced a sample — an absent stat, not a zero-millisecond one.
+    pub p50_ms: Option<f64>,
     /// 90th-percentile latency.
-    pub p90_ms: f64,
+    pub p90_ms: Option<f64>,
     /// 99th-percentile latency.
-    pub p99_ms: f64,
+    pub p99_ms: Option<f64>,
     /// Worst latency.
-    pub max_ms: f64,
+    pub max_ms: Option<f64>,
     /// Latency of the first, solo job (pays characterization).
-    pub cold_ms: f64,
-    /// Median latency of the remaining, cache-warm jobs.
-    pub warm_p50_ms: f64,
+    pub cold_ms: Option<f64>,
+    /// Median latency of the remaining, cache-warm jobs. `None` for a
+    /// single-job run, where every job is cold.
+    pub warm_p50_ms: Option<f64>,
     /// `serve.cache.library_hits` after the run (spawned servers only).
     pub library_hits: u64,
     /// `serve.cache.library_misses` after the run.
@@ -133,16 +135,25 @@ impl LoadReport {
         num("rejected_retries", self.rejected_retries as f64);
         num("wall_ms", self.wall_ms);
         num("throughput_jobs_per_s", self.throughput_jobs_per_s);
-        num("p50_ms", self.p50_ms);
-        num("p90_ms", self.p90_ms);
-        num("p99_ms", self.p99_ms);
-        num("max_ms", self.max_ms);
-        num("cold_ms", self.cold_ms);
-        num("warm_p50_ms", self.warm_p50_ms);
         num("library_hits", self.library_hits as f64);
         num("library_misses", self.library_misses as f64);
         num("netlist_hits", self.netlist_hits as f64);
         num("netlist_misses", self.netlist_misses as f64);
+        // Absent latency stats are omitted rather than reported as 0.0:
+        // a fake "0 ms warm p50" on an all-cold run reads as an
+        // impossibly fast cache, not as "no data".
+        for (name, v) in [
+            ("p50_ms", self.p50_ms),
+            ("p90_ms", self.p90_ms),
+            ("p99_ms", self.p99_ms),
+            ("max_ms", self.max_ms),
+            ("cold_ms", self.cold_ms),
+            ("warm_p50_ms", self.warm_p50_ms),
+        ] {
+            if let Some(v) = v {
+                obj.insert(name.to_string(), json::Value::Num(v));
+            }
+        }
         obj.insert("metrics_ok".to_string(), json::Value::Bool(self.metrics_ok));
         obj.insert(
             "clean_shutdown".to_string(),
@@ -151,15 +162,19 @@ impl LoadReport {
         json::Value::Obj(obj).to_string()
     }
 
-    /// Renders a human-readable summary.
+    /// Renders a human-readable summary. Absent latency stats print as
+    /// `n/a`, never as a fake `0.0`.
     #[must_use]
     pub fn render_text(&self) -> String {
+        fn ms(v: Option<f64>) -> String {
+            v.map_or_else(|| "n/a".to_string(), |v| format!("{v:.1}"))
+        }
         format!(
             "loadgen: {} jobs in {:.0} ms ({:.1} jobs/s)\n\
              outcomes: {} complete, {} degraded, {} failed, {} hangs\n\
              admission: {} retried 503s\n\
-             latency ms: p50 {:.1}, p90 {:.1}, p99 {:.1}, max {:.1}\n\
-             cache: cold {:.1} ms, warm p50 {:.1} ms; library {}/{} hits, netlist {}/{} hits\n\
+             latency ms: p50 {}, p90 {}, p99 {}, max {}\n\
+             cache: cold {} ms, warm p50 {} ms; library {}/{} hits, netlist {}/{} hits\n\
              metrics {}, shutdown {}\n",
             self.jobs,
             self.wall_ms,
@@ -169,12 +184,12 @@ impl LoadReport {
             self.failed,
             self.hangs,
             self.rejected_retries,
-            self.p50_ms,
-            self.p90_ms,
-            self.p99_ms,
-            self.max_ms,
-            self.cold_ms,
-            self.warm_p50_ms,
+            ms(self.p50_ms),
+            ms(self.p90_ms),
+            ms(self.p99_ms),
+            ms(self.max_ms),
+            ms(self.cold_ms),
+            ms(self.warm_p50_ms),
             self.library_hits,
             self.library_hits + self.library_misses,
             self.netlist_hits,
@@ -225,11 +240,11 @@ pub fn run(config: &LoadgenConfig) -> io::Result<LoadReport> {
     };
 
     let started = Instant::now();
-    let mut cold_ms = 0.0;
+    let mut cold_ms = None;
     if config.jobs > 0 {
         // The first job runs alone: it pays the cold caches.
         let sample = submit_and_wait(&addr, &body, config.hang_timeout, &shared.rejected);
-        cold_ms = sample.latency.as_secs_f64() * 1e3;
+        cold_ms = Some(sample.latency.as_secs_f64() * 1e3);
         shared.samples.lock().expect("samples lock").push(sample);
     }
     if config.jobs > 1 {
@@ -297,7 +312,7 @@ pub fn run(config: &LoadgenConfig) -> io::Result<LoadReport> {
         p50_ms: percentile(&latencies, 50.0),
         p90_ms: percentile(&latencies, 90.0),
         p99_ms: percentile(&latencies, 99.0),
-        max_ms: latencies.last().copied().unwrap_or(0.0),
+        max_ms: latencies.last().copied(),
         cold_ms,
         warm_p50_ms: percentile(&warm, 50.0),
         library_hits: counters
@@ -449,12 +464,14 @@ fn parse_metrics(text: &str) -> BTreeMap<String, u64> {
     counters
 }
 
-fn percentile(sorted: &[f64], p: f64) -> f64 {
+fn percentile(sorted: &[f64], p: f64) -> Option<f64> {
     if sorted.is_empty() {
-        return 0.0;
+        // No samples means no percentile — returning 0.0 here used to
+        // masquerade as a real (and spectacular) latency downstream.
+        return None;
     }
     let rank = (p / 100.0) * (sorted.len() - 1) as f64;
-    sorted[rank.round() as usize]
+    Some(sorted[rank.round() as usize])
 }
 
 #[cfg(test)]
@@ -477,9 +494,44 @@ y = AND(n1, n2)
     #[test]
     fn percentiles_pick_from_the_sorted_tail() {
         let data = [1.0, 2.0, 3.0, 4.0, 100.0];
-        assert!((percentile(&data, 50.0) - 3.0).abs() < 1e-9);
-        assert!((percentile(&data, 99.0) - 100.0).abs() < 1e-9);
-        assert_eq!(percentile(&[], 50.0), 0.0);
+        assert!((percentile(&data, 50.0).unwrap() - 3.0).abs() < 1e-9);
+        assert!((percentile(&data, 99.0).unwrap() - 100.0).abs() < 1e-9);
+        assert_eq!(percentile(&[], 50.0), None, "empty samples have no p50");
+    }
+
+    #[test]
+    fn empty_latency_stats_report_as_absent_not_zero() {
+        let report = LoadReport {
+            jobs: 1,
+            completed: 1,
+            degraded: 0,
+            failed: 0,
+            hangs: 0,
+            rejected_retries: 0,
+            wall_ms: 12.0,
+            throughput_jobs_per_s: 1.0,
+            p50_ms: Some(12.0),
+            p90_ms: Some(12.0),
+            p99_ms: Some(12.0),
+            max_ms: Some(12.0),
+            cold_ms: Some(12.0),
+            warm_p50_ms: None,
+            library_hits: 0,
+            library_misses: 1,
+            netlist_hits: 0,
+            netlist_misses: 1,
+            metrics_ok: true,
+            clean_shutdown: true,
+        };
+        let text = report.render_text();
+        assert!(text.contains("warm p50 n/a ms"), "got {text}");
+        assert!(!text.contains("warm p50 0.0"), "got {text}");
+        let parsed = json::parse(&report.render_json()).unwrap();
+        assert!(parsed.get("warm_p50_ms").is_none(), "omitted in JSON");
+        assert_eq!(
+            parsed.get("cold_ms").and_then(json::Value::as_f64),
+            Some(12.0)
+        );
     }
 
     #[test]

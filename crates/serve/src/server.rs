@@ -29,7 +29,10 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use svtox_core::{Budget, CancelToken, DelayPenalty, ExecConfig, Problem, RetryPolicy, RunOutcome};
+use svtox_core::{
+    Budget, CancelToken, DelayPenalty, ExecConfig, PortfolioConfig, Problem, RetryPolicy,
+    RunOutcome,
+};
 use svtox_fault::{Fault, FaultPlan};
 use svtox_obs::{json, FieldValue, Obs};
 use svtox_sta::TimingConfig;
@@ -234,6 +237,7 @@ impl ServerHandle {
                 error: Some("server shutdown before the job started".to_string()),
                 circuit: job.spec.circuit.clone().unwrap_or_default(),
                 solution: None,
+                winner: None,
                 liberty_cells: None,
                 baseline_leakage_ua: None,
             })));
@@ -509,6 +513,7 @@ fn failed(circuit: &str, error: String) -> JobResult {
         error: Some(error),
         circuit: circuit.to_string(),
         solution: None,
+        winner: None,
         liberty_cells: None,
         baseline_leakage_ua: None,
     }
@@ -591,7 +596,19 @@ fn execute(state: &Arc<ServerState>, job: &Arc<JobRecord>) -> JobResult {
         .optimizer(penalty, spec.mode)
         .with_obs(&job_obs)
         .with_fault(&state.fault);
-    let outcome = optimizer.run_with_budget(&exec, &budget, None);
+    // `"mode":"portfolio"` races the strategy portfolio and reports the
+    // winning member; the default path is the single-strategy engine.
+    let (outcome, winner) = if spec.portfolio {
+        match optimizer.run_portfolio(&exec, &budget, &PortfolioConfig::default(), None) {
+            Ok(p) => {
+                let winner = p.winner.slug().to_string();
+                (p.into_run_outcome(), Some(winner))
+            }
+            Err(error) => (RunOutcome::Failed { error }, None),
+        }
+    } else {
+        (optimizer.run_with_budget(&exec, &budget, None), None)
+    };
     job_obs.emit_counters();
     job_obs.flush();
     // Fold the job's engine counters into the server registry so
@@ -607,6 +624,7 @@ fn execute(state: &Arc<ServerState>, job: &Arc<JobRecord>) -> JobResult {
             error: None,
             circuit,
             solution: Some(SolutionSummary::of(&solution)),
+            winner,
             liberty_cells,
             baseline_leakage_ua,
         },
@@ -616,6 +634,7 @@ fn execute(state: &Arc<ServerState>, job: &Arc<JobRecord>) -> JobResult {
             error: None,
             circuit,
             solution: Some(SolutionSummary::of(&best)),
+            winner,
             liberty_cells,
             baseline_leakage_ua,
         },
@@ -691,6 +710,37 @@ mod tests {
             metrics.body
         );
         assert!(metrics.body.contains("serve.jobs_degraded"));
+        handle.shutdown();
+    }
+
+    #[test]
+    fn portfolio_jobs_report_a_winning_strategy() {
+        let handle = start(test_config()).unwrap();
+        let addr = handle.addr().to_string();
+        let response = post_json(
+            &addr,
+            "/jobs",
+            r#"{"circuit":"c432","mode":"portfolio","deadline_ms":300}"#,
+        );
+        assert_eq!(response.status, 202, "{}", response.body);
+        let id = json::parse(&response.body)
+            .unwrap()
+            .get("id")
+            .and_then(json::Value::as_f64)
+            .unwrap() as u64;
+        let doc = wait_done(&addr, id);
+        let outcome = doc.get("outcome").and_then(|v| v.as_str()).unwrap();
+        assert!(outcome == "complete" || outcome == "degraded", "{doc}");
+        let winner = doc.get("winner").and_then(|v| v.as_str()).unwrap();
+        assert!(
+            ["h1", "h2-influence", "h2-natural", "h2-reverse", "restarts"].contains(&winner)
+                || winner.starts_with("exact"),
+            "unexpected winner {winner}"
+        );
+        assert!(
+            doc.get("vector").is_some(),
+            "portfolio jobs carry a solution"
+        );
         handle.shutdown();
     }
 
