@@ -58,6 +58,18 @@ cargo run --release -p svtox-cli --bin svtox -- \
 grep -q '"regressions":0' results/BENCH_portfolio.json
 grep -q '"winner":"' results/BENCH_portfolio.json
 
+echo "==> eco bench (warm ECO re-optimization vs cold re-run, gated at 2x)"
+# After the standard edit scripts, the warm-seeded rerun must reach the
+# cold run's final quality at least 2x faster on every suite circuit
+# (the measured margin is far larger; the gate only catches regressions).
+# The two new differential oracles behind this path — netlist.edit_eq_rebuild
+# and core.eco_eq_cold — run as part of the `svtox check` step above.
+mkdir -p results
+cargo run --release -p svtox-cli --bin svtox -- \
+  suite --eco-bench --deadline 3 --threads 4 --json --min-speedup 2 \
+  --out results/BENCH_eco.json > /dev/null
+grep -q '"bench":"eco"' results/BENCH_eco.json
+
 echo "==> serve smoke (in-process server, 50-job load, metrics + clean shutdown)"
 # loadgen spawns the server in-process (no port to coordinate), replays the
 # jobs, scrapes /metrics, and shuts down; it exits non-zero on any hang,

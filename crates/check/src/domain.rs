@@ -10,7 +10,7 @@ use svtox_cells::{InputState, Library, LibraryOptions};
 use svtox_core::{DelayPenalty, Mode};
 use svtox_exec::rng::Xoshiro256pp;
 use svtox_netlist::generators::{random_dag, RandomDagSpec};
-use svtox_netlist::Netlist;
+use svtox_netlist::{EditOp, EditScript, Netlist, NetlistBuilder};
 use svtox_tech::Technology;
 
 use crate::strategy::Strategy;
@@ -117,6 +117,135 @@ impl Strategy for DagStrategy {
     fn shrink(&self, value: &RandomDagSpec) -> Vec<RandomDagSpec> {
         value.shrink_candidates()
     }
+}
+
+/// Generates a random-but-valid ECO edit script for `netlist`: every
+/// candidate operation is validated against a scratch clone before it is
+/// kept, so the returned script applies cleanly to (a clone of)
+/// `netlist`. Candidates cover all four edit primitives; ones the edit
+/// API rejects (cycle-creating rewires, removals of consumed gates) are
+/// skipped, so the script may hold fewer than `num_ops` operations.
+///
+/// Signals are referenced by name, edits never add or drop a primary
+/// input, and retags only promote gate-driven nets — so the edited
+/// netlist keeps the same input count and stays a valid optimization
+/// problem.
+#[must_use]
+pub fn random_edit_script(netlist: &Netlist, seed: u64, num_ops: usize) -> EditScript {
+    // Primitive library kinds only: ECO scripts in the optimization flow
+    // edit already-mapped netlists, and `Problem::new` rejects anything
+    // the standby library cannot characterize (e.g. AND2).
+    const KINDS: [&str; 3] = ["NAND", "NOR", "NOT"];
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
+    let mut scratch = netlist.clone();
+    let mut ops: Vec<EditOp> = Vec::new();
+    let mut fresh = 0usize;
+    for _ in 0..num_ops.saturating_mul(8) {
+        if ops.len() >= num_ops {
+            break;
+        }
+        let names: Vec<String> = scratch
+            .nets()
+            .map(|(_, net)| net.name().to_string())
+            .collect();
+        let op = match rng.gen_index(4) {
+            0 => {
+                let kind = KINDS[rng.gen_index(KINDS.len())];
+                let arity = if kind == "NOT" { 1 } else { 2 };
+                let inputs: Vec<String> = (0..arity)
+                    .map(|_| names[rng.gen_index(names.len())].clone())
+                    .collect();
+                fresh += 1;
+                EditOp::Add {
+                    output: format!("ecoq{fresh}"),
+                    kind: kind.to_string(),
+                    inputs,
+                }
+            }
+            1 => {
+                // A gate is removable while its output is unconsumed and
+                // not a primary output — mostly gates this script added.
+                let removable: Vec<String> = scratch
+                    .nets()
+                    .filter(|&(id, net)| {
+                        net.driver().is_some()
+                            && net.fanouts().is_empty()
+                            && !scratch.is_primary_output(id)
+                    })
+                    .map(|(_, net)| net.name().to_string())
+                    .collect();
+                if removable.is_empty() {
+                    continue;
+                }
+                EditOp::Remove {
+                    output: removable[rng.gen_index(removable.len())].clone(),
+                }
+            }
+            2 => {
+                let gates: Vec<_> = scratch.gates().map(|(gid, _)| gid).collect();
+                let gid = gates[rng.gen_index(gates.len())];
+                let gate = scratch.gate(gid);
+                EditOp::Rewire {
+                    output: scratch.net(gate.output()).name().to_string(),
+                    pin: rng.gen_index(gate.kind().arity()),
+                    new_input: names[rng.gen_index(names.len())].clone(),
+                }
+            }
+            _ => {
+                let outputs = scratch.outputs();
+                let old = outputs[rng.gen_index(outputs.len())];
+                let promotable: Vec<String> = scratch
+                    .nets()
+                    .filter(|&(id, net)| net.driver().is_some() && !scratch.is_primary_output(id))
+                    .map(|(_, net)| net.name().to_string())
+                    .collect();
+                if promotable.is_empty() {
+                    continue;
+                }
+                EditOp::Retag {
+                    old: scratch.net(old).name().to_string(),
+                    new: promotable[rng.gen_index(promotable.len())].clone(),
+                }
+            }
+        };
+        // Individual operations are atomic, so a rejected candidate
+        // (e.g. a cycle-creating rewire) leaves the scratch unchanged.
+        if EditScript::new(vec![op.clone()])
+            .apply(&mut scratch)
+            .is_ok()
+        {
+            ops.push(op);
+        }
+    }
+    EditScript::new(ops)
+}
+
+/// Rebuilds a netlist from its raw structure through the builder — the
+/// differential oracle for incremental editing: an edited netlist must be
+/// bit-identical (ids, fanout order, topological order) to this
+/// from-scratch reconstruction of the same structure.
+///
+/// # Panics
+///
+/// Panics if `n` violates its own invariants, which is exactly what the
+/// caller is checking for.
+#[must_use]
+pub fn rebuild_netlist(n: &Netlist) -> Netlist {
+    let mut b = NetlistBuilder::new(n.name());
+    for (_, net) in n.nets() {
+        b.declare_net(net.name());
+    }
+    for &pi in n.inputs() {
+        b.promote_to_input(pi).expect("inputs are undriven");
+    }
+    for (_, g) in n.gates() {
+        b.add_gate_driving(g.kind(), g.inputs(), g.output())
+            .expect("gates re-apply to the same nets");
+    }
+    for &po in n.outputs() {
+        b.mark_output(po);
+    }
+    b.finish().expect("a validated netlist rebuilds")
 }
 
 /// A per-gate [`InputState`] of a fixed arity, shrinking toward all-zero
@@ -400,6 +529,42 @@ mod tests {
         for candidate in s.shrink(&mutated) {
             assert!(candidate.lines().count() < mutated.lines().count());
         }
+    }
+
+    #[test]
+    fn random_edit_scripts_apply_cleanly_and_cover_the_op_space() {
+        let base = random_circuit("edits", 11, 6, 24);
+        let mut kinds_seen = [false; 4];
+        for seed in 0..40u64 {
+            let script = random_edit_script(&base, seed, 8);
+            assert!(!script.is_empty(), "seed {seed} produced an empty script");
+            for op in script.ops() {
+                let slot = match op {
+                    EditOp::Add { .. } => 0,
+                    EditOp::Remove { .. } => 1,
+                    EditOp::Rewire { .. } => 2,
+                    EditOp::Retag { .. } => 3,
+                };
+                kinds_seen[slot] = true;
+            }
+            let mut edited = base.clone();
+            script
+                .apply(&mut edited)
+                .unwrap_or_else(|e| panic!("seed {seed}: script does not apply: {e}"));
+            assert_eq!(edited.num_inputs(), base.num_inputs());
+        }
+        assert_eq!(kinds_seen, [true; 4], "some op kind was never generated");
+        // Same seed, same script.
+        assert_eq!(
+            random_edit_script(&base, 3, 6),
+            random_edit_script(&base, 3, 6)
+        );
+    }
+
+    #[test]
+    fn rebuild_netlist_is_the_identity_on_valid_netlists() {
+        let n = random_circuit("rebuild", 5, 7, 30);
+        assert_eq!(rebuild_netlist(&n), n);
     }
 
     #[test]

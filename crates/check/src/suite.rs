@@ -9,6 +9,9 @@
 //! |---|---|
 //! | `opt.heuristic_not_below_exact` | heuristic cost ≥ exact B&B cost; exact ≤ exhaustive all-fast enumeration; budgets met |
 //! | `opt.parallel_bit_identity` | serial `exact`/`heuristic2` vs `*_parallel` at 2–4 workers |
+//! | `core.eco_eq_cold` | warm-seeded `rerun_after_edit` vs a cold re-optimization of the edited netlist, bit for bit at 1/2/4 workers |
+//! | `netlist.strash_preserves_function` | structurally-hashed netlist vs the original, lane-for-lane under `PackedSimulator`; census and idempotence |
+//! | `netlist.edit_eq_rebuild` | a random edit script applied incrementally vs a from-scratch rebuild of the same structure |
 //! | `sim.tri_covers_two` | `TriSimulator` possible-state sets vs two-valued `Simulator` |
 //! | `sim.packed_eq_scalar_two` | word-level `PackedSimulator` vs scalar `Simulator`, lane-for-lane on random vector batches (ragged tails included) |
 //! | `sim.packed_eq_scalar_tri` | dual-plane `PackedTriSimulator` vs scalar `TriSimulator` on random three-valued batches |
@@ -29,7 +32,7 @@ use svtox_core::{Budget, CheckpointSpec, PortfolioConfig, PortfolioOutcome, Prob
 use svtox_exec::rng::Xoshiro256pp;
 use svtox_fault::{Fault, FaultPlan, Site, Trigger};
 use svtox_netlist::generators::random_dag;
-use svtox_netlist::parse_bench;
+use svtox_netlist::{parse_bench, strash};
 use svtox_sim::{
     vector_leakage, vector_leakage_batch, Logic, PackedSimulator, PackedTriSimulator, PackedTriVec,
     PackedVec, Simulator, TriSimulator, LANES,
@@ -37,7 +40,10 @@ use svtox_sim::{
 use svtox_sta::{GateConfig, Sta, TimingConfig};
 use svtox_tech::{Current, Device, MosType, OxideClass, Technology, Time, Voltage, VtClass};
 
-use crate::domain::{random_circuit, test_library, BenchMutations, DagStrategy, OptConfigStrategy};
+use crate::domain::{
+    random_circuit, random_edit_script, rebuild_netlist, test_library, BenchMutations, DagStrategy,
+    OptConfigStrategy,
+};
 use crate::report::PropertyReport;
 use crate::runner::{check_property, CheckConfig};
 use crate::strategy::{choice, int_range, AnyU64};
@@ -155,6 +161,217 @@ pub fn run_builtin_suite(config: &CheckConfig, filter: Option<&str>) -> Vec<Prop
                 Ok(())
             },
             &scaled(0.25),
+        ));
+    }
+
+    // --- ECO rerun vs cold re-optimization of the edited netlist. ------
+    // Warm seeding feeds the pre-edit solution to the shared incumbent
+    // bound only; the result must stay bit-identical to a cold run at any
+    // worker count (see the soundness note in svtox-core's eco module).
+    if wanted("core.eco_eq_cold") {
+        let strategy = (
+            (DagStrategy::small(), AnyU64),
+            (int_range(1, 6), choice(&[1usize, 2, 4])),
+        );
+        reports.push(check_property(
+            "core.eco_eq_cold",
+            &strategy,
+            |((spec, seed), (num_ops, threads))| {
+                let pre = random_dag(spec).map_err(|e| format!("generator: {e}"))?;
+                let problem =
+                    Problem::new(&pre, &lib, TimingConfig::default()).map_err(|e| e.to_string())?;
+                let opt = problem.optimizer(
+                    svtox_core::DelayPenalty::five_percent(),
+                    svtox_core::Mode::Proposed,
+                );
+                let (prev, _) = opt
+                    .heuristic2_parallel(&svtox_core::ExecConfig::serial())
+                    .map_err(|e| format!("pre-edit run: {e}"))?;
+                let script = random_edit_script(&pre, *seed, *num_ops);
+                let mut post = pre.clone();
+                let trace = script.apply(&mut post).map_err(|e| format!("apply: {e}"))?;
+                post.take_dirty();
+                let post_problem = Problem::new(&post, &lib, TimingConfig::default())
+                    .map_err(|e| e.to_string())?;
+                let post_opt = post_problem.optimizer(
+                    svtox_core::DelayPenalty::five_percent(),
+                    svtox_core::Mode::Proposed,
+                );
+                let (cold, _) = post_opt
+                    .heuristic2_parallel(&svtox_core::ExecConfig::serial())
+                    .map_err(|e| format!("cold run: {e}"))?;
+                let report = post_opt
+                    .rerun_after_edit(
+                        &svtox_core::ExecConfig::with_threads(*threads),
+                        Some(&prev),
+                        &trace,
+                        None,
+                        None,
+                    )
+                    .map_err(|e| format!("eco({threads}): {e}"))?;
+                let eco = &report.solution;
+                if !eco.same_assignment(&cold)
+                    || eco.leakage.value().to_bits() != cold.leakage.value().to_bits()
+                    || eco.delay.value().to_bits() != cold.delay.value().to_bits()
+                {
+                    return Err(format!(
+                        "eco rerun at {threads} worker(s) diverged after {} op(s): \
+                         {} vs cold {}",
+                        script.len(),
+                        eco.leakage,
+                        cold.leakage
+                    ));
+                }
+                // Edits never touch the primary inputs, so the previous
+                // vector is always offered and always evaluable.
+                if report.warm.candidates != 1 || report.warm.evaluated != 1 {
+                    return Err(format!(
+                        "warm seeding broke: {} candidate(s), {} evaluated",
+                        report.warm.candidates, report.warm.evaluated
+                    ));
+                }
+                eco.verify(&post_problem)
+                    .map_err(|e| format!("eco verify: {e}"))?;
+                Ok(())
+            },
+            &scaled(0.15),
+        ));
+    }
+
+    // --- Structural hashing vs the original, under packed simulation. --
+    if wanted("netlist.strash_preserves_function") {
+        let strategy = (DagStrategy::medium(), AnyU64, int_range(1, 130));
+        reports.push(check_property(
+            "netlist.strash_preserves_function",
+            &strategy,
+            |(spec, seed, num_vectors)| {
+                let n = random_dag(spec).map_err(|e| format!("generator: {e}"))?;
+                let (s, stats) = strash(&n);
+                if stats.hits + stats.misses != n.num_gates() as u64
+                    || s.num_gates() as u64 != stats.misses
+                {
+                    return Err(format!(
+                        "census mismatch: {} gates, {} hits + {} misses, {} survivors",
+                        n.num_gates(),
+                        stats.hits,
+                        stats.misses,
+                        s.num_gates()
+                    ));
+                }
+                if s.num_inputs() != n.num_inputs() || s.num_outputs() != n.num_outputs() {
+                    return Err(format!(
+                        "interface changed: {}i/{}o vs {}i/{}o",
+                        s.num_inputs(),
+                        s.num_outputs(),
+                        n.num_inputs(),
+                        n.num_outputs()
+                    ));
+                }
+                for (&po_n, &po_s) in n.outputs().iter().zip(s.outputs()) {
+                    if n.net(po_n).name() != s.net(po_s).name() {
+                        return Err(format!(
+                            "output renamed: `{}` vs `{}`",
+                            s.net(po_s).name(),
+                            n.net(po_n).name()
+                        ));
+                    }
+                }
+                let mut rng = Xoshiro256pp::seed_from_u64(*seed);
+                let mut original = PackedSimulator::new(&n);
+                let mut hashed = PackedSimulator::new(&s);
+                let mut remaining = *num_vectors;
+                while remaining > 0 {
+                    let lanes = remaining.min(LANES);
+                    let vectors: Vec<Vec<bool>> = (0..lanes)
+                        .map(|_| (0..n.num_inputs()).map(|_| rng.gen_bool(0.5)).collect())
+                        .collect();
+                    let batch = PackedVec::from_vectors(&vectors);
+                    original.set_inputs(&batch);
+                    hashed.set_inputs(&batch);
+                    for lane in 0..lanes {
+                        for (i, (&po_n, &po_s)) in n.outputs().iter().zip(s.outputs()).enumerate() {
+                            if original.lane(po_n, lane) != hashed.lane(po_s, lane) {
+                                return Err(format!(
+                                    "output {i} lane {lane}: original {} vs strashed {}",
+                                    original.lane(po_n, lane),
+                                    hashed.lane(po_s, lane)
+                                ));
+                            }
+                        }
+                    }
+                    remaining -= lanes;
+                }
+                // Structural idempotence: a second pass finds nothing
+                // left to merge. (Bit-identity is NOT promised — the
+                // corpus holds a shrunk case where the rebuilt netlist's
+                // FIFO-Kahn topo order differs from its insertion order,
+                // so a second pass renumbers gates while merging nothing.)
+                let (s2, st2) = strash(&s);
+                if st2.hits != 0 || s2.num_gates() != s.num_gates() {
+                    return Err(format!(
+                        "second strash pass still merged: {} hit(s), {} -> {} gates",
+                        st2.hits,
+                        s.num_gates(),
+                        s2.num_gates()
+                    ));
+                }
+                Ok(())
+            },
+            &scaled(0.5),
+        ));
+    }
+
+    // --- Incremental editing vs a from-scratch rebuild. ----------------
+    // The edit API promises an edited netlist is bit-identical — ids,
+    // sorted fanouts, topological order, content hash — to rebuilding the
+    // same structure through the builder.
+    if wanted("netlist.edit_eq_rebuild") {
+        let strategy = (DagStrategy::medium(), AnyU64, int_range(1, 12));
+        reports.push(check_property(
+            "netlist.edit_eq_rebuild",
+            &strategy,
+            |(spec, seed, num_ops)| {
+                let n = random_dag(spec).map_err(|e| format!("generator: {e}"))?;
+                let script = random_edit_script(&n, *seed, *num_ops);
+                let mut edited = n.clone();
+                let trace = script
+                    .apply(&mut edited)
+                    .map_err(|e| format!("apply: {e}"))?;
+                let rebuilt = rebuild_netlist(&edited);
+                if edited != rebuilt {
+                    return Err(format!(
+                        "edited netlist diverged from its from-scratch rebuild \
+                         after {} op(s)",
+                        script.len()
+                    ));
+                }
+                if edited.content_hash() != rebuilt.content_hash() {
+                    return Err("content hashes diverged on equal netlists".to_string());
+                }
+                if edited.num_gates() + trace.removed_gates != n.num_gates() + trace.added_gates {
+                    return Err(format!(
+                        "gate census broke: {} gates from {} after +{} / -{}",
+                        edited.num_gates(),
+                        n.num_gates(),
+                        trace.added_gates,
+                        trace.removed_gates
+                    ));
+                }
+                // The trace's net map must point at the same-named nets.
+                for ((_, pre_net), slot) in n.nets().zip(&trace.net_map) {
+                    if let Some(post) = slot {
+                        if edited.net(*post).name() != pre_net.name() {
+                            return Err(format!(
+                                "net map broke: `{}` mapped onto `{}`",
+                                pre_net.name(),
+                                edited.net(*post).name()
+                            ));
+                        }
+                    }
+                }
+                Ok(())
+            },
+            &scaled(0.5),
         ));
     }
 
@@ -770,6 +987,9 @@ pub fn builtin_property_names() -> Vec<&'static str> {
     vec![
         "opt.heuristic_not_below_exact",
         "opt.parallel_bit_identity",
+        "core.eco_eq_cold",
+        "netlist.strash_preserves_function",
+        "netlist.edit_eq_rebuild",
         "sim.tri_covers_two",
         "sim.packed_eq_scalar_two",
         "sim.packed_eq_scalar_tri",

@@ -12,7 +12,9 @@
 //! * `check` — run the property-based differential oracle suite
 //!   (`svtox-check`) with per-property pass/fail/counterexample reporting;
 //! * `chaos` — run named fault-injection scenarios and assert the
-//!   degradation invariants (see [`chaos`]).
+//!   degradation invariants (see [`chaos`]);
+//! * `eco` — apply an edit script to a circuit and re-optimize
+//!   incrementally, reporting what the warm restart reused.
 //!
 //! The binary (`src/main.rs`) is a thin shell over [`run`]; everything here
 //! is unit-testable.
@@ -21,6 +23,7 @@
 #![warn(missing_docs)]
 
 pub mod chaos;
+pub mod ecobench;
 pub mod portbench;
 pub mod simbench;
 
@@ -38,7 +41,8 @@ use svtox_core::{
 use svtox_fault::{Fault, FaultPlan};
 use svtox_netlist::generators::{benchmark, BenchmarkProfile};
 use svtox_netlist::{
-    insert_sleep_vector, map_to_primitives, read_bench, read_verilog, MappingOptions, Netlist,
+    insert_sleep_vector, map_to_primitives, read_bench, read_verilog, strash, EditScript,
+    MappingOptions, Netlist,
 };
 use svtox_obs::{JsonlSink, Obs};
 use svtox_sim::{random_average_leakage, random_average_leakage_parallel, Simulator};
@@ -68,8 +72,32 @@ pub enum Command {
     Serve(ServeArgs),
     /// `loadgen` subcommand.
     Loadgen(LoadgenArgs),
+    /// `eco` subcommand.
+    Eco(EcoArgs),
     /// `--help` or no arguments.
     Help,
+}
+
+/// Arguments of `svtox eco`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EcoArgs {
+    /// Benchmark name or `.bench` file path (the pre-edit circuit).
+    pub target: String,
+    /// Edit-script file (`add`/`remove`/`rewire`/`retag` lines).
+    pub edits: String,
+    /// Delay penalty fraction.
+    pub penalty: f64,
+    /// Optimization mode.
+    pub mode: Mode,
+    /// Worker threads for the search engine (`0` = one per CPU).
+    pub threads: usize,
+    /// Wall-clock budget for each improvement pass.
+    pub time_budget: Duration,
+    /// Pre-edit checkpoint file whose recorded vectors seed the warm
+    /// restart.
+    pub checkpoint: Option<String>,
+    /// Print the final counter/gauge table after the run.
+    pub metrics: bool,
 }
 
 /// Arguments of `svtox serve`.
@@ -124,6 +152,9 @@ pub struct SuiteArgs {
     /// Run the portfolio-vs-single engine benchmark instead of listing
     /// the benchmark reconstructions.
     pub portfolio_bench: bool,
+    /// Run the warm-ECO-vs-cold-restart benchmark instead of listing the
+    /// benchmark reconstructions.
+    pub eco_bench: bool,
     /// Vectors per packed estimator call in the micro-benchmark.
     pub vectors: usize,
     /// Deadline both engines run under (portfolio-bench only).
@@ -133,8 +164,9 @@ pub struct SuiteArgs {
     pub threads: usize,
     /// Write the JSON report to this path (bench modes only).
     pub out: Option<String>,
-    /// Fail (non-zero exit) if the aggregate speedup falls below this
-    /// factor (sim-bench only; `0` disables the gate).
+    /// Fail (non-zero exit) if the aggregate (sim-bench) or minimum
+    /// per-circuit (eco-bench) speedup falls below this factor (`0`
+    /// disables the gate).
     pub min_speedup: f64,
     /// Emit the report as JSON instead of text.
     pub json: bool,
@@ -145,6 +177,7 @@ impl Default for SuiteArgs {
         Self {
             sim_bench: false,
             portfolio_bench: false,
+            eco_bench: false,
             vectors: 4096,
             deadline: Duration::from_millis(1500),
             threads: 0,
@@ -274,9 +307,10 @@ USAGE:
   svtox sweep <circuit|file.bench> [--penalties 0,5,10,25,100]
   svtox library [--two-option] [--uniform-stack] [--liberty FILE]
   svtox report <circuit|file.bench> [--penalties 5]
-  svtox suite [--sim-bench [--vectors N] [--min-speedup X]]
-              [--portfolio-bench [--deadline SECONDS] [--threads N]]
-              [--out FILE] [--json]
+  svtox suite [--sim-bench [--vectors N]]
+              [--portfolio-bench] [--eco-bench]
+              [--deadline SECONDS] [--threads N]
+              [--min-speedup X] [--out FILE] [--json]
   svtox check [--cases N] [--seed S] [--shrink-limit K] [--threads N]
               [--json] [--corpus DIR] [--property NAME] [--replay STREAMSEED]
   svtox chaos <scenario>|--all [--seed S] [--threads N] [--target CIRCUIT]
@@ -285,6 +319,9 @@ USAGE:
   svtox loadgen [circuit|file.bench] [--addr HOST:PORT] [--jobs N]
                 [--concurrency N] [--deadline SECONDS] [--threads N]
                 [--penalty PCT] [--vectors N] [--runners N] [--json]
+  svtox eco <circuit|file.bench> --edits FILE [--penalty PCT]
+            [--mode proposed|vt|state] [--threads N]
+            [--time-budget SECONDS] [--checkpoint FILE] [--metrics]
 
 Circuits: built-in reconstructions (c432 … c7552, alu64), ISCAS-85/89
 `.bench` files, or flat structural Verilog `.v` files (composite gates are
@@ -347,6 +384,20 @@ single-strategy engine at the same `--deadline` on the suite circuits,
 reporting the winning strategy and final cost per circuit (`--json`, or
 `--out results/BENCH_portfolio.json`); any circuit where the portfolio
 ends above the single engine's cost fails the command.
+
+ECO: `eco` applies an edit script to a circuit (`add t = NAND(a, b)`,
+`remove t`, `rewire NET PIN NEWNET`, `retag OLDPO NEWPO`; `#` comments)
+and re-optimizes the post-edit netlist with a warm restart: the pre-edit
+solution's vector (and, with `--checkpoint FILE`, the vectors recorded by
+a pre-edit `optimize --checkpoint` run) are re-evaluated as incumbents
+that seed the shared pruning bound, so untouched cones are never searched
+from scratch. The report shows the reused-vs-recomputed split — gates
+carried over, warm candidates evaluated, and how few gates the
+incremental timing analyzer had to revisit. The answer is bit-identical
+to a cold re-run at any thread count. `suite --eco-bench` races that warm
+restart against a cold restart on the suite circuits at the same
+`--deadline` and scores time-to-quality; `--min-speedup X` gates the
+slowest circuit's ratio (CI records `results/BENCH_eco.json`).
 ";
 
 /// Parses raw arguments (excluding the program name).
@@ -494,6 +545,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 match a.as_str() {
                     "--sim-bench" => args.sim_bench = true,
                     "--portfolio-bench" => args.portfolio_bench = true,
+                    "--eco-bench" => args.eco_bench = true,
                     "--vectors" => args.vectors = uint(&mut it, "--vectors")?,
                     "--deadline" => args.deadline = seconds(&mut it, "--deadline")?,
                     "--threads" => args.threads = uint(&mut it, "--threads")?,
@@ -503,22 +555,22 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     other => return Err(CliError(format!("unknown flag `{other}`"))),
                 }
             }
-            if args.sim_bench && args.portfolio_bench {
+            let benches = usize::from(args.sim_bench)
+                + usize::from(args.portfolio_bench)
+                + usize::from(args.eco_bench);
+            if benches > 1 {
                 return Err(CliError(
-                    "--sim-bench and --portfolio-bench are mutually exclusive".into(),
+                    "--sim-bench, --portfolio-bench and --eco-bench are mutually exclusive".into(),
                 ));
             }
-            if !args.sim_bench
-                && !args.portfolio_bench
-                && (args.out.is_some() || args.min_speedup > 0.0)
-            {
+            if benches == 0 && (args.out.is_some() || args.min_speedup > 0.0) {
                 return Err(CliError(
                     "--out/--min-speedup only apply with a bench mode".into(),
                 ));
             }
-            if args.min_speedup > 0.0 && !args.sim_bench {
+            if args.min_speedup > 0.0 && args.portfolio_bench {
                 return Err(CliError(
-                    "--min-speedup only applies with --sim-bench".into(),
+                    "--min-speedup only applies with --sim-bench or --eco-bench".into(),
                 ));
             }
             if args.min_speedup < 0.0 {
@@ -656,6 +708,55 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 return Err(CliError("--jobs must be at least 1".into()));
             }
             Ok(Command::Loadgen(args))
+        }
+        "eco" => {
+            let mut target: Option<String> = None;
+            let mut args = EcoArgs {
+                target: String::new(),
+                edits: String::new(),
+                penalty: 0.05,
+                mode: Mode::Proposed,
+                threads: 1,
+                time_budget: Duration::from_secs(1),
+                checkpoint: None,
+                metrics: false,
+            };
+            let mut edits: Option<String> = None;
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--edits" => edits = Some(next(&mut it, "--edits")?),
+                    "--penalty" => args.penalty = pct(&mut it)? / 100.0,
+                    "--mode" => {
+                        args.mode = match next(&mut it, "--mode")?.as_str() {
+                            "proposed" => Mode::Proposed,
+                            "vt" => Mode::StateAndVt,
+                            "state" => Mode::StateOnly,
+                            other => return Err(CliError(format!("unknown mode `{other}`"))),
+                        }
+                    }
+                    "--threads" => args.threads = uint(&mut it, "--threads")?,
+                    "--time-budget" => {
+                        args.time_budget = seconds(&mut it, "--time-budget")?;
+                    }
+                    "--checkpoint" => args.checkpoint = Some(next(&mut it, "--checkpoint")?),
+                    "--metrics" => args.metrics = true,
+                    flag if flag.starts_with("--") => {
+                        return Err(CliError(format!("unknown flag `{flag}`")))
+                    }
+                    positional => {
+                        if target.is_some() {
+                            return Err(CliError(format!(
+                                "unexpected extra argument `{positional}`"
+                            )));
+                        }
+                        target = Some(positional.to_string());
+                    }
+                }
+            }
+            args.target = target.ok_or_else(|| CliError("eco needs a circuit".into()))?;
+            args.edits =
+                edits.ok_or_else(|| CliError("eco needs --edits FILE (the edit script)".into()))?;
+            Ok(Command::Eco(args))
         }
         "--help" | "-h" | "help" => Ok(Command::Help),
         other => Err(CliError(format!("unknown subcommand `{other}`"))),
@@ -810,6 +911,35 @@ pub fn run(command: Command) -> Result<String, Box<dyn Error>> {
                     return Err(Box::new(CliError(format!(
                         "portfolio-bench: {} circuit(s) regressed vs the single engine\n{rendered}",
                         report.regressions
+                    ))));
+                }
+                out.push_str(&rendered);
+            } else if args.eco_bench {
+                let report = ecobench::run_eco_bench(args.deadline, args.threads)?;
+                let rendered = if args.json {
+                    let mut json = report.render_json();
+                    json.push('\n');
+                    json
+                } else {
+                    report.render_text()
+                };
+                if let Some(path) = &args.out {
+                    if let Some(dir) = std::path::Path::new(path).parent() {
+                        if !dir.as_os_str().is_empty() {
+                            std::fs::create_dir_all(dir)?;
+                        }
+                    }
+                    let mut json = report.render_json();
+                    json.push('\n');
+                    std::fs::write(path, json)?;
+                }
+                // The invariant the bench exists to watch: the warm
+                // restart reaches the shared quality level faster than a
+                // cold restart on every circuit.
+                if args.min_speedup > 0.0 && report.min_speedup < args.min_speedup {
+                    return Err(Box::new(CliError(format!(
+                        "eco-bench minimum speedup {:.1}x is below the required {:.1}x\n{rendered}",
+                        report.min_speedup, args.min_speedup
                     ))));
                 }
                 out.push_str(&rendered);
@@ -1048,6 +1178,142 @@ pub fn run(command: Command) -> Result<String, Box<dyn Error>> {
             }
             out.push_str(&rendered);
         }
+        Command::Eco(args) => {
+            let pre = load_circuit(&args.target)?;
+            let text = std::fs::read_to_string(&args.edits)
+                .map_err(|e| CliError(format!("{}: {e}", args.edits)))?;
+            let script =
+                EditScript::parse(&text).map_err(|e| CliError(format!("{}: {e}", args.edits)))?;
+            let lib = Library::new(Technology::predictive_65nm(), LibraryOptions::default())?;
+            let penalty = DelayPenalty::new(args.penalty)?;
+            let exec = ExecConfig::with_threads(args.threads)
+                .with_time_budget(args.time_budget)
+                .with_retries(RetryPolicy::resilient());
+            let obs = Obs::enabled();
+
+            // The pre-edit run: the solution an ECO flow has on hand.
+            let pre_problem = Problem::new(&pre, &lib, TimingConfig::default())?;
+            let pre_opt = pre_problem.optimizer(penalty, args.mode).with_obs(&obs);
+            let (prev, _) = pre_opt.heuristic2_parallel(&exec)?;
+
+            // Apply the script and split the netlist's dirty set off for
+            // the incremental timing analyzer.
+            let mut post = pre.clone();
+            let trace = script
+                .apply(&mut post)
+                .map_err(|e| CliError(format!("{}: {e}", args.edits)))?;
+            let dirty = post.take_dirty();
+
+            // Incremental timing: carry the pre-edit analyzer's state and
+            // re-evaluate only the edit's cone.
+            let mut pre_sta = Sta::new(&pre, &lib, pre_problem.timing())?;
+            let _ = pre_sta.max_delay();
+            let mut inc_sta = Sta::new_incremental(
+                &post,
+                &lib,
+                TimingConfig::default(),
+                &mut pre_sta,
+                &trace.gate_map,
+                &trace.net_map,
+                &dirty,
+            )?;
+            let post_delay = inc_sta.max_delay();
+            let sta_counters = inc_sta.counters();
+
+            // Structural-hash census of the post-edit netlist (did the
+            // edit introduce structurally duplicate gates?).
+            let (_, strash_stats) = strash(&post);
+            obs.add("netlist.strash.hits", strash_stats.hits);
+            obs.add("netlist.strash.misses", strash_stats.misses);
+
+            // Warm re-optimization, seeded by the pre-edit solution and
+            // any checkpointed vectors.
+            let post_problem = Problem::new(&post, &lib, TimingConfig::default())?;
+            let post_opt = post_problem.optimizer(penalty, args.mode).with_obs(&obs);
+            let report = post_opt.rerun_after_edit(
+                &exec,
+                Some(&prev),
+                &trace,
+                args.checkpoint.as_deref().map(std::path::Path::new),
+                None,
+            )?;
+            report.solution.verify(&post_problem)?;
+
+            writeln!(
+                out,
+                "circuit  : {} — {} gates, {} after {} edit op(s)",
+                pre.name(),
+                pre.num_gates(),
+                post.num_gates(),
+                script.len()
+            )?;
+            writeln!(
+                out,
+                "edits    : {} added, {} removed, {} rewired pin(s), {} retagged output(s)",
+                trace.added_gates, trace.removed_gates, trace.rewired_pins, trace.retagged_outputs
+            )?;
+            writeln!(
+                out,
+                "pre-edit : {:.2} µA at delay {:.1}",
+                prev.leakage.as_micro_amps(),
+                prev.delay
+            )?;
+            writeln!(
+                out,
+                "sta      : incremental re-analysis evaluated {} of {} gates \
+                 ({} full analyzes), post-edit delay {post_delay:.1}",
+                sta_counters.gates_reevaluated,
+                post.num_gates(),
+                sta_counters.full_analyzes
+            )?;
+            writeln!(
+                out,
+                "strash   : {} structurally duplicate gate(s) in the post-edit netlist",
+                strash_stats.hits
+            )?;
+            writeln!(
+                out,
+                "warm     : {} candidate(s), {} evaluated{}{}",
+                report.warm.candidates,
+                report.warm.evaluated,
+                report.warm.best.map_or_else(String::new, |b| format!(
+                    ", best {:.2} µA",
+                    Current::new(b).as_micro_amps()
+                )),
+                if args.checkpoint.is_some() {
+                    format!(" ({} from the checkpoint)", report.checkpoint_vectors)
+                } else {
+                    String::new()
+                }
+            )?;
+            writeln!(
+                out,
+                "reuse    : {}/{} gates carried over ({:.1}%)",
+                report.gates_carried,
+                report.gates_total,
+                report.carry_ratio() * 100.0
+            )?;
+            writeln!(
+                out,
+                "result   : {:.2} µA, delay {:.1} of budget {:.1} (bit-identical to a cold re-run)",
+                report.solution.leakage.as_micro_amps(),
+                report.solution.delay,
+                post_problem.delay_budget(penalty)
+            )?;
+            writeln!(out, "engine   : {}", report.stats)?;
+            let vector: String = report
+                .solution
+                .vector
+                .iter()
+                .map(|&b| if b { '1' } else { '0' })
+                .collect();
+            writeln!(out, "vector   : {vector}")?;
+            obs.emit_counters();
+            if args.metrics {
+                writeln!(out, "\nmetrics:")?;
+                out.push_str(&obs.render_metrics());
+            }
+        }
         Command::Optimize(args) => {
             // Fault injection is opt-in; the disabled handle costs one
             // branch per site query.
@@ -1260,6 +1526,48 @@ mod tests {
         assert_eq!(args.mode, Mode::StateAndVt);
         assert_eq!(args.library.tradeoff_points, TradeoffPoints::Two);
         assert_eq!(args.vectors, 100);
+    }
+
+    #[test]
+    fn parses_eco() {
+        let cmd = parse_args(&argv(
+            "eco c432 --edits fix.eco --penalty 10 --threads 2 --time-budget 0.5 \
+             --checkpoint pre.ckpt --metrics",
+        ))
+        .unwrap();
+        let Command::Eco(args) = cmd else {
+            panic!("wrong command")
+        };
+        assert_eq!(args.target, "c432");
+        assert_eq!(args.edits, "fix.eco");
+        assert!((args.penalty - 0.10).abs() < 1e-12);
+        assert_eq!(args.threads, 2);
+        assert_eq!(args.time_budget, Duration::from_millis(500));
+        assert_eq!(args.checkpoint.as_deref(), Some("pre.ckpt"));
+        assert!(args.metrics);
+        // Both the circuit and the edit script are mandatory.
+        assert!(parse_args(&argv("eco --edits fix.eco")).is_err());
+        assert!(parse_args(&argv("eco c432")).is_err());
+    }
+
+    #[test]
+    fn parses_suite_eco_bench() {
+        let cmd = parse_args(&argv(
+            "suite --eco-bench --deadline 2 --threads 4 --min-speedup 2 --out results/BENCH_eco.json",
+        ))
+        .unwrap();
+        let Command::Suite(args) = cmd else {
+            panic!("wrong command")
+        };
+        assert!(args.eco_bench);
+        assert_eq!(args.deadline, Duration::from_secs(2));
+        assert_eq!(args.threads, 4);
+        assert!((args.min_speedup - 2.0).abs() < 1e-12);
+        assert_eq!(args.out.as_deref(), Some("results/BENCH_eco.json"));
+        // Bench modes stay mutually exclusive, and the speedup gate does
+        // not apply to the portfolio bench.
+        assert!(parse_args(&argv("suite --eco-bench --sim-bench")).is_err());
+        assert!(parse_args(&argv("suite --portfolio-bench --min-speedup 2")).is_err());
     }
 
     #[test]

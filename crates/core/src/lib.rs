@@ -61,15 +61,19 @@ pub use error::OptError;
 pub use outcome::{DegradeReason, RunOutcome};
 pub use problem::{DelayPenalty, GateOrder, InputOrder, Mode, Problem};
 pub use solution::Solution;
+pub use state_search::eco::EcoReport;
 pub use state_search::portfolio::{
     self, BranchOrder, MemberReport, MemberStatus, PortfolioConfig, PortfolioOutcome,
     ProvenanceEntry, Strategy,
 };
 pub use state_search::Optimizer;
+pub use state_search::WarmStats;
 
 // Re-exported so optimizer callers can configure the parallel searches,
 // attach observability, and inject faults without depending on the
 // engine crates directly.
-pub use svtox_exec::{Budget, CancelToken, ExecConfig, ExecError, RetryPolicy, SearchStats};
+pub use svtox_exec::{
+    Budget, CancelToken, ExecConfig, ExecError, RetryPolicy, SearchStats, SharedMinF64,
+};
 pub use svtox_fault::Fault;
 pub use svtox_obs::Obs;

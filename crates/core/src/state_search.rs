@@ -16,9 +16,12 @@ use svtox_sim::{Logic, TriSimulator};
 use svtox_sta::{Sta, StaCounters};
 use svtox_tech::{Current, Time};
 
+pub mod eco;
 mod parallel;
 pub mod portfolio;
 mod resilient;
+
+pub use parallel::WarmStats;
 
 use crate::error::OptError;
 use crate::gate_assign::{exact_assign, gate_states, greedy_assign};

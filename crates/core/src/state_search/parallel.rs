@@ -38,6 +38,18 @@ use crate::solution::Solution;
 
 use super::{BoundTracker, Optimizer};
 
+/// Outcome of pre-search warm seeding
+/// ([`Optimizer::heuristic2_parallel_warm`]).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct WarmStats {
+    /// Candidate vectors offered.
+    pub candidates: usize,
+    /// Candidates whose length matched the problem and were evaluated.
+    pub evaluated: usize,
+    /// Best (lowest) warm leakage value, if any candidate was evaluated.
+    pub best: Option<f64>,
+}
+
 /// How a surviving leaf of the state tree is evaluated.
 #[derive(Clone, Copy)]
 pub(crate) enum LeafKind {
@@ -81,18 +93,78 @@ impl<'a> Optimizer<'a> {
         &self,
         exec: &ExecConfig,
     ) -> Result<(Solution, SearchStats), OptError> {
+        let (best, stats, _) = self.heuristic2_parallel_warm(exec, &[], None)?;
+        Ok((best, stats))
+    }
+
+    /// [`Optimizer::heuristic2_parallel`] with two extensions used by ECO
+    /// re-optimization and the benchmark harness:
+    ///
+    /// * `warm_vectors` — candidate input vectors (a previous solution, a
+    ///   checkpoint's per-task bests) evaluated as feasible incumbents
+    ///   *before* the search. Their values tighten **only** the shared
+    ///   cross-worker bound, whose prune is strict `>`; the task-local
+    ///   seed stays the Heuristic 1 value exactly as in a cold run, so the
+    ///   serial-first witness path is never cut and the returned solution
+    ///   is bit-identical to the cold run at any thread count — warm
+    ///   seeding changes how fast the search converges, never what it
+    ///   returns.
+    /// * `shared_out` — a caller-owned incumbent cell (start it at
+    ///   `+inf`); the caller can poll it from another thread to record the
+    ///   time-to-quality trajectory. `None` uses an internal cell.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on library lookup failure.
+    pub fn heuristic2_parallel_warm(
+        &self,
+        exec: &ExecConfig,
+        warm_vectors: &[Vec<bool>],
+        shared_out: Option<&SharedMinF64>,
+    ) -> Result<(Solution, SearchStats, WarmStats), OptError> {
         let start = Instant::now();
         let budget = exec.budget();
         let seed = self.heuristic1()?;
         let _span = self.obs.span("core.heuristic2_parallel");
         let base_leaves = seed.leaves_explored;
-        let shared = SharedMinF64::new(seed.leakage.value());
+        let shared_local;
+        let shared: &SharedMinF64 = match shared_out {
+            Some(cell) => {
+                cell.update_min(seed.leakage.value());
+                cell
+            }
+            None => {
+                shared_local = SharedMinF64::new(seed.leakage.value());
+                &shared_local
+            }
+        };
+        let mut warm = WarmStats {
+            candidates: warm_vectors.len(),
+            evaluated: 0,
+            best: None,
+        };
+        if !warm_vectors.is_empty() {
+            let netlist = self.problem.netlist();
+            let mut sta = Sta::new(netlist, self.problem.library(), self.problem.timing())?;
+            for vector in warm_vectors {
+                if vector.len() != netlist.num_inputs() {
+                    continue;
+                }
+                let candidate = self.evaluate_leaf(vector, &mut sta, start, 0);
+                warm.evaluated += 1;
+                let value = candidate.leakage.value();
+                if warm.best.is_none_or(|b| value < b) {
+                    warm.best = Some(value);
+                }
+                shared.update_min(value);
+            }
+        }
         let (best, stats) =
-            self.search_parallel(exec, &budget, &shared, Some(seed), LeafKind::Greedy)?;
+            self.search_parallel(exec, &budget, shared, Some(seed), LeafKind::Greedy)?;
         let mut best = best.expect("seeded search always has an incumbent");
         best.runtime = start.elapsed();
         best.leaves_explored = base_leaves + stats.leaves_evaluated() as usize;
-        Ok((best, stats))
+        Ok((best, stats, warm))
     }
 
     /// **Exact, parallel**: the two-tree branch and bound of

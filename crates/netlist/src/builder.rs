@@ -1,8 +1,23 @@
 //! Programmatic netlist construction.
 
+use std::collections::BTreeSet;
+use std::collections::HashMap;
+
 use crate::error::NetlistError;
 use crate::gate::GateKind;
-use crate::netlist::{Gate, GateId, Net, NetId, Netlist};
+use crate::netlist::{GateId, Net, NetId, Netlist};
+
+/// Counters of the builder's structural-hashing table.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StrashStats {
+    /// `add_gate` calls answered by an existing structurally-identical
+    /// gate instead of creating a new one.
+    pub hits: u64,
+    /// `add_gate` calls that created a new gate (table misses). Only
+    /// feed-forward additions participate; `add_gate_driving` onto a
+    /// declared net never dedupes (the net identity is caller-visible).
+    pub misses: u64,
+}
 
 /// Builder for [`Netlist`].
 ///
@@ -14,6 +29,13 @@ use crate::netlist::{Gate, GateId, Net, NetId, Netlist};
 ///   [`NetlistBuilder::add_gate_driving`] allow forward references (needed
 ///   by the `.bench` parser); [`NetlistBuilder::finish`] then validates
 ///   acyclicity and completeness.
+///
+/// With [`NetlistBuilder::with_strash`], feed-forward additions are
+/// structurally hashed: an `add_gate` whose canonical `(kind, inputs)` key
+/// — inputs sorted for commutative kinds — matches an existing gate
+/// returns that gate's output net instead of duplicating the logic.
+/// Strashing is opt-in because it changes gate counts, which calibrated
+/// generators pin.
 ///
 /// # Example
 ///
@@ -37,10 +59,27 @@ use crate::netlist::{Gate, GateId, Net, NetId, Netlist};
 pub struct NetlistBuilder {
     name: String,
     nets: Vec<Net>,
-    gates: Vec<Gate>,
+    kinds: Vec<GateKind>,
+    fanin_base: Vec<u32>,
+    fanins: Vec<NetId>,
+    gate_out: Vec<NetId>,
     inputs: Vec<NetId>,
     outputs: Vec<NetId>,
     auto_name: u64,
+    /// Canonical `(kind, sorted-inputs)` → existing output net. `None`
+    /// disables structural hashing (the default).
+    strash: Option<HashMap<(GateKind, Vec<NetId>), NetId>>,
+    strash_stats: StrashStats,
+}
+
+/// The canonical structural key of a gate: inputs sorted when the kind is
+/// commutative (every kind in this IR computes a symmetric function except
+/// pin order never matters logically — INV/BUF are unary), so two gates
+/// with permuted input lists hash identically.
+pub(crate) fn strash_key(kind: GateKind, inputs: &[NetId]) -> (GateKind, Vec<NetId>) {
+    let mut ins = inputs.to_vec();
+    ins.sort_unstable();
+    (kind, ins)
 }
 
 impl NetlistBuilder {
@@ -50,17 +89,37 @@ impl NetlistBuilder {
         Self {
             name: name.into(),
             nets: Vec::new(),
-            gates: Vec::new(),
+            kinds: Vec::new(),
+            fanin_base: vec![0],
+            fanins: Vec::new(),
+            gate_out: Vec::new(),
             inputs: Vec::new(),
             outputs: Vec::new(),
             auto_name: 0,
+            strash: None,
+            strash_stats: StrashStats::default(),
         }
+    }
+
+    /// Enables structural hashing of feed-forward [`NetlistBuilder::add_gate`]
+    /// additions (see the type docs).
+    #[must_use]
+    pub fn with_strash(mut self) -> Self {
+        self.strash = Some(HashMap::new());
+        self
+    }
+
+    /// Hit/miss counters of the structural-hashing table (all zero when
+    /// strashing is disabled).
+    #[must_use]
+    pub fn strash_stats(&self) -> StrashStats {
+        self.strash_stats
     }
 
     /// Number of gates added so far.
     #[must_use]
     pub fn num_gates(&self) -> usize {
-        self.gates.len()
+        self.kinds.len()
     }
 
     /// Number of nets created so far.
@@ -103,14 +162,46 @@ impl NetlistBuilder {
 
     /// Adds a gate, creating a fresh auto-named output net.
     ///
+    /// With [`NetlistBuilder::with_strash`], a structurally identical
+    /// existing gate short-circuits the addition and its output net is
+    /// returned instead.
+    ///
     /// # Errors
     ///
     /// Returns an error if the arity does not match or an input net id is
     /// unknown.
     pub fn add_gate(&mut self, kind: GateKind, inputs: &[NetId]) -> Result<NetId, NetlistError> {
+        if self.strash.is_some() {
+            kind.validate()?;
+            if inputs.len() != kind.arity() {
+                return Err(NetlistError::ArityMismatch {
+                    kind: kind.to_string(),
+                    expected: kind.arity(),
+                    got: inputs.len(),
+                });
+            }
+            for &inp in inputs {
+                if inp.index() >= self.nets.len() {
+                    return Err(NetlistError::UnknownNet(inp.0));
+                }
+            }
+            let key = strash_key(kind, inputs);
+            if let Some(&existing) = self.strash.as_ref().and_then(|t| t.get(&key)) {
+                self.strash_stats.hits += 1;
+                return Ok(existing);
+            }
+            self.strash_stats.misses += 1;
+        }
         let name = format!("_w{}", self.auto_name);
         self.auto_name += 1;
-        self.add_gate_named(kind, inputs, name)
+        let out = self.add_gate_named(kind, inputs, name)?;
+        if self.strash.is_some() {
+            let key = strash_key(kind, inputs);
+            if let Some(table) = self.strash.as_mut() {
+                table.insert(key, out);
+            }
+        }
+        Ok(out)
     }
 
     /// Adds a gate, creating a named output net.
@@ -163,16 +254,15 @@ impl NetlistBuilder {
                 self.nets[output.index()].name.clone(),
             ));
         }
-        let gid = GateId(self.gates.len() as u32);
+        let gid = GateId(self.kinds.len() as u32);
         for (pin, &inp) in inputs.iter().enumerate() {
             self.nets[inp.index()].fanouts.push((gid, pin as u8));
         }
         self.nets[output.index()].driver = Some(gid);
-        self.gates.push(Gate {
-            kind,
-            inputs: inputs.to_vec(),
-            output,
-        });
+        self.kinds.push(kind);
+        self.fanins.extend_from_slice(inputs);
+        self.fanin_base.push(self.fanins.len() as u32);
+        self.gate_out.push(output);
         Ok(())
     }
 
@@ -193,11 +283,15 @@ impl NetlistBuilder {
         Netlist {
             name: self.name,
             nets: self.nets,
-            gates: self.gates,
+            kinds: self.kinds,
+            fanin_base: self.fanin_base,
+            fanins: self.fanins,
+            gate_out: self.gate_out,
             inputs: self.inputs,
             outputs: self.outputs,
             topo: Vec::new(),
             levels: Vec::new(),
+            dirty: BTreeSet::new(),
         }
         .finalize()
     }
@@ -317,5 +411,57 @@ mod tests {
         let y = b.add_gate(GateKind::Inv, &[a]).unwrap();
         assert!(b.promote_to_input(y).is_err());
         assert!(b.promote_to_input(a).is_err());
+    }
+
+    #[test]
+    fn strash_dedupes_commutative_duplicates() {
+        let mut b = NetlistBuilder::new("t").with_strash();
+        let a = b.add_input("a");
+        let c = b.add_input("c");
+        let y1 = b.add_gate(GateKind::Nand(2), &[a, c]).unwrap();
+        let y2 = b.add_gate(GateKind::Nand(2), &[c, a]).unwrap(); // permuted
+        let y3 = b.add_gate(GateKind::Nand(2), &[a, c]).unwrap(); // exact
+        assert_eq!(y1, y2);
+        assert_eq!(y1, y3);
+        // Different kind or inputs: no dedupe.
+        let z = b.add_gate(GateKind::Nor(2), &[a, c]).unwrap();
+        assert_ne!(z, y1);
+        let inv = b.add_gate(GateKind::Inv, &[y1]).unwrap();
+        b.mark_output(inv);
+        b.mark_output(z);
+        let stats = b.strash_stats();
+        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.misses, 3);
+        let n = b.finish().unwrap();
+        assert_eq!(n.num_gates(), 3);
+    }
+
+    #[test]
+    fn strash_off_by_default() {
+        let mut b = NetlistBuilder::new("t");
+        let a = b.add_input("a");
+        let c = b.add_input("c");
+        let y1 = b.add_gate(GateKind::Nand(2), &[a, c]).unwrap();
+        let y2 = b.add_gate(GateKind::Nand(2), &[a, c]).unwrap();
+        assert_ne!(y1, y2);
+        assert_eq!(b.strash_stats(), StrashStats::default());
+        b.mark_output(y1);
+        b.mark_output(y2);
+        assert_eq!(b.finish().unwrap().num_gates(), 2);
+    }
+
+    #[test]
+    fn strash_errors_before_touching_the_table() {
+        let mut b = NetlistBuilder::new("t").with_strash();
+        let a = b.add_input("a");
+        assert!(matches!(
+            b.add_gate(GateKind::Nand(2), &[a]),
+            Err(NetlistError::ArityMismatch { .. })
+        ));
+        assert!(matches!(
+            b.add_gate(GateKind::Inv, &[NetId(40)]),
+            Err(NetlistError::UnknownNet(40))
+        ));
+        assert_eq!(b.strash_stats(), StrashStats::default());
     }
 }

@@ -42,6 +42,10 @@ pub enum NetlistError {
         /// The operating-system error.
         message: String,
     },
+    /// An in-place ECO edit violated an edit-API precondition (removing a
+    /// live or primary-output gate, a pin index out of range, a duplicate
+    /// net name, …).
+    Edit(String),
 }
 
 impl fmt::Display for NetlistError {
@@ -64,6 +68,7 @@ impl fmt::Display for NetlistError {
             Self::Parse { line, message } => write!(f, "parse error on line {line}: {message}"),
             Self::UnsupportedKind(kind) => write!(f, "unsupported gate kind `{kind}`"),
             Self::Io { path, message } => write!(f, "cannot read {path}: {message}"),
+            Self::Edit(message) => write!(f, "invalid edit: {message}"),
         }
     }
 }

@@ -4,9 +4,14 @@
 //! synthesized to a small standard-cell library. This crate provides the
 //! corresponding substrate:
 //!
-//! * an immutable, validated, combinational netlist IR ([`Netlist`]) with
-//!   typed ids, fanout lists and a cached topological order;
-//! * a [`NetlistBuilder`] for programmatic construction;
+//! * a validated, combinational netlist IR ([`Netlist`]) with typed ids,
+//!   SoA gate planes, fanout lists and a cached topological order;
+//! * a [`NetlistBuilder`] for programmatic construction, with opt-in
+//!   structural hashing ([`NetlistBuilder::with_strash`]) and a standalone
+//!   dedupe pass ([`strash`]);
+//! * an in-place ECO edit API ([`Netlist::add_gate`], [`Netlist::remove_gate`],
+//!   [`Netlist::rewire`], [`Netlist::retag_output`]) plus textual
+//!   [`EditScript`]s, maintaining fanouts, topo order and a dirty-net set;
 //! * readers/writers for the ISCAS-85 `.bench` format ([`parse_bench`],
 //!   [`Netlist::to_bench`]) and flat structural Verilog ([`parse_verilog`],
 //!   [`Netlist::to_verilog`]), with ISCAS-89 `DFF` combinational extraction;
@@ -43,6 +48,7 @@
 #![warn(missing_docs)]
 
 mod builder;
+mod edit;
 mod error;
 mod gate;
 pub mod generators;
@@ -51,14 +57,17 @@ mod netlist;
 mod parser;
 mod reader;
 mod sleep;
+mod strash;
 mod verilog;
 
-pub use builder::NetlistBuilder;
+pub use builder::{NetlistBuilder, StrashStats};
+pub use edit::{EditOp, EditScript, EditTrace};
 pub use error::NetlistError;
 pub use gate::GateKind;
 pub use mapping::{map_to_primitives, MappingOptions};
-pub use netlist::{Gate, GateId, Net, NetId, Netlist, NetlistStats};
+pub use netlist::{GateId, GateRef, Net, NetId, Netlist, NetlistStats};
 pub use parser::parse_bench;
 pub use reader::{read_bench, read_verilog};
 pub use sleep::insert_sleep_vector;
+pub use strash::strash;
 pub use verilog::parse_verilog;

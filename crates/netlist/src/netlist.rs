@@ -1,6 +1,19 @@
-//! The immutable, validated netlist IR.
+//! The validated netlist IR: SoA gate arenas plus per-net connectivity.
+//!
+//! Gate storage is struct-of-arrays: a kind plane, a CSR fan-in pool and an
+//! output plane. The hot traversals (STA propagation, packed leakage
+//! sweeps, topological evaluation) walk one plane linearly instead of
+//! hopping across per-gate heap allocations. [`GateRef`] is the cheap
+//! `Copy` view stitched over the planes; call sites keep the
+//! `gate.kind()` / `gate.inputs()` / `gate.output()` idiom unchanged.
+//!
+//! Netlists constructed by [`crate::NetlistBuilder`] or [`crate::parse_bench`]
+//! are validated and topologically sorted. In-place ECO edits
+//! (`add_gate` / `remove_gate` / `rewire` / `retag_output`, see the `edit`
+//! module) maintain fanout lists, topological order and a dirty-net set
+//! incrementally.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 
 use crate::error::NetlistError;
@@ -48,7 +61,10 @@ pub struct Net {
     pub(crate) name: String,
     /// `None` means the net is a primary input.
     pub(crate) driver: Option<GateId>,
-    /// `(gate, pin index)` pairs that consume this net.
+    /// `(gate, pin index)` pairs that consume this net, sorted by
+    /// `(gate, pin)` — builder construction pushes gates in id order and
+    /// the edit API inserts at the sorted position, so the invariant holds
+    /// for both built and edited netlists.
     pub(crate) fanouts: Vec<(GateId, u8)>,
 }
 
@@ -72,15 +88,18 @@ impl Net {
     }
 }
 
-/// One gate instance.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Gate {
+/// A borrowed view of one gate instance, stitched over the SoA planes.
+///
+/// `Copy`, so `let g = netlist.gate(gid);` costs three loads and no
+/// indirection; `g.inputs()` borrows straight from the shared fan-in pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GateRef<'a> {
     pub(crate) kind: GateKind,
-    pub(crate) inputs: Vec<NetId>,
+    pub(crate) inputs: &'a [NetId],
     pub(crate) output: NetId,
 }
 
-impl Gate {
+impl<'a> GateRef<'a> {
     /// The logic function.
     #[must_use]
     pub fn kind(&self) -> GateKind {
@@ -89,8 +108,8 @@ impl Gate {
 
     /// Input nets in pin order.
     #[must_use]
-    pub fn inputs(&self) -> &[NetId] {
-        &self.inputs
+    pub fn inputs(&self) -> &'a [NetId] {
+        self.inputs
     }
 
     /// The output net.
@@ -127,14 +146,21 @@ impl fmt::Display for NetlistStats {
 
 /// A validated, acyclic, combinational gate-level netlist.
 ///
-/// Construct via [`crate::NetlistBuilder`] or [`crate::parse_bench`]. The
-/// structure is immutable after construction; passes like
-/// [`crate::map_to_primitives`] produce new netlists.
-#[derive(Debug, Clone, PartialEq)]
+/// Construct via [`crate::NetlistBuilder`] or [`crate::parse_bench`]; bulk
+/// passes like [`crate::map_to_primitives`] produce new netlists, while the
+/// in-place edit API (`add_gate` / `remove_gate` / `rewire` /
+/// `retag_output`) applies small ECO deltas and keeps the invariants —
+/// dense ids, sorted fanouts, topological order, levels — intact.
+#[derive(Debug, Clone)]
 pub struct Netlist {
     pub(crate) name: String,
     pub(crate) nets: Vec<Net>,
-    pub(crate) gates: Vec<Gate>,
+    /// SoA gate planes. `fanin_base` has one sentinel entry past the end,
+    /// so gate `i`'s fan-ins are `fanins[fanin_base[i]..fanin_base[i+1]]`.
+    pub(crate) kinds: Vec<GateKind>,
+    pub(crate) fanin_base: Vec<u32>,
+    pub(crate) fanins: Vec<NetId>,
+    pub(crate) gate_out: Vec<NetId>,
     pub(crate) inputs: Vec<NetId>,
     pub(crate) outputs: Vec<NetId>,
     /// Gates in topological (fanin-before-fanout) order.
@@ -142,6 +168,26 @@ pub struct Netlist {
     /// Longest-path level of each gate (PIs are level 0; a gate's level is
     /// 1 + max level of its fanin gates).
     pub(crate) levels: Vec<u32>,
+    /// Nets whose logic or timing may have changed since the last
+    /// [`Netlist::take_dirty`] — seeded by the edit API, empty on freshly
+    /// built netlists. Not part of structural equality.
+    pub(crate) dirty: BTreeSet<NetId>,
+}
+
+/// Structural equality: everything except the transient dirty set.
+impl PartialEq for Netlist {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+            && self.nets == other.nets
+            && self.kinds == other.kinds
+            && self.fanin_base == other.fanin_base
+            && self.fanins == other.fanins
+            && self.gate_out == other.gate_out
+            && self.inputs == other.inputs
+            && self.outputs == other.outputs
+            && self.topo == other.topo
+            && self.levels == other.levels
+    }
 }
 
 impl Netlist {
@@ -154,7 +200,7 @@ impl Netlist {
     /// Number of gates.
     #[must_use]
     pub fn num_gates(&self) -> usize {
-        self.gates.len()
+        self.kinds.len()
     }
 
     /// Number of nets (primary inputs + gate outputs).
@@ -187,14 +233,24 @@ impl Netlist {
         &self.outputs
     }
 
+    /// The fan-in slice of one gate index.
+    pub(crate) fn fanin_slice(&self, gi: usize) -> &[NetId] {
+        &self.fanins[self.fanin_base[gi] as usize..self.fanin_base[gi + 1] as usize]
+    }
+
     /// Looks up a gate.
     ///
     /// # Panics
     ///
     /// Panics if `id` is out of range for this netlist.
     #[must_use]
-    pub fn gate(&self, id: GateId) -> &Gate {
-        &self.gates[id.index()]
+    pub fn gate(&self, id: GateId) -> GateRef<'_> {
+        let gi = id.index();
+        GateRef {
+            kind: self.kinds[gi],
+            inputs: self.fanin_slice(gi),
+            output: self.gate_out[gi],
+        }
     }
 
     /// Looks up a net.
@@ -207,12 +263,9 @@ impl Netlist {
         &self.nets[id.index()]
     }
 
-    /// Iterates over `(GateId, &Gate)` in id order.
-    pub fn gates(&self) -> impl ExactSizeIterator<Item = (GateId, &Gate)> + '_ {
-        self.gates
-            .iter()
-            .enumerate()
-            .map(|(i, g)| (GateId(i as u32), g))
+    /// Iterates over `(GateId, GateRef)` in id order.
+    pub fn gates(&self) -> impl ExactSizeIterator<Item = (GateId, GateRef<'_>)> + '_ {
+        (0..self.kinds.len()).map(|i| (GateId(i as u32), self.gate(GateId(i as u32))))
     }
 
     /// Iterates over `(NetId, &Net)` in id order.
@@ -269,22 +322,22 @@ impl Netlist {
     /// Whether every gate is a primitive standby-library cell.
     #[must_use]
     pub fn is_primitive(&self) -> bool {
-        self.gates.iter().all(|g| g.kind.is_primitive())
+        self.kinds.iter().all(|k| k.is_primitive())
     }
 
     /// Computes summary statistics.
     #[must_use]
     pub fn stats(&self) -> NetlistStats {
         let mut hist: HashMap<GateKind, usize> = HashMap::new();
-        for g in &self.gates {
-            *hist.entry(g.kind).or_insert(0) += 1;
+        for &k in &self.kinds {
+            *hist.entry(k).or_insert(0) += 1;
         }
         let mut kind_histogram: Vec<_> = hist.into_iter().collect();
         kind_histogram.sort();
         NetlistStats {
             inputs: self.inputs.len(),
             outputs: self.outputs.len(),
-            gates: self.gates.len(),
+            gates: self.kinds.len(),
             depth: self.depth(),
             kind_histogram,
         }
@@ -313,10 +366,10 @@ impl Netlist {
         }
         let mut scratch = Vec::new();
         for &gid in &self.topo {
-            let g = &self.gates[gid.index()];
+            let gi = gid.index();
             scratch.clear();
-            scratch.extend(g.inputs.iter().map(|&n| net_vals[n.index()]));
-            net_vals[g.output.index()] = g.kind.eval(&scratch);
+            scratch.extend(self.fanin_slice(gi).iter().map(|&n| net_vals[n.index()]));
+            net_vals[self.gate_out[gi].index()] = self.kinds[gi].eval(&scratch);
         }
         self.outputs.iter().map(|&o| net_vals[o.index()]).collect()
     }
@@ -361,10 +414,45 @@ impl Netlist {
         out
     }
 
+    /// A 64-bit FNV-1a hash of the netlist structure: the netlist name, the
+    /// primary input/output id lists, and every gate's kind, fan-ins and
+    /// output in id order. Net *names* are excluded, so two netlists that
+    /// differ only in signal naming hash identically — this is the content
+    /// key the serve-side mapped-netlist cache uses for post-edit lookups.
+    #[must_use]
+    pub fn content_hash(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h = (h ^ u64::from(b)).wrapping_mul(PRIME);
+            }
+        };
+        eat(self.name.as_bytes());
+        eat(&(self.inputs.len() as u32).to_le_bytes());
+        for &pi in &self.inputs {
+            eat(&pi.0.to_le_bytes());
+        }
+        eat(&(self.outputs.len() as u32).to_le_bytes());
+        for &po in &self.outputs {
+            eat(&po.0.to_le_bytes());
+        }
+        eat(&(self.kinds.len() as u32).to_le_bytes());
+        for gi in 0..self.kinds.len() {
+            eat(&kind_code(self.kinds[gi]).to_le_bytes());
+            for &inp in self.fanin_slice(gi) {
+                eat(&inp.0.to_le_bytes());
+            }
+            eat(&self.gate_out[gi].0.to_le_bytes());
+        }
+        h
+    }
+
     /// Validates internal consistency and computes topological order and
     /// levels. Called by the builder.
     pub(crate) fn finalize(mut self) -> Result<Self, NetlistError> {
-        if self.inputs.is_empty() || self.gates.is_empty() {
+        if self.inputs.is_empty() || self.kinds.is_empty() {
             return Err(NetlistError::Empty);
         }
         // Every net must be driven (by a gate or by being a PI).
@@ -374,16 +462,40 @@ impl Netlist {
                 return Err(NetlistError::UndefinedSignal(net.name.clone()));
             }
         }
-        // Kahn's algorithm for topological order + cycle detection.
-        // Per-gate indegree = number of fanin nets driven by other gates.
-        let n = self.gates.len();
-        let mut fanin_count = vec![0u32; n];
-        for (gi, g) in self.gates.iter().enumerate() {
-            for &inp in &g.inputs {
-                if self.nets[inp.index()].driver.is_some() {
-                    fanin_count[gi] += 1;
-                }
+        // Duplicate-driver cross-check over *every* net, recomputed from
+        // the gate output plane — independent of what construction recorded
+        // in `Net::driver`, so a front end that stamped drivers
+        // inconsistently cannot smuggle a multiply-driven net past
+        // validation.
+        let mut drive_count = vec![0u32; self.nets.len()];
+        for &out in &self.gate_out {
+            drive_count[out.index()] += 1;
+        }
+        for (i, &count) in drive_count.iter().enumerate() {
+            let is_pi = self.inputs.contains(&NetId(i as u32));
+            if count > 1 || (count == 1 && is_pi) {
+                return Err(NetlistError::MultipleDrivers(self.nets[i].name.clone()));
             }
+        }
+        self.recompute_topo()?;
+        Ok(self)
+    }
+
+    /// Kahn's algorithm over the current planes: recomputes `topo` and
+    /// `levels` in place, detecting combinational cycles. The edit API
+    /// calls this after every structural change; the algorithm (id-ordered
+    /// initial queue, BFS append, longest-path levels) is a pure function
+    /// of the gate planes and net drivers, so an edited netlist and a
+    /// from-scratch rebuild of the same structure order identically.
+    pub(crate) fn recompute_topo(&mut self) -> Result<(), NetlistError> {
+        let n = self.kinds.len();
+        let mut fanin_count = vec![0u32; n];
+        for (gi, count) in fanin_count.iter_mut().enumerate() {
+            *count = self
+                .fanin_slice(gi)
+                .iter()
+                .filter(|&&inp| self.nets[inp.index()].driver.is_some())
+                .count() as u32;
         }
         let mut queue: Vec<usize> = (0..n).filter(|&i| fanin_count[i] == 0).collect();
         let mut topo = Vec::with_capacity(n);
@@ -393,15 +505,15 @@ impl Netlist {
             let gi = queue[head];
             head += 1;
             topo.push(GateId(gi as u32));
-            let level = 1 + self.gates[gi]
-                .inputs
+            let level = 1 + self
+                .fanin_slice(gi)
                 .iter()
                 .filter_map(|&inp| self.nets[inp.index()].driver)
                 .map(|d| levels[d.index()])
                 .max()
                 .unwrap_or(0);
             levels[gi] = level;
-            let out = self.gates[gi].output;
+            let out = self.gate_out[gi];
             for &(consumer, _pin) in &self.nets[out.index()].fanouts {
                 let ci = consumer.index();
                 fanin_count[ci] -= 1;
@@ -413,13 +525,28 @@ impl Netlist {
         if topo.len() != n {
             // Find a gate stuck in a cycle for the error message.
             let stuck = (0..n).find(|&i| fanin_count[i] > 0).unwrap_or(0);
-            let name = self.nets[self.gates[stuck].output.index()].name.clone();
+            let name = self.nets[self.gate_out[stuck].index()].name.clone();
             return Err(NetlistError::CombinationalCycle(name));
         }
         self.topo = topo;
         self.levels = levels;
-        Ok(self)
+        Ok(())
     }
+}
+
+/// Stable per-kind hash code (tag byte ~ arity byte).
+fn kind_code(kind: GateKind) -> u16 {
+    let (tag, n): (u8, u8) = match kind {
+        GateKind::Inv => (1, 1),
+        GateKind::Buf => (2, 1),
+        GateKind::Nand(n) => (3, n),
+        GateKind::Nor(n) => (4, n),
+        GateKind::And(n) => (5, n),
+        GateKind::Or(n) => (6, n),
+        GateKind::Xor2 => (7, 2),
+        GateKind::Xnor2 => (8, 2),
+    };
+    u16::from_le_bytes([tag, n])
 }
 
 impl fmt::Display for Netlist {
@@ -496,6 +623,49 @@ mod tests {
     }
 
     #[test]
+    fn finalize_rejects_inconsistently_stamped_duplicate_drivers() {
+        // Two gates sharing an output net in the gate plane while the
+        // per-net `driver` stamps still look one-per-net: the finalize
+        // cross-check recomputes drive counts from the plane, so the
+        // smuggled duplicate is caught anyway.
+        let mut n = toy();
+        n.gate_out[0] = n.gate_out[1];
+        assert!(matches!(
+            n.finalize(),
+            Err(NetlistError::MultipleDrivers(_))
+        ));
+        // Same recomputation catches a gate "driving" a primary input.
+        let mut n = toy();
+        n.gate_out[0] = n.inputs[0];
+        assert!(matches!(
+            n.finalize(),
+            Err(NetlistError::MultipleDrivers(name)) if name == "a"
+        ));
+    }
+
+    #[test]
+    fn fanouts_are_sorted_by_gate_then_pin() {
+        let n = toy();
+        for (_, net) in n.nets() {
+            let mut sorted = net.fanouts().to_vec();
+            sorted.sort();
+            assert_eq!(net.fanouts(), &sorted[..]);
+        }
+    }
+
+    #[test]
+    fn gate_ref_is_copy_and_borrows_the_pool() {
+        let n = toy();
+        let g = n.gate(GateId(1));
+        let h = g; // Copy
+        assert_eq!(g.kind(), h.kind());
+        assert_eq!(g.inputs(), h.inputs());
+        assert_eq!(g.output(), h.output());
+        assert_eq!(g.kind(), GateKind::Nand(2));
+        assert_eq!(g.inputs().len(), 2);
+    }
+
+    #[test]
     fn stats_histogram() {
         let s = toy().stats();
         assert_eq!(s.gates, 3);
@@ -513,6 +683,27 @@ mod tests {
         assert_eq!(parsed.num_inputs(), n.num_inputs());
         assert_eq!(parsed.num_outputs(), n.num_outputs());
         assert_eq!(parsed.depth(), n.depth());
+    }
+
+    #[test]
+    fn content_hash_ignores_net_names_but_not_structure() {
+        let n = toy();
+        let h = n.content_hash();
+        assert_eq!(h, toy().content_hash(), "deterministic");
+        // Renamed signals, identical structure.
+        let mut renamed = toy();
+        renamed.nets[0].name = "alpha".to_string();
+        assert_eq!(renamed.content_hash(), h);
+        // A structural change moves the hash.
+        let mut b = NetlistBuilder::new("toy");
+        let a = b.add_input("a");
+        let bb = b.add_input("b");
+        let nb = b.add_gate(GateKind::Inv, &[bb]).unwrap();
+        let y = b.add_gate(GateKind::Nor(2), &[a, nb]).unwrap(); // NAND -> NOR
+        let z = b.add_gate(GateKind::Nor(2), &[y, bb]).unwrap();
+        b.mark_output(z);
+        let other = b.finish().unwrap();
+        assert_ne!(other.content_hash(), h);
     }
 
     #[test]

@@ -397,6 +397,21 @@ OUTPUT(23)
     }
 
     #[test]
+    fn error_on_redriven_internal_and_input_nets() {
+        // The duplicate-driver check covers *every* net, not just named
+        // outputs: an internal wire re-driven by a later line...
+        assert!(matches!(
+            parse_bench("INPUT(a)\nOUTPUT(y)\nw = NOT(a)\nw = BUFF(a)\ny = NAND(a, w)\n"),
+            Err(NetlistError::MultipleDrivers(name)) if name == "w"
+        ));
+        // ...and a gate re-driving a primary input.
+        assert!(matches!(
+            parse_bench("INPUT(a)\nINPUT(b)\nOUTPUT(y)\nb = NOT(a)\ny = NAND(a, b)\n"),
+            Err(NetlistError::MultipleDrivers(name)) if name == "b"
+        ));
+    }
+
+    #[test]
     fn dff_edge_cases_are_typed_errors() {
         // Multi-bit and empty DFF operand lists are malformed, not
         // silently treated as a net named "a, b" (or "").

@@ -1,0 +1,153 @@
+//! Structural hashing as a standalone netlist pass.
+//!
+//! [`strash`] rebuilds a netlist bottom-up (in topological order) while
+//! deduplicating structurally identical gates: two gates with the same kind
+//! and the same canonical (sorted) fan-in set collapse into one, and every
+//! consumer of the duplicate is rewired onto the surviving representative.
+//! Dedupe cascades — once two fan-in cones merge, the gates above them
+//! become structurally identical too and merge in turn.
+//!
+//! The pass is **output-preserving**: a gate driving a primary output is
+//! never collapsed away, so the result has the same primary inputs and the
+//! same primary outputs (same names, same order, same count) and computes
+//! the same Boolean function lane-for-lane — the `netlist.strash_preserves_function`
+//! check property verifies exactly that against packed simulation.
+//!
+//! This is the same canonicalization the builder applies incrementally when
+//! constructed [`crate::NetlistBuilder::with_strash`]; the pass form exists
+//! for netlists that arrive already built (parsed from `.bench`, edited by
+//! an ECO script, produced by a generator).
+
+use std::collections::HashMap;
+
+use crate::builder::{strash_key, NetlistBuilder, StrashStats};
+use crate::netlist::{NetId, Netlist};
+
+/// Rebuilds `netlist` with structurally identical gates deduplicated.
+///
+/// Returns the deduplicated netlist plus hit/miss counters (`hits` is the
+/// number of gates collapsed away). Primary inputs and outputs are
+/// preserved exactly; interior auto-generated net names are preserved from
+/// the surviving representative of each equivalence class.
+///
+/// # Panics
+///
+/// Never panics on a validated [`Netlist`]: the rebuild applies the same
+/// gates to the same (remapped) nets, so builder validation cannot fail.
+#[must_use]
+pub fn strash(netlist: &Netlist) -> (Netlist, StrashStats) {
+    let mut b = NetlistBuilder::new(netlist.name());
+    let mut stats = StrashStats::default();
+    // Old net id -> new net id.
+    let mut net_map: Vec<Option<NetId>> = vec![None; netlist.num_nets()];
+    for &pi in netlist.inputs() {
+        net_map[pi.index()] = Some(b.add_input(netlist.net(pi).name()));
+    }
+    let mut table: HashMap<(crate::gate::GateKind, Vec<NetId>), NetId> = HashMap::new();
+    for &gid in netlist.topo_order() {
+        let g = netlist.gate(gid);
+        let inputs: Vec<NetId> = g
+            .inputs()
+            .iter()
+            .map(|&n| net_map[n.index()].expect("topo order drives fan-ins first"))
+            .collect();
+        let key = strash_key(g.kind(), &inputs);
+        let out_is_po = netlist.is_primary_output(g.output());
+        match table.get(&key) {
+            // A PO-driving gate is never collapsed: the output net's
+            // identity (name, position in the output list) is part of the
+            // netlist's interface.
+            Some(&existing) if !out_is_po => {
+                stats.hits += 1;
+                net_map[g.output().index()] = Some(existing);
+            }
+            _ => {
+                stats.misses += 1;
+                let out = b
+                    .add_gate_named(g.kind(), &inputs, netlist.net(g.output()).name())
+                    .expect("rebuilding a validated netlist cannot fail");
+                table.entry(key).or_insert(out);
+                net_map[g.output().index()] = Some(out);
+            }
+        }
+    }
+    for &po in netlist.outputs() {
+        b.mark_output(net_map[po.index()].expect("every net is driven"));
+    }
+    (
+        b.finish()
+            .expect("rebuilding a validated netlist cannot fail"),
+        stats,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetlistBuilder;
+    use crate::gate::GateKind;
+
+    #[test]
+    fn collapses_cascading_duplicates() {
+        // Two copies of NAND(a,b) (one with permuted pins), each feeding an
+        // inverter: after the NANDs merge the inverters merge too.
+        let mut b = NetlistBuilder::new("dup");
+        let a = b.add_input("a");
+        let c = b.add_input("b");
+        let n1 = b.add_gate(GateKind::Nand(2), &[a, c]).unwrap();
+        let n2 = b.add_gate(GateKind::Nand(2), &[c, a]).unwrap();
+        let i1 = b.add_gate(GateKind::Inv, &[n1]).unwrap();
+        let i2 = b.add_gate(GateKind::Inv, &[n2]).unwrap();
+        let top = b.add_gate(GateKind::Nor(2), &[i1, i2]).unwrap();
+        b.mark_output(top);
+        let n = b.finish().unwrap();
+        assert_eq!(n.num_gates(), 5);
+
+        let (s, stats) = strash(&n);
+        // NAND pair merges, INV pair merges; NOR(i, i) survives.
+        assert_eq!(s.num_gates(), 3);
+        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.misses, 3);
+        assert_eq!(s.num_inputs(), 2);
+        assert_eq!(s.num_outputs(), 1);
+        for v in [[false, false], [false, true], [true, false], [true, true]] {
+            assert_eq!(s.evaluate(&v), n.evaluate(&v), "{v:?}");
+        }
+    }
+
+    #[test]
+    fn preserves_primary_outputs() {
+        // Both duplicate gates drive POs: neither may be collapsed.
+        let mut b = NetlistBuilder::new("po");
+        let a = b.add_input("a");
+        let c = b.add_input("b");
+        let y1 = b.add_gate_named(GateKind::And(2), &[a, c], "y1").unwrap();
+        let y2 = b.add_gate_named(GateKind::And(2), &[c, a], "y2").unwrap();
+        b.mark_output(y1);
+        b.mark_output(y2);
+        let n = b.finish().unwrap();
+        let (s, stats) = strash(&n);
+        assert_eq!(s.num_gates(), 2);
+        assert_eq!(s.num_outputs(), 2);
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.misses, 2);
+        let names: Vec<&str> = s.outputs().iter().map(|&o| s.net(o).name()).collect();
+        assert_eq!(names, ["y1", "y2"]);
+    }
+
+    #[test]
+    fn idempotent_and_stable_on_clean_netlists() {
+        let mut b = NetlistBuilder::new("clean");
+        let a = b.add_input("a");
+        let c = b.add_input("b");
+        let x = b.add_gate(GateKind::Xor2, &[a, c]).unwrap();
+        let y = b.add_gate(GateKind::Nand(2), &[x, a]).unwrap();
+        b.mark_output(y);
+        let n = b.finish().unwrap();
+        let (s1, st1) = strash(&n);
+        assert_eq!(st1.hits, 0);
+        assert_eq!(s1, n);
+        let (s2, _) = strash(&s1);
+        assert_eq!(s2, s1, "idempotent");
+    }
+}

@@ -26,7 +26,7 @@ use std::sync::{Arc, Mutex};
 use svtox_cells::liberty::LeakageRows;
 use svtox_cells::{parse_liberty_leakage, Library, LibraryOptions};
 use svtox_netlist::generators::benchmark;
-use svtox_netlist::{map_to_primitives, parse_bench, MappingOptions, Netlist};
+use svtox_netlist::{map_to_primitives, parse_bench, EditScript, MappingOptions, Netlist};
 use svtox_obs::Obs;
 use svtox_tech::Technology;
 
@@ -185,6 +185,43 @@ impl SharedCaches {
         Ok(netlist)
     }
 
+    /// The result of applying an edit script to an already-mapped
+    /// netlist, cached by the **post-edit content hash** — so
+    /// resubmitting the same edit script is a hit, and so are two
+    /// different scripts that produce structurally identical netlists.
+    ///
+    /// # Errors
+    ///
+    /// Returns the script parse error or the edit application error
+    /// (undefined signals, combinational cycles, …).
+    pub fn netlist_edited(
+        &self,
+        base: &Netlist,
+        edits_text: &str,
+        obs: &Obs,
+    ) -> Result<Arc<Netlist>, svtox_netlist::NetlistError> {
+        let script = EditScript::parse(edits_text)?;
+        let mut edited = base.clone();
+        script.apply(&mut edited)?;
+        // Drop the edit's dirty-net bookkeeping before sharing: the
+        // cached artifact is a plain netlist, not an in-flight edit.
+        let _ = edited.take_dirty();
+        let key = edited.content_hash();
+        let (netlist, hit) = self
+            .netlists
+            .get_or_build(key, || Ok::<_, svtox_netlist::NetlistError>(edited))?;
+        self.count_netlist(hit, obs);
+        obs.add(
+            if hit {
+                "serve.cache.eco_hits"
+            } else {
+                "serve.cache.eco_misses"
+            },
+            1,
+        );
+        Ok(netlist)
+    }
+
     fn count_netlist(&self, hit: bool, obs: &Obs) {
         obs.add(
             if hit {
@@ -288,6 +325,34 @@ mod tests {
         assert_eq!(counters.get("serve.cache.netlist_hits"), Some(&2));
         assert_eq!(counters.get("serve.cache.netlist_misses"), Some(&2));
         assert!(caches.netlist_named("no_such_circuit", &obs).is_err());
+    }
+
+    #[test]
+    fn edited_netlists_cache_by_post_edit_content_hash() {
+        let caches = SharedCaches::new();
+        let obs = Obs::enabled();
+        let base = caches.netlist_named("c432", &obs).unwrap();
+        let pi0 = base.net(base.inputs()[0]).name().to_string();
+        let pi1 = base.net(base.inputs()[1]).name().to_string();
+        let script = format!("add eco_t = NAND({pi0}, {pi1})\n");
+        let cold = caches.netlist_edited(&base, &script, &obs).unwrap();
+        assert_eq!(cold.num_gates(), base.num_gates() + 1);
+        // Resubmitting the same script hits the same entry.
+        let warm = caches.netlist_edited(&base, &script, &obs).unwrap();
+        assert!(Arc::ptr_eq(&cold, &warm));
+        // A trailing comment changes the text but not the post-edit
+        // netlist: content-hash keying still hits.
+        let commented = format!("{script}# no functional change\n");
+        let same = caches.netlist_edited(&base, &commented, &obs).unwrap();
+        assert!(Arc::ptr_eq(&cold, &same));
+        let counters = obs.counter_snapshot();
+        assert_eq!(counters.get("serve.cache.eco_misses"), Some(&1));
+        assert_eq!(counters.get("serve.cache.eco_hits"), Some(&2));
+        // Bad scripts surface as typed errors, not cache poison.
+        assert!(caches
+            .netlist_edited(&base, "add x = NAND(nope)", &obs)
+            .is_err());
+        assert!(caches.netlist_edited(&base, "garbage line", &obs).is_err());
     }
 
     #[test]

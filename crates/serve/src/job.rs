@@ -24,6 +24,10 @@ pub struct JobSpec {
     pub circuit: Option<String>,
     /// Inline `.bench` netlist text (exactly one of `circuit`/`bench`).
     pub bench: Option<String>,
+    /// Edit script applied to the resolved netlist before optimizing
+    /// (`add`/`remove`/`rewire`/`retag` lines — an ECO job). The edited
+    /// netlist is cached across jobs by its post-edit content hash.
+    pub edits: Option<String>,
     /// Delay penalty fraction (the JSON field is in percent, like the
     /// CLI's `--penalty`).
     pub penalty: f64,
@@ -50,6 +54,7 @@ impl Default for JobSpec {
         Self {
             circuit: None,
             bench: None,
+            edits: None,
             penalty: 0.05,
             mode: Mode::Proposed,
             portfolio: false,
@@ -79,6 +84,7 @@ impl JobSpec {
             match name.as_str() {
                 "circuit" => spec.circuit = Some(str_field(field, "circuit")?),
                 "bench" => spec.bench = Some(str_field(field, "bench")?),
+                "edits" => spec.edits = Some(str_field(field, "edits")?),
                 "liberty" => spec.liberty = Some(str_field(field, "liberty")?),
                 "penalty" => spec.penalty = num_field(field, "penalty")? / 100.0,
                 "threads" => spec.threads = uint_field(field, "threads")?,
@@ -447,6 +453,16 @@ mod tests {
         assert_eq!(spec.deadline, Some(Duration::from_millis(250)));
         assert_eq!(spec.library.tradeoff_points, TradeoffPoints::Two);
         assert!(spec.library.uniform_stack);
+    }
+
+    #[test]
+    fn spec_parses_an_edit_script() {
+        let spec = JobSpec::from_json(
+            r#"{"circuit":"c432","edits":"add t = NAND(pi0, pi1)\nrewire w 0 t\n"}"#,
+        )
+        .unwrap();
+        assert!(spec.edits.as_deref().unwrap().contains("rewire w 0 t"));
+        assert!(JobSpec::from_json(r#"{"circuit":"c432","edits":7}"#).is_err());
     }
 
     #[test]

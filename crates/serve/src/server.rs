@@ -537,6 +537,16 @@ fn execute(state: &Arc<ServerState>, job: &Arc<JobRecord>) -> JobResult {
     };
     let circuit = netlist.name().to_string();
 
+    // ECO jobs: apply the spec's edit script and swap in the post-edit
+    // netlist (cached across jobs by its content hash).
+    let netlist = match &spec.edits {
+        Some(text) => match state.caches.netlist_edited(&netlist, text, obs) {
+            Ok(n) => n,
+            Err(e) => return failed(&circuit, format!("edits: {e}")),
+        },
+        None => netlist,
+    };
+
     // Characterized cell tables, shared across jobs.
     let library = match state.caches.library(spec.library, obs) {
         Ok(lib) => lib,

@@ -12,7 +12,7 @@ use std::time::{Duration, Instant};
 use svtox_cells::{Library, LibraryOptions};
 use svtox_core::{DelayPenalty, ExecConfig, Mode, Problem, RunOutcome};
 use svtox_netlist::generators::{random_dag, RandomDagSpec};
-use svtox_netlist::{map_to_primitives, parse_bench, MappingOptions};
+use svtox_netlist::{map_to_primitives, parse_bench, EditScript, MappingOptions};
 use svtox_obs::json;
 use svtox_serve::http::call;
 use svtox_serve::loadgen::{self, LoadgenConfig};
@@ -130,6 +130,130 @@ fn http_job_is_byte_identical_to_a_local_run_across_thread_counts() {
             "threads={threads}"
         );
     }
+    handle.shutdown();
+}
+
+/// An ECO job — a spec carrying an `edits` script — must return the
+/// bit-identical solution of a cold job submitted with the already-edited
+/// netlist text, and resubmitting the same edit script must hit the
+/// edited-netlist cache (keyed by post-edit content hash).
+#[test]
+fn eco_jobs_match_cold_jobs_and_hit_the_edited_netlist_cache() {
+    let pre_text = identity_bench_text();
+    let raw = parse_bench(&pre_text).expect("bench text parses");
+    let pre = map_to_primitives(&raw, MappingOptions::default()).expect("maps");
+    let pi0 = pre.net(pre.inputs()[0]).name().to_string();
+    let pi1 = pre.net(pre.inputs()[1]).name().to_string();
+    let po0 = pre.net(pre.outputs()[0]).name().to_string();
+    let script_text =
+        format!("add eco_a = NAND({pi0}, {pi1})\nadd eco_b = NOT(eco_a)\nrewire {po0} 0 eco_b\n");
+
+    // The cold reference circuit: the same edit applied locally, shipped
+    // as plain bench text.
+    let script = EditScript::parse(&script_text).expect("script parses");
+    let mut edited = pre.clone();
+    script.apply(&mut edited).expect("script applies");
+    let post_text = edited.to_bench();
+
+    // Local cold reference on the identical in-memory post-edit netlist:
+    // the ECO job must reproduce it bit for bit, including the per-gate
+    // choices (same gate numbering).
+    let library = Library::new(Technology::predictive_65nm(), LibraryOptions::default())
+        .expect("library characterizes");
+    let problem = Problem::new(&edited, &library, TimingConfig::default()).expect("problem");
+    let RunOutcome::Complete {
+        solution: reference,
+        ..
+    } = problem
+        .optimizer(DelayPenalty::five_percent(), Mode::Proposed)
+        .run(&ExecConfig::serial(), None)
+    else {
+        panic!("the local reference run did not complete");
+    };
+    let reference_vector: String = reference
+        .vector
+        .iter()
+        .map(|&b| if b { '1' } else { '0' })
+        .collect();
+    let reference_choices: String = reference
+        .choices
+        .iter()
+        .map(|c| char::from_digit(u32::from(*c), 10).unwrap())
+        .collect();
+
+    let handle = start(ServerConfig::default()).expect("server starts");
+    let addr = handle.addr().to_string();
+    let submit = |fields: Vec<(String, json::Value)>| {
+        let body = json::Value::Obj(fields.into_iter().collect()).to_string();
+        let (status, response) = post(&addr, "/jobs", &body);
+        assert_eq!(status, 202, "{response}");
+        json::parse(&response)
+            .unwrap()
+            .get("id")
+            .and_then(json::Value::as_f64)
+            .unwrap() as u64
+    };
+    let eco_fields = || {
+        vec![
+            ("bench".to_string(), json::Value::Str(pre_text.clone())),
+            ("edits".to_string(), json::Value::Str(script_text.clone())),
+            ("deadline_ms".to_string(), json::Value::Num(60_000.0)),
+        ]
+    };
+    let eco_doc = wait_done(&addr, submit(eco_fields()));
+    let cold_doc = wait_done(
+        &addr,
+        submit(vec![
+            ("bench".to_string(), json::Value::Str(post_text.clone())),
+            ("deadline_ms".to_string(), json::Value::Num(60_000.0)),
+        ]),
+    );
+    assert_eq!(field(&eco_doc, "outcome"), "complete");
+    assert_eq!(field(&cold_doc, "outcome"), "complete");
+    assert_eq!(field(&eco_doc, "vector"), reference_vector);
+    assert_eq!(field(&eco_doc, "choices"), reference_choices);
+    assert_eq!(
+        field(&eco_doc, "leakage_bits"),
+        format!("{:016x}", reference.leakage.value().to_bits())
+    );
+    assert_eq!(
+        field(&eco_doc, "delay_bits"),
+        format!("{:016x}", reference.delay.value().to_bits())
+    );
+    // The cold HTTP job went through a bench-text round trip, which may
+    // renumber gates — permuting the choices string and the float
+    // summation order (a few ulps of leakage) — but cannot change the
+    // chosen standby vector or the solution's value beyond that noise.
+    assert_eq!(field(&eco_doc, "vector"), field(&cold_doc, "vector"));
+    let leakage_ua = |doc: &json::Value| {
+        doc.get("leakage_ua")
+            .and_then(json::Value::as_f64)
+            .expect("leakage_ua present")
+    };
+    let (eco_ua, cold_ua) = (leakage_ua(&eco_doc), leakage_ua(&cold_doc));
+    assert!(
+        (eco_ua - cold_ua).abs() <= 1e-9 * cold_ua.abs(),
+        "eco {eco_ua} vs cold {cold_ua}"
+    );
+
+    // Same edit script again: the edited netlist comes out of the cache.
+    let rerun_doc = wait_done(&addr, submit(eco_fields()));
+    assert_eq!(field(&rerun_doc, "outcome"), "complete");
+    assert_eq!(field(&rerun_doc, "vector"), field(&eco_doc, "vector"));
+    let metrics = call(&addr, "GET", "/metrics", "", Duration::from_secs(30))
+        .expect("GET /metrics succeeds")
+        .body;
+    let counter = |name: &str| {
+        metrics
+            .lines()
+            .find_map(|l| l.trim().strip_prefix(name))
+            .unwrap_or_else(|| panic!("no `{name}` in metrics:\n{metrics}"))
+            .trim()
+            .parse::<u64>()
+            .expect("counter is an integer")
+    };
+    assert_eq!(counter("serve.cache.eco_misses"), 1);
+    assert_eq!(counter("serve.cache.eco_hits"), 1);
     handle.shutdown();
 }
 
