@@ -79,6 +79,40 @@ mkdir -p results
 cargo run --release -p svtox-cli --bin svtox -- \
   loadgen --jobs 50 --concurrency 8 --runners 4 --json > results/BENCH_serve.json
 
+echo "==> serve kill-restart smoke (SIGKILL mid-load, journal recovery, loadgen spans the restart)"
+# A journaled server takes SIGKILL mid-run — no drain, no goodbye; the
+# write-ahead journal is all that survives. The immediate restart rebinds
+# the same port (SO_REUSEADDR), replays the journal (finished jobs stay
+# pollable, queued ones re-enqueue, running ones resume warm from their
+# checkpoints), and the loadgen's seeded retry-backoff carries its
+# in-flight workers across the outage: zero hangs, every job typed. The
+# recorded report carries the recovery latency and journal health.
+BIN=target/release/svtox
+JDIR="$(mktemp -d -t svtox-ci-journal.XXXXXX)"
+SERVE_ADDR=127.0.0.1:7461
+"$BIN" serve --addr "$SERVE_ADDR" --runners 2 --journal "$JDIR" > /dev/null &
+SRV_PID=$!
+sleep 1
+"$BIN" loadgen --addr "$SERVE_ADDR" --jobs 40 --concurrency 8 --json \
+  > results/BENCH_serve_recovery.json &
+LOAD_PID=$!
+sleep 2
+kill -9 "$SRV_PID" 2>/dev/null || true
+wait "$SRV_PID" 2>/dev/null || true
+"$BIN" serve --addr "$SERVE_ADDR" --runners 2 --journal "$JDIR" > /dev/null &
+SRV_PID=$!
+wait "$LOAD_PID"
+grep -q '"recovery_ms":' results/BENCH_serve_recovery.json
+grep -q '"hangs":0' results/BENCH_serve_recovery.json
+grep -q '"journal_degraded":0' results/BENCH_serve_recovery.json
+# Fold the measured recovery latency into the service baseline artifact.
+RECOVERY_MS="$(sed -n 's/.*"recovery_ms":\([0-9.]*\).*/\1/p' results/BENCH_serve_recovery.json)"
+sed -i "s/^{/{\"recovery_ms\":${RECOVERY_MS},/" results/BENCH_serve.json
+grep -q '"recovery_ms":' results/BENCH_serve.json
+kill "$SRV_PID" 2>/dev/null || true
+wait "$SRV_PID" 2>/dev/null || true
+rm -rf "$JDIR"
+
 echo "==> suite smoke run (--quick, machine-readable)"
 cargo run --release -p svtox-bench --bin suite -- --quick --threads 0 --json > /dev/null
 

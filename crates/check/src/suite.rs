@@ -24,6 +24,7 @@
 //! | `fault.resume_bit_identical` | mid-search kill with a checkpoint, then resume: bit-identical to the uninterrupted run at 1/2/4 workers |
 //! | `portfolio.thread_count_invariant` | the strategy portfolio at 2/4 workers vs serial: same winner, cost bits, rounds, and incumbent-update counts |
 //! | `portfolio.kill_resume_bit_identical` | mid-portfolio kill with member checkpoints, then resume: bit-identical to the uninterrupted portfolio |
+//! | `serve.journal_roundtrip` | random job lifecycles through the write-ahead journal vs a replay: specs, states and f64 bit patterns identical, torn tails dropped without losing intact records |
 
 use std::time::Duration;
 
@@ -968,6 +969,190 @@ pub fn run_builtin_suite(config: &CheckConfig, filter: Option<&str>) -> Vec<Prop
         ));
     }
 
+    // --- Serve: write-ahead journal round-trip under truncation. -------
+    if wanted("serve.journal_roundtrip") {
+        let strategy = (AnyU64, int_range(1, 5));
+        reports.push(check_property(
+            "serve.journal_roundtrip",
+            &strategy,
+            |(seed, job_count)| {
+                use svtox_serve::{JobResult, JobSpec, Journal, SolutionSummary};
+                let mut rng = Xoshiro256pp::seed_from_u64(*seed);
+                let dir = std::env::temp_dir().join(format!(
+                    "svtox-check-journal-{seed:016x}-{}",
+                    std::process::id()
+                ));
+                std::fs::remove_dir_all(&dir).ok();
+                let obs = svtox_obs::Obs::enabled();
+                let journal = Journal::open(
+                    &dir,
+                    std::collections::BTreeMap::new(),
+                    &obs,
+                    Fault::disabled_ref(),
+                );
+                if !journal.is_active() {
+                    return Err("journal failed to open on a healthy disk".to_string());
+                }
+
+                // Drive random lifecycles: a third stay queued, a third
+                // are caught running, a third finish with results full of
+                // awkward f64 bit patterns.
+                let jobs = *job_count as u64;
+                let mut expected = Vec::new();
+                for id in 1..=jobs {
+                    let spec = JobSpec {
+                        circuit: Some(format!("c{id}")),
+                        penalty: rng.gen_range_f64(0.0, 1.0),
+                        threads: id as usize,
+                        deadline: (id % 2 == 0).then(|| Duration::from_millis(100 * id)),
+                        ..JobSpec::default()
+                    };
+                    journal.admit(id, &spec);
+                    let stage = id % 3;
+                    if stage != 0 {
+                        journal.state(id, "running");
+                    }
+                    let result = (stage == 2).then(|| JobResult {
+                        outcome: "complete",
+                        reason: None,
+                        error: None,
+                        circuit: format!("c{id}"),
+                        solution: Some(SolutionSummary {
+                            vector: "0110".to_string(),
+                            choices: "0121".to_string(),
+                            leakage_ua: rng.gen_range_f64(1e-3, 1e3),
+                            leakage_bits: rng.gen_range_f64(1e-3, 1e3).to_bits(),
+                            delay_bits: rng.gen_range_f64(1e-12, 1e-9).to_bits(),
+                            leaves: id * 17,
+                            runtime_ms: rng.gen_range_f64(0.0, 1e4),
+                        }),
+                        winner: Some("h1".to_string()),
+                        liberty_cells: None,
+                        baseline_leakage_ua: Some(rng.gen_range_f64(1e-3, 1e3)),
+                    });
+                    if let Some(result) = &result {
+                        journal.done(id, result);
+                    }
+                    expected.push((id, spec, stage, result));
+                }
+
+                // A replayed job must reproduce the write bit for bit.
+                let fingerprint = |job: &svtox_serve::RecoveredJob| {
+                    let result = job.result.as_ref().map(|r| {
+                        let s = r.solution.as_ref().map(|s| {
+                            format!(
+                                "{}/{}/{:016x}/{:016x}/{:016x}/{}/{:016x}",
+                                s.vector,
+                                s.choices,
+                                s.leakage_ua.to_bits(),
+                                s.leakage_bits,
+                                s.delay_bits,
+                                s.leaves,
+                                s.runtime_ms.to_bits()
+                            )
+                        });
+                        format!(
+                            "{}:{:?}:{:?}:{:?}",
+                            r.outcome,
+                            r.winner,
+                            r.baseline_leakage_ua.map(f64::to_bits),
+                            s
+                        )
+                    });
+                    format!(
+                        "{}|{:?}|{:?}|{:016x}|{}|{:?}|{:?}",
+                        job.id,
+                        job.spec.circuit,
+                        job.state,
+                        job.spec.penalty.to_bits(),
+                        job.spec.threads,
+                        job.spec.deadline,
+                        result
+                    )
+                };
+                let path = dir.join(svtox_serve::journal::JOURNAL_FILE);
+                let replay = || {
+                    svtox_serve::recovery::replay(&path, Fault::disabled_ref())
+                        .map_err(|e| format!("replay: {e}"))
+                };
+                let clean = replay();
+                let done = |r: Result<(), String>| {
+                    std::fs::remove_dir_all(&dir).ok();
+                    r
+                };
+                let clean = match clean {
+                    Ok(r) => r,
+                    Err(e) => return done(Err(e)),
+                };
+                if clean.torn_tail {
+                    return done(Err("a clean journal replayed as torn".to_string()));
+                }
+                if clean.next_id != jobs + 1 {
+                    return done(Err(format!(
+                        "next_id {} after {jobs} admissions",
+                        clean.next_id
+                    )));
+                }
+                if clean.jobs.len() != expected.len() {
+                    return done(Err(format!(
+                        "replayed {} of {} jobs",
+                        clean.jobs.len(),
+                        expected.len()
+                    )));
+                }
+                for (job, (id, spec, stage, result)) in clean.jobs.iter().zip(&expected) {
+                    use svtox_serve::RecoveredState;
+                    let state = match stage {
+                        0 => RecoveredState::Queued,
+                        1 => RecoveredState::Running,
+                        _ => RecoveredState::Done,
+                    };
+                    let want = svtox_serve::RecoveredJob {
+                        id: *id,
+                        spec: spec.clone(),
+                        state,
+                        checkpoint: job.checkpoint.clone(),
+                        result: result.clone(),
+                    };
+                    if fingerprint(job) != fingerprint(&want) {
+                        return done(Err(format!(
+                            "job {id} diverged:\n  got  {}\n  want {}",
+                            fingerprint(job),
+                            fingerprint(&want)
+                        )));
+                    }
+                }
+
+                // Tear the tail mid-record: every intact record must
+                // survive, and the tear must be flagged — never an error,
+                // never a lost job.
+                {
+                    use std::io::Write as _;
+                    let mut file = std::fs::OpenOptions::new()
+                        .append(true)
+                        .open(&path)
+                        .map_err(|e| e.to_string())?;
+                    file.write_all(b"{\"type\":\"state\",\"id\":1,\"st")
+                        .map_err(|e| e.to_string())?;
+                }
+                let torn = match replay() {
+                    Ok(r) => r,
+                    Err(e) => return done(Err(format!("torn-tail replay errored: {e}"))),
+                };
+                if !torn.torn_tail {
+                    return done(Err("the torn tail went unnoticed".to_string()));
+                }
+                let clean_prints: Vec<String> = clean.jobs.iter().map(fingerprint).collect();
+                let torn_prints: Vec<String> = torn.jobs.iter().map(fingerprint).collect();
+                if torn_prints != clean_prints {
+                    return done(Err("a torn tail changed the intact records".to_string()));
+                }
+                done(Ok(()))
+            },
+            &scaled(0.5),
+        ));
+    }
+
     // Cap corpus growth once per full (unfiltered) run: stale cases whose
     // property no longer exists are dropped, and each property keeps at
     // most a handful of distinct seeds.
@@ -1002,6 +1187,7 @@ pub fn builtin_property_names() -> Vec<&'static str> {
         "fault.resume_bit_identical",
         "portfolio.thread_count_invariant",
         "portfolio.kill_resume_bit_identical",
+        "serve.journal_roundtrip",
     ]
 }
 

@@ -53,6 +53,8 @@ pub const SCENARIOS: &[&str] = &[
     "kill-resume",
     "serve-kill-job",
     "client-disconnect",
+    "serve-kill-restart-resume",
+    "journal-torn-write",
 ];
 
 /// Runs the selected chaos scenarios.
@@ -145,6 +147,8 @@ fn run_scenario(name: &str, args: &ChaosArgs) -> Result<String, String> {
         "kill-resume" => kill_resume(args),
         "serve-kill-job" => serve_kill_job(args),
         "client-disconnect" => client_disconnect(args),
+        "serve-kill-restart-resume" => serve_kill_restart_resume(args),
+        "journal-torn-write" => journal_torn_write(args),
         other => Err(format!("unimplemented scenario `{other}`")),
     }));
     outcome.unwrap_or_else(|payload| {
@@ -562,4 +566,217 @@ fn client_disconnect(args: &ChaosArgs) -> Result<String, String> {
         return Err("metrics went dark after the disconnects".to_string());
     }
     Ok("half-request and mid-stream disconnects absorbed; jobs and metrics unaffected".to_string())
+}
+
+/// Extracts a counter from the `GET /metrics` plain-text rendering.
+fn metric_counter(metrics: &str, name: &str) -> Option<u64> {
+    metrics
+        .lines()
+        .find_map(|l| l.trim().strip_prefix(name))
+        .and_then(|rest| rest.trim().parse().ok())
+}
+
+/// Builds the standard chaos job body for a generated circuit.
+fn bench_body(bench: &str, threads: usize) -> String {
+    svtox_obs::json::Value::Obj(
+        [
+            (
+                "bench".to_string(),
+                svtox_obs::json::Value::Str(bench.to_string()),
+            ),
+            (
+                "deadline_ms".to_string(),
+                svtox_obs::json::Value::Num(30000.0),
+            ),
+            (
+                "threads".to_string(),
+                svtox_obs::json::Value::Num(threads as f64),
+            ),
+        ]
+        .into_iter()
+        .collect(),
+    )
+    .to_string()
+}
+
+/// A journaled server dies without warning (simulated SIGKILL: the
+/// journal freezes mid-state, nothing is drained), restarts on the same
+/// journal directory, and must drive every admitted job to a terminal
+/// state **bit-identical** to an uninterrupted run of the same spec.
+fn serve_kill_restart_resume(args: &ChaosArgs) -> Result<String, String> {
+    let threads = args.threads.max(1);
+    let dir = std::env::temp_dir().join(format!(
+        "svtox-chaos-skrr-{}-{}",
+        args.seed,
+        std::process::id()
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    let (netlist, _) = svtox_check::domain::circuit("chaos-restart", 7, 32, 5);
+    let body = bench_body(&netlist.to_bench(), threads);
+
+    // The uninterrupted reference: the same spec on a journal-free server.
+    let reference = {
+        let handle = svtox_serve::start(svtox_serve::ServerConfig::default())
+            .map_err(|e| format!("reference server start: {e}"))?;
+        let addr = handle.addr().to_string();
+        let id = serve_submit(&addr, &body)?;
+        let doc = serve_wait_done(&addr, id)?;
+        handle.shutdown();
+        doc
+    };
+    if reference.get("outcome").and_then(|v| v.as_str()) != Some("complete") {
+        return Err(format!("the reference job did not complete: {reference}"));
+    }
+
+    // The durable server: admit three jobs on one runner (so at most one
+    // is running and the rest are queued), then die mid-flight.
+    let handle = svtox_serve::start(svtox_serve::ServerConfig {
+        runners: 1,
+        journal: Some(dir.clone()),
+        ..svtox_serve::ServerConfig::default()
+    })
+    .map_err(|e| format!("durable server start: {e}"))?;
+    let addr = handle.addr().to_string();
+    let ids: Vec<u64> = (0..3)
+        .map(|_| serve_submit(&addr, &body))
+        .collect::<Result<_, _>>()?;
+    // Let the first job start (and checkpoint) before the kill.
+    std::thread::sleep(Duration::from_millis(50));
+    handle.crash();
+
+    // Restart on the same journal: every job must come back and finish.
+    let restarted = svtox_serve::start(svtox_serve::ServerConfig {
+        runners: 1,
+        journal: Some(dir.clone()),
+        ..svtox_serve::ServerConfig::default()
+    })
+    .map_err(|e| format!("restarted server start: {e}"))?;
+    let addr = restarted.addr().to_string();
+    for &id in &ids {
+        let doc = serve_wait_done(&addr, id)?;
+        for field in ["outcome", "vector", "choices", "leakage_bits", "delay_bits"] {
+            let got = doc.get(field).and_then(|v| v.as_str());
+            let want = reference.get(field).and_then(|v| v.as_str());
+            if got != want {
+                restarted.shutdown();
+                std::fs::remove_dir_all(&dir).ok();
+                return Err(format!(
+                    "job {id} `{field}` diverged after the restart: {got:?} != {want:?}"
+                ));
+            }
+        }
+    }
+    let metrics = serve_call(&addr, "GET", "/metrics", "")?;
+    restarted.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+    let recovered = metric_counter(&metrics.body, "serve.journal.recovered_jobs").unwrap_or(0);
+    if recovered != 3 {
+        return Err(format!(
+            "expected 3 recovered jobs in the restarted server's metrics, got {recovered}"
+        ));
+    }
+    Ok(format!(
+        "killed with 3 in-flight jobs; restart recovered all 3 to bit-identical \
+         terminal states ({threads} thread(s))"
+    ))
+}
+
+/// A journal whose last append was torn mid-record (the classic
+/// power-cut artifact) must not poison recovery: the intact prefix
+/// replays, the torn tail is dropped and counted, and the restarted
+/// server keeps serving. A second leg injects `io.write` faults into a
+/// live journal and demands loud degradation instead of a crash.
+fn journal_torn_write(args: &ChaosArgs) -> Result<String, String> {
+    let threads = args.threads.max(1);
+    let dir = std::env::temp_dir().join(format!(
+        "svtox-chaos-torn-{}-{}",
+        args.seed,
+        std::process::id()
+    ));
+    std::fs::remove_dir_all(&dir).ok();
+    let (netlist, _) = svtox_check::domain::circuit("chaos-torn", 7, 32, 5);
+    let body = bench_body(&netlist.to_bench(), threads);
+
+    // Journal one completed job, then shut down cleanly.
+    let handle = svtox_serve::start(svtox_serve::ServerConfig {
+        journal: Some(dir.clone()),
+        ..svtox_serve::ServerConfig::default()
+    })
+    .map_err(|e| format!("server start: {e}"))?;
+    let addr = handle.addr().to_string();
+    let id = serve_submit(&addr, &body)?;
+    let reference = serve_wait_done(&addr, id)?;
+    handle.shutdown();
+
+    // Tear the tail: an append that died mid-write leaves half a record
+    // with no newline.
+    let journal_path = dir.join(svtox_serve::journal::JOURNAL_FILE);
+    {
+        use std::io::Write as _;
+        let mut file = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&journal_path)
+            .map_err(|e| format!("tearing the journal: {e}"))?;
+        file.write_all(b"{\"type\":\"admit\",\"id\":99,\"spec\":{\"circ")
+            .map_err(|e| format!("tearing the journal: {e}"))?;
+    }
+
+    // Restart: the intact prefix must replay, the tear must be counted,
+    // and the server must serve old and new jobs alike.
+    let restarted = svtox_serve::start(svtox_serve::ServerConfig {
+        journal: Some(dir.clone()),
+        ..svtox_serve::ServerConfig::default()
+    })
+    .map_err(|e| format!("restart on the torn journal: {e}"))?;
+    let addr = restarted.addr().to_string();
+    let doc = serve_wait_done(&addr, id)?;
+    if doc.get("leakage_bits") != reference.get("leakage_bits") {
+        restarted.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+        return Err("the completed job's result was lost to the torn tail".to_string());
+    }
+    let fresh = serve_submit(&addr, &body)?;
+    let fresh_doc = serve_wait_done(&addr, fresh)?;
+    if fresh_doc.get("outcome").and_then(|v| v.as_str()) != Some("complete") {
+        restarted.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+        return Err(format!("the post-tear job did not complete: {fresh_doc}"));
+    }
+    let metrics = serve_call(&addr, "GET", "/metrics", "")?;
+    restarted.shutdown();
+    let torn = metric_counter(&metrics.body, "serve.journal.torn_tail").unwrap_or(0);
+    if torn == 0 {
+        std::fs::remove_dir_all(&dir).ok();
+        return Err("the torn tail was never counted".to_string());
+    }
+
+    // Second leg: every journal write fails. The service must complete
+    // jobs in memory and say loudly that durability is gone.
+    std::fs::remove_dir_all(&dir).ok();
+    let faulted = svtox_serve::start(svtox_serve::ServerConfig {
+        journal: Some(dir.clone()),
+        fault_plan: Some("io.write:nth=1".to_string()),
+        fault_seed: args.seed,
+        ..svtox_serve::ServerConfig::default()
+    })
+    .map_err(|e| format!("server start under io.write faults: {e}"))?;
+    let addr = faulted.addr().to_string();
+    let id = serve_submit(&addr, &body)?;
+    let doc = serve_wait_done(&addr, id)?;
+    let metrics = serve_call(&addr, "GET", "/metrics", "")?;
+    faulted.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+    if doc.get("outcome").and_then(|v| v.as_str()) != Some("complete") {
+        return Err(format!(
+            "a job under journal faults did not complete: {doc}"
+        ));
+    }
+    let degraded = metric_counter(&metrics.body, "serve.journal.degraded").unwrap_or(0);
+    if degraded == 0 {
+        return Err("journal write faults never surfaced in serve.journal.degraded".to_string());
+    }
+    Ok(format!(
+        "torn tail dropped and counted ({torn}); io.write faults degraded the \
+         journal loudly ({degraded}) while jobs kept completing"
+    ))
 }

@@ -115,6 +115,9 @@ pub struct ServeArgs {
     pub fault_plan: Option<String>,
     /// Seed for probabilistic fault triggers.
     pub fault_seed: u64,
+    /// Directory for the write-ahead job journal; enables crash
+    /// recovery (replay on start, resume from checkpoints).
+    pub journal: Option<std::path::PathBuf>,
 }
 
 /// Arguments of `svtox loadgen`.
@@ -141,6 +144,8 @@ pub struct LoadgenArgs {
     pub json: bool,
     /// Runner threads for the spawned server (ignored with `--addr`).
     pub runners: usize,
+    /// Seed for the connection-retry backoff jitter.
+    pub retry_seed: u64,
 }
 
 /// Arguments of `svtox suite`.
@@ -315,10 +320,12 @@ USAGE:
               [--json] [--corpus DIR] [--property NAME] [--replay STREAMSEED]
   svtox chaos <scenario>|--all [--seed S] [--threads N] [--target CIRCUIT]
   svtox serve [--addr HOST:PORT] [--runners N] [--queue-depth N]
-              [--deadline SECONDS] [--fault-plan SPEC] [--fault-seed S]
+              [--deadline SECONDS] [--journal DIR]
+              [--fault-plan SPEC] [--fault-seed S]
   svtox loadgen [circuit|file.bench] [--addr HOST:PORT] [--jobs N]
                 [--concurrency N] [--deadline SECONDS] [--threads N]
-                [--penalty PCT] [--vectors N] [--runners N] [--json]
+                [--penalty PCT] [--vectors N] [--runners N]
+                [--retry-seed S] [--json]
   svtox eco <circuit|file.bench> --edits FILE [--penalty PCT]
             [--mode proposed|vt|state] [--threads N]
             [--time-budget SECONDS] [--checkpoint FILE] [--metrics]
@@ -354,11 +361,12 @@ prefix subtree to a JSONL file; `--resume` replays it so a killed run
 finishes bit-identically to an uninterrupted one (same circuit, penalty,
 mode and split depth required). `--fault-plan SPEC` injects deterministic
 faults, e.g. `exec.dispatch:p=0.1,clock.skew:nth=1` (sites: exec.dispatch,
-exec.pop, io.read, io.truncate, clock.skew, core.leaf; triggers: nth=N,
-every=N, p=F under `--fault-seed`). `chaos` runs named scenarios
-(panic-storm, worker-loss, truncated-file, clock-skew, kill-resume,
-serve-kill-job, client-disconnect) asserting the degradation invariants;
-any violation exits non-zero.
+exec.pop, io.read, io.truncate, io.write, io.fsync, io.rename, clock.skew,
+core.leaf; triggers: nth=N, every=N, p=F under `--fault-seed`). `chaos`
+runs named scenarios (panic-storm, worker-loss, truncated-file,
+clock-skew, kill-resume, serve-kill-job, client-disconnect,
+serve-kill-restart-resume, journal-torn-write) asserting the degradation
+invariants; any violation exits non-zero.
 
 Service: `serve` runs the optimizer as a long-lived HTTP service —
 `POST /jobs` submits a spec (`{\"circuit\":\"c432\",\"deadline_ms\":500}` or
@@ -368,12 +376,21 @@ degrades a running job, and `GET /metrics` exposes the aggregated
 counters. Admission is bounded (`--queue-depth`; overload answers 503)
 and every job runs under a deadline (`--deadline` default when the spec
 has none). Parsed netlists and characterized libraries are cached across
-jobs by content hash. Ctrl-C degrades in-flight jobs and exits cleanly.
+jobs by content hash (netlists by post-strash structural hash, so two
+spellings of one circuit share an entry). Ctrl-C degrades in-flight jobs
+and exits cleanly. `--journal DIR` makes jobs durable: every admission,
+state transition and terminal outcome is appended to a write-ahead JSONL
+journal, and a restarted server replays it — finished jobs stay
+pollable, queued jobs re-enqueue, and running jobs resume warm from
+their checkpoints to bit-identical outcomes. Journal I/O errors degrade
+the journal (counter `serve.journal.degraded`), never the service.
 `loadgen` replays `--jobs N` concurrent jobs (against `--addr`, or an
 in-process server by default) and reports throughput, latency
 percentiles, cache hit rates, and — the hard invariants — zero hangs and
 a typed outcome for every job; violations exit non-zero. Each job also
 samples a `--vectors N` Monte-Carlo baseline (default 256; 0 disables).
+Connection-refused/reset submissions retry with bounded seeded-jitter
+backoff (`--retry-seed`), so a loadgen run spans a server restart.
 
 `suite --sim-bench` measures the packed word-level simulation core
 against the scalar reference estimator (vectors·gates per second) on a
@@ -655,6 +672,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 default_deadline: Duration::from_secs(2),
                 fault_plan: None,
                 fault_seed: 0,
+                journal: None,
             };
             while let Some(a) = it.next() {
                 match a.as_str() {
@@ -664,6 +682,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     "--deadline" => args.default_deadline = seconds(&mut it, "--deadline")?,
                     "--fault-plan" => args.fault_plan = Some(next(&mut it, "--fault-plan")?),
                     "--fault-seed" => args.fault_seed = seed_u64(&mut it, "--fault-seed")?,
+                    "--journal" => {
+                        args.journal = Some(std::path::PathBuf::from(next(&mut it, "--journal")?));
+                    }
                     other => return Err(CliError(format!("unknown flag `{other}`"))),
                 }
             }
@@ -686,6 +707,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 vectors: 256,
                 json: false,
                 runners: 4,
+                retry_seed: 7,
             };
             while let Some(a) = it.next() {
                 match a.as_str() {
@@ -698,6 +720,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     "--vectors" => args.vectors = uint(&mut it, "--vectors")?,
                     "--json" => args.json = true,
                     "--runners" => args.runners = uint(&mut it, "--runners")?,
+                    "--retry-seed" => args.retry_seed = seed_u64(&mut it, "--retry-seed")?,
                     flag if flag.starts_with("--") => {
                         return Err(CliError(format!("unknown flag `{flag}`")))
                     }
@@ -1111,6 +1134,7 @@ pub fn run(command: Command) -> Result<String, Box<dyn Error>> {
                 default_deadline: args.default_deadline,
                 fault_plan: args.fault_plan.clone(),
                 fault_seed: args.fault_seed,
+                journal: args.journal.clone(),
                 ..svtox_serve::ServerConfig::default()
             };
             let handle = svtox_serve::start(config).map_err(|e| CliError(format!("serve: {e}")))?;
@@ -1154,6 +1178,7 @@ pub fn run(command: Command) -> Result<String, Box<dyn Error>> {
                 threads: args.threads,
                 penalty_pct: args.penalty,
                 vectors: args.vectors,
+                retry_seed: args.retry_seed,
                 server: svtox_serve::ServerConfig {
                     runners: args.runners.max(1),
                     ..svtox_serve::ServerConfig::default()
@@ -1640,7 +1665,7 @@ mod tests {
     fn parses_serve() {
         let cmd = parse_args(&argv(
             "serve --addr 127.0.0.1:0 --runners 4 --queue-depth 8 --deadline 1.5 \
-             --fault-plan core.leaf:nth=5 --fault-seed 7",
+             --fault-plan core.leaf:nth=5 --fault-seed 7 --journal /tmp/wal",
         ))
         .unwrap();
         let Command::Serve(args) = cmd else {
@@ -1652,6 +1677,10 @@ mod tests {
         assert_eq!(args.default_deadline, Duration::from_secs_f64(1.5));
         assert_eq!(args.fault_plan.as_deref(), Some("core.leaf:nth=5"));
         assert_eq!(args.fault_seed, 7);
+        assert_eq!(
+            args.journal.as_deref(),
+            Some(std::path::Path::new("/tmp/wal"))
+        );
         // Defaults.
         let Command::Serve(defaults) = parse_args(&argv("serve")).unwrap() else {
             panic!("wrong command")
@@ -1660,6 +1689,7 @@ mod tests {
         assert_eq!(defaults.runners, 2);
         assert_eq!(defaults.queue_depth, 64);
         assert_eq!(defaults.default_deadline, Duration::from_secs(2));
+        assert_eq!(defaults.journal, None, "durability is opt-in");
         // A zero-depth queue could admit nothing; reject it typed.
         assert!(parse_args(&argv("serve --queue-depth 0")).is_err());
     }
@@ -1668,7 +1698,8 @@ mod tests {
     fn parses_loadgen() {
         let cmd = parse_args(&argv(
             "loadgen c880 --addr 127.0.0.1:7433 --jobs 200 --concurrency 16 \
-             --deadline 0.5 --threads 2 --penalty 10 --vectors 1024 --json --runners 8",
+             --deadline 0.5 --threads 2 --penalty 10 --vectors 1024 --json --runners 8 \
+             --retry-seed 11",
         ))
         .unwrap();
         let Command::Loadgen(args) = cmd else {
@@ -1684,6 +1715,7 @@ mod tests {
         assert_eq!(args.vectors, 1024);
         assert!(args.json);
         assert_eq!(args.runners, 8);
+        assert_eq!(args.retry_seed, 11);
         // Defaults: in-process server, the CI smoke shape.
         let Command::Loadgen(defaults) = parse_args(&argv("loadgen")).unwrap() else {
             panic!("wrong command")
@@ -1693,6 +1725,7 @@ mod tests {
         assert_eq!(defaults.concurrency, 8);
         assert_eq!(defaults.target, "c432");
         assert_eq!(defaults.vectors, 256, "jobs carry a Monte-Carlo baseline");
+        assert_eq!(defaults.retry_seed, 7);
         assert!(!defaults.json);
         assert!(parse_args(&argv("loadgen --jobs 0")).is_err());
     }

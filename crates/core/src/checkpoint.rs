@@ -31,6 +31,7 @@ use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 use std::time::Duration;
 
+use svtox_fault::{Fault, Site};
 use svtox_obs::json::{self, Value};
 use svtox_tech::{Current, Time};
 
@@ -261,14 +262,31 @@ pub(crate) fn load(path: &Path) -> Result<Option<LoadedCheckpoint>, OptError> {
 }
 
 /// Appends task lines as subtrees finish, flushing per line.
+///
+/// Writes route through the injected [`Fault`] handle's `io.write` site,
+/// so chaos plans can fail checkpoint persistence deterministically: a
+/// failed meta write is a typed [`OptError::Checkpoint`], a failed task
+/// line is a warning (the search continues, the subtree is recomputed on
+/// resume).
 pub(crate) struct CheckpointWriter {
     file: Mutex<File>,
     path: PathBuf,
+    fault: Fault,
 }
 
 impl CheckpointWriter {
     /// Truncates `path` and writes the meta line.
-    pub(crate) fn create(path: &Path, meta: &CheckpointMeta) -> Result<Self, OptError> {
+    pub(crate) fn create(
+        path: &Path,
+        meta: &CheckpointMeta,
+        fault: &Fault,
+    ) -> Result<Self, OptError> {
+        fault
+            .check_io(
+                Site::FileWrite,
+                &format!("checkpoint meta {}", path.display()),
+            )
+            .map_err(|e| OptError::Checkpoint(e.to_string()))?;
         let mut file = File::create(path)
             .map_err(|e| OptError::Checkpoint(format!("cannot create {}: {e}", path.display())))?;
         let mut escaped = String::new();
@@ -293,30 +311,38 @@ impl CheckpointWriter {
         Ok(Self {
             file: Mutex::new(file),
             path: path.to_path_buf(),
+            fault: fault.clone(),
         })
     }
 
     /// Opens `path` for appending (the resume case: meta already there).
-    pub(crate) fn append(path: &Path) -> Result<Self, OptError> {
+    pub(crate) fn append(path: &Path, fault: &Fault) -> Result<Self, OptError> {
         let file = OpenOptions::new().append(true).open(path).map_err(|e| {
             OptError::Checkpoint(format!("cannot append to {}: {e}", path.display()))
         })?;
         Ok(Self {
             file: Mutex::new(file),
             path: path.to_path_buf(),
+            fault: fault.clone(),
         })
     }
 
-    /// Records one fully-explored subtree. Write failures are reported to
-    /// stderr once per call but never fail the search — the checkpoint is
-    /// an aid, not a dependency.
+    /// Records one fully-explored subtree. Write failures (real or
+    /// injected at `io.write`) are reported to stderr once per call but
+    /// never fail the search — the checkpoint is an aid, not a
+    /// dependency.
     pub(crate) fn record_task(&self, index: usize, leaves: u64, solution: Option<&Solution>) {
         let sol = solution.map_or_else(|| "null".to_string(), solution_to_json);
         let line = format!(
             "{{\"type\":\"task\",\"index\":{index},\"leaves\":{leaves},\"solution\":{sol}}}\n"
         );
         let mut file = self.file.lock().expect("checkpoint lock is never poisoned");
-        if let Err(e) = file.write_all(line.as_bytes()).and_then(|()| file.flush()) {
+        let written = self
+            .fault
+            .check_io(Site::FileWrite, "checkpoint task line")
+            .and_then(|()| file.write_all(line.as_bytes()))
+            .and_then(|()| file.flush());
+        if let Err(e) = written {
             eprintln!(
                 "warning: checkpoint write to {} failed: {e}",
                 self.path.display()
@@ -377,7 +403,7 @@ mod tests {
     fn write_then_load_round_trips_meta_and_tasks() {
         let path = temp_path("roundtrip");
         let meta = sample_meta();
-        let writer = CheckpointWriter::create(&path, &meta).expect("create");
+        let writer = CheckpointWriter::create(&path, &meta, Fault::disabled_ref()).expect("create");
         writer.record_task(0, 4, Some(&sample_solution()));
         writer.record_task(2, 7, None);
         drop(writer);
@@ -402,7 +428,7 @@ mod tests {
         let path = temp_path("engine");
         let mut meta = sample_meta();
         meta.engine = Some("h2-natural".to_string());
-        let writer = CheckpointWriter::create(&path, &meta).expect("create");
+        let writer = CheckpointWriter::create(&path, &meta, Fault::disabled_ref()).expect("create");
         writer.record_task(1, 3, None);
         drop(writer);
         let cp = load(&path).expect("load").expect("file exists");
@@ -414,7 +440,8 @@ mod tests {
     #[test]
     fn truncated_trailing_line_is_tolerated() {
         let path = temp_path("truncated");
-        let writer = CheckpointWriter::create(&path, &sample_meta()).expect("create");
+        let writer =
+            CheckpointWriter::create(&path, &sample_meta(), Fault::disabled_ref()).expect("create");
         writer.record_task(0, 4, Some(&sample_solution()));
         drop(writer);
         // Simulate a mid-write kill: append half a task line.

@@ -898,13 +898,13 @@ impl<'a> Optimizer<'a> {
                         cp.meta.engine
                     )));
                 }
-                let writer = CheckpointWriter::append(&path)?;
+                let writer = CheckpointWriter::append(&path, self.fault)?;
                 Ok((cp.tasks, Some(writer)))
             }
             None => {
                 let mut meta = self.meta(k, seed);
                 meta.engine = Some(slug.to_string());
-                let writer = CheckpointWriter::create(&path, &meta)?;
+                let writer = CheckpointWriter::create(&path, &meta, self.fault)?;
                 Ok((BTreeMap::new(), Some(writer)))
             }
         }

@@ -98,8 +98,14 @@ impl<'a> Optimizer<'a> {
 
         let resumed_tasks = recorded.len();
         let writer = match spec {
-            Some(s) if s.resume && resumed_tasks > 0 => Some(CheckpointWriter::append(&s.path)?),
-            Some(s) => Some(CheckpointWriter::create(&s.path, &self.meta(k, &seed))?),
+            Some(s) if s.resume && resumed_tasks > 0 => {
+                Some(CheckpointWriter::append(&s.path, self.fault)?)
+            }
+            Some(s) => Some(CheckpointWriter::create(
+                &s.path,
+                &self.meta(k, &seed),
+                self.fault,
+            )?),
             None => None,
         };
 

@@ -66,17 +66,29 @@ pub enum Site {
     /// `core.leaf` — after the search loop evaluates a leaf; an injected
     /// fault cancels the run's budget token (a mid-search kill).
     CoreLeaf,
+    /// `io.write` — a file append/write fails with an I/O error (journal
+    /// records, checkpoint lines).
+    FileWrite,
+    /// `io.fsync` — a durability sync fails with an I/O error after the
+    /// data was already buffered.
+    FileFsync,
+    /// `io.rename` — an atomic replace (write-temp-then-rename rotation)
+    /// fails with an I/O error.
+    FileRename,
 }
 
 impl Site {
     /// Every site, in parse/display order.
-    pub const ALL: [Site; 6] = [
+    pub const ALL: [Site; 9] = [
         Site::ExecDispatch,
         Site::ExecPop,
         Site::FileRead,
         Site::FileTruncate,
         Site::BudgetClock,
         Site::CoreLeaf,
+        Site::FileWrite,
+        Site::FileFsync,
+        Site::FileRename,
     ];
 
     /// The dotted `layer.point` name.
@@ -89,6 +101,9 @@ impl Site {
             Site::FileTruncate => "io.truncate",
             Site::BudgetClock => "clock.skew",
             Site::CoreLeaf => "core.leaf",
+            Site::FileWrite => "io.write",
+            Site::FileFsync => "io.fsync",
+            Site::FileRename => "io.rename",
         }
     }
 
@@ -106,6 +121,9 @@ impl Site {
             Site::FileTruncate => 3,
             Site::BudgetClock => 4,
             Site::CoreLeaf => 5,
+            Site::FileWrite => 6,
+            Site::FileFsync => 7,
+            Site::FileRename => 8,
         }
     }
 }
@@ -275,8 +293,8 @@ impl RuleState {
 }
 
 struct Inner {
-    hits: [AtomicU64; 6],
-    fired: [AtomicU64; 6],
+    hits: [AtomicU64; 9],
+    fired: [AtomicU64; 9],
     rules: Vec<RuleState>,
 }
 
@@ -419,6 +437,28 @@ impl Fault {
         Ok(text)
     }
 
+    /// Records a hit on an I/O `site` and, if a rule fires, returns the
+    /// injected error as an `Err` a write path can propagate.
+    ///
+    /// This is the write-side counterpart of [`Fault::read_to_string`]:
+    /// journal appends guard each `write_all` with
+    /// `check_io(Site::FileWrite, ..)`, durability syncs with
+    /// [`Site::FileFsync`], and atomic rotations with
+    /// [`Site::FileRename`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the injected, [`PANIC_PREFIX`]-tagged error when a rule
+    /// for `site` fires; `Ok(())` otherwise.
+    pub fn check_io(&self, site: Site, what: &str) -> io::Result<()> {
+        if self.fires(site) {
+            return Err(io::Error::other(format!(
+                "{PANIC_PREFIX} at {site}: {what}"
+            )));
+        }
+        Ok(())
+    }
+
     /// Whether a panic payload came from [`Fault::inject_panic`].
     #[must_use]
     pub fn is_injected_panic(message: &str) -> bool {
@@ -547,6 +587,32 @@ mod tests {
             .clone();
         assert!(Fault::is_injected_panic(&message), "payload: {message}");
         assert!(message.contains("exec.dispatch"));
+    }
+
+    #[test]
+    fn io_sites_parse_and_check_io_injects_typed_errors() {
+        let plan = FaultPlan::parse("io.write:every=2, io.fsync:nth=1; io.rename:nth=2", 3)
+            .expect("valid spec");
+        let fault = Fault::new(&plan);
+
+        assert!(fault.check_io(Site::FileWrite, "journal append").is_ok());
+        let err = fault
+            .check_io(Site::FileWrite, "journal append")
+            .expect_err("every=2 fires on the second hit");
+        assert!(Fault::is_injected_panic(&err.to_string()));
+        assert!(err.to_string().contains("io.write"), "err: {err}");
+
+        let err = fault
+            .check_io(Site::FileFsync, "journal sync")
+            .expect_err("nth=1 fires immediately");
+        assert!(err.to_string().contains("io.fsync"));
+
+        assert!(fault.check_io(Site::FileRename, "rotate").is_ok());
+        assert!(fault.check_io(Site::FileRename, "rotate").is_err());
+        assert_eq!(fault.fired(Site::FileRename), 1);
+
+        // Disabled handles answer with one branch and never error.
+        assert!(Fault::disabled().check_io(Site::FileWrite, "x").is_ok());
     }
 
     #[test]

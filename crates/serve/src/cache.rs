@@ -11,8 +11,10 @@
 //! * **libraries** — the canonical encoding of [`LibraryOptions`] (every
 //!   field, floats by bit pattern), since characterization is a pure
 //!   function of the options and the technology;
-//! * **netlists** — the submitted `.bench` text, or the `name:` form of
-//!   a built-in benchmark;
+//! * **netlists** — the **post-strash structural hash** of a submitted
+//!   `.bench` text (two spellings of the same circuit — renamed wires,
+//!   reordered lines, commuted pins — share one cache entry), or the
+//!   `name:` form of a built-in benchmark;
 //! * **Liberty tables** — the submitted Liberty text.
 //!
 //! Each entry is built exactly once per key (single-flight): concurrent
@@ -26,7 +28,7 @@ use std::sync::{Arc, Mutex};
 use svtox_cells::liberty::LeakageRows;
 use svtox_cells::{parse_liberty_leakage, Library, LibraryOptions};
 use svtox_netlist::generators::benchmark;
-use svtox_netlist::{map_to_primitives, parse_bench, EditScript, MappingOptions, Netlist};
+use svtox_netlist::{map_to_primitives, parse_bench, strash, EditScript, MappingOptions, Netlist};
 use svtox_obs::Obs;
 use svtox_tech::Technology;
 
@@ -107,6 +109,9 @@ pub struct SharedCaches {
     libraries: SlotMap<Library>,
     netlists: SlotMap<Netlist>,
     liberty: SlotMap<HashMap<String, LeakageRows>>,
+    /// Memo from bench-text hash to the post-strash structural key, so
+    /// byte-identical resubmissions skip the parse+strash keying pass.
+    bench_keys: Mutex<HashMap<u64, u64>>,
 }
 
 impl Default for SharedCaches {
@@ -123,6 +128,7 @@ impl SharedCaches {
             libraries: SlotMap::new(),
             netlists: SlotMap::new(),
             liberty: SlotMap::new(),
+            bench_keys: Mutex::new(HashMap::new()),
         }
     }
 
@@ -150,7 +156,16 @@ impl SharedCaches {
         Ok(lib)
     }
 
-    /// The parsed-and-mapped netlist for a submitted `.bench` text.
+    /// The parsed-and-mapped netlist for a submitted `.bench` text,
+    /// cached by the **post-strash structural hash** of the mapped
+    /// netlist. Two textual spellings of the same circuit — renamed
+    /// wires, reordered lines, commuted input pins — hash to the same
+    /// key and share one cache entry; such cross-spelling hits bump
+    /// `serve.cache.netlist_dedup_hits`. The *stored* netlist is the
+    /// un-strashed mapped form of whichever spelling arrived first, so
+    /// optimization results stay bit-identical to a cold parse of that
+    /// spelling. A text-hash memo skips the keying pass (parse + map +
+    /// strash) for byte-identical resubmissions.
     ///
     /// # Errors
     ///
@@ -160,11 +175,41 @@ impl SharedCaches {
         bench_text: &str,
         obs: &Obs,
     ) -> Result<Arc<Netlist>, svtox_netlist::NetlistError> {
-        let key = fnv1a64(bench_text.as_bytes());
+        let text_key = fnv1a64(bench_text.as_bytes());
+        let known = self
+            .bench_keys
+            .lock()
+            .expect("bench-key memo lock")
+            .get(&text_key)
+            .copied();
+        let (key, prepared) = match known {
+            Some(key) => (key, None),
+            None => {
+                let raw = parse_bench(bench_text)?;
+                let mapped = map_to_primitives(&raw, MappingOptions::default())?;
+                let key = strash(&mapped).0.content_hash();
+                (key, Some(mapped))
+            }
+        };
+        let freshly_keyed = prepared.is_some();
         let (netlist, hit) = self.netlists.get_or_build(key, || {
-            let raw = parse_bench(bench_text)?;
-            map_to_primitives(&raw, MappingOptions::default())
+            match prepared {
+                Some(mapped) => Ok(mapped),
+                // The memoized entry can only vanish if the cache were
+                // ever evicted; rebuild from the text just in case.
+                None => {
+                    let raw = parse_bench(bench_text)?;
+                    map_to_primitives(&raw, MappingOptions::default())
+                }
+            }
         })?;
+        if hit && freshly_keyed {
+            obs.add("serve.cache.netlist_dedup_hits", 1);
+        }
+        self.bench_keys
+            .lock()
+            .expect("bench-key memo lock")
+            .insert(text_key, key);
         self.count_netlist(hit, obs);
         Ok(netlist)
     }

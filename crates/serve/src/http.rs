@@ -3,10 +3,16 @@
 //! Only what the job service needs: request-line + header parsing with a
 //! bounded `Content-Length` body on the server side, fixed-length and
 //! chunked (`Transfer-Encoding: chunked`) responses, and a small blocking
-//! client for the load generator and the chaos scenarios. Every
-//! connection is `Connection: close` — the service optimizes circuits,
-//! not socket reuse, and one-shot connections keep the failure domain of
-//! a dropped client to a single request.
+//! client for the load generator and the chaos scenarios.
+//!
+//! Connections default to `Connection: close` — one-shot connections
+//! keep the failure domain of a dropped client to a single request. A
+//! client that explicitly sends `Connection: keep-alive` may pipeline
+//! further requests on the same socket ([`Request::keep_alive`]); the
+//! server still closes after streaming endpoints, and a connection that
+//! *starts* a request but stops feeding bytes is a slow-loris, answered
+//! with 408 ([`RequestError::TimedOut`] with `partial: true`) rather
+//! than holding a handler thread.
 
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
@@ -24,18 +30,29 @@ pub struct Request {
     pub path: String,
     /// The body, empty when no `Content-Length` was sent.
     pub body: String,
+    /// The client sent `Connection: keep-alive` and may pipeline another
+    /// request on this socket after the response.
+    pub keep_alive: bool,
 }
 
 /// Why a request could not be read.
 #[derive(Debug)]
 pub enum RequestError {
-    /// The socket failed or timed out mid-request (a dropped or stalled
-    /// client); there is nobody left to answer.
+    /// The socket failed mid-request (a dropped client); there is nobody
+    /// left to answer.
     Io(io::Error),
     /// The bytes were not a well-formed request; answer 400.
     Malformed(String),
     /// The declared body exceeds the configured bound; answer 413.
     TooLarge(usize),
+    /// The read timeout expired. `partial: true` means bytes of a
+    /// request had already arrived and then stopped — a slow-loris,
+    /// answered with 408; `partial: false` is an idle keep-alive
+    /// connection with nothing in flight, closed silently.
+    TimedOut {
+        /// Whether part of a request was already on the socket.
+        partial: bool,
+    },
 }
 
 impl std::fmt::Display for RequestError {
@@ -44,8 +61,19 @@ impl std::fmt::Display for RequestError {
             Self::Io(e) => write!(f, "socket error: {e}"),
             Self::Malformed(why) => write!(f, "malformed request: {why}"),
             Self::TooLarge(n) => write!(f, "body of {n} bytes exceeds the limit"),
+            Self::TimedOut { partial: true } => f.write_str("timed out mid-request"),
+            Self::TimedOut { partial: false } => f.write_str("timed out while idle"),
         }
     }
+}
+
+/// Whether an I/O error is a read-timeout expiry (both kinds occur,
+/// platform-dependent, for `SO_RCVTIMEO`).
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
 }
 
 impl From<io::Error> for RequestError {
@@ -77,13 +105,17 @@ pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, 
         .ok_or_else(|| RequestError::Malformed("missing path".into()))?
         .to_string();
     let mut content_length = 0usize;
+    let mut keep_alive = false;
     for line in lines {
         if let Some((name, value)) = line.split_once(':') {
-            if name.trim().eq_ignore_ascii_case("content-length") {
+            let name = name.trim();
+            if name.eq_ignore_ascii_case("content-length") {
                 content_length = value
                     .trim()
                     .parse()
                     .map_err(|_| RequestError::Malformed("bad content-length".into()))?;
+            } else if name.eq_ignore_ascii_case("connection") {
+                keep_alive = value.trim().eq_ignore_ascii_case("keep-alive");
             }
         }
     }
@@ -92,7 +124,12 @@ pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, 
     }
     while leftover.len() < content_length {
         let mut buf = [0u8; 4096];
-        let n = stream.read(&mut buf)?;
+        let n = match stream.read(&mut buf) {
+            Ok(n) => n,
+            // The head arrived, the body is dripping: slow-loris.
+            Err(e) if is_timeout(&e) => return Err(RequestError::TimedOut { partial: true }),
+            Err(e) => return Err(e.into()),
+        };
         if n == 0 {
             return Err(RequestError::Malformed("body shorter than declared".into()));
         }
@@ -101,7 +138,12 @@ pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, 
     leftover.truncate(content_length);
     let body = String::from_utf8(leftover)
         .map_err(|_| RequestError::Malformed("body is not UTF-8".into()))?;
-    Ok(Request { method, path, body })
+    Ok(Request {
+        method,
+        path,
+        body,
+        keep_alive,
+    })
 }
 
 /// Reads up to and including the blank line; returns (head, body bytes
@@ -118,8 +160,21 @@ fn read_head(stream: &mut TcpStream) -> Result<(String, Vec<u8>), RequestError> 
             return Err(RequestError::Malformed("header block too large".into()));
         }
         let mut chunk = [0u8; 1024];
-        let n = stream.read(&mut chunk)?;
+        let n = match stream.read(&mut chunk) {
+            Ok(n) => n,
+            Err(e) if is_timeout(&e) => {
+                return Err(RequestError::TimedOut {
+                    partial: !buf.is_empty(),
+                })
+            }
+            Err(e) => return Err(e.into()),
+        };
         if n == 0 {
+            if buf.is_empty() {
+                // A clean close with nothing in flight: the keep-alive
+                // peer is simply done. Not a malformed request.
+                return Err(RequestError::Io(io::ErrorKind::UnexpectedEof.into()));
+            }
             return Err(RequestError::Malformed(
                 "connection closed mid-request".into(),
             ));
@@ -146,7 +201,8 @@ fn reason(status: u16) -> &'static str {
     }
 }
 
-/// Writes a complete fixed-length response and flushes it.
+/// Writes a complete fixed-length `Connection: close` response and
+/// flushes it.
 ///
 /// # Errors
 ///
@@ -157,8 +213,26 @@ pub fn write_response(
     content_type: &str,
     body: &str,
 ) -> io::Result<()> {
+    write_response_conn(stream, status, content_type, body, false)
+}
+
+/// [`write_response`] with an explicit connection disposition:
+/// `keep_alive: true` advertises `Connection: keep-alive` so the client
+/// may pipeline the next request on the same socket.
+///
+/// # Errors
+///
+/// Returns the socket error if the client disappeared mid-write.
+pub fn write_response_conn(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &str,
+    keep_alive: bool,
+) -> io::Result<()> {
+    let connection = if keep_alive { "keep-alive" } else { "close" };
     let head = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n",
         reason(status),
         body.len()
     );
@@ -253,6 +327,29 @@ pub fn call(
     stream.write_all(body.as_bytes())?;
     stream.flush()?;
     read_response(&mut stream)
+}
+
+/// Sends one request on an already-connected stream with
+/// `Connection: keep-alive` and reads the response, leaving the socket
+/// open for the next call — the client side of request pipelining.
+///
+/// # Errors
+///
+/// Returns an `io::Error` for socket failures or a malformed response.
+pub fn call_keep_alive(
+    stream: &mut TcpStream,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> io::Result<ClientResponse> {
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\nConnection: keep-alive\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()?;
+    read_response(stream)
 }
 
 fn bad(why: &str) -> io::Error {

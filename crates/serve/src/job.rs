@@ -13,7 +13,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
 use svtox_cells::{LibraryOptions, TradeoffPoints};
-use svtox_core::{CancelToken, Mode, Solution};
+use svtox_core::{CancelToken, CheckpointSpec, Mode, Solution};
 use svtox_obs::json;
 use svtox_obs::EventSink;
 
@@ -126,6 +126,105 @@ impl JobSpec {
             (None, None) => Err("a job needs a `circuit` name or `bench` text".to_string()),
             _ => Ok(spec),
         }
+    }
+
+    /// Serializes the spec for the write-ahead journal.
+    ///
+    /// Unlike the wire format (where `penalty` is a decimal percentage),
+    /// the journal stores the resolved fraction as an `f64` **bit
+    /// pattern** so a replayed job is bit-identical to the admitted one.
+    /// Only wire-expressible library options (`two_option`,
+    /// `uniform_stack`) are recorded — the rest of [`LibraryOptions`]
+    /// cannot be set over HTTP.
+    #[must_use]
+    pub fn to_journal_value(&self) -> json::Value {
+        let mut obj = BTreeMap::new();
+        for (name, text) in [
+            ("circuit", &self.circuit),
+            ("bench", &self.bench),
+            ("edits", &self.edits),
+            ("liberty", &self.liberty),
+        ] {
+            if let Some(text) = text {
+                obj.insert(name.to_string(), json::Value::Str(text.clone()));
+            }
+        }
+        obj.insert(
+            "penalty_bits".to_string(),
+            json::Value::Str(format!("{:016x}", self.penalty.to_bits())),
+        );
+        let mode = match self.mode {
+            Mode::Proposed => "proposed",
+            Mode::StateAndVt => "vt",
+            Mode::StateOnly => "state",
+        };
+        obj.insert("mode".to_string(), json::Value::Str(mode.to_string()));
+        obj.insert("portfolio".to_string(), json::Value::Bool(self.portfolio));
+        obj.insert("threads".to_string(), json::Value::Num(self.threads as f64));
+        obj.insert("vectors".to_string(), json::Value::Num(self.vectors as f64));
+        if let Some(deadline) = self.deadline {
+            obj.insert(
+                "deadline_ms".to_string(),
+                json::Value::Num(deadline.as_millis() as f64),
+            );
+        }
+        obj.insert(
+            "two_option".to_string(),
+            json::Value::Bool(self.library.tradeoff_points == TradeoffPoints::Two),
+        );
+        obj.insert(
+            "uniform_stack".to_string(),
+            json::Value::Bool(self.library.uniform_stack),
+        );
+        json::Value::Obj(obj)
+    }
+
+    /// Parses a journal `spec` object written by
+    /// [`JobSpec::to_journal_value`]. `None` on any malformed field — the
+    /// journal loader treats that as a torn record.
+    #[must_use]
+    pub fn from_journal_value(v: &json::Value) -> Option<Self> {
+        let json::Value::Obj(_) = v else { return None };
+        let mut spec = Self::default();
+        let text = |name: &str| {
+            v.get(name)
+                .and_then(json::Value::as_str)
+                .map(str::to_string)
+        };
+        spec.circuit = text("circuit");
+        spec.bench = text("bench");
+        spec.edits = text("edits");
+        spec.liberty = text("liberty");
+        spec.penalty =
+            f64::from_bits(u64::from_str_radix(v.get("penalty_bits")?.as_str()?, 16).ok()?);
+        spec.mode = match v.get("mode")?.as_str()? {
+            "proposed" => Mode::Proposed,
+            "vt" => Mode::StateAndVt,
+            "state" => Mode::StateOnly,
+            _ => return None,
+        };
+        spec.portfolio = matches!(v.get("portfolio"), Some(json::Value::Bool(true)));
+        let uint = |name: &str| {
+            let f = v.get(name)?.as_f64()?;
+            (f.fract() == 0.0 && (0.0..=1e15).contains(&f)).then_some(f as usize)
+        };
+        spec.threads = uint("threads")?;
+        spec.vectors = uint("vectors")?;
+        spec.deadline = match v.get("deadline_ms") {
+            Some(ms) => Some(Duration::from_millis(
+                u64::try_from(uint_field(ms, "deadline_ms").ok()?).ok()?,
+            )),
+            None => None,
+        };
+        if matches!(v.get("two_option"), Some(json::Value::Bool(true))) {
+            spec.library.tradeoff_points = TradeoffPoints::Two;
+        }
+        spec.library.uniform_stack =
+            matches!(v.get("uniform_stack"), Some(json::Value::Bool(true)));
+        if spec.circuit.is_some() == spec.bench.is_some() {
+            return None;
+        }
+        Some(spec)
     }
 }
 
@@ -351,18 +450,28 @@ pub struct JobRecord {
     pub events: JobEvents,
     /// Cancellation token linked into the job's budget.
     pub cancel: CancelToken,
+    /// Where the run checkpoints (journaled servers only): fresh for new
+    /// admissions, resume for jobs re-enqueued by crash recovery.
+    pub checkpoint: Option<CheckpointSpec>,
 }
 
 impl JobRecord {
     /// A freshly admitted job.
     #[must_use]
     pub fn new(id: u64, spec: JobSpec) -> Self {
+        Self::with_checkpoint(id, spec, None)
+    }
+
+    /// A job with an attached checkpoint spec.
+    #[must_use]
+    pub fn with_checkpoint(id: u64, spec: JobSpec, checkpoint: Option<CheckpointSpec>) -> Self {
         Self {
             id,
             spec,
             phase: Mutex::new(JobPhase::Queued),
             events: JobEvents::new(),
             cancel: CancelToken::new(),
+            checkpoint,
         }
     }
 

@@ -17,7 +17,14 @@
 //!   outcomes mirroring `svtox_core::RunOutcome`;
 //! * [`loadgen`] — a client-side load generator replaying N concurrent
 //!   jobs and reporting throughput, latency percentiles, and cache wins;
+//! * [`journal`] / [`recovery`] — the write-ahead job journal
+//!   (`--journal DIR`): admissions, state transitions, and terminal
+//!   outcomes as append-only JSONL, replayed on restart so a killed
+//!   server re-enqueues queued jobs and resumes running ones warm from
+//!   their checkpoints;
 //! * [`http`] — the minimal HTTP/1.1 reader/writer both sides share;
+//! * [`net`] — the `SO_REUSEADDR` listener that lets a restarted server
+//!   rebind its port while the old connections drain in `TIME_WAIT`;
 //! * [`signal`] — the SIGINT-to-`CancelToken` bridge that makes Ctrl-C a
 //!   typed `Degraded { Cancelled }` instead of a mid-write death.
 //!
@@ -37,12 +44,17 @@
 pub mod cache;
 pub mod http;
 pub mod job;
+pub mod journal;
 pub mod loadgen;
+pub mod net;
+pub mod recovery;
 pub mod server;
 pub mod signal;
 
 pub use cache::SharedCaches;
 pub use job::{JobPhase, JobRecord, JobResult, JobSpec, SolutionSummary};
+pub use journal::Journal;
 pub use loadgen::{LoadReport, LoadgenConfig};
+pub use recovery::{RecoveredJob, RecoveredState, Recovery};
 pub use server::{start, ServerConfig, ServerHandle};
 pub use signal::sigint_token;

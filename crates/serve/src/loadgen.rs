@@ -9,6 +9,13 @@
 //! at the configured concurrency ("warm", riding the cross-job caches) —
 //! the cold-versus-warm split in the report is what makes the cache win
 //! visible.
+//!
+//! Connection failures are retried with bounded, seeded-jitter backoff
+//! ([`Backoff`]): a refused or reset connection is what a restarting
+//! server looks like from the outside, and the generator is expected to
+//! ride across a kill-restart window (the `ci.sh` recovery smoke does
+//! exactly that). Exhausting the retry budget is a typed `failed`
+//! sample, never a hang.
 
 use std::collections::BTreeMap;
 use std::io;
@@ -16,6 +23,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
+use svtox_exec::rng::{derive_seed, Xoshiro256pp};
 use svtox_obs::json;
 
 use crate::http::{call, ClientResponse};
@@ -47,6 +55,9 @@ pub struct LoadgenConfig {
     pub vectors: usize,
     /// A job not terminating within this bound counts as a hang.
     pub hang_timeout: Duration,
+    /// Seed for the deterministic retry-backoff jitter (each worker
+    /// derives its own stream from it).
+    pub retry_seed: u64,
     /// Configuration for the spawned server when `addr` is `None`.
     pub server: ServerConfig,
 }
@@ -64,8 +75,52 @@ impl Default for LoadgenConfig {
             penalty_pct: 5.0,
             vectors: 256,
             hang_timeout: Duration::from_secs(60),
+            retry_seed: 7,
             server: ServerConfig::default(),
         }
+    }
+}
+
+/// Bounded exponential backoff with deterministic, seeded jitter.
+///
+/// Doubles from 5 ms up to a 250 ms ceiling, multiplied by a jitter in
+/// `[0.5, 1.5)` drawn from a per-worker xoshiro stream — deterministic
+/// for a given seed, but de-synchronized across workers so a restarted
+/// server is not hit by every client on the same tick.
+struct Backoff {
+    rng: Xoshiro256pp,
+    attempt: u32,
+    limit: u32,
+}
+
+impl Backoff {
+    /// Consecutive connection failures tolerated before giving up.
+    const LIMIT: u32 = 10;
+
+    fn new(seed: u64, stream: u64) -> Self {
+        Self {
+            rng: Xoshiro256pp::seed_from_u64(derive_seed(seed, stream)),
+            attempt: 0,
+            limit: Self::LIMIT,
+        }
+    }
+
+    /// Records a failure; `Some(delay)` to sleep and retry, `None` when
+    /// the budget is exhausted.
+    fn next_delay(&mut self) -> Option<Duration> {
+        if self.attempt >= self.limit {
+            return None;
+        }
+        let base_ms = (5u64 << self.attempt.min(6)).min(250) as f64;
+        self.attempt += 1;
+        let jitter = self.rng.gen_range_f64(0.5, 1.5);
+        Some(Duration::from_secs_f64(base_ms * jitter / 1e3))
+    }
+
+    /// A success: the peer is reachable again, future failures start a
+    /// fresh budget.
+    fn reset(&mut self) {
+        self.attempt = 0;
     }
 }
 
@@ -86,6 +141,15 @@ pub struct LoadReport {
     /// 503 admission rejections that were retried (load shedding at the
     /// queue bound, not failures).
     pub rejected_retries: usize,
+    /// Connection failures (refused/reset) that were retried with
+    /// backoff — nonzero when the load spanned a server restart.
+    pub connect_retries: usize,
+    /// `serve.journal.recovery_ms` gauge after the run, when the target
+    /// server replayed a journal at startup.
+    pub recovery_ms: Option<f64>,
+    /// `serve.journal.degraded` counter after the run (journal write
+    /// faults observed by the server).
+    pub journal_degraded: u64,
     /// Wall clock for the whole run, milliseconds.
     pub wall_ms: f64,
     /// Jobs per second over the wall clock.
@@ -133,6 +197,8 @@ impl LoadReport {
         num("failed", self.failed as f64);
         num("hangs", self.hangs as f64);
         num("rejected_retries", self.rejected_retries as f64);
+        num("connect_retries", self.connect_retries as f64);
+        num("journal_degraded", self.journal_degraded as f64);
         num("wall_ms", self.wall_ms);
         num("throughput_jobs_per_s", self.throughput_jobs_per_s);
         num("library_hits", self.library_hits as f64);
@@ -143,6 +209,7 @@ impl LoadReport {
         // a fake "0 ms warm p50" on an all-cold run reads as an
         // impossibly fast cache, not as "no data".
         for (name, v) in [
+            ("recovery_ms", self.recovery_ms),
             ("p50_ms", self.p50_ms),
             ("p90_ms", self.p90_ms),
             ("p99_ms", self.p99_ms),
@@ -172,7 +239,8 @@ impl LoadReport {
         format!(
             "loadgen: {} jobs in {:.0} ms ({:.1} jobs/s)\n\
              outcomes: {} complete, {} degraded, {} failed, {} hangs\n\
-             admission: {} retried 503s\n\
+             admission: {} retried 503s; connections: {} backoff retries\n\
+             recovery: {} ms journal replay, {} journal degradations\n\
              latency ms: p50 {}, p90 {}, p99 {}, max {}\n\
              cache: cold {} ms, warm p50 {} ms; library {}/{} hits, netlist {}/{} hits\n\
              metrics {}, shutdown {}\n",
@@ -184,6 +252,9 @@ impl LoadReport {
             self.failed,
             self.hangs,
             self.rejected_retries,
+            self.connect_retries,
+            ms(self.recovery_ms),
+            self.journal_degraded,
             ms(self.p50_ms),
             ms(self.p90_ms),
             ms(self.p99_ms),
@@ -212,6 +283,7 @@ struct Sample {
 struct Shared {
     samples: Mutex<Vec<Sample>>,
     rejected: AtomicUsize,
+    connect_retries: AtomicUsize,
     next: AtomicUsize,
 }
 
@@ -236,6 +308,7 @@ pub fn run(config: &LoadgenConfig) -> io::Result<LoadReport> {
     let shared = Shared {
         samples: Mutex::new(Vec::with_capacity(config.jobs)),
         rejected: AtomicUsize::new(0),
+        connect_retries: AtomicUsize::new(0),
         next: AtomicUsize::new(1),
     };
 
@@ -243,7 +316,7 @@ pub fn run(config: &LoadgenConfig) -> io::Result<LoadReport> {
     let mut cold_ms = None;
     if config.jobs > 0 {
         // The first job runs alone: it pays the cold caches.
-        let sample = submit_and_wait(&addr, &body, config.hang_timeout, &shared.rejected);
+        let sample = submit_and_wait(&addr, &body, config.hang_timeout, &shared, 0, config);
         cold_ms = Some(sample.latency.as_secs_f64() * 1e3);
         shared.samples.lock().expect("samples lock").push(sample);
     }
@@ -256,8 +329,14 @@ pub fn run(config: &LoadgenConfig) -> io::Result<LoadReport> {
                     if index >= config.jobs {
                         return;
                     }
-                    let sample =
-                        submit_and_wait(&addr, &body, config.hang_timeout, &shared.rejected);
+                    let sample = submit_and_wait(
+                        &addr,
+                        &body,
+                        config.hang_timeout,
+                        &shared,
+                        index as u64,
+                        config,
+                    );
                     shared.samples.lock().expect("samples lock").push(sample);
                 });
             }
@@ -303,6 +382,11 @@ pub fn run(config: &LoadgenConfig) -> io::Result<LoadReport> {
         failed: count("failed"),
         hangs: count("hang"),
         rejected_retries: shared.rejected.load(Ordering::Relaxed),
+        connect_retries: shared.connect_retries.load(Ordering::Relaxed),
+        recovery_ms: counters
+            .get("serve.journal.recovery_ms")
+            .map(|&ms| ms as f64),
+        journal_degraded: counters.get("serve.journal.degraded").copied().unwrap_or(0),
         wall_ms: wall.as_secs_f64() * 1e3,
         throughput_jobs_per_s: if wall.as_secs_f64() > 0.0 {
             samples.len() as f64 / wall.as_secs_f64()
@@ -363,18 +447,35 @@ fn job_body(config: &LoadgenConfig) -> String {
 
 /// Submits one job and follows it to a terminal state. Every path ends in
 /// a typed sample; "hang" is the one the acceptance criteria forbid.
+///
+/// Connection failures retry on the worker's [`Backoff`] — bounded, so a
+/// server that is *gone* produces a typed `failed` sample, while one
+/// that is *restarting* is reconnected to within the budget.
 fn submit_and_wait(
     addr: &str,
     body: &str,
     hang_timeout: Duration,
-    rejected: &AtomicUsize,
+    shared: &Shared,
+    job_index: u64,
+    config: &LoadgenConfig,
 ) -> Sample {
     let started = Instant::now();
     let give_up = started + hang_timeout;
     let io_timeout = Duration::from_secs(10);
+    let mut backoff = Backoff::new(config.retry_seed, job_index);
+    let retry = |backoff: &mut Backoff| -> bool {
+        match backoff.next_delay() {
+            Some(delay) => {
+                shared.connect_retries.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(delay);
+                true
+            }
+            None => false,
+        }
+    };
 
     // Submission: retry 503 (admission control shedding load) and
-    // transient client errors until admitted or out of time.
+    // connection failures until admitted, out of retries, or out of time.
     let id = loop {
         if Instant::now() >= give_up {
             return Sample {
@@ -398,7 +499,8 @@ fn submit_and_wait(
                 }
             }
             Ok(ClientResponse { status: 503, .. }) => {
-                rejected.fetch_add(1, Ordering::Relaxed);
+                shared.rejected.fetch_add(1, Ordering::Relaxed);
+                backoff.reset();
                 std::thread::sleep(Duration::from_millis(2));
             }
             Ok(_) => {
@@ -407,11 +509,19 @@ fn submit_and_wait(
                     latency: started.elapsed(),
                 }
             }
-            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+            Err(_) => {
+                if !retry(&mut backoff) {
+                    return Sample {
+                        outcome: "failed",
+                        latency: started.elapsed(),
+                    };
+                }
+            }
         }
     };
 
     // Follow the job to its typed end.
+    backoff.reset();
     let path = format!("/jobs/{id}");
     loop {
         if Instant::now() >= give_up {
@@ -422,6 +532,7 @@ fn submit_and_wait(
         }
         match call(addr, "GET", &path, "", io_timeout) {
             Ok(ClientResponse { status: 200, body }) => {
+                backoff.reset();
                 let doc = json::parse(&body).ok();
                 let state = doc
                     .as_ref()
@@ -445,7 +556,21 @@ fn submit_and_wait(
                 }
                 std::thread::sleep(Duration::from_millis(5));
             }
-            _ => std::thread::sleep(Duration::from_millis(5)),
+            Ok(_) => {
+                // A non-200 status answer (e.g. a restarted server that
+                // lost this job to a degraded journal): poll on, the hang
+                // timeout bounds us.
+                backoff.reset();
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => {
+                if !retry(&mut backoff) {
+                    return Sample {
+                        outcome: "failed",
+                        latency: started.elapsed(),
+                    };
+                }
+            }
         }
     }
 }
@@ -508,6 +633,9 @@ y = AND(n1, n2)
             failed: 0,
             hangs: 0,
             rejected_retries: 0,
+            connect_retries: 0,
+            recovery_ms: None,
+            journal_degraded: 0,
             wall_ms: 12.0,
             throughput_jobs_per_s: 1.0,
             p50_ms: Some(12.0),

@@ -1,0 +1,142 @@
+//! Restart-friendly listener binding.
+//!
+//! The kill-restart-resume flow rebinds the **same** port seconds after
+//! the old process died. Server-side sockets that closed first sit in
+//! `TIME_WAIT`, and a plain `TcpListener::bind` then fails with
+//! `EADDRINUSE` for up to a minute — exactly the window a recovering
+//! server must come back in. The standard fix is `SO_REUSEADDR` before
+//! `bind`, which `std` has no portable API for, so this module makes the
+//! three raw libc calls itself (socket → setsockopt → bind+listen) for
+//! IPv4 addresses on Unix, and falls back to `TcpListener::bind` — same
+//! behaviour as before, minus fast rebind — for anything else or on any
+//! syscall failure.
+//!
+//! Like [`crate::signal`], this is deliberately-contained `unsafe`: a
+//! handful of POSIX calls with constant arguments, immediately wrapped
+//! back into safe `std` types via `FromRawFd`.
+
+#![allow(unsafe_code)]
+
+use std::io;
+use std::net::{SocketAddr, TcpListener};
+
+/// Binds a listener on `addr` with `SO_REUSEADDR` when possible.
+///
+/// # Errors
+///
+/// Whatever `TcpListener::bind` reports — the raw path never fails the
+/// call on its own, it only falls back.
+pub fn bind_reuse(addr: SocketAddr) -> io::Result<TcpListener> {
+    #[cfg(unix)]
+    if let SocketAddr::V4(v4) = addr {
+        if let Some(listener) = unix::bind_reuse_v4(v4) {
+            return Ok(listener);
+        }
+    }
+    TcpListener::bind(addr)
+}
+
+#[cfg(unix)]
+mod unix {
+    use std::net::{SocketAddrV4, TcpListener};
+    use std::os::fd::{FromRawFd, RawFd};
+
+    const AF_INET: i32 = 2;
+    const SOCK_STREAM: i32 = 1;
+    const SOL_SOCKET: i32 = 1;
+    const SO_REUSEADDR: i32 = 2;
+    const BACKLOG: i32 = 128;
+
+    extern "C" {
+        fn socket(domain: i32, ty: i32, protocol: i32) -> i32;
+        fn setsockopt(fd: i32, level: i32, name: i32, value: *const u32, len: u32) -> i32;
+        fn bind(fd: i32, addr: *const SockaddrIn, len: u32) -> i32;
+        fn listen(fd: i32, backlog: i32) -> i32;
+        fn close(fd: i32) -> i32;
+    }
+
+    /// `struct sockaddr_in`: family, then port and address in network
+    /// byte order.
+    #[repr(C)]
+    struct SockaddrIn {
+        sin_family: u16,
+        sin_port: u16,
+        sin_addr: u32,
+        sin_zero: [u8; 8],
+    }
+
+    /// The raw socket/setsockopt/bind/listen sequence. `None` on any
+    /// failure — the caller falls back to `TcpListener::bind`, which
+    /// will produce the user-facing error.
+    pub fn bind_reuse_v4(addr: SocketAddrV4) -> Option<TcpListener> {
+        let fd: RawFd = unsafe { socket(AF_INET, SOCK_STREAM, 0) };
+        if fd < 0 {
+            return None;
+        }
+        let close_and_bail = || {
+            unsafe { close(fd) };
+            None
+        };
+        let on: u32 = 1;
+        let rc = unsafe {
+            setsockopt(
+                fd,
+                SOL_SOCKET,
+                SO_REUSEADDR,
+                &on,
+                std::mem::size_of::<u32>() as u32,
+            )
+        };
+        if rc != 0 {
+            return close_and_bail();
+        }
+        let sockaddr = SockaddrIn {
+            sin_family: AF_INET as u16,
+            sin_port: addr.port().to_be(),
+            sin_addr: u32::from_ne_bytes(addr.ip().octets()),
+            sin_zero: [0; 8],
+        };
+        let rc = unsafe { bind(fd, &sockaddr, std::mem::size_of::<SockaddrIn>() as u32) };
+        if rc != 0 {
+            return close_and_bail();
+        }
+        if unsafe { listen(fd, BACKLOG) } != 0 {
+            return close_and_bail();
+        }
+        // From here the fd is owned by the listener (closed on drop).
+        Some(unsafe { TcpListener::from_raw_fd(fd) })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+
+    #[test]
+    fn reuse_listener_accepts_and_rebinds_immediately() {
+        let listener = bind_reuse("127.0.0.1:0".parse().unwrap()).expect("bind an ephemeral port");
+        let addr = listener.local_addr().unwrap();
+
+        // The listener actually serves traffic.
+        let server = std::thread::spawn(move || {
+            let (mut conn, _) = listener.accept().expect("accept");
+            let mut byte = [0u8; 1];
+            conn.read_exact(&mut byte).expect("read");
+            conn.write_all(&byte).expect("echo");
+            // Server closes first: this side enters TIME_WAIT.
+        });
+        let mut client = TcpStream::connect(addr).expect("connect");
+        client.write_all(b"x").unwrap();
+        let mut echo = [0u8; 1];
+        client.read_exact(&mut echo).unwrap();
+        assert_eq!(&echo, b"x");
+        drop(client);
+        server.join().unwrap();
+
+        // Immediate rebind of the very same port — the whole point.
+        let again = bind_reuse(addr).expect("rebind while TIME_WAIT drains");
+        assert_eq!(again.local_addr().unwrap(), addr);
+    }
+}

@@ -21,17 +21,18 @@
 //! runners never panic on a bad request, a dead client, or an injected
 //! fault; chaos scenarios assert exactly that.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use svtox_core::{
-    Budget, CancelToken, DelayPenalty, ExecConfig, PortfolioConfig, Problem, RetryPolicy,
-    RunOutcome,
+    Budget, CancelToken, CheckpointSpec, DelayPenalty, ExecConfig, PortfolioConfig, Problem,
+    RetryPolicy, RunOutcome,
 };
 use svtox_fault::{Fault, FaultPlan};
 use svtox_obs::{json, FieldValue, Obs};
@@ -40,6 +41,8 @@ use svtox_sta::TimingConfig;
 use crate::cache::SharedCaches;
 use crate::http::{self, ChunkedWriter, Request, RequestError};
 use crate::job::{JobPhase, JobRecord, JobResult, JobSink, JobSpec, SolutionSummary};
+use crate::journal::{Journal, LiveJob, JOURNAL_FILE};
+use crate::recovery::{self, RecoveredState};
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -61,6 +64,11 @@ pub struct ServerConfig {
     pub fault_plan: Option<String>,
     /// Seed for probabilistic fault triggers.
     pub fault_seed: u64,
+    /// Write-ahead journal directory. `Some` makes admissions durable:
+    /// a killed server replays the journal on restart, re-enqueues
+    /// non-terminal jobs, and resumes previously running ones from their
+    /// checkpoints.
+    pub journal: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -74,6 +82,7 @@ impl Default for ServerConfig {
             io_timeout: Duration::from_secs(10),
             fault_plan: None,
             fault_seed: 0,
+            journal: None,
         }
     }
 }
@@ -92,10 +101,13 @@ struct ServerState {
     queue: JobQueue,
     shutdown: CancelToken,
     fault: Fault,
+    journal: Journal,
 }
 
 impl ServerState {
-    /// Admits a job or rejects it at the queue-depth bound.
+    /// Admits a job or rejects it at the queue-depth bound. Admitted
+    /// jobs hit the journal **before** the caller sees the id: an
+    /// acknowledged admission survives a crash.
     fn admit(&self, spec: JobSpec) -> Result<(u64, usize), usize> {
         let mut queue = self.queue.queue.lock().expect("job queue lock");
         let depth = queue.len();
@@ -104,7 +116,18 @@ impl ServerState {
             return Err(depth);
         }
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        let record = Arc::new(JobRecord::new(id, spec));
+        // Fresh, not resume: after a journal wipe a stale `job-N.ckpt`
+        // from a previous incarnation must not leak into a new job that
+        // happens to reuse the id. Derived from the configured directory,
+        // not the journal handle, so checkpointing survives a degraded
+        // journal.
+        let checkpoint = self
+            .config
+            .journal
+            .as_ref()
+            .map(|dir| CheckpointSpec::fresh(dir.join(crate::journal::checkpoint_name(id))));
+        self.journal.admit(id, &spec);
+        let record = Arc::new(JobRecord::with_checkpoint(id, spec, checkpoint));
         record.events.push(&event_line(
             "job.queued",
             id,
@@ -208,6 +231,57 @@ impl ServerHandle {
     /// all server threads. Running jobs degrade (`Cancelled`); queued
     /// jobs fail typed (`server shutdown`); nothing is left dangling.
     pub fn shutdown(mut self) {
+        self.stop_threads();
+        // Anything still queued never ran: give it a terminal outcome so
+        // every admitted job ends typed — in the journal too, so a later
+        // restart does not resurrect deliberately dropped jobs.
+        let drained: Vec<Arc<JobRecord>> = self
+            .state
+            .queue
+            .queue
+            .lock()
+            .expect("job queue lock")
+            .drain(..)
+            .collect();
+        for job in drained {
+            let result = JobResult {
+                outcome: "failed",
+                reason: None,
+                error: Some("server shutdown before the job started".to_string()),
+                circuit: job.spec.circuit.clone().unwrap_or_default(),
+                solution: None,
+                winner: None,
+                liberty_cells: None,
+                baseline_leakage_ua: None,
+            };
+            self.state.journal.done(job.id, &result);
+            job.set_phase(JobPhase::Done(Box::new(result)));
+            job.events.push(&event_line("job.dropped", job.id, &[]));
+            job.events.close();
+        }
+    }
+
+    /// Dies the way `SIGKILL` would, as far as the journal can tell:
+    /// freezes the journal first (no terminal records get written), then
+    /// tears the threads down. Queued jobs stay queued *in the journal*
+    /// and running jobs keep their checkpoints — exactly the state a
+    /// restart must recover from. The in-process test double for the
+    /// kill-based smoke in `ci.sh`.
+    pub fn crash(mut self) {
+        self.state.journal.freeze();
+        self.stop_threads();
+        // No queue drain: a crashed server does not get to mark its
+        // queued jobs failed. (In-memory records are dropped with the
+        // handle, as a killed process would drop them.)
+        self.state
+            .queue
+            .queue
+            .lock()
+            .expect("job queue lock")
+            .clear();
+    }
+
+    fn stop_threads(&mut self) {
         self.state.shutdown.cancel();
         // Cancel running jobs so their budgets expire promptly.
         for job in self.state.jobs.lock().expect("job registry lock").values() {
@@ -220,34 +294,20 @@ impl ServerHandle {
         for runner in self.runners.drain(..) {
             let _ = runner.join();
         }
-        // Anything still queued never ran: give it a terminal outcome so
-        // every admitted job ends typed.
-        let drained: Vec<Arc<JobRecord>> = self
-            .state
-            .queue
-            .queue
-            .lock()
-            .expect("job queue lock")
-            .drain(..)
-            .collect();
-        for job in drained {
-            job.set_phase(JobPhase::Done(Box::new(JobResult {
-                outcome: "failed",
-                reason: None,
-                error: Some("server shutdown before the job started".to_string()),
-                circuit: job.spec.circuit.clone().unwrap_or_default(),
-                solution: None,
-                winner: None,
-                liberty_cells: None,
-                baseline_leakage_ua: None,
-            })));
-            job.events.push(&event_line("job.dropped", job.id, &[]));
-            job.events.close();
-        }
     }
 }
 
 /// Starts a server and returns its handle.
+///
+/// When the config names a journal directory, startup first replays the
+/// journal: terminal jobs are re-registered done (clients polling across
+/// the restart still get their answer), queued jobs are re-enqueued, and
+/// previously running jobs are re-enqueued with a **resume** checkpoint
+/// so the restarted run continues from its persisted frontier —
+/// bit-identical to an uninterrupted run, per the checkpoint contract.
+/// An unusable journal (unknown version, unreadable) degrades loudly
+/// (`serve.journal.degraded`) and the server starts cold; it never
+/// refuses to start over durability.
 ///
 /// # Errors
 ///
@@ -261,23 +321,81 @@ pub fn start(config: ServerConfig) -> io::Result<ServerHandle> {
         }
         None => Fault::disabled(),
     };
-    let listener = TcpListener::bind(&config.addr)?;
+    let obs = Obs::enabled();
+
+    // Replay the journal before anything can race it.
+    let recovery_start = Instant::now();
+    let (journal, recovered, next_id) = match &config.journal {
+        Some(dir) => {
+            let recovered = match recovery::replay(&dir.join(JOURNAL_FILE), &fault) {
+                Ok(recovered) => recovered,
+                Err(why) => {
+                    eprintln!("warning: journal unusable, starting cold: {why}");
+                    obs.add("serve.journal.degraded", 1);
+                    recovery::Recovery::empty()
+                }
+            };
+            if recovered.torn_tail {
+                obs.add("serve.journal.torn_tail", 1);
+            }
+            let live: BTreeMap<u64, LiveJob> = recovered
+                .jobs
+                .iter()
+                .filter(|job| job.state != RecoveredState::Done)
+                .map(|job| {
+                    (
+                        job.id,
+                        LiveJob {
+                            spec: job.spec.clone(),
+                            state: match job.state {
+                                RecoveredState::Running => "running",
+                                _ => "queued",
+                            },
+                            checkpoint: job.checkpoint.clone(),
+                        },
+                    )
+                })
+                .collect();
+            let next_id = recovered.next_id;
+            (
+                Journal::open(dir, live, &obs, &fault),
+                recovered.jobs,
+                next_id,
+            )
+        }
+        None => (Journal::inactive(), Vec::new(), 1),
+    };
+
+    // `SO_REUSEADDR` where the address allows it: a recovering server
+    // must be able to rebind the port its predecessor just died on.
+    let listener = match config.addr.parse::<SocketAddr>() {
+        Ok(sockaddr) => crate::net::bind_reuse(sockaddr)?,
+        Err(_) => TcpListener::bind(&config.addr)?,
+    };
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
     let runner_count = config.runners.max(1);
     let state = Arc::new(ServerState {
         config,
-        obs: Obs::enabled(),
+        obs,
         caches: SharedCaches::new(),
         jobs: Mutex::new(HashMap::new()),
-        next_id: AtomicU64::new(1),
+        next_id: AtomicU64::new(next_id),
         queue: JobQueue {
             queue: Mutex::new(VecDeque::new()),
             ready: Condvar::new(),
         },
         shutdown: CancelToken::new(),
         fault,
+        journal,
     });
+    if !recovered.is_empty() {
+        readmit(&state, recovered);
+        state.obs.set_gauge(
+            "serve.journal.recovery_ms",
+            recovery_start.elapsed().as_millis() as u64,
+        );
+    }
 
     let accept_state = Arc::clone(&state);
     let accept = std::thread::Builder::new()
@@ -299,6 +417,57 @@ pub fn start(config: ServerConfig) -> io::Result<ServerHandle> {
         accept: Some(accept),
         runners,
     })
+}
+
+/// Re-registers replayed jobs on a restarted server.
+///
+/// Terminal jobs come back as closed `done` records; non-terminal jobs
+/// are re-enqueued, with previously **running** jobs carrying a resume
+/// checkpoint (`serve.journal.checkpoint_missing` counts the ones whose
+/// checkpoint file vanished — those restart cold, which the resume spec
+/// already treats as an empty replay).
+fn readmit(state: &Arc<ServerState>, recovered: Vec<crate::recovery::RecoveredJob>) {
+    let mut jobs = state.jobs.lock().expect("job registry lock");
+    let mut queue = state.queue.queue.lock().expect("job queue lock");
+    for job in recovered {
+        state.obs.add("serve.journal.recovered_jobs", 1);
+        if let (RecoveredState::Done, Some(result)) = (job.state, job.result) {
+            let record = Arc::new(JobRecord::new(job.id, job.spec));
+            record.set_phase(JobPhase::Done(Box::new(result)));
+            record.events.close();
+            jobs.insert(job.id, record);
+            continue;
+        }
+        let checkpoint = job.checkpoint.as_ref().map(|name| {
+            let path = state.journal.dir().join(name);
+            if job.state == RecoveredState::Running && !path.exists() {
+                state.obs.add("serve.journal.checkpoint_missing", 1);
+            }
+            // Resume even for queued jobs: their file does not exist yet,
+            // and a resume of a missing file is exactly a fresh start.
+            CheckpointSpec::resume(path)
+        });
+        if job.state == RecoveredState::Running {
+            state.obs.add("serve.journal.resumed_jobs", 1);
+        }
+        let record = Arc::new(JobRecord::with_checkpoint(job.id, job.spec, checkpoint));
+        record.events.push(&event_line(
+            "job.recovered",
+            job.id,
+            &[(
+                "was",
+                FieldValue::Str(match job.state {
+                    RecoveredState::Running => "running",
+                    _ => "queued",
+                }),
+            )],
+        ));
+        jobs.insert(job.id, Arc::clone(&record));
+        queue.push_back(record);
+    }
+    state.obs.set_gauge("serve.queue_depth", queue.len() as u64);
+    drop(queue);
+    state.queue.ready.notify_all();
 }
 
 fn accept_loop(listener: &TcpListener, state: &Arc<ServerState>) {
@@ -327,82 +496,143 @@ fn accept_loop(listener: &TcpListener, state: &Arc<ServerState>) {
     }
 }
 
+/// Serves one connection: a loop of request → response that continues
+/// while the client asks for `Connection: keep-alive`, and ends on the
+/// first close-disposition response, error, or timeout. A connection
+/// that goes quiet *mid-request* gets a 408 (slow-loris defence); one
+/// that goes quiet *between* requests is just closed.
 fn handle_connection(mut stream: TcpStream, state: &Arc<ServerState>) {
     let _ = stream.set_nonblocking(false);
     let _ = stream.set_read_timeout(Some(state.config.io_timeout));
     let _ = stream.set_write_timeout(Some(state.config.io_timeout));
-    let request = match http::read_request(&mut stream, state.config.max_body) {
-        Ok(request) => request,
-        Err(RequestError::Io(_)) => {
-            // The client is gone (disconnect or stall): nothing to answer,
-            // and — the chaos invariant — nothing shared to corrupt.
-            state.obs.add("serve.client_disconnects", 1);
+    let mut served = 0u64;
+    loop {
+        let request = match http::read_request(&mut stream, state.config.max_body) {
+            Ok(request) => request,
+            Err(RequestError::Io(_)) => {
+                // The client is gone (disconnect or stall): nothing to
+                // answer, and — the chaos invariant — nothing shared to
+                // corrupt.
+                state.obs.add("serve.client_disconnects", 1);
+                return;
+            }
+            Err(RequestError::TimedOut { partial: true }) => {
+                // Bytes arrived, then the drip stopped: slow-loris. Give
+                // the socket back with a typed answer.
+                state.obs.add("serve.http.timeouts", 1);
+                let _ = respond_error(&mut stream, 408, "request timed out", false);
+                return;
+            }
+            Err(RequestError::TimedOut { partial: false }) => {
+                // An idle keep-alive connection with nothing in flight.
+                return;
+            }
+            Err(RequestError::TooLarge(_)) => {
+                let _ = respond_error(&mut stream, 413, "body too large", false);
+                return;
+            }
+            Err(RequestError::Malformed(why)) => {
+                state.obs.add("serve.bad_requests", 1);
+                let _ = respond_error(&mut stream, 400, &why, false);
+                return;
+            }
+        };
+        if served > 0 {
+            state.obs.add("serve.http.keepalive_reuse", 1);
+        }
+        served += 1;
+        if !route(&mut stream, &request, state) {
             return;
         }
-        Err(RequestError::TooLarge(_)) => {
-            let _ = respond_error(&mut stream, 413, "body too large");
-            return;
-        }
-        Err(RequestError::Malformed(why)) => {
-            state.obs.add("serve.bad_requests", 1);
-            let _ = respond_error(&mut stream, 400, &why);
-            return;
-        }
-    };
-    route(&mut stream, &request, state);
+    }
 }
 
-fn respond_error(stream: &mut TcpStream, status: u16, message: &str) -> io::Result<()> {
+fn respond_error(
+    stream: &mut TcpStream,
+    status: u16,
+    message: &str,
+    keep_alive: bool,
+) -> io::Result<()> {
     let mut obj = std::collections::BTreeMap::new();
     obj.insert("error".to_string(), json::Value::Str(message.to_string()));
-    http::write_response(
+    http::write_response_conn(
         stream,
         status,
         "application/json",
         &json::Value::Obj(obj).to_string(),
+        keep_alive,
     )
 }
 
-fn respond_json(stream: &mut TcpStream, status: u16, doc: &json::Value) -> io::Result<()> {
-    http::write_response(stream, status, "application/json", &doc.to_string())
+fn respond_json(
+    stream: &mut TcpStream,
+    status: u16,
+    doc: &json::Value,
+    keep_alive: bool,
+) -> io::Result<()> {
+    http::write_response_conn(
+        stream,
+        status,
+        "application/json",
+        &doc.to_string(),
+        keep_alive,
+    )
 }
 
-fn route(stream: &mut TcpStream, request: &Request, state: &Arc<ServerState>) {
+/// Dispatches one request; returns whether the connection stays open
+/// for another (the client asked for keep-alive, the endpoint is not a
+/// stream or shutdown, and the response went out cleanly).
+fn route(stream: &mut TcpStream, request: &Request, state: &Arc<ServerState>) -> bool {
     let path = request.path.as_str();
     let method = request.method.as_str();
-    let _ = match (method, path) {
-        ("POST", "/jobs") => post_job(stream, &request.body, state),
-        ("GET", "/metrics") => {
-            http::write_response(stream, 200, "text/plain", &state.obs.render_metrics())
-        }
+    let keep = request.keep_alive;
+    let (written, keep) = match (method, path) {
+        ("POST", "/jobs") => (post_job(stream, &request.body, state, keep), keep),
+        ("GET", "/metrics") => (
+            http::write_response_conn(stream, 200, "text/plain", &state.obs.render_metrics(), keep),
+            keep,
+        ),
         ("POST", "/shutdown") => {
             let mut obj = std::collections::BTreeMap::new();
             obj.insert("stopping".to_string(), json::Value::Bool(true));
-            let result = respond_json(stream, 200, &json::Value::Obj(obj));
+            let result = respond_json(stream, 200, &json::Value::Obj(obj), false);
             state.shutdown.cancel();
             for job in state.jobs.lock().expect("job registry lock").values() {
                 job.cancel.cancel();
             }
-            result
+            (result, false)
         }
-        ("GET", _) if path.starts_with("/jobs/") => get_job(stream, path, state),
+        ("GET", _) if path.starts_with("/jobs/") && path.ends_with("/events") => {
+            // Chunked streams own the socket until they finish.
+            (get_job(stream, path, state, false), false)
+        }
+        ("GET", _) if path.starts_with("/jobs/") => (get_job(stream, path, state, keep), keep),
         ("POST", _) if path.starts_with("/jobs/") && path.ends_with("/cancel") => {
-            cancel_job(stream, path, state)
+            (cancel_job(stream, path, state, keep), keep)
         }
-        _ => respond_error(stream, 404, &format!("no route for {method} {path}")),
+        _ => (
+            respond_error(stream, 404, &format!("no route for {method} {path}"), keep),
+            keep,
+        ),
     };
+    keep && written.is_ok()
 }
 
 fn job_id_from(path: &str) -> Option<u64> {
     path.strip_prefix("/jobs/")?.split('/').next()?.parse().ok()
 }
 
-fn post_job(stream: &mut TcpStream, body: &str, state: &Arc<ServerState>) -> io::Result<()> {
+fn post_job(
+    stream: &mut TcpStream,
+    body: &str,
+    state: &Arc<ServerState>,
+    keep_alive: bool,
+) -> io::Result<()> {
     let spec = match JobSpec::from_json(body) {
         Ok(spec) => spec,
         Err(why) => {
             state.obs.add("serve.bad_requests", 1);
-            return respond_error(stream, 400, &why);
+            return respond_error(stream, 400, &why, keep_alive);
         }
     };
     match state.admit(spec) {
@@ -411,7 +641,7 @@ fn post_job(stream: &mut TcpStream, body: &str, state: &Arc<ServerState>) -> io:
             obj.insert("id".to_string(), json::Value::Num(id as f64));
             obj.insert("state".to_string(), json::Value::Str("queued".to_string()));
             obj.insert("queue_depth".to_string(), json::Value::Num(depth as f64));
-            respond_json(stream, 202, &json::Value::Obj(obj))
+            respond_json(stream, 202, &json::Value::Obj(obj), keep_alive)
         }
         Err(depth) => {
             let mut obj = std::collections::BTreeMap::new();
@@ -420,37 +650,47 @@ fn post_job(stream: &mut TcpStream, body: &str, state: &Arc<ServerState>) -> io:
                 json::Value::Str("queue full".to_string()),
             );
             obj.insert("queue_depth".to_string(), json::Value::Num(depth as f64));
-            respond_json(stream, 503, &json::Value::Obj(obj))
+            respond_json(stream, 503, &json::Value::Obj(obj), keep_alive)
         }
     }
 }
 
-fn get_job(stream: &mut TcpStream, path: &str, state: &Arc<ServerState>) -> io::Result<()> {
+fn get_job(
+    stream: &mut TcpStream,
+    path: &str,
+    state: &Arc<ServerState>,
+    keep_alive: bool,
+) -> io::Result<()> {
     let Some(id) = job_id_from(path) else {
-        return respond_error(stream, 400, "bad job id");
+        return respond_error(stream, 400, "bad job id", keep_alive);
     };
     let Some(job) = state.job(id) else {
-        return respond_error(stream, 404, &format!("no job {id}"));
+        return respond_error(stream, 404, &format!("no job {id}"), keep_alive);
     };
     if path.ends_with("/events") {
         return stream_events(stream, &job, state);
     }
-    respond_json(stream, 200, &job.status_json())
+    respond_json(stream, 200, &job.status_json(), keep_alive)
 }
 
-fn cancel_job(stream: &mut TcpStream, path: &str, state: &Arc<ServerState>) -> io::Result<()> {
+fn cancel_job(
+    stream: &mut TcpStream,
+    path: &str,
+    state: &Arc<ServerState>,
+    keep_alive: bool,
+) -> io::Result<()> {
     let Some(id) = job_id_from(path) else {
-        return respond_error(stream, 400, "bad job id");
+        return respond_error(stream, 400, "bad job id", keep_alive);
     };
     let Some(job) = state.job(id) else {
-        return respond_error(stream, 404, &format!("no job {id}"));
+        return respond_error(stream, 404, &format!("no job {id}"), keep_alive);
     };
     job.cancel.cancel();
     state.obs.add("serve.jobs_cancel_requests", 1);
     let mut obj = std::collections::BTreeMap::new();
     obj.insert("id".to_string(), json::Value::Num(id as f64));
     obj.insert("cancel".to_string(), json::Value::Bool(true));
-    respond_json(stream, 200, &json::Value::Obj(obj))
+    respond_json(stream, 200, &json::Value::Obj(obj), keep_alive)
 }
 
 /// Streams the job's event buffer as chunked JSONL until the job (or the
@@ -490,6 +730,7 @@ fn runner_loop(state: &Arc<ServerState>) {
 /// failure path lands in `JobResult { outcome: "failed", .. }`.
 fn run_job(state: &Arc<ServerState>, job: &Arc<JobRecord>) {
     job.set_phase(JobPhase::Running);
+    state.journal.state(job.id, "running");
     job.events.push(&event_line("job.started", job.id, &[]));
     let result = execute(state, job);
     match result.outcome {
@@ -502,6 +743,7 @@ fn run_job(state: &Arc<ServerState>, job: &Arc<JobRecord>) {
         job.id,
         &[("outcome", FieldValue::Str(result.outcome))],
     ));
+    state.journal.done(job.id, &result);
     job.set_phase(JobPhase::Done(Box::new(result)));
     job.events.close();
 }
@@ -609,7 +851,12 @@ fn execute(state: &Arc<ServerState>, job: &Arc<JobRecord>) -> JobResult {
     // `"mode":"portfolio"` races the strategy portfolio and reports the
     // winning member; the default path is the single-strategy engine.
     let (outcome, winner) = if spec.portfolio {
-        match optimizer.run_portfolio(&exec, &budget, &PortfolioConfig::default(), None) {
+        match optimizer.run_portfolio(
+            &exec,
+            &budget,
+            &PortfolioConfig::default(),
+            job.checkpoint.as_ref(),
+        ) {
             Ok(p) => {
                 let winner = p.winner.slug().to_string();
                 (p.into_run_outcome(), Some(winner))
@@ -617,7 +864,10 @@ fn execute(state: &Arc<ServerState>, job: &Arc<JobRecord>) -> JobResult {
             Err(error) => (RunOutcome::Failed { error }, None),
         }
     } else {
-        (optimizer.run_with_budget(&exec, &budget, None), None)
+        (
+            optimizer.run_with_budget(&exec, &budget, job.checkpoint.as_ref()),
+            None,
+        )
     };
     job_obs.emit_counters();
     job_obs.flush();
@@ -918,5 +1168,218 @@ mod tests {
                 result.outcome
             );
         }
+    }
+
+    fn submit(addr: &str, body: &str) -> u64 {
+        let response = post_json(addr, "/jobs", body);
+        assert_eq!(response.status, 202, "{}", response.body);
+        json::parse(&response.body)
+            .unwrap()
+            .get("id")
+            .and_then(json::Value::as_f64)
+            .unwrap() as u64
+    }
+
+    /// A generated circuit small enough that the exact search exhausts
+    /// quickly but not instantly — crash/recovery needs jobs that can be
+    /// caught mid-run.
+    fn small_bench() -> String {
+        use svtox_netlist::generators::{random_dag, RandomDagSpec};
+        random_dag(&RandomDagSpec::new("serve-journal", 7, 4, 32, 5))
+            .expect("spec is valid")
+            .to_bench()
+    }
+
+    fn bench_job_body(bench: &str, threads: usize) -> String {
+        json::Value::Obj(
+            [
+                ("bench".to_string(), json::Value::Str(bench.to_string())),
+                ("deadline_ms".to_string(), json::Value::Num(30_000.0)),
+                ("threads".to_string(), json::Value::Num(threads as f64)),
+            ]
+            .into_iter()
+            .collect(),
+        )
+        .to_string()
+    }
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("svtox-serve-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    /// The acceptance sweep: kill a journaled server with jobs in flight,
+    /// restart it on the same journal, and demand terminal states
+    /// bit-identical to an uninterrupted run — at 1, 2 and 4 threads.
+    #[test]
+    fn crash_and_restart_resume_to_bit_identical_solutions_across_thread_counts() {
+        let bench = small_bench();
+        let reference = {
+            let handle = start(test_config()).unwrap();
+            let addr = handle.addr().to_string();
+            let doc = wait_done(&addr, submit(&addr, &bench_job_body(&bench, 1)));
+            handle.shutdown();
+            doc
+        };
+        assert_eq!(
+            reference.get("outcome").and_then(|v| v.as_str()),
+            Some("complete"),
+            "{reference}"
+        );
+
+        for threads in [1usize, 2, 4] {
+            let dir = scratch_dir(&format!("crash-{threads}"));
+            let durable = || ServerConfig {
+                runners: 1,
+                journal: Some(dir.clone()),
+                ..test_config()
+            };
+            let handle = start(durable()).unwrap();
+            let addr = handle.addr().to_string();
+            let ids: Vec<u64> = (0..2)
+                .map(|_| submit(&addr, &bench_job_body(&bench, threads)))
+                .collect();
+            // Let the single runner get into the first job, then die.
+            std::thread::sleep(Duration::from_millis(25));
+            handle.crash();
+
+            let handle = start(durable()).unwrap();
+            let addr = handle.addr().to_string();
+            for &id in &ids {
+                let doc = wait_done(&addr, id);
+                for field in ["outcome", "vector", "choices", "leakage_bits", "delay_bits"] {
+                    assert_eq!(
+                        doc.get(field).and_then(|v| v.as_str()),
+                        reference.get(field).and_then(|v| v.as_str()),
+                        "threads={threads} job={id} field={field}"
+                    );
+                }
+            }
+            let metrics = get(&addr, "/metrics").body;
+            assert!(
+                metrics.contains("serve.journal.recovered_jobs"),
+                "{metrics}"
+            );
+            handle.shutdown();
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+
+    /// A journaled restart whose checkpoints were wiped must restart the
+    /// affected jobs cold — counted, completed, never hung.
+    #[test]
+    fn missing_checkpoint_restarts_cold_and_counts_it() {
+        let dir = scratch_dir("ckpt-missing");
+        let durable = || ServerConfig {
+            runners: 1,
+            journal: Some(dir.clone()),
+            ..ServerConfig::default()
+        };
+        let handle = start(durable()).unwrap();
+        let addr = handle.addr().to_string();
+        let id = submit(&addr, r#"{"circuit":"c432","deadline_ms":2000}"#);
+        // Let the job reach its running journal record, then die and
+        // lose the checkpoint (a disk wipe between runs).
+        std::thread::sleep(Duration::from_millis(100));
+        handle.crash();
+        for entry in std::fs::read_dir(&dir).unwrap() {
+            let path = entry.unwrap().path();
+            if path.to_string_lossy().contains(".ckpt") {
+                std::fs::remove_file(path).ok();
+            }
+        }
+
+        let handle = start(durable()).unwrap();
+        let addr = handle.addr().to_string();
+        let metrics = get(&addr, "/metrics").body;
+        assert!(
+            metrics.contains("serve.journal.checkpoint_missing"),
+            "{metrics}"
+        );
+        let doc = wait_done(&addr, id);
+        let outcome = doc.get("outcome").and_then(|v| v.as_str()).unwrap();
+        assert!(outcome == "complete" || outcome == "degraded", "{doc}");
+        handle.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Journal fsync faults must degrade durability loudly — never the
+    /// service: the job still reaches a typed terminal state.
+    #[test]
+    fn journal_fsync_faults_degrade_loudly_while_jobs_complete() {
+        let dir = scratch_dir("fsync-fault");
+        let handle = start(ServerConfig {
+            journal: Some(dir.clone()),
+            fault_plan: Some("io.fsync:nth=1".to_string()),
+            ..test_config()
+        })
+        .unwrap();
+        let addr = handle.addr().to_string();
+        let doc = wait_done(&addr, submit(&addr, &bench_job_body(&small_bench(), 1)));
+        let outcome = doc.get("outcome").and_then(|v| v.as_str()).unwrap();
+        assert!(
+            outcome == "complete" || outcome == "degraded",
+            "typed terminal state under journal faults: {doc}"
+        );
+        let metrics = get(&addr, "/metrics").body;
+        assert!(metrics.contains("serve.journal.degraded"), "{metrics}");
+        handle.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// One TCP connection, two requests: the second must be served on
+    /// the same socket and counted as keep-alive reuse.
+    #[test]
+    fn keep_alive_connections_pipeline_requests_and_count_reuse() {
+        let handle = start(test_config()).unwrap();
+        let addr = handle.addr().to_string();
+        let mut stream = std::net::TcpStream::connect(&addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let first = http::call_keep_alive(&mut stream, "GET", "/metrics", "").unwrap();
+        assert_eq!(first.status, 200);
+        let second = http::call_keep_alive(&mut stream, "GET", "/metrics", "").unwrap();
+        assert_eq!(second.status, 200);
+        assert!(
+            second.body.contains("serve.http.keepalive_reuse"),
+            "{}",
+            second.body
+        );
+        handle.shutdown();
+    }
+
+    /// A client that starts a request and stalls (slow loris) must be
+    /// answered 408 and counted — not allowed to pin the connection.
+    #[test]
+    fn slow_loris_partial_requests_get_408() {
+        use std::io::{Read as _, Write as _};
+        let handle = start(ServerConfig {
+            io_timeout: Duration::from_millis(100),
+            ..test_config()
+        })
+        .unwrap();
+        let addr = handle.addr().to_string();
+        let mut stream = std::net::TcpStream::connect(&addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        stream
+            .write_all(b"POST /jobs HTTP/1.1\r\nContent-Le")
+            .unwrap();
+        // Never finish the head; the server must answer, not hang.
+        let mut response = String::new();
+        let mut buf = [0u8; 1024];
+        loop {
+            match stream.read(&mut buf) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => response.push_str(&String::from_utf8_lossy(&buf[..n])),
+            }
+        }
+        assert!(response.starts_with("HTTP/1.1 408"), "{response}");
+        let metrics = get(&addr, "/metrics").body;
+        assert!(metrics.contains("serve.http.timeouts"), "{metrics}");
+        handle.shutdown();
     }
 }

@@ -257,6 +257,73 @@ fn eco_jobs_match_cold_jobs_and_hit_the_edited_netlist_cache() {
     handle.shutdown();
 }
 
+/// Two textual spellings of the same circuit — renamed interior wires, a
+/// redundant duplicate gate, comments — must land on one netlist cache
+/// entry (the cache keys by the post-strash structural hash), must bump
+/// the cross-spelling dedupe counter, and must return byte-identical
+/// solutions because both jobs optimize the very same cached netlist.
+#[test]
+fn two_spellings_of_one_circuit_share_a_netlist_cache_entry() {
+    let spelling_a = "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\nOUTPUT(z)\n\
+                      t1 = NAND(a, b)\nt2 = NOR(t1, c)\ny = NOT(t2)\nz = NAND(t1, c)\n";
+    // Same circuit: interior wires renamed, a structurally duplicate
+    // (unused) gate added, comments sprinkled in. Strash collapses the
+    // duplicate and ignores names, so the structural hash matches.
+    let spelling_b = "# same circuit, spelled differently\n\
+                      INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\nOUTPUT(z)\n\
+                      w9 = NAND(a, b)\nextra = NAND(a, b)\n\
+                      # the line above is redundant\n\
+                      w8 = NOR(w9, c)\ny = NOT(w8)\nz = NAND(w9, c)\n";
+
+    let handle = start(ServerConfig::default()).expect("server starts");
+    let addr = handle.addr().to_string();
+    let submit = |bench: &str| {
+        let body = json::Value::Obj(
+            [
+                ("bench".to_string(), json::Value::Str(bench.to_string())),
+                ("deadline_ms".to_string(), json::Value::Num(60_000.0)),
+            ]
+            .into_iter()
+            .collect(),
+        )
+        .to_string();
+        let (status, response) = post(&addr, "/jobs", &body);
+        assert_eq!(status, 202, "{response}");
+        json::parse(&response)
+            .unwrap()
+            .get("id")
+            .and_then(json::Value::as_f64)
+            .unwrap() as u64
+    };
+    let doc_a = wait_done(&addr, submit(spelling_a));
+    let doc_b = wait_done(&addr, submit(spelling_b));
+    assert_eq!(field(&doc_a, "outcome"), "complete");
+    assert_eq!(field(&doc_b, "outcome"), "complete");
+    // Both jobs ran the same Arc<Netlist> (spelling A's mapped form), so
+    // the solutions agree down to the f64 bit patterns.
+    assert_eq!(field(&doc_a, "vector"), field(&doc_b, "vector"));
+    assert_eq!(field(&doc_a, "choices"), field(&doc_b, "choices"));
+    assert_eq!(field(&doc_a, "leakage_bits"), field(&doc_b, "leakage_bits"));
+    assert_eq!(field(&doc_a, "delay_bits"), field(&doc_b, "delay_bits"));
+
+    let metrics = call(&addr, "GET", "/metrics", "", Duration::from_secs(30))
+        .expect("GET /metrics succeeds")
+        .body;
+    let counter = |name: &str| {
+        metrics
+            .lines()
+            .find_map(|l| l.trim().strip_prefix(name))
+            .unwrap_or_else(|| panic!("no `{name}` in metrics:\n{metrics}"))
+            .trim()
+            .parse::<u64>()
+            .expect("counter is an integer")
+    };
+    assert_eq!(counter("serve.cache.netlist_misses"), 1, "{metrics}");
+    assert_eq!(counter("serve.cache.netlist_hits"), 1, "{metrics}");
+    assert_eq!(counter("serve.cache.netlist_dedup_hits"), 1, "{metrics}");
+    handle.shutdown();
+}
+
 /// The acceptance bar from the issue: 100 concurrent jobs, zero hangs,
 /// every job in a typed outcome, and the shared caches carrying all the
 /// repeat traffic (one characterization, 99 hits).
